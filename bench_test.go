@@ -1,0 +1,152 @@
+// Package repro's top-level benchmarks regenerate every table and figure
+// of the paper's evaluation (Table 1-2, Figures 4-21), one benchmark per
+// exhibit. Each benchmark runs its experiment at a reduced scale so the
+// whole suite finishes in minutes; `cmd/dsebench -all` produces the
+// full-scale rows. Benchmarks report the reproduction's headline metric
+// (peak speed-up, best execution time, ...) via b.ReportMetric, so the
+// "who wins and by how much" shape is visible straight from `go test
+// -bench`.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/platform"
+)
+
+// benchScale is the reduced parameter set used by the benchmarks.
+func benchScale() bench.Scale {
+	return bench.Scale{
+		MaxPE:         6,
+		GaussNs:       []int{120, 360},
+		DCTImage:      64,
+		DCTBlocks:     []int{4, 16},
+		OthelloDepths: []int{3, 5},
+		KnightJobs:    []int{2, 16},
+		Seed:          1,
+	}
+}
+
+func BenchmarkTable1_Environments(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := bench.Table1(); len(tab.Rows) != 3 {
+			b.Fatal("Table 1 incomplete")
+		}
+	}
+}
+
+func BenchmarkTable2_VirtualCluster(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := bench.Table2(12); len(tab.Rows) != 12 {
+			b.Fatal("Table 2 incomplete")
+		}
+	}
+}
+
+// gaussBench regenerates one Gauss-Seidel figure pair and reports the peak
+// speed-up of the largest system.
+func gaussBench(b *testing.B, pl *platform.Platform, speedup bool) {
+	b.Helper()
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		timeFig, speedupFig, err := bench.GaussFigures(pl, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig := timeFig
+		if speedup {
+			fig = speedupFig
+		}
+		if len(fig.Series) == 0 {
+			b.Fatal("empty figure")
+		}
+		last := speedupFig.Series[len(speedupFig.Series)-1]
+		b.ReportMetric(last.MaxY(), "peak-speedup")
+		b.ReportMetric(last.ArgMaxY(), "peak-procs")
+	}
+}
+
+func BenchmarkFig04_GaussTimeSunOS(b *testing.B)    { gaussBench(b, platform.SparcSunOS, false) }
+func BenchmarkFig05_GaussSpeedupSunOS(b *testing.B) { gaussBench(b, platform.SparcSunOS, true) }
+func BenchmarkFig06_GaussTimeAIX(b *testing.B)      { gaussBench(b, platform.RS6000AIX, false) }
+func BenchmarkFig07_GaussSpeedupAIX(b *testing.B)   { gaussBench(b, platform.RS6000AIX, true) }
+func BenchmarkFig08_GaussTimeLinux(b *testing.B)    { gaussBench(b, platform.PentiumIILinux, false) }
+func BenchmarkFig09_GaussSpeedupLinux(b *testing.B) { gaussBench(b, platform.PentiumIILinux, true) }
+
+// dctBench regenerates one DCT-II figure pair and reports the largest
+// block's peak speed-up (the paper's best case) and the smallest block's
+// (the paper's communication-bound case).
+func dctBench(b *testing.B, pl *platform.Platform, speedup bool) {
+	b.Helper()
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		timeFig, speedupFig, err := bench.DCTFigures(pl, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig := timeFig
+		if speedup {
+			fig = speedupFig
+		}
+		if len(fig.Series) == 0 {
+			b.Fatal("empty figure")
+		}
+		small := speedupFig.Series[0]
+		big := speedupFig.Series[len(speedupFig.Series)-1]
+		b.ReportMetric(small.MaxY(), "small-block-peak")
+		b.ReportMetric(big.MaxY(), "big-block-peak")
+	}
+}
+
+func BenchmarkFig10_DCTTimeSunOS(b *testing.B)    { dctBench(b, platform.SparcSunOS, false) }
+func BenchmarkFig11_DCTSpeedupSunOS(b *testing.B) { dctBench(b, platform.SparcSunOS, true) }
+func BenchmarkFig12_DCTTimeAIX(b *testing.B)      { dctBench(b, platform.RS6000AIX, false) }
+func BenchmarkFig13_DCTSpeedupAIX(b *testing.B)   { dctBench(b, platform.RS6000AIX, true) }
+func BenchmarkFig14_DCTTimeLinux(b *testing.B)    { dctBench(b, platform.PentiumIILinux, false) }
+func BenchmarkFig15_DCTSpeedupLinux(b *testing.B) { dctBench(b, platform.PentiumIILinux, true) }
+
+// othelloBench regenerates one Othello figure and reports shallow vs deep
+// peak improvement ratios.
+func othelloBench(b *testing.B, pl *platform.Platform) {
+	b.Helper()
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.OthelloFigure(pl, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fig.Series[0].MaxY(), "shallow-peak")
+		b.ReportMetric(fig.Series[len(fig.Series)-1].MaxY(), "deep-peak")
+	}
+}
+
+func BenchmarkFig16_OthelloSunOS(b *testing.B) { othelloBench(b, platform.SparcSunOS) }
+func BenchmarkFig17_OthelloAIX(b *testing.B)   { othelloBench(b, platform.RS6000AIX) }
+func BenchmarkFig18_OthelloLinux(b *testing.B) { othelloBench(b, platform.PentiumIILinux) }
+
+// knightBench regenerates one Knight's-Tour figure and reports the best
+// execution time over the sweep together with the job count achieving it.
+func knightBench(b *testing.B, pl *platform.Platform) {
+	b.Helper()
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.KnightFigure(pl, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		best := 0.0
+		for _, s := range fig.Series {
+			for _, y := range s.Y {
+				if best == 0 || y < best {
+					best = y
+				}
+			}
+		}
+		b.ReportMetric(best, "best-time-s")
+	}
+}
+
+func BenchmarkFig19_KnightSunOS(b *testing.B) { knightBench(b, platform.SparcSunOS) }
+func BenchmarkFig20_KnightAIX(b *testing.B)   { knightBench(b, platform.RS6000AIX) }
+func BenchmarkFig21_KnightLinux(b *testing.B) { knightBench(b, platform.PentiumIILinux) }

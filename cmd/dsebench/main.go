@@ -1,0 +1,126 @@
+// Command dsebench regenerates the paper's evaluation tables and figures
+// on the simulated cluster.
+//
+// Usage:
+//
+//	dsebench -table 1            # print paper Table 1 (environments)
+//	dsebench -table 2            # print paper Table 2 (virtual cluster)
+//	dsebench -fig 5              # regenerate one figure (4..21)
+//	dsebench -all                # regenerate every table and figure
+//	dsebench -all -quick         # smaller parameter ranges (fast)
+//
+// Figures print as aligned tables: one row per x value, one column per
+// series, exactly the rows/series the paper plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		fig      = flag.Int("fig", 0, "regenerate one paper figure (4..21)")
+		table    = flag.Int("table", 0, "print a paper table (1 or 2)")
+		all      = flag.Bool("all", false, "regenerate every table and figure")
+		ablation = flag.Bool("ablation", false, "run the design-choice ablation suite")
+		plot     = flag.Bool("plot", false, "also render figures as ASCII charts")
+		quick    = flag.Bool("quick", false, "use reduced parameter ranges")
+		maxPE    = flag.Int("maxpe", 0, "override the processor sweep upper bound")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		csvDir   = flag.String("csv", "", "also save each regenerated figure as CSV into this directory")
+	)
+	flag.Parse()
+	plotFigures = *plot
+	csvOutDir = *csvDir
+
+	sc := bench.FullScale()
+	if *quick {
+		sc = bench.QuickScale()
+	}
+	if *maxPE > 0 {
+		sc.MaxPE = *maxPE
+	}
+	sc.Seed = *seed
+
+	switch {
+	case *table == 1:
+		bench.Table1().Fprint(os.Stdout)
+	case *table == 2:
+		bench.Table2(2 * platform.PhysicalMachines).Fprint(os.Stdout)
+	case *table != 0:
+		fatalf("no table %d in the paper (1 or 2)", *table)
+	case *ablation:
+		figs, err := bench.Ablations(sc.MaxPE, sc.Seed)
+		if err != nil {
+			fatalf("ablations: %v", err)
+		}
+		for _, f := range figs {
+			f.Table().Fprint(os.Stdout)
+			maybePlot(f)
+			maybeCSV(f)
+			fmt.Println()
+		}
+	case *fig != 0:
+		printFigure(*fig, sc)
+	case *all:
+		bench.Table1().Fprint(os.Stdout)
+		fmt.Println()
+		bench.Table2(2 * platform.PhysicalMachines).Fprint(os.Stdout)
+		fmt.Println()
+		for _, n := range bench.AllFigureNumbers() {
+			printFigure(n, sc)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// plotFigures and csvOutDir mirror the -plot and -csv flags.
+var (
+	plotFigures bool
+	csvOutDir   string
+)
+
+func printFigure(n int, sc bench.Scale) {
+	start := time.Now()
+	f, err := bench.FigureByNumber(n, sc)
+	if err != nil {
+		fatalf("figure %d: %v", n, err)
+	}
+	f.Table().Fprint(os.Stdout)
+	maybePlot(f)
+	maybeCSV(f)
+	fmt.Printf("(x: %s, y: %s; regenerated in %v)\n\n", f.XLabel, f.YLabel, time.Since(start).Round(time.Millisecond))
+}
+
+func maybePlot(f *bench.Figure) {
+	if !plotFigures {
+		return
+	}
+	fmt.Println()
+	trace.Plot(os.Stdout, "", f.Series, 60, 16)
+}
+
+func maybeCSV(f *bench.Figure) {
+	if csvOutDir == "" {
+		return
+	}
+	path, err := f.SaveCSV(csvOutDir)
+	if err != nil {
+		fatalf("saving CSV: %v", err)
+	}
+	fmt.Printf("(saved %s)\n", path)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "dsebench: "+format+"\n", args...)
+	os.Exit(1)
+}

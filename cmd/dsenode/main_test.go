@@ -1,0 +1,85 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// freeAddrs reserves n loopback ports and releases them for the daemons.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// TestMultiProcessCluster builds the dsenode binary and runs a real
+// three-OS-process DSE cluster over TCP — the full distributed deployment,
+// exercised end to end.
+func TestMultiProcessCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and spawns processes")
+	}
+	bin := filepath.Join(t.TempDir(), "dsenode")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building dsenode: %v", err)
+	}
+
+	addrs := freeAddrs(t, 3)
+	joined := strings.Join(addrs, ",")
+	outputs := make([]string, 3)
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cmd := exec.Command(bin,
+				"-id", fmt.Sprint(i),
+				"-addrs", joined,
+				"-app", "knight", "-jobs", "8")
+			out, err := cmd.CombinedOutput()
+			outputs[i] = string(out)
+			errs[i] = err
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("multi-process cluster did not finish")
+	}
+	for i := 0; i < 3; i++ {
+		if errs[i] != nil {
+			t.Fatalf("node %d failed: %v\n%s", i, errs[i], outputs[i])
+		}
+		if !strings.Contains(outputs[i], "total 304 tours") {
+			t.Fatalf("node %d output missing tour count:\n%s", i, outputs[i])
+		}
+		if !strings.Contains(outputs[i], "done") {
+			t.Fatalf("node %d did not shut down cleanly:\n%s", i, outputs[i])
+		}
+	}
+}

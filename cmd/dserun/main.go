@@ -1,0 +1,175 @@
+// Command dserun executes one parallel application on a DSE cluster and
+// prints its result together with the runtime's statistics breakdown.
+//
+// Usage examples:
+//
+//	dserun -app gauss -platform sunos -p 6 -n 600
+//	dserun -app dct -platform linux -p 4 -block 16
+//	dserun -app othello -platform aix -p 8 -depth 6
+//	dserun -app knight -p 6 -jobs 16
+//	dserun -app gauss -transport tcp -p 4 -n 120   # real loopback sockets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps/dct"
+	"repro/internal/apps/gauss"
+	"repro/internal/apps/knight"
+	"repro/internal/apps/othello"
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+func main() {
+	var (
+		app       = flag.String("app", "gauss", "application: gauss, dct, othello, knight")
+		plName    = flag.String("platform", "sunos", "platform: sunos, aix, linux")
+		transport = flag.String("transport", "simnet", "transport: simnet, inproc, tcp")
+		pes       = flag.Int("p", 4, "number of processors (DSE kernels)")
+		seed      = flag.Uint64("seed", 1, "simulation / workload seed")
+		caching   = flag.Bool("caching", false, "enable the DSM caching protocol")
+		tree      = flag.Bool("tree-barrier", false, "use the tree barrier instead of the central one")
+		switched  = flag.Bool("switched", false, "switched Ethernet instead of the shared bus")
+		legacy    = flag.Bool("legacy", false, "model the old two-process DSE organisation")
+		traceFile = flag.String("trace", "", "write a cluster-wide protocol trace to this file")
+		blockW    = flag.Int("gm-block", 0, "DSM block size in words (0 = default)")
+
+		n     = flag.Int("n", 300, "gauss: system dimension")
+		image = flag.Int("image", 256, "dct: image edge")
+		block = flag.Int("block", 8, "dct: block edge")
+		rate  = flag.Float64("rate", 0.5, "dct: compression rate")
+		depth = flag.Int("depth", 5, "othello: search depth")
+		jobs  = flag.Int("jobs", 16, "knight: job count")
+		board = flag.Int("board", 5, "knight: board edge")
+	)
+	flag.Parse()
+
+	pl, ok := platform.ByName(*plName)
+	if !ok {
+		fatalf("unknown platform %q (sunos, aix, linux)", *plName)
+	}
+	cfg := core.Config{
+		NumPE:        *pes,
+		Platform:     pl,
+		Transport:    core.TransportKind(*transport),
+		Seed:         *seed,
+		Caching:      *caching,
+		Switched:     *switched,
+		Legacy:       *legacy,
+		GMBlockWords: *blockW,
+	}
+	if *tree {
+		cfg.Barrier = core.BarrierTree
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatalf("creating trace file: %v", err)
+		}
+		defer f.Close()
+		cfg.MessageLog = f
+	}
+
+	var describe func()
+	var program core.Program
+	switch *app {
+	case "gauss":
+		if cfg.GMBlockWords == 0 {
+			cfg.GMBlockWords = 256
+		}
+		p := gauss.Params{N: *n, Seed: *seed}
+		var out *gauss.Result
+		program = func(pe *core.PE) error {
+			r, err := gauss.Parallel(pe, p)
+			if err == nil && pe.ID() == 0 {
+				out = r
+			}
+			return err
+		}
+		describe = func() {
+			fmt.Printf("gauss: N=%d sweeps=%d residual=%.3g elapsed=%v\n",
+				p.N, out.Sweeps, out.Residual, out.Elapsed)
+		}
+	case "dct":
+		p := dct.Params{ImageN: *image, Block: *block, Rate: *rate, Seed: *seed}
+		var out *dct.Result
+		program = func(pe *core.PE) error {
+			r, err := dct.Parallel(pe, p)
+			if err == nil && pe.ID() == 0 {
+				out = r
+			}
+			return err
+		}
+		describe = func() {
+			recon := dct.Reconstruct(p, out.Coeffs)
+			psnr := dct.PSNR(dct.BuildImage(p), recon)
+			fmt.Printf("dct: image=%dx%d block=%d rate=%.0f%% blocks=%d psnr=%.1fdB elapsed=%v\n",
+				p.ImageN, p.ImageN, p.Block, p.Rate*100, out.Blocks, psnr, out.Elapsed)
+		}
+	case "othello":
+		p := othello.Params{Depth: *depth}
+		var out *othello.Result
+		program = func(pe *core.PE) error {
+			r, err := othello.Parallel(pe, p)
+			if err == nil && pe.ID() == 0 {
+				out = r
+			}
+			return err
+		}
+		describe = func() {
+			fmt.Printf("othello: depth=%d best=%c%d value=%d nodes=%d elapsed=%v\n",
+				p.Depth, 'a'+rune(out.BestMove%8), out.BestMove/8+1, out.Value, out.Nodes, out.Elapsed)
+		}
+	case "knight":
+		p := knight.Params{BoardN: *board, Jobs: *jobs}
+		var out *knight.Result
+		program = func(pe *core.PE) error {
+			r, err := knight.Parallel(pe, p)
+			if err == nil && pe.ID() == 0 {
+				out = r
+			}
+			return err
+		}
+		describe = func() {
+			fmt.Printf("knight: board=%dx%d jobs>=%d tours=%d nodes=%d elapsed=%v\n",
+				p.BoardN, p.BoardN, p.Jobs, out.Tours, out.Nodes, out.Elapsed)
+		}
+	default:
+		fatalf("unknown app %q (gauss, dct, othello, knight)", *app)
+	}
+
+	res, err := core.Run(cfg, program)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := res.FirstErr(); err != nil {
+		fatalf("program: %v", err)
+	}
+	describe()
+	fmt.Printf("cluster: %d PEs on %s via %s, total elapsed %v\n",
+		cfg.NumPE, pl, cfg.Transport, res.Elapsed)
+	fmt.Printf("totals:  %s\n", res.Total.String())
+	if cfg.Transport == core.TransportSim {
+		util := 0.0
+		if res.Elapsed > 0 {
+			util = float64(res.Bus.BusyTime) / float64(res.Elapsed) * 100
+		}
+		fmt.Printf("network: %d frames, %d payload bytes, %d collisions, %.1f%% utilisation\n",
+			res.Bus.Frames, res.Bus.PayloadBytes, res.Bus.Collisions, util)
+	}
+	for i, s := range res.PerPE {
+		fmt.Printf("  PE%-2d compute=%v comm=%v msgs=%d gm=%d local/%d remote\n",
+			i, s.ComputeTime, s.CommTime(), s.MsgsSent+s.MsgsRecv, s.LocalGM, s.RemoteGM)
+	}
+	if res.RTT.Count > 0 {
+		fmt.Printf("request round trips: %s\n%s", res.RTT.String(), res.RTT.Render(40))
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "dserun: "+format+"\n", args...)
+	os.Exit(1)
+}

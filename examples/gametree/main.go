@@ -1,0 +1,59 @@
+// Gametree plays a move of Othello with the paper's parallel game-tree
+// search: it shows the board, searches the position at increasing depths
+// on a simulated RS/6000 cluster and reports how the deeper searches reward
+// parallelism while the shallow ones do not.
+//
+//	go run ./examples/gametree
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps/othello"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+func main() {
+	pos := othello.MidgamePosition(10)
+	fmt.Printf("midgame position (o to move, %d legal moves):\n%s\n",
+		len(othello.MoveList(pos.Moves())), pos)
+
+	fmt.Printf("%-7s %-10s %-12s %-12s %-9s %s\n",
+		"depth", "best", "1 proc", "6 procs", "speed-up", "nodes")
+	for _, depth := range []int{3, 5, 7} {
+		params := othello.Params{Depth: depth}
+		r1, t1 := search(1, params)
+		_, t6 := search(6, params)
+		fmt.Printf("%-7d %-10s %-12v %-12v %-9.2f %d\n",
+			depth, square(r1.BestMove), t1, t6, float64(t1)/float64(t6), r1.Nodes)
+	}
+}
+
+func square(sq int) string {
+	return fmt.Sprintf("%c%d", 'a'+rune(sq%8), sq/8+1)
+}
+
+func search(p int, params othello.Params) (*othello.Result, sim.Duration) {
+	var out *othello.Result
+	res, err := core.Run(core.Config{
+		NumPE:    p,
+		Platform: platform.RS6000AIX,
+		Seed:     1,
+	}, func(pe *core.PE) error {
+		r, err := othello.Parallel(pe, params)
+		if err == nil && pe.ID() == 0 {
+			out = r
+		}
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.FirstErr(); err != nil {
+		log.Fatal(err)
+	}
+	return out, out.Elapsed
+}

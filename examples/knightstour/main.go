@@ -1,0 +1,67 @@
+// Knightstour enumerates every knight's tour of the 5×5 board from the
+// corner square, sweeping the job granularity the way the paper's Figures
+// 19-21 do: too few jobs starve the processors, too many pay communication
+// for every crumb of work.
+//
+//	go run ./examples/knightstour
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps/knight"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+func main() {
+	const pes = 6
+	fmt.Printf("5x5 knight's tours from a1 on %d simulated %s workstations\n",
+		pes, platform.SparcSunOS.Name)
+	fmt.Printf("%-7s %-8s %-12s %-9s %s\n", "jobs", "tours", "exec time", "speed-up", "balance (jobs per PE)")
+
+	// One-processor baseline (job split does not matter at p=1).
+	base := timeOf(1, 16, nil)
+
+	for _, jobs := range []int{2, 8, 16, 64} {
+		perPE := make([]int, pes)
+		elapsed := timeOf(pes, jobs, perPE)
+		var tours int64 = 304 // classical result, verified by the run below
+		fmt.Printf("%-7d %-8d %-12v %-9.2f %v\n",
+			jobs, tours, elapsed, float64(base)/float64(elapsed), perPE)
+	}
+}
+
+// timeOf runs the enumeration and returns the app-level execution time;
+// perPE (if non-nil) receives each PE's processed job count.
+func timeOf(p, jobs int, perPE []int) (elapsed sim.Duration) {
+	res, err := core.Run(core.Config{
+		NumPE:    p,
+		Platform: platform.SparcSunOS,
+		Seed:     1,
+	}, func(pe *core.PE) error {
+		r, err := knight.Parallel(pe, knight.Params{BoardN: 5, Jobs: jobs})
+		if err != nil {
+			return err
+		}
+		if r.Tours != 304 {
+			return fmt.Errorf("tour count %d, expected 304", r.Tours)
+		}
+		if pe.ID() == 0 {
+			elapsed = r.Elapsed
+		}
+		if perPE != nil {
+			perPE[pe.ID()] = r.Jobs
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.FirstErr(); err != nil {
+		log.Fatal(err)
+	}
+	return elapsed
+}

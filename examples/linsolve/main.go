@@ -1,0 +1,53 @@
+// Linsolve runs the paper's Gauss-Seidel workload through the public API:
+// it solves a 400-dimensional dense system on 1..8 simulated processors and
+// prints the execution-time/speed-up rows of paper Figure 4/5 for that
+// size, plus the residual so you can see the answer is actually right.
+//
+//	go run ./examples/linsolve
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps/gauss"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+func main() {
+	const n = 400
+	params := gauss.Params{N: n, Seed: 7}
+
+	fmt.Printf("Gauss-Seidel, N=%d, %s\n", n, platform.SparcSunOS)
+	fmt.Printf("%-6s %-12s %-9s %-8s %s\n", "procs", "exec time", "speed-up", "sweeps", "residual")
+
+	var base sim.Duration
+	for p := 1; p <= 8; p++ {
+		var out *gauss.Result
+		res, err := core.Run(core.Config{
+			NumPE:        p,
+			Platform:     platform.SparcSunOS,
+			Seed:         1,
+			GMBlockWords: 256,
+		}, func(pe *core.PE) error {
+			r, err := gauss.Parallel(pe, params)
+			if err == nil && pe.ID() == 0 {
+				out = r
+			}
+			return err
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.FirstErr(); err != nil {
+			log.Fatal(err)
+		}
+		if p == 1 {
+			base = out.Elapsed
+		}
+		fmt.Printf("%-6d %-12v %-9.2f %-8d %.2g\n",
+			p, out.Elapsed, float64(base)/float64(out.Elapsed), out.Sweeps, out.Residual)
+	}
+}

@@ -1,0 +1,31 @@
+package dct
+
+import "testing"
+
+func benchBlock(b *testing.B, edge int) {
+	b.Helper()
+	m := Basis(edge)
+	block := make([]float64, edge*edge)
+	for i := range block {
+		block[i] = float64(i % 256)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ForwardBlock(m, block)
+	}
+}
+
+func BenchmarkForwardBlock8(b *testing.B)  { benchBlock(b, 8) }
+func BenchmarkForwardBlock16(b *testing.B) { benchBlock(b, 16) }
+func BenchmarkForwardBlock32(b *testing.B) { benchBlock(b, 32) }
+
+func BenchmarkPackPixels(b *testing.B) {
+	img := make([]float64, 64*64)
+	for i := range img {
+		img[i] = float64(i % 256)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PackPixels(img)
+	}
+}

@@ -1,0 +1,104 @@
+package dct
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+// Property: the orthonormal DCT preserves energy (Parseval's theorem).
+func TestParsevalProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		const b = 8
+		m := Basis(b)
+		rng := seed | 1
+		block := make([]float64, b*b)
+		inEnergy := 0.0
+		for i := range block {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			block[i] = float64(rng>>56) - 128
+			inEnergy += block[i] * block[i]
+		}
+		coeffs := ForwardBlock(m, block)
+		outEnergy := 0.0
+		for _, c := range coeffs {
+			outEnergy += c * c
+		}
+		return math.Abs(inEnergy-outEnergy) <= 1e-6*(1+inEnergy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BlockMajor is a permutation (no pixel lost or duplicated).
+func TestBlockMajorPermutationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		const n, b = 16, 4
+		img := make([]float64, n*n)
+		for i := range img {
+			img[i] = float64(i) // unique values
+		}
+		out := BlockMajor(img, n, b)
+		seen := make(map[float64]bool, n*n)
+		for _, v := range out {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(seen) == n*n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantisation error is bounded by half the step everywhere in
+// the representable range.
+func TestQuantBoundProperty(t *testing.T) {
+	f := func(raw int16) bool {
+		c := float64(raw) / 5.0 // well inside the clamp range
+		got := DequantCoeff(QuantCoeff(c))
+		return math.Abs(got-c) <= 0.125+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: chunked parallel scheduling produces exactly the sequential
+// coefficient plane for any chunk size (including ragged final chunks).
+func TestChunkInvarianceSequentialEquivalence(t *testing.T) {
+	p := Params{ImageN: 16, Block: 4, Rate: 0.5, Seed: 9}
+	seq, err := Sequential(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{1, 3, 8, 100} {
+		pc := p
+		pc.ChunkBlocks = chunk
+		var par *Result
+		res, err := core.Run(core.Config{NumPE: 3, Transport: core.TransportInproc},
+			func(pe *core.PE) error {
+				r, err := Parallel(pe, pc)
+				if err == nil && pe.ID() == 0 {
+					par = r
+				}
+				return err
+			})
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		if err := res.FirstErr(); err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		for i := range seq.Coeffs {
+			if par.Coeffs[i] != seq.Coeffs[i] {
+				t.Fatalf("chunk %d: coeff %d differs", chunk, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package gauss implements the paper's first workload: solving an
+// N-dimensional simultaneous linear equation system with the Gauss-Seidel
+// method, sequentially and in parallel over the DSE global memory.
+//
+// The parallel version partitions rows contiguously across PEs. Within a
+// sweep each PE updates its own rows in order using its freshest local
+// values (Gauss-Seidel within the block) and the previous sweep's values
+// for other PEs' rows (Jacobi across blocks) — the standard synchronous
+// block hybrid, which converges for the strictly diagonally dominant
+// systems generated here. The shared x vector lives in global memory; each
+// sweep a PE reads the full vector, updates its block locally, writes its
+// block back, and joins a max-reduction on the update delta.
+package gauss
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Params describes one experiment instance.
+type Params struct {
+	N         int     // system dimension
+	MaxSweeps int     // sweep cap (0 = 200)
+	Tol       float64 // convergence threshold on max |Δx| (0 = 1e-8)
+	Seed      uint64  // system generator seed
+
+	// Omega is the successive-over-relaxation factor in (0, 2); 0 or 1 is
+	// plain Gauss-Seidel (the paper's method). An extension: SOR can cut
+	// the sweep count without changing the communication pattern.
+	Omega float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.MaxSweeps == 0 {
+		p.MaxSweeps = 200
+	}
+	if p.Tol == 0 {
+		p.Tol = 1e-8
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Omega == 0 {
+		p.Omega = 1
+	}
+	if p.Omega <= 0 || p.Omega >= 2 {
+		panic(fmt.Sprintf("gauss: SOR factor %v outside (0,2)", p.Omega))
+	}
+	return p
+}
+
+// Result reports a solve.
+type Result struct {
+	X        []float64    // solution vector
+	Sweeps   int          // sweeps performed
+	Delta    float64      // final max |Δx|
+	Residual float64      // max |Ax-b| of the returned solution
+	Ops      float64      // counted floating-point operations
+	Elapsed  sim.Duration // timed region (parallel runs; excludes setup)
+}
+
+// BuildSystem deterministically generates a strictly diagonally dominant
+// dense system Ax = b.
+func BuildSystem(p Params) (a [][]float64, b []float64) {
+	p = p.withDefaults()
+	n := p.N
+	a = make([][]float64, n)
+	b = make([]float64, n)
+	rng := p.Seed
+	next := func() float64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return float64(rng>>11) / float64(1<<53)
+	}
+	for i := 0; i < n; i++ {
+		a[i] = make([]float64, n)
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := 1.0 / float64(1+abs(i-j))
+			a[i][j] = v
+			sum += v
+		}
+		a[i][i] = 2*sum + 1 + next() // strong strict dominance
+		b[i] = next() * float64(n)
+	}
+	return a, b
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// rowUpdate computes the (over-relaxed) Gauss-Seidel update for row i
+// against x and returns the new value; omega=1 is plain Gauss-Seidel.
+func rowUpdate(a [][]float64, b []float64, x []float64, i int, omega float64) float64 {
+	s := b[i]
+	row := a[i]
+	for j, v := range row {
+		if j != i {
+			s -= v * x[j]
+		}
+	}
+	gs := s / row[i]
+	if omega == 1 {
+		return gs
+	}
+	return (1-omega)*x[i] + omega*gs
+}
+
+// opsPerRow counts the floating-point work of one row update.
+func opsPerRow(n int) float64 { return float64(2*n + 2) }
+
+// residual computes max_i |(Ax)_i - b_i|.
+func residual(a [][]float64, b, x []float64) float64 {
+	worst := 0.0
+	for i := range a {
+		s := -b[i]
+		for j, v := range a[i] {
+			s += v * x[j]
+		}
+		if s < 0 {
+			s = -s
+		}
+		if s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// Sequential solves the system on one processor.
+func Sequential(p Params) *Result {
+	p = p.withDefaults()
+	a, b := BuildSystem(p)
+	x := make([]float64, p.N)
+	res := &Result{}
+	for sweep := 0; sweep < p.MaxSweeps; sweep++ {
+		delta := 0.0
+		for i := 0; i < p.N; i++ {
+			old := x[i]
+			x[i] = rowUpdate(a, b, x, i, p.Omega)
+			if d := math.Abs(x[i] - old); d > delta {
+				delta = d
+			}
+		}
+		res.Ops += float64(p.N) * opsPerRow(p.N)
+		res.Sweeps++
+		res.Delta = delta
+		if delta < p.Tol {
+			break
+		}
+	}
+	res.X = x
+	res.Residual = residual(a, b, x)
+	return res
+}
+
+// rowRange gives PE id's contiguous row block [lo, hi).
+func rowRange(n, npe, id int) (lo, hi int) {
+	per := n / npe
+	rem := n % npe
+	lo = id*per + min(id, rem)
+	hi = lo + per
+	if id < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Parallel solves the system as an SPMD program over the DSE API; every PE
+// returns the same Result. The timed region excludes system generation and
+// the initial zeroing of the shared vector.
+func Parallel(pe *core.PE, p Params) (*Result, error) {
+	p = p.withDefaults()
+	if p.N < pe.N() {
+		return nil, fmt.Errorf("gauss: N=%d smaller than %d PEs", p.N, pe.N())
+	}
+	a, b := BuildSystem(p) // replicated read-only data
+	xAddr := pe.AllocBlocks(p.N)
+	lo, hi := rowRange(p.N, pe.N(), pe.ID())
+
+	// Setup: PE 0 zeroes the shared vector.
+	if pe.ID() == 0 {
+		pe.GMWriteBlockF(xAddr, make([]float64, p.N))
+	}
+	pe.Barrier()
+	start := pe.Now()
+
+	res := &Result{}
+	for sweep := 0; sweep < p.MaxSweeps; sweep++ {
+		// Fetch the current global vector (previous sweep's values).
+		x := pe.GMReadBlockF(xAddr, p.N)
+		// Update own rows in order, Gauss-Seidel within the block.
+		delta := 0.0
+		for i := lo; i < hi; i++ {
+			old := x[i]
+			x[i] = rowUpdate(a, b, x, i, p.Omega)
+			if d := math.Abs(x[i] - old); d > delta {
+				delta = d
+			}
+		}
+		pe.Compute(float64(hi-lo) * opsPerRow(p.N))
+		res.Ops += float64(hi-lo) * opsPerRow(p.N)
+		// Separate the read and write phases so every PE updates against
+		// exactly the previous sweep's vector (strictly synchronous — and
+		// therefore deterministic on every transport), then publish the
+		// block and agree on convergence.
+		pe.Barrier()
+		pe.GMWriteBlockF(xAddr+uint64(lo), x[lo:hi])
+		res.Sweeps++
+		res.Delta = pe.AllReduceMax(delta)
+		if res.Delta < p.Tol {
+			break
+		}
+	}
+	res.Elapsed = pe.Now() - start
+	res.X = pe.GMReadBlockF(xAddr, p.N)
+	res.Residual = residual(a, b, res.X)
+	return res, nil
+}

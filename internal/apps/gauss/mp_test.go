@@ -1,0 +1,86 @@
+package gauss
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+func TestParallelMPMatchesParallelExactly(t *testing.T) {
+	p := Params{N: 48, Seed: 4}
+	for _, npe := range []int{1, 3, 4} {
+		npe := npe
+		t.Run(fmt.Sprintf("p%d", npe), func(t *testing.T) {
+			var dsm, msg *Result
+			res, err := core.Run(core.Config{NumPE: npe, Transport: core.TransportInproc},
+				func(pe *core.PE) error {
+					r1, err := Parallel(pe, p)
+					if err != nil {
+						return err
+					}
+					pe.Barrier()
+					r2, err := ParallelMP(pe, p)
+					if err != nil {
+						return err
+					}
+					if pe.ID() == 0 {
+						dsm, msg = r1, r2
+					}
+					pe.Barrier()
+					return nil
+				})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if err := res.FirstErr(); err != nil {
+				t.Fatal(err)
+			}
+			if dsm.Sweeps != msg.Sweeps {
+				t.Fatalf("sweeps differ: DSM %d vs MP %d", dsm.Sweeps, msg.Sweeps)
+			}
+			for i := range dsm.X {
+				if dsm.X[i] != msg.X[i] {
+					t.Fatalf("x[%d]: DSM %v vs MP %v", i, dsm.X[i], msg.X[i])
+				}
+			}
+		})
+	}
+}
+
+func TestParallelMPOnSimulatedCluster(t *testing.T) {
+	res, err := core.Run(core.Config{NumPE: 4, Platform: platform.RS6000AIX, Seed: 1},
+		func(pe *core.PE) error {
+			r, err := ParallelMP(pe, Params{N: 64, Seed: 1})
+			if err != nil {
+				return err
+			}
+			if r.Residual > 1e-5 {
+				return fmt.Errorf("residual %v", r.Residual)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := res.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.MsgsSent == 0 {
+		t.Fatal("MP variant sent no messages")
+	}
+}
+
+func TestParallelMPRejectsTooManyPEs(t *testing.T) {
+	res, err := core.Run(core.Config{NumPE: 4, Transport: core.TransportInproc},
+		func(pe *core.PE) error {
+			if _, err := ParallelMP(pe, Params{N: 2}); err == nil {
+				return fmt.Errorf("expected error for N < PEs")
+			}
+			return nil
+		})
+	if err != nil || res.FirstErr() != nil {
+		t.Fatalf("%v %v", err, res.FirstErr())
+	}
+}

@@ -1,0 +1,27 @@
+package knight
+
+import "testing"
+
+// BenchmarkExhaustive5x5 measures the raw backtracking rate.
+func BenchmarkExhaustive5x5(b *testing.B) {
+	p := Params{BoardN: 5, Jobs: 1}
+	var nodes int64
+	for i := 0; i < b.N; i++ {
+		res, err := Sequential(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes += res.Nodes
+	}
+	b.ReportMetric(float64(nodes)/float64(b.N), "nodes/op")
+}
+
+// BenchmarkEnumPrefixes measures job splitting.
+func BenchmarkEnumPrefixes(b *testing.B) {
+	p := Params{BoardN: 5, Jobs: 64}
+	for i := 0; i < b.N; i++ {
+		if len(EnumPrefixes(p, 64)) < 64 {
+			b.Fatal("too few prefixes")
+		}
+	}
+}

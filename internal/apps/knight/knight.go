@@ -1,0 +1,204 @@
+// Package knight implements the paper's fourth workload: the Knight's Tour
+// problem — "find the route which a knight passes all [squares] on the
+// surface of an N×N chess board only once" — as an exhaustive backtracking
+// count of complete tours.
+//
+// The parallel version studies computation granularity exactly as the
+// paper does: the search tree is split into a configurable number of jobs
+// (prefix paths enumerated breadth-first), which PEs claim from a global
+// counter. Few jobs mean coarse grains and poor balance; many jobs mean
+// fine grains and high communication frequency — the tension behind the
+// paper's Figures 19-21.
+package knight
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Params describes one experiment instance.
+type Params struct {
+	BoardN int // board edge (paper-scale: 5)
+	Jobs   int // minimum number of jobs to split the search into (1 = sequential shape)
+	StartX int // starting square (0,0 = corner, the classic setting)
+	StartY int
+}
+
+func (p Params) validate() error {
+	if p.BoardN < 3 || p.BoardN > 8 {
+		return fmt.Errorf("knight: board %d outside [3,8]", p.BoardN)
+	}
+	if p.StartX < 0 || p.StartX >= p.BoardN || p.StartY < 0 || p.StartY >= p.BoardN {
+		return fmt.Errorf("knight: start (%d,%d) off the board", p.StartX, p.StartY)
+	}
+	if p.Jobs < 1 {
+		return fmt.Errorf("knight: jobs %d < 1", p.Jobs)
+	}
+	return nil
+}
+
+// Result reports one enumeration.
+type Result struct {
+	Tours   int64        // complete open tours found
+	Nodes   int64        // search-tree nodes visited
+	Jobs    int          // jobs processed (per PE for Parallel, total for Sequential)
+	Ops     float64      // counted operations
+	Elapsed sim.Duration // timed region (parallel runs)
+}
+
+// opsPerNode is the counted cost of one search-tree node (move generation
+// and bounds checks on period hardware).
+const opsPerNode = 25
+
+var offsets = [8][2]int{
+	{1, 2}, {2, 1}, {2, -1}, {1, -2},
+	{-1, -2}, {-2, -1}, {-2, 1}, {-1, 2},
+}
+
+// Prefix is a partial path: the visited-square bitmask, the current square
+// and the path length so far.
+type Prefix struct {
+	Visited uint64
+	Cur     int // square index y*N+x
+	Depth   int
+}
+
+// startPrefix is the root of the search.
+func startPrefix(p Params) Prefix {
+	sq := p.StartY*p.BoardN + p.StartX
+	return Prefix{Visited: 1 << uint(sq), Cur: sq, Depth: 1}
+}
+
+// successors returns the squares reachable from pre on an n×n board.
+func successors(pre Prefix, n int) []int {
+	x, y := pre.Cur%n, pre.Cur/n
+	out := make([]int, 0, 8)
+	for _, o := range offsets {
+		nx, ny := x+o[0], y+o[1]
+		if nx < 0 || nx >= n || ny < 0 || ny >= n {
+			continue
+		}
+		sq := ny*n + nx
+		if pre.Visited&(1<<uint(sq)) != 0 {
+			continue
+		}
+		out = append(out, sq)
+	}
+	return out
+}
+
+// EnumPrefixes splits the search into at least minJobs prefix jobs by
+// breadth-first expansion from the start square. It is deterministic, so
+// every PE computes the identical job list locally. Expansion stops early
+// if the frontier cannot grow (tiny boards).
+func EnumPrefixes(p Params, minJobs int) []Prefix {
+	frontier := []Prefix{startPrefix(p)}
+	for len(frontier) < minJobs {
+		next := make([]Prefix, 0, len(frontier)*2)
+		grew := false
+		for _, pre := range frontier {
+			succ := successors(pre, p.BoardN)
+			if len(succ) == 0 {
+				next = append(next, pre) // dead end or complete: keep as its own job
+				continue
+			}
+			grew = true
+			for _, sq := range succ {
+				next = append(next, Prefix{
+					Visited: pre.Visited | 1<<uint(sq),
+					Cur:     sq,
+					Depth:   pre.Depth + 1,
+				})
+			}
+		}
+		frontier = next
+		if !grew {
+			break
+		}
+	}
+	return frontier
+}
+
+// extend runs exhaustive backtracking from a prefix, counting complete
+// tours and visited nodes.
+func extend(pre Prefix, n, target int) (tours, nodes int64) {
+	var rec func(visited uint64, cur, depth int)
+	rec = func(visited uint64, cur, depth int) {
+		nodes++
+		if depth == target {
+			tours++
+			return
+		}
+		x, y := cur%n, cur/n
+		for _, o := range offsets {
+			nx, ny := x+o[0], y+o[1]
+			if nx < 0 || nx >= n || ny < 0 || ny >= n {
+				continue
+			}
+			sq := ny*n + nx
+			bit := uint64(1) << uint(sq)
+			if visited&bit != 0 {
+				continue
+			}
+			rec(visited|bit, sq, depth+1)
+		}
+	}
+	rec(pre.Visited, pre.Cur, pre.Depth)
+	return tours, nodes
+}
+
+// Sequential counts tours on one processor, splitting into the same jobs
+// as the parallel version so node counts match exactly.
+func Sequential(p Params) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	prefixes := EnumPrefixes(p, p.Jobs)
+	target := p.BoardN * p.BoardN
+	res := &Result{Jobs: len(prefixes)}
+	for _, pre := range prefixes {
+		tours, nodes := extend(pre, p.BoardN, target)
+		res.Tours += tours
+		res.Nodes += nodes
+	}
+	res.Ops = float64(res.Nodes) * opsPerNode
+	return res, nil
+}
+
+// Parallel counts tours as an SPMD program: PEs claim prefix jobs from a
+// global counter and accumulate tours/nodes into global cells. Every PE
+// returns the same Tours/Nodes (Jobs is per-PE).
+func Parallel(pe *core.PE, p Params) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	prefixes := EnumPrefixes(p, p.Jobs) // deterministic, replicated
+	target := p.BoardN * p.BoardN
+	counter := pe.AllocBlocks(1)
+	toursAddr := pe.AllocBlocks(1)
+	nodesAddr := pe.AllocBlocks(1)
+	pe.Barrier()
+	start := pe.Now()
+
+	res := &Result{}
+	for {
+		j := pe.FetchAdd(counter, 1)
+		if j >= int64(len(prefixes)) {
+			break
+		}
+		tours, nodes := extend(prefixes[j], p.BoardN, target)
+		pe.Compute(float64(nodes) * opsPerNode)
+		pe.FetchAdd(toursAddr, tours)
+		pe.FetchAdd(nodesAddr, nodes)
+		res.Jobs++
+	}
+	pe.Barrier()
+	res.Elapsed = pe.Now() - start
+	res.Tours = pe.GMRead(toursAddr)
+	res.Nodes = pe.GMRead(nodesAddr)
+	res.Ops = float64(res.Nodes) * opsPerNode
+	pe.Barrier()
+	return res, nil
+}

@@ -1,0 +1,91 @@
+package knight
+
+import "fmt"
+
+// FindTour searches for a single complete knight's tour using Warnsdorff's
+// heuristic (always move to the successor with the fewest onward moves,
+// ties broken by lowest square) with backtracking as a safety net. Unlike
+// the exhaustive count the paper measures, this is the classic fast way to
+// *find* one tour — an extension useful for larger boards, where exhaustive
+// enumeration is hopeless. It returns the visit order, or ok=false when no
+// tour exists from the start square.
+func FindTour(p Params) (path []int, ok bool, err error) {
+	if err := p.validate(); err != nil {
+		return nil, false, err
+	}
+	n := p.BoardN
+	target := n * n
+	start := startPrefix(p)
+	path = make([]int, 1, target)
+	path[0] = start.Cur
+
+	// degree counts the onward moves from sq given the visited set.
+	degree := func(visited uint64, sq int) int {
+		return len(successors(Prefix{Visited: visited, Cur: sq}, n))
+	}
+
+	var rec func(visited uint64, cur, depth int) bool
+	rec = func(visited uint64, cur, depth int) bool {
+		if depth == target {
+			return true
+		}
+		succ := successors(Prefix{Visited: visited, Cur: cur}, n)
+		// Order successors by Warnsdorff degree (insertion sort: ≤8 moves).
+		type cand struct{ sq, deg int }
+		cands := make([]cand, 0, len(succ))
+		for _, sq := range succ {
+			cands = append(cands, cand{sq, degree(visited|1<<uint(sq), sq)})
+		}
+		for i := 1; i < len(cands); i++ {
+			for j := i; j > 0 && (cands[j].deg < cands[j-1].deg ||
+				(cands[j].deg == cands[j-1].deg && cands[j].sq < cands[j-1].sq)); j-- {
+				cands[j], cands[j-1] = cands[j-1], cands[j]
+			}
+		}
+		for _, c := range cands {
+			path = append(path, c.sq)
+			if rec(visited|1<<uint(c.sq), c.sq, depth+1) {
+				return true
+			}
+			path = path[:len(path)-1]
+		}
+		return false
+	}
+	if !rec(start.Visited, start.Cur, 1) {
+		return nil, false, nil
+	}
+	return path, true, nil
+}
+
+// ValidateTour checks that path is a complete legal knight's tour on the
+// n×n board.
+func ValidateTour(path []int, n int) error {
+	if len(path) != n*n {
+		return fmt.Errorf("knight: tour has %d squares, want %d", len(path), n*n)
+	}
+	seen := make(map[int]bool, len(path))
+	for i, sq := range path {
+		if sq < 0 || sq >= n*n {
+			return fmt.Errorf("knight: square %d off the board", sq)
+		}
+		if seen[sq] {
+			return fmt.Errorf("knight: square %d visited twice", sq)
+		}
+		seen[sq] = true
+		if i == 0 {
+			continue
+		}
+		dx, dy := abs(sq%n-path[i-1]%n), abs(sq/n-path[i-1]/n)
+		if !(dx == 1 && dy == 2 || dx == 2 && dy == 1) {
+			return fmt.Errorf("knight: step %d->%d is not a knight move", path[i-1], sq)
+		}
+	}
+	return nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

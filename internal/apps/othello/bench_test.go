@@ -1,0 +1,34 @@
+package othello
+
+import "testing"
+
+// BenchmarkMoveGeneration measures the bitboard move generator.
+func BenchmarkMoveGeneration(b *testing.B) {
+	pos := MidgamePosition(10)
+	for i := 0; i < b.N; i++ {
+		if pos.Moves() == 0 {
+			b.Fatal("no moves")
+		}
+	}
+}
+
+// BenchmarkApply measures move application with flips.
+func BenchmarkApply(b *testing.B) {
+	pos := MidgamePosition(10)
+	sq := MoveList(pos.Moves())[0]
+	for i := 0; i < b.N; i++ {
+		pos.Apply(sq)
+	}
+}
+
+// BenchmarkSearchDepth5 reports real search throughput (nodes/op metric).
+func BenchmarkSearchDepth5(b *testing.B) {
+	pos := MidgamePosition(10)
+	var nodes int64
+	for i := 0; i < b.N; i++ {
+		var n int64
+		negamax(pos, 5, -Inf, Inf, &n)
+		nodes += n
+	}
+	b.ReportMetric(float64(nodes)/float64(b.N), "nodes/op")
+}

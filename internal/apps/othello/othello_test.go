@@ -1,0 +1,234 @@
+package othello
+
+import (
+	"fmt"
+	"math/bits"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+func TestInitialPosition(t *testing.T) {
+	b := Initial()
+	if own, opp := b.Discs(); own != 2 || opp != 2 {
+		t.Fatalf("discs = %d/%d", own, opp)
+	}
+	moves := MoveList(b.Moves())
+	// Dark's four classic opening moves: d3, c4, f5, e6.
+	want := []int{19, 26, 37, 44}
+	if len(moves) != 4 {
+		t.Fatalf("opening moves = %v", moves)
+	}
+	for i, m := range want {
+		if moves[i] != m {
+			t.Fatalf("opening moves = %v, want %v", moves, want)
+		}
+	}
+}
+
+func TestApplyFlipsDiscs(t *testing.T) {
+	b := Initial()
+	next := b.Apply(19) // d3
+	// After d3: mover (dark) had 2, gains the move disc and one flip = 4;
+	// opponent (light) down to 1. next is from light's perspective.
+	own, opp := next.Discs()
+	if own != 1 || opp != 4 {
+		t.Fatalf("after d3: light=%d dark=%d, want 1/4", own, opp)
+	}
+}
+
+func TestApplyPanicsOnIllegalMove(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Initial().Apply(0) // a1 flips nothing
+}
+
+func TestDiscConservation(t *testing.T) {
+	// Playing any sequence of legal moves never loses discs and adds one
+	// disc per move.
+	b := Initial()
+	total := 4
+	for i := 0; i < 30; i++ {
+		moves := b.Moves()
+		if moves == 0 {
+			b = b.Pass()
+			if b.Moves() == 0 {
+				break
+			}
+			continue
+		}
+		// Deterministically pick a move spread across the options.
+		list := MoveList(moves)
+		b = b.Apply(list[i%len(list)])
+		total++
+		own, opp := b.Discs()
+		if own+opp != total {
+			t.Fatalf("move %d: %d discs on board, want %d", i, own+opp, total)
+		}
+	}
+}
+
+func TestMovesNeverOverlapOccupied(t *testing.T) {
+	b := Initial()
+	for i := 0; i < 20; i++ {
+		moves := b.Moves()
+		if moves&(b.Own|b.Opp) != 0 {
+			t.Fatal("legal move on occupied square")
+		}
+		if moves == 0 {
+			break
+		}
+		b = b.Apply(bits.TrailingZeros64(moves))
+	}
+}
+
+func TestMidgamePositionWidensRoot(t *testing.T) {
+	b := MidgamePosition(10)
+	n := len(MoveList(b.Moves()))
+	if n < 8 {
+		t.Fatalf("midgame root has only %d moves; need a wide root for parallel jobs", n)
+	}
+	// Determinism.
+	b2 := MidgamePosition(10)
+	if b != b2 {
+		t.Fatal("MidgamePosition not deterministic")
+	}
+}
+
+func TestSearchDeterministicAndDeeperCostsMore(t *testing.T) {
+	r3, err := Sequential(Params{Depth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3b, err := Sequential(Params{Depth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Value != r3b.Value || r3.Nodes != r3b.Nodes || r3.BestMove != r3b.BestMove {
+		t.Fatal("sequential search not deterministic")
+	}
+	r5, err := Sequential(Params{Depth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r5.Nodes <= r3.Nodes {
+		t.Fatalf("depth 5 visited %d nodes, depth 3 %d", r5.Nodes, r3.Nodes)
+	}
+}
+
+func TestAlphaBetaMatchesPlainNegamax(t *testing.T) {
+	// Full-window negamax without pruning must agree with alpha-beta on
+	// the root value.
+	var plain func(b Board, depth int) int
+	plain = func(b Board, depth int) int {
+		if depth == 0 {
+			return Evaluate(b)
+		}
+		moves := b.Moves()
+		if moves == 0 {
+			pass := b.Pass()
+			if pass.Moves() == 0 {
+				own, opp := b.Discs()
+				return 1000 * (own - opp)
+			}
+			return -plain(pass, depth-1)
+		}
+		best := -Inf
+		for _, sq := range MoveList(moves) {
+			if v := -plain(b.Apply(sq), depth-1); v > best {
+				best = v
+			}
+		}
+		return best
+	}
+	root := MidgamePosition(10)
+	var nodes int64
+	got := negamax(root, 4, -Inf, Inf, &nodes)
+	want := plain(root, 4)
+	if got != want {
+		t.Fatalf("alpha-beta value %d, plain negamax %d", got, want)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	p := Params{Depth: 4}
+	seq, err := Sequential(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, npe := range []int{1, 2, 5} {
+		npe := npe
+		t.Run(fmt.Sprintf("p%d", npe), func(t *testing.T) {
+			results := make([]*Result, npe)
+			res, err := core.Run(core.Config{NumPE: npe, Transport: core.TransportInproc},
+				func(pe *core.PE) error {
+					r, err := Parallel(pe, p)
+					if err != nil {
+						return err
+					}
+					results[pe.ID()] = r
+					return nil
+				})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if err := res.FirstErr(); err != nil {
+				t.Fatal(err)
+			}
+			jobs := 0
+			for i, r := range results {
+				if r.Value != seq.Value || r.BestMove != seq.BestMove {
+					t.Fatalf("PE %d: move/value %d/%d vs sequential %d/%d",
+						i, r.BestMove, r.Value, seq.BestMove, seq.Value)
+				}
+				if r.Nodes != seq.Nodes {
+					t.Fatalf("PE %d: nodes %d vs sequential %d", i, r.Nodes, seq.Nodes)
+				}
+				jobs += r.Jobs
+			}
+			if jobs != seq.Jobs {
+				t.Fatalf("total jobs %d, want %d", jobs, seq.Jobs)
+			}
+		})
+	}
+}
+
+func TestParallelOnSimulatedCluster(t *testing.T) {
+	res, err := core.Run(core.Config{NumPE: 4, Platform: platform.RS6000AIX, Seed: 1},
+		func(pe *core.PE) error {
+			r, err := Parallel(pe, Params{Depth: 3})
+			if err != nil {
+				return err
+			}
+			if r.Nodes == 0 {
+				return fmt.Errorf("no nodes searched")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := res.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.ComputeTime <= 0 {
+		t.Fatal("search charged no compute time")
+	}
+}
+
+func TestDepthValidation(t *testing.T) {
+	if _, err := Sequential(Params{Depth: 0}); err == nil {
+		t.Fatal("depth 0 accepted")
+	}
+}
+
+func TestBoardStringShape(t *testing.T) {
+	s := Initial().String()
+	if len(s) != 72 { // 8 rows x (8 cells + newline)
+		t.Fatalf("board string length %d", len(s))
+	}
+}

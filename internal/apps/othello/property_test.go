@@ -1,0 +1,113 @@
+package othello
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+// randomPosition plays a deterministic pseudo-random legal game prefix.
+func randomPosition(seed uint64, plies int) Board {
+	b := Initial()
+	rng := seed | 1
+	for i := 0; i < plies; i++ {
+		moves := MoveList(b.Moves())
+		if len(moves) == 0 {
+			b = b.Pass()
+			moves = MoveList(b.Moves())
+			if len(moves) == 0 {
+				return b
+			}
+		}
+		rng = rng*6364136223846793005 + 1442695040888963407
+		b = b.Apply(moves[int(rng>>33)%len(moves)])
+	}
+	return b
+}
+
+// Property: legal moves always lie on empty squares.
+func TestMovesOnEmptySquaresProperty(t *testing.T) {
+	f := func(seed uint64, pliesRaw uint8) bool {
+		b := randomPosition(seed, int(pliesRaw%40))
+		return b.Moves()&(b.Own|b.Opp) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: applying a legal move adds exactly one disc, flips only
+// opponent discs, and never destroys the mover's discs.
+func TestApplyInvariantsProperty(t *testing.T) {
+	f := func(seed uint64, pliesRaw uint8) bool {
+		b := randomPosition(seed, int(pliesRaw%40))
+		moves := MoveList(b.Moves())
+		if len(moves) == 0 {
+			return true
+		}
+		for _, sq := range moves {
+			next := b.Apply(sq)
+			// next is from the opponent's perspective.
+			moverAfter, oppAfter := next.Opp, next.Own
+			if bits.OnesCount64(moverAfter|oppAfter) != bits.OnesCount64(b.Own|b.Opp)+1 {
+				return false
+			}
+			if b.Own&^moverAfter != 0 {
+				return false // a mover disc vanished
+			}
+			flipped := oppAfter ^ (b.Opp &^ moverAfter)
+			_ = flipped
+			if oppAfter&moverAfter != 0 {
+				return false // overlapping discs
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the evaluation is antisymmetric under side swap.
+func TestEvaluateAntisymmetricProperty(t *testing.T) {
+	f := func(seed uint64, pliesRaw uint8) bool {
+		b := randomPosition(seed, int(pliesRaw%40))
+		return Evaluate(b) == -Evaluate(b.Pass())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a double pass restores the original position.
+func TestDoublePassIdentityProperty(t *testing.T) {
+	f := func(seed uint64, pliesRaw uint8) bool {
+		b := randomPosition(seed, int(pliesRaw%40))
+		return b.Pass().Pass() == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: deeper alpha-beta never visits fewer nodes than depth-1 and
+// always returns a value in the legal range.
+func TestSearchBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		b := randomPosition(seed, 12)
+		if b.Moves() == 0 {
+			return true
+		}
+		var n1, n3 int64
+		v1 := negamax(b, 1, -Inf, Inf, &n1)
+		v3 := negamax(b, 3, -Inf, Inf, &n3)
+		if n3 < n1 {
+			return false
+		}
+		bound := 64 * 1000
+		return v1 > -bound && v1 < bound && v3 > -bound && v3 < bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV emits the figure as a CSV file: a header of the x label and the
+// series labels, then one row per x value. Missing points (short series)
+// are left empty.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Label)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if len(f.Series) > 0 {
+		// Collect the union of x values in first-series order, then any
+		// extras from longer series, preserving numeric order.
+		xs := append([]float64(nil), f.Series[0].X...)
+		seen := make(map[float64]bool, len(xs))
+		for _, x := range xs {
+			seen[x] = true
+		}
+		for _, s := range f.Series[1:] {
+			for _, x := range s.X {
+				if !seen[x] {
+					xs = append(xs, x)
+					seen[x] = true
+				}
+			}
+		}
+		for _, x := range xs {
+			row := []string{strconv.FormatFloat(x, 'g', -1, 64)}
+			for _, s := range f.Series {
+				cell := ""
+				for i := range s.X {
+					if s.X[i] == x {
+						cell = strconv.FormatFloat(s.Y[i], 'g', -1, 64)
+						break
+					}
+				}
+				row = append(row, cell)
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSV writes the figure into dir as a slug-named .csv file and returns
+// the path.
+func (f *Figure) SaveCSV(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	name := slugify(f.ID)
+	if name == "" {
+		name = slugify(f.Title)
+	}
+	path := filepath.Join(dir, name+".csv")
+	file, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer file.Close()
+	if err := f.WriteCSV(file); err != nil {
+		return "", fmt.Errorf("bench: writing %s: %w", path, err)
+	}
+	return path, nil
+}
+
+// slugify turns a figure id/title into a safe file stem.
+func slugify(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '-' || r == '_':
+			if n := b.Len(); n > 0 && b.String()[n-1] != '-' {
+				b.WriteByte('-')
+			}
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}

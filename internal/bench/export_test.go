@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func sampleFigure() *Figure {
+	return &Figure{
+		ID:     "Figure 5",
+		Title:  "demo",
+		XLabel: "procs",
+		YLabel: "speedup",
+		Series: []trace.Series{
+			{Label: "N=100", X: []float64{1, 2, 3}, Y: []float64{1, 1.5, 1.8}},
+			{Label: "N=200", X: []float64{1, 2}, Y: []float64{1, 1.7}},
+		},
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sampleFigure().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "procs,N=100,N=200" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("rows = %d, want 4", len(lines))
+	}
+	if lines[2] != "2,1.5,1.7" {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+	// Short series leaves the cell empty.
+	if lines[3] != "3,1.8," {
+		t.Fatalf("row 3 = %q", lines[3])
+	}
+}
+
+func TestSaveCSVCreatesSluggedFile(t *testing.T) {
+	dir := t.TempDir()
+	path, err := sampleFigure().SaveCSV(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "figure-5.csv" {
+		t.Fatalf("path = %s", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "procs,") {
+		t.Fatalf("file content %q", data)
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"Figure 5":     "figure-5",
+		"Ablation A1":  "ablation-a1",
+		"  odd--name ": "odd-name",
+		"":             "",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Fatalf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriteCSVEmptyFigure(t *testing.T) {
+	f := &Figure{ID: "x", XLabel: "x"}
+	var b strings.Builder
+	if err := f.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(b.String()) != "x" {
+		t.Fatalf("empty figure CSV = %q", b.String())
+	}
+}

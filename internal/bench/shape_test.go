@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+// shapeScale is big enough for the paper's qualitative claims to emerge
+// but small enough for CI. Skipped under -short.
+func shapeScale() Scale {
+	return Scale{
+		MaxPE:         8,
+		GaussNs:       []int{100, 600},
+		DCTImage:      128,
+		DCTBlocks:     []int{4, 16},
+		OthelloDepths: []int{3, 6},
+		KnightJobs:    []int{2, 16},
+		Seed:          1,
+	}
+}
+
+func seriesByLabel(t *testing.T, ss []trace.Series, label string) trace.Series {
+	t.Helper()
+	for _, s := range ss {
+		if s.Label == label {
+			return s
+		}
+	}
+	t.Fatalf("no series %q in %v", label, ss)
+	return trace.Series{}
+}
+
+// yAt returns the series value at x, failing if absent.
+func yAt(t *testing.T, s trace.Series, x float64) float64 {
+	t.Helper()
+	for i, xv := range s.X {
+		if xv == x {
+			return s.Y[i]
+		}
+	}
+	t.Fatalf("series %q has no x=%v", s.Label, x)
+	return 0
+}
+
+// Paper claim (Figs 4-9): small systems do not speed up; large systems
+// improve up to 5-6 processors and degrade beyond the six physical
+// machines.
+func TestShapeGaussSeidel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests are seconds-long")
+	}
+	_, speedup, err := GaussFigures(platform.SparcSunOS, shapeScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := seriesByLabel(t, speedup.Series, "N=100")
+	large := seriesByLabel(t, speedup.Series, "N=600")
+	if small.MaxY() >= 1.2 {
+		t.Fatalf("N=100 speed-up %v; paper: no efficient parallel processing for small N", small.MaxY())
+	}
+	if large.MaxY() < 2 {
+		t.Fatalf("N=600 peak speed-up %v; paper: clear improvement for large N", large.MaxY())
+	}
+	peakAt := large.ArgMaxY()
+	if peakAt < 4 || peakAt > 6 {
+		t.Fatalf("N=600 peaks at %v processors; paper: improvement with 5-6", peakAt)
+	}
+	if deg := yAt(t, large, 8); deg >= large.MaxY() {
+		t.Fatalf("no degradation past 6 processors: peak %v, p=8 %v", large.MaxY(), deg)
+	}
+}
+
+// Paper claim (Figs 10-15): speed-up improves with processors for every
+// block size except 4x4, which is communication-bound.
+func TestShapeDCT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests are seconds-long")
+	}
+	_, speedup, err := DCTFigures(platform.PentiumIILinux, shapeScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := seriesByLabel(t, speedup.Series, "4x4")
+	big := seriesByLabel(t, speedup.Series, "16x16")
+	if small.MaxY() >= 1.3 {
+		t.Fatalf("4x4 speed-up %v; paper: no improvement for the smallest block", small.MaxY())
+	}
+	if big.MaxY() < 2.5 {
+		t.Fatalf("16x16 peak speed-up %v; paper: good speed-up for larger blocks", big.MaxY())
+	}
+	if big.MaxY() <= small.MaxY() {
+		t.Fatal("block-size ordering inverted")
+	}
+}
+
+// Paper claim (Figs 16-18): shallow searches show no improvement; deeper
+// searches clearly do.
+func TestShapeOthello(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests are seconds-long")
+	}
+	fig, err := OthelloFigure(platform.RS6000AIX, shapeScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shallow := seriesByLabel(t, fig.Series, "Depth3")
+	deep := seriesByLabel(t, fig.Series, "Depth6")
+	if shallow.MaxY() >= 1.5 {
+		t.Fatalf("depth-3 improvement %v; paper: none at shallow depths", shallow.MaxY())
+	}
+	if deep.MaxY() < 2.5 {
+		t.Fatalf("depth-6 improvement %v; paper: parallelism pays off when deep", deep.MaxY())
+	}
+}
+
+// Paper claim (Figs 19-21): few jobs cap the speed-up (execution time goes
+// flat); a moderate job count is fastest; execution degrades past the six
+// physical machines.
+func TestShapeKnight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests are seconds-long")
+	}
+	fig, err := KnightFigure(platform.SparcSunOS, shapeScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	two := seriesByLabel(t, fig.Series, "2_Jobs")
+	sixteen := seriesByLabel(t, fig.Series, "16_Jobs")
+	// With 2 jobs, 2 processors and 8 processors must take about the same
+	// time (the extra processors starve).
+	t2, t8 := yAt(t, two, 2), yAt(t, two, 8)
+	if t8 < 0.8*t2 {
+		t.Fatalf("2-job run kept speeding up (p=2: %v, p=8: %v)", t2, t8)
+	}
+	// 16 jobs at p=6 must clearly beat 2 jobs at p=6.
+	if yAt(t, sixteen, 6) >= yAt(t, two, 6) {
+		t.Fatal("finer split did not beat the 2-job split at p=6")
+	}
+	// Degradation past the physical machines: p=7..8 is not faster than p=6.
+	if yAt(t, sixteen, 8) < yAt(t, sixteen, 6) {
+		t.Fatalf("16-job run still improving past 6 processors (p=6 %v, p=8 %v)",
+			yAt(t, sixteen, 6), yAt(t, sixteen, 8))
+	}
+}
+
+// Platform portability claim: the same experiment shows the same pattern
+// on all three environments (here: Othello depth-6 speeds up everywhere).
+func TestShapePortabilityAcrossPlatforms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests are seconds-long")
+	}
+	sc := shapeScale()
+	sc.MaxPE = 6
+	sc.OthelloDepths = []int{6}
+	for _, pl := range platform.All() {
+		fig, err := OthelloFigure(pl, sc)
+		if err != nil {
+			t.Fatalf("%s: %v", pl.Numeric, err)
+		}
+		if peak := fig.Series[0].MaxY(); peak < 2 {
+			t.Fatalf("%s: depth-6 peak %v; portability claim expects similar patterns", pl.Numeric, peak)
+		}
+	}
+}
+
+// Future-work portability: the fourth (non-Table-1) platform must show
+// the same qualitative pattern as the paper's three.
+func TestShapeFutureWorkPlatform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests are seconds-long")
+	}
+	sc := shapeScale()
+	sc.MaxPE = 6
+	sc.OthelloDepths = []int{6}
+	fig, err := OthelloFigure(platform.SolarisUltra, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak := fig.Series[0].MaxY(); peak < 2 {
+		t.Fatalf("solaris: depth-6 peak %v; portability should extend to new platforms", peak)
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+)
+
+// runBenchProgram runs body once over an inproc cluster, b.N iterations
+// inside the program (cluster construction excluded from the loop cost
+// only approximately; these benchmarks measure runtime primitives, not
+// the constructor).
+func runBenchProgram(b *testing.B, n int, body Program) {
+	b.Helper()
+	res, err := Run(Config{NumPE: n, Transport: TransportInproc}, body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := res.FirstErr(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkGMRemoteWordRoundTrip measures one remote read request/response
+// through kernel service, wire codec and mailbox plumbing (inproc).
+func BenchmarkGMRemoteWordRoundTrip(b *testing.B) {
+	runBenchProgram(b, 2, func(pe *PE) error {
+		addr := pe.Alloc(64)
+		// Find a word homed at the *other* kernel.
+		for pe.Space().HomeOf(addr) == pe.ID() {
+			addr++
+		}
+		pe.Barrier()
+		if pe.ID() == 0 {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pe.GMRead(addr)
+			}
+			b.StopTimer()
+		}
+		pe.Barrier()
+		return nil
+	})
+}
+
+// BenchmarkBarrier measures the central barrier end to end on 4 PEs.
+func BenchmarkBarrier(b *testing.B) {
+	runBenchProgram(b, 4, func(pe *PE) error {
+		if pe.ID() == 0 {
+			b.ResetTimer()
+		}
+		for i := 0; i < b.N; i++ {
+			pe.Barrier()
+		}
+		if pe.ID() == 0 {
+			b.StopTimer()
+		}
+		pe.Barrier()
+		return nil
+	})
+}
+
+// BenchmarkFetchAddPool measures the job-pool primitive under contention.
+func BenchmarkFetchAddPool(b *testing.B) {
+	runBenchProgram(b, 4, func(pe *PE) error {
+		counter := pe.Alloc(1)
+		pe.Barrier()
+		if pe.ID() == 0 {
+			b.ResetTimer()
+		}
+		for i := 0; i < b.N; i++ {
+			pe.FetchAdd(counter, 1)
+		}
+		if pe.ID() == 0 {
+			b.StopTimer()
+		}
+		pe.Barrier()
+		return nil
+	})
+}
+
+// BenchmarkSimClusterConstruction measures how long a simulated 6-PE
+// cluster takes to build and tear down with a trivial program.
+func BenchmarkSimClusterConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Run(Config{NumPE: 6, Platform: platform.SparcSunOS, Seed: 1},
+			func(pe *PE) error { return nil })
+		if err != nil || res.FirstErr() != nil {
+			b.Fatal(err, res.FirstErr())
+		}
+	}
+}

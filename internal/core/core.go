@@ -1,0 +1,337 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/ethernet"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/transport/inproc"
+	"repro/internal/transport/simnet"
+	"repro/internal/transport/tcpnet"
+)
+
+// TransportKind selects the message substrate.
+type TransportKind string
+
+// Available transports.
+const (
+	TransportSim    TransportKind = "simnet" // simulated Ethernet + platform models (default)
+	TransportInproc TransportKind = "inproc" // in-process channels, no cost model
+	TransportTCP    TransportKind = "tcp"    // real loopback TCP sockets
+)
+
+// BarrierKind selects the barrier implementation.
+type BarrierKind int
+
+// Barrier flavours.
+const (
+	BarrierCentral BarrierKind = iota // central manager at kernel 0 (DSE default)
+	BarrierTree                       // distributed combining tree (ablation)
+)
+
+func (b BarrierKind) String() string {
+	if b == BarrierTree {
+		return "tree"
+	}
+	return "central"
+}
+
+// Config assembles a DSE cluster.
+type Config struct {
+	// NumPE is the number of processor elements (DSE kernels).
+	NumPE int
+	// Platform selects the Table 1 environment; required for TransportSim.
+	Platform *platform.Platform
+	// Transport defaults to TransportSim.
+	Transport TransportKind
+	// Machines is the physical machine count (0 = paper's six).
+	Machines int
+	// Load selects the virtual-cluster co-location model.
+	Load platform.LoadModel
+	// Seed drives all simulator randomness.
+	Seed uint64
+	// GMBlockWords is the DSM block size in 64-bit words (0 = default 32).
+	GMBlockWords int
+	// Caching enables the write-invalidate caching protocol (extension).
+	Caching bool
+	// Switched replaces the shared-bus Ethernet with a switched network
+	// (ablation of the medium; simulated transport only).
+	Switched bool
+	// Legacy models the paper's *old* DSE organisation — DSE kernel and
+	// DSE process as separate UNIX processes — by charging an IPC round
+	// trip on every Parallel-API kernel interaction. The default (false)
+	// is the paper's reorganised single-process design.
+	Legacy bool
+	// Barrier selects the barrier implementation.
+	Barrier BarrierKind
+	// RequestTimeout bounds every remote request; 0 waits forever.
+	// Recommended for TransportTCP so node failures surface as errors.
+	RequestTimeout sim.Duration
+	// Ethernet overrides the simulated medium (nil = the platform's LAN).
+	Ethernet *ethernet.Config
+	// LossProbability injects frame loss on the simulated medium (failure
+	// injection; combine with RequestTimeout so lost requests surface as
+	// errors instead of hanging the virtual cluster).
+	LossProbability float64
+	// MessageLog, when non-nil, receives one line per message any kernel
+	// handles ("t=<time> k=<kernel> <message>") — a cluster-wide protocol
+	// trace for debugging. Writes are serialised across kernels.
+	MessageLog io.Writer
+
+	// logMu serialises MessageLog writes; created by withDefaults.
+	logMu *sync.Mutex
+}
+
+func (cfg *Config) withDefaults() (Config, error) {
+	c := *cfg
+	if c.NumPE <= 0 {
+		return c, errors.New("core: NumPE must be positive")
+	}
+	if c.Transport == "" {
+		c.Transport = TransportSim
+	}
+	if c.Transport == TransportSim && c.Platform == nil {
+		return c, errors.New("core: simulated transport requires a Platform")
+	}
+	if c.GMBlockWords == 0 {
+		c.GMBlockWords = 32
+	}
+	if c.MessageLog != nil {
+		c.logMu = &sync.Mutex{}
+	}
+	return c, nil
+}
+
+// Result reports a cluster run.
+type Result struct {
+	// Elapsed is the end-to-end execution time: virtual time under
+	// simulation, wall time on real transports.
+	Elapsed sim.Duration
+	// PerPE holds each PE's merged counters.
+	PerPE []trace.PEStats
+	// Total sums PerPE.
+	Total trace.PEStats
+	// Bus carries medium statistics (simulated transport only).
+	Bus ethernet.Stats
+	// RTT is the distribution of request round-trip latencies across all
+	// PEs (global-memory operations, process management, pings).
+	RTT trace.Histogram
+	// Errs holds each PE's program error (nil entries for success).
+	Errs []error
+}
+
+// FirstErr returns the lowest-PE error, or nil.
+func (r *Result) FirstErr() error {
+	for _, err := range r.Errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Program is an SPMD application body: it runs once per PE.
+type Program func(pe *PE) error
+
+// Run executes program on a freshly built cluster and returns its result.
+// It blocks until every PE finishes.
+func Run(cfg Config, program Program) (*Result, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	switch c.Transport {
+	case TransportSim:
+		return runSim(&c, program)
+	case TransportInproc:
+		net := inproc.New(c.NumPE)
+		defer net.Stop()
+		return runReal(&c, net, program)
+	case TransportTCP:
+		net, err := tcpnet.NewLocal(c.NumPE)
+		if err != nil {
+			return nil, err
+		}
+		defer net.Stop()
+		return runReal(&c, net, program)
+	default:
+		return nil, fmt.Errorf("core: unknown transport %q", c.Transport)
+	}
+}
+
+// shutdownBarrierID is the reserved barrier RunOn nodes meet at before
+// tearing down their kernels, so no kernel stops serving while peers still
+// need it. Application code must not use this id.
+const shutdownBarrierID int32 = -0x7fffffff
+
+// RunOn drives one node of a multi-process cluster (every process calls
+// RunOn with its own transport node, e.g. from tcpnet.Open). It blocks
+// until the local program finishes and every peer has reached the final
+// shutdown barrier. cfg.NumPE is taken from the node.
+func RunOn(cfg Config, node transport.Node, program Program) (*Result, error) {
+	cfg.NumPE = node.N()
+	if cfg.Transport == "" || cfg.Transport == TransportSim {
+		cfg.Transport = TransportTCP // cost-model-free semantics
+	}
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	k := newKernel(node.ID(), node, &c)
+	pe := newPE(k)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		k.serve()
+	}()
+	perr := runPE(pe, program)
+	// Final rendezvous after runPE (which deregisters with kernel 0): every
+	// kernel keeps serving until all peers are done with it.
+	if berr := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("core: node %d: shutdown barrier: %v", node.ID(), r)
+			}
+		}()
+		pe.BarrierID(shutdownBarrierID)
+		return nil
+	}(); berr != nil && perr == nil {
+		perr = berr
+	}
+	node.CloseRecv()
+	<-done
+	res := &Result{Elapsed: pe.app.Now(), Errs: []error{perr}}
+	collectStats(res, []*Kernel{k}, []*PE{pe})
+	return res, nil
+}
+
+// runPE wraps one PE's program with registration, exit and panic recovery.
+func runPE(pe *PE, program Program) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("PE %d panicked: %v", pe.ID(), r)
+		}
+	}()
+	pe.register()
+	err = program(pe)
+	code := int64(0)
+	if err != nil {
+		code = 1
+	}
+	pe.exit(code)
+	return err
+}
+
+// runSim drives the cluster on the simulated transport: one service process
+// (the DSE kernel) and one application process (the DSE process) per node,
+// all inside one deterministic engine.
+func runSim(cfg *Config, program Program) (*Result, error) {
+	net := simnet.New(simnet.Config{
+		NumPE:    cfg.NumPE,
+		Platform: cfg.Platform,
+		Machines: cfg.Machines,
+		Load:     cfg.Load,
+		Seed:     cfg.Seed,
+		Ethernet: cfg.Ethernet,
+		Switched: cfg.Switched,
+	})
+	if cfg.LossProbability > 0 {
+		net.Medium().SetLossProbability(cfg.LossProbability)
+	}
+	eng := net.Engine()
+	n := cfg.NumPE
+	kernels := make([]*Kernel, n)
+	pes := make([]*PE, n)
+	errs := make([]error, n)
+	var finish sim.Time
+	remaining := n
+	for i := 0; i < n; i++ {
+		i := i
+		nd := net.SimNode(i)
+		kernels[i] = newKernel(i, nd, cfg)
+		pes[i] = newPE(kernels[i])
+		eng.Spawn(fmt.Sprintf("dse-kernel-%d", i), func(p *sim.Proc) {
+			nd.BindSvc(p)
+			kernels[i].serve()
+		})
+		eng.Spawn(fmt.Sprintf("dse-process-%d", i), func(p *sim.Proc) {
+			nd.BindApp(p)
+			errs[i] = runPE(pes[i], program)
+			if t := p.Now(); t > finish {
+				finish = t
+			}
+			remaining--
+			if remaining == 0 {
+				net.Stop()
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		return nil, fmt.Errorf("core: simulation: %w", err)
+	}
+	res := &Result{Elapsed: finish, Errs: errs, Bus: net.Medium().Stats()}
+	collectStats(res, kernels, pes)
+	return res, nil
+}
+
+// realNetwork is the common shape of the non-simulated transports.
+type realNetwork interface {
+	N() int
+	Node(i int) transport.Node
+	Stop()
+}
+
+// runReal drives the cluster on goroutines over a real transport.
+func runReal(cfg *Config, net realNetwork, program Program) (*Result, error) {
+	n := cfg.NumPE
+	kernels := make([]*Kernel, n)
+	pes := make([]*PE, n)
+	errs := make([]error, n)
+	var svcWG, appWG sync.WaitGroup
+	for i := 0; i < n; i++ {
+		kernels[i] = newKernel(i, net.Node(i), cfg)
+		pes[i] = newPE(kernels[i])
+	}
+	var mu sync.Mutex
+	var finish sim.Time
+	for i := 0; i < n; i++ {
+		i := i
+		svcWG.Add(1)
+		go func() {
+			defer svcWG.Done()
+			kernels[i].serve()
+		}()
+		appWG.Add(1)
+		go func() {
+			defer appWG.Done()
+			errs[i] = runPE(pes[i], program)
+			mu.Lock()
+			if t := pes[i].app.Now(); t > finish {
+				finish = t
+			}
+			mu.Unlock()
+		}()
+	}
+	appWG.Wait()
+	net.Stop()
+	svcWG.Wait()
+	res := &Result{Elapsed: finish, Errs: errs}
+	collectStats(res, kernels, pes)
+	return res, nil
+}
+
+func collectStats(res *Result, kernels []*Kernel, pes []*PE) {
+	for i := range kernels {
+		s := *kernels[i].Stats()
+		s.Add(&pes[i].extra)
+		res.PerPE = append(res.PerPE, s)
+		res.Total.Add(&s)
+		res.RTT.Merge(&pes[i].rtt)
+	}
+}

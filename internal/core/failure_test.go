@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/transport/tcpnet"
+)
+
+// Total frame loss with a request timeout must surface as a program error,
+// not a hung simulation.
+func TestSimnetTotalLossTimesOutCleanly(t *testing.T) {
+	cfg := simCfg(2)
+	cfg.LossProbability = 1.0
+	cfg.RequestTimeout = 100 * sim.Millisecond
+	res, err := Run(cfg, func(pe *PE) error {
+		base := pe.Alloc(64)
+		// Force a remote access from PE 1 to PE 0's segment.
+		if pe.ID() == 1 {
+			pe.GMWrite(base, 1) // block 0 homes at kernel 0
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run should not fail at the harness level: %v", err)
+	}
+	ferr := res.Errs[1]
+	if ferr == nil {
+		t.Fatal("lost request did not surface as an error")
+	}
+	if !strings.Contains(ferr.Error(), "timed out") {
+		t.Fatalf("unexpected failure text: %v", ferr)
+	}
+}
+
+// Partial loss keeps the cluster alive for local work; only operations that
+// truly need the wire fail.
+func TestSimnetPartialLossLocalWorkSucceeds(t *testing.T) {
+	cfg := simCfg(3)
+	cfg.LossProbability = 1.0
+	cfg.RequestTimeout = 50 * sim.Millisecond
+	res, err := Run(cfg, func(pe *PE) error {
+		pe.Compute(1e5) // purely local
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Registration with kernel 0 needs the wire for PEs 1,2: they fail.
+	// PE 0 registers via the own-node path and succeeds.
+	if res.Errs[0] != nil {
+		t.Fatalf("PE 0 should survive: %v", res.Errs[0])
+	}
+	if res.Errs[1] == nil || res.Errs[2] == nil {
+		t.Fatal("remote PEs should have failed registration under total loss")
+	}
+}
+
+// Killing a TCP node mid-run must fail the survivors' requests via the
+// timeout instead of hanging them.
+func TestTCPNodeDeathSurfacesAsTimeout(t *testing.T) {
+	net, err := tcpnet.NewLocal(3)
+	if err != nil {
+		t.Fatalf("NewLocal: %v", err)
+	}
+	defer net.Stop()
+	cfg := Config{RequestTimeout: 2 * sim.Second}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	// Node 2 "crashes" before serving anything beyond the mesh handshake.
+	net.TCPNode(2).Kill()
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := RunOn(cfg, net.Node(i), func(pe *PE) error {
+				// Any GM word homed at kernel 2 must fail, not hang.
+				space := pe.Space()
+				addr := uint64(0)
+				for space.HomeOf(addr) != 2 {
+					addr++
+				}
+				pe.GMWrite(addr, 1)
+				return nil
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = res.FirstErr()
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("survivors hung after node death")
+	}
+	for i := 0; i < 2; i++ {
+		if errs[i] == nil {
+			t.Fatalf("node %d: write to dead home succeeded", i)
+		}
+		if !strings.Contains(errs[i].Error(), "timed out") {
+			t.Fatalf("node %d: unexpected failure: %v", i, errs[i])
+		}
+	}
+}
+
+// A healthy multi-process-style cluster over RunOn completes and agrees.
+func TestRunOnHealthyCluster(t *testing.T) {
+	net, err := tcpnet.NewLocal(3)
+	if err != nil {
+		t.Fatalf("NewLocal: %v", err)
+	}
+	defer net.Stop()
+	cfg := Config{RequestTimeout: 10 * sim.Second}
+	var wg sync.WaitGroup
+	sums := make([]float64, 3)
+	errs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := RunOn(cfg, net.Node(i), func(pe *PE) error {
+				sums[pe.ID()] = pe.AllReduceSum(float64(pe.ID() + 1))
+				pe.Barrier()
+				return nil
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = res.FirstErr()
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < 3; i++ {
+		if errs[i] != nil {
+			t.Fatalf("node %d: %v", i, errs[i])
+		}
+		if sums[i] != 6 {
+			t.Fatalf("node %d: sum %v, want 6", i, sums[i])
+		}
+	}
+}
+
+// The timeout knob must not trip on a healthy simulated cluster.
+func TestRequestTimeoutHarmlessWhenHealthy(t *testing.T) {
+	cfg := Config{NumPE: 4, Platform: platform.SparcSunOS, Seed: 1, RequestTimeout: 10 * sim.Second}
+	res, err := Run(cfg, func(pe *PE) error {
+		base := pe.Alloc(32)
+		pe.GMWrite(base+uint64(pe.ID()), 1)
+		pe.Barrier()
+		if got := pe.GMRead(base + uint64((pe.ID()+1)%4)); got != 1 {
+			return fmt.Errorf("read %d", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := res.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+}

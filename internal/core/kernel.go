@@ -1,0 +1,402 @@
+// Package core implements the DSE parallel processing library and API
+// library of the paper: the DSE kernel (parallel processing mechanism,
+// parallel process management, global memory management, message exchange)
+// linked into the same "UNIX process" as the DSE application process, with
+// the kernel running as a service context that interleaves with the
+// application — the paper's reorganised, dynamic-linking-free design.
+//
+// Memory consistency: without caching, every global-memory word has a
+// single home and all accesses are serialised there (coherent and
+// sequentially consistent per location). With the caching protocol, writes
+// are write-through to the home and block until every cached copy has
+// acknowledged invalidation, so a completed write is visible to all
+// subsequent reads; like classic invalidation-based DSMs, a reader may
+// still use its cached copy during the brief window before its kernel
+// processes the invalidation, which is why programs order cross-PE
+// visibility with barriers, locks or reductions (all of which imply write
+// completion).
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/gmem"
+	"repro/internal/procmgmt"
+	"repro/internal/psync"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Kernel is one DSE kernel: the runtime side of a PE. Its serve loop runs
+// in the node's Svc context and fields every message addressed to this
+// kernel, while the application programs against the PE façade in the App
+// context.
+type Kernel struct {
+	id    int
+	n     int
+	node  transport.Node
+	svc   transport.Port
+	cfg   *Config
+	space gmem.Space
+	seg   *gmem.Segment
+	cache *gmem.Cache // non-nil only when cfg.Caching
+
+	// Central managers, present at kernel 0 only.
+	barrier *psync.BarrierManager
+	locks   *psync.LockManager
+	sems    *psync.SemManager
+	procs   *procmgmt.Table
+
+	// Distributed tree barrier state (when cfg.Barrier == BarrierTree).
+	tree *psync.TreeBarrier
+
+	// syncMb receives barrier releases and lock/semaphore grants for the
+	// (single-threaded) application context.
+	syncMb transport.Mailbox
+
+	mu      sync.Mutex
+	seq     uint64
+	pending map[uint64]transport.Mailbox
+	userq   map[int32]transport.Mailbox
+
+	// In-flight invalidation rounds at this home (caching protocol).
+	inv     map[uint64]*invRound
+	invNext uint64
+}
+
+// invRound tracks one write/atomic waiting for invalidation acks before the
+// home may acknowledge it.
+type invRound struct {
+	requester int32
+	seq       uint64
+	respOp    wire.Op
+	arg1      int64
+	arg2      int64
+	remaining int
+}
+
+func newKernel(id int, node transport.Node, cfg *Config) *Kernel {
+	space := gmem.NewSpace(cfg.NumPE, cfg.GMBlockWords)
+	k := &Kernel{
+		id:      id,
+		n:       cfg.NumPE,
+		node:    node,
+		svc:     node.Svc(),
+		cfg:     cfg,
+		space:   space,
+		seg:     gmem.NewSegment(space, id),
+		syncMb:  node.NewMailbox(16),
+		pending: make(map[uint64]transport.Mailbox),
+		userq:   make(map[int32]transport.Mailbox),
+		inv:     make(map[uint64]*invRound),
+	}
+	if cfg.Caching {
+		k.cache = gmem.NewCache(space)
+	}
+	if id == 0 {
+		k.barrier = psync.NewBarrierManager(cfg.NumPE)
+		k.locks = psync.NewLockManager()
+		k.sems = psync.NewSemManager()
+		k.procs = procmgmt.NewTable()
+	}
+	if cfg.Barrier == BarrierTree {
+		k.tree = psync.NewTreeBarrier(id, cfg.NumPE, treeArity)
+	}
+	return k
+}
+
+// treeArity is the fan-in of the tree barrier.
+const treeArity = 2
+
+// nextSeq reserves a request id and registers its reply mailbox.
+func (k *Kernel) addPending(mb transport.Mailbox) uint64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.seq++
+	k.pending[k.seq] = mb
+	return k.seq
+}
+
+func (k *Kernel) takePending(seq uint64) (transport.Mailbox, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	mb, ok := k.pending[seq]
+	if ok {
+		delete(k.pending, seq)
+	}
+	return mb, ok
+}
+
+// dropPending forgets a request that timed out.
+func (k *Kernel) dropPending(seq uint64) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	delete(k.pending, seq)
+}
+
+// userMb returns (creating on demand) the queue for user messages with tag.
+func (k *Kernel) userMb(tag int32) transport.Mailbox {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	mb, ok := k.userq[tag]
+	if !ok {
+		mb = k.node.NewMailbox(0)
+		k.userq[tag] = mb
+	}
+	return mb
+}
+
+// serve is the DSE kernel main loop (the "parallel processing mechanism"):
+// it receives every message addressed to this kernel and dispatches it,
+// until the node shuts down.
+func (k *Kernel) serve() {
+	for {
+		m, ok := k.node.Recv()
+		if !ok {
+			return
+		}
+		k.handle(m)
+	}
+}
+
+func (k *Kernel) handle(m *wire.Message) {
+	k.logMessage(m)
+	switch m.Op {
+	// Responses to this kernel's own outstanding requests.
+	case wire.OpReadResp, wire.OpWriteAck, wire.OpFetchAddResp, wire.OpCASResp,
+		wire.OpProcRegResp, wire.OpProcExitAck, wire.OpProcListResp,
+		wire.OpPong, wire.OpWelcome:
+		if mb, ok := k.takePending(m.Seq); ok {
+			mb.Put(m)
+		}
+
+	// Synchronisation grants for the application context.
+	case wire.OpBarrierRelease:
+		k.handleBarrierRelease(m)
+	case wire.OpLockGrant, wire.OpSemGrant:
+		k.syncMb.Put(m)
+
+	// Global memory service (this kernel is the home).
+	case wire.OpRead:
+		k.handleRead(m)
+	case wire.OpWrite:
+		k.handleWrite(m)
+	case wire.OpFetchAdd:
+		k.handleFetchAdd(m)
+	case wire.OpCAS:
+		k.handleCAS(m)
+	case wire.OpInvalidate:
+		k.handleInvalidate(m)
+	case wire.OpInvAck:
+		k.handleInvAck(m)
+
+	// Synchronisation service.
+	case wire.OpBarrierArrive:
+		k.handleBarrierArrive(m)
+	case wire.OpLockAcquire:
+		if k.locks.Acquire(int(m.Src), m.Tag) {
+			k.reply(m, &wire.Message{Op: wire.OpLockGrant, Tag: m.Tag})
+		}
+	case wire.OpLockRelease:
+		if next, ok := k.locks.Release(int(m.Src), m.Tag); ok {
+			k.svc.Send(next, &wire.Message{Op: wire.OpLockGrant, Src: int32(k.id), Dst: int32(next), Tag: m.Tag})
+		}
+	case wire.OpSemWait:
+		if k.sems.Wait(int(m.Src), m.Tag) {
+			k.reply(m, &wire.Message{Op: wire.OpSemGrant, Tag: m.Tag})
+		}
+	case wire.OpSemPost:
+		if next, ok := k.sems.Post(m.Tag); ok {
+			k.svc.Send(next, &wire.Message{Op: wire.OpSemGrant, Src: int32(k.id), Dst: int32(next), Tag: m.Tag})
+		}
+
+	// Parallel process management (kernel 0 hosts the global table).
+	case wire.OpProcRegister:
+		gpid := k.procs.Register(m.Src, string(m.Data), k.svc.Now())
+		k.reply(m, &wire.Message{Op: wire.OpProcRegResp, Arg1: gpid})
+	case wire.OpProcExit:
+		if err := k.procs.Exit(m.Arg1, m.Arg2, k.svc.Now()); err != nil {
+			panic(fmt.Sprintf("core: kernel 0: %v", err))
+		}
+		k.reply(m, &wire.Message{Op: wire.OpProcExitAck})
+	case wire.OpProcList:
+		k.reply(m, &wire.Message{Op: wire.OpProcListResp, Data: procmgmt.EncodeSnapshot(k.procs.Snapshot())})
+
+	// Application-level messages.
+	case wire.OpUserMsg:
+		k.userMb(m.Tag).Put(m)
+
+	// Liveness.
+	case wire.OpPing:
+		k.reply(m, &wire.Message{Op: wire.OpPong})
+
+	default:
+		panic(fmt.Sprintf("core: kernel %d: unexpected message %v", k.id, m))
+	}
+}
+
+// logMessage appends m to the cluster-wide protocol trace, if enabled.
+func (k *Kernel) logMessage(m *wire.Message) {
+	cfg := k.cfg
+	if cfg.MessageLog == nil {
+		return
+	}
+	cfg.logMu.Lock()
+	fmt.Fprintf(cfg.MessageLog, "t=%v k=%d %s\n", k.svc.Now(), k.id, m)
+	cfg.logMu.Unlock()
+}
+
+// reply answers request m, echoing its Seq.
+func (k *Kernel) reply(m *wire.Message, resp *wire.Message) {
+	resp.Src = int32(k.id)
+	resp.Dst = m.Src
+	resp.Seq = m.Seq
+	k.svc.Send(int(m.Src), resp)
+}
+
+func (k *Kernel) handleRead(m *wire.Message) {
+	if m.Arg2 == 1 {
+		// Block fetch for the caching protocol: return the whole block and
+		// record the reader in the directory.
+		blk := k.seg.ReadBlockFor(m.Addr, int(m.Src))
+		resp := &wire.Message{Op: wire.OpReadResp, Addr: m.Addr}
+		resp.PutWords(blk)
+		k.reply(m, resp)
+		return
+	}
+	words := k.seg.Read(m.Addr, int(m.Arg1))
+	resp := &wire.Message{Op: wire.OpReadResp, Addr: m.Addr}
+	resp.PutWords(words)
+	k.reply(m, resp)
+}
+
+func (k *Kernel) handleWrite(m *wire.Message) {
+	words := m.Words()
+	if k.cache == nil {
+		k.seg.Write(m.Addr, words)
+		k.reply(m, &wire.Message{Op: wire.OpWriteAck})
+		return
+	}
+	targets := k.seg.WriteInvalidating(m.Addr, words, int(m.Src))
+	k.finishAfterInvalidation(m, targets, wire.OpWriteAck, 0, 0)
+}
+
+func (k *Kernel) handleFetchAdd(m *wire.Message) {
+	old := k.seg.FetchAdd(m.Addr, m.Arg1)
+	if k.cache == nil {
+		k.reply(m, &wire.Message{Op: wire.OpFetchAddResp, Arg1: old})
+		return
+	}
+	targets := k.seg.CollectInvalidations(m.Addr, int(m.Src))
+	k.finishAfterInvalidation(m, targets, wire.OpFetchAddResp, old, 0)
+}
+
+func (k *Kernel) handleCAS(m *wire.Message) {
+	prev, swapped := k.seg.CAS(m.Addr, m.Arg1, m.Arg2)
+	var sw int64
+	if swapped {
+		sw = 1
+	}
+	if k.cache == nil || !swapped {
+		k.reply(m, &wire.Message{Op: wire.OpCASResp, Arg1: prev, Arg2: sw})
+		return
+	}
+	targets := k.seg.CollectInvalidations(m.Addr, int(m.Src))
+	k.finishAfterInvalidation(m, targets, wire.OpCASResp, prev, sw)
+}
+
+// finishAfterInvalidation acknowledges a mutating request immediately when
+// no remote copies exist, or after every cached copy has acknowledged its
+// invalidation (write-invalidate coherence: the writer may not proceed
+// while stale copies are readable).
+func (k *Kernel) finishAfterInvalidation(m *wire.Message, targets []int, respOp wire.Op, arg1, arg2 int64) {
+	if len(targets) == 0 {
+		k.reply(m, &wire.Message{Op: respOp, Arg1: arg1, Arg2: arg2})
+		return
+	}
+	k.invNext++
+	id := k.invNext
+	k.inv[id] = &invRound{
+		requester: m.Src, seq: m.Seq,
+		respOp: respOp, arg1: arg1, arg2: arg2,
+		remaining: len(targets),
+	}
+	for _, t := range targets {
+		k.svc.Send(t, &wire.Message{
+			Op: wire.OpInvalidate, Src: int32(k.id), Dst: int32(t),
+			Seq: id, Addr: m.Addr,
+		})
+	}
+}
+
+func (k *Kernel) handleInvalidate(m *wire.Message) {
+	if k.cache != nil {
+		k.cache.Invalidate(m.Addr)
+	}
+	k.reply(m, &wire.Message{Op: wire.OpInvAck, Addr: m.Addr})
+}
+
+func (k *Kernel) handleInvAck(m *wire.Message) {
+	r, ok := k.inv[m.Seq]
+	if !ok {
+		panic(fmt.Sprintf("core: kernel %d: stray invalidation ack %v", k.id, m))
+	}
+	r.remaining--
+	if r.remaining > 0 {
+		return
+	}
+	delete(k.inv, m.Seq)
+	k.svc.Send(int(r.requester), &wire.Message{
+		Op: r.respOp, Src: int32(k.id), Dst: r.requester, Seq: r.seq,
+		Arg1: r.arg1, Arg2: r.arg2,
+	})
+}
+
+// handleBarrierArrive implements both barrier flavours.
+func (k *Kernel) handleBarrierArrive(m *wire.Message) {
+	if k.cfg.Barrier == BarrierTree {
+		if k.tree.Arrive(m.Tag) {
+			if parent, ok := k.tree.Parent(); ok {
+				k.svc.Send(parent, &wire.Message{Op: wire.OpBarrierArrive, Src: int32(k.id), Dst: int32(parent), Tag: m.Tag})
+			} else {
+				k.releaseDown(m.Tag)
+			}
+		}
+		return
+	}
+	// Central barrier: kernel 0 counts and releases everyone.
+	if k.id != 0 {
+		panic(fmt.Sprintf("core: kernel %d received central barrier arrive", k.id))
+	}
+	if waiters := k.barrier.Arrive(int(m.Src), m.Tag); waiters != nil {
+		for _, w := range waiters {
+			k.svc.Send(w, &wire.Message{Op: wire.OpBarrierRelease, Src: int32(k.id), Dst: int32(w), Tag: m.Tag})
+		}
+	}
+}
+
+// handleBarrierRelease wakes the local application and, for the tree
+// barrier, forwards the release to this kernel's subtree.
+func (k *Kernel) handleBarrierRelease(m *wire.Message) {
+	if k.cfg.Barrier == BarrierTree {
+		k.releaseDown(m.Tag)
+		return
+	}
+	k.syncMb.Put(m)
+}
+
+func (k *Kernel) releaseDown(tag int32) {
+	for _, c := range k.tree.Children() {
+		k.svc.Send(c, &wire.Message{Op: wire.OpBarrierRelease, Src: int32(k.id), Dst: int32(c), Tag: tag})
+	}
+	k.syncMb.Put(&wire.Message{Op: wire.OpBarrierRelease, Src: int32(k.id), Dst: int32(k.id), Tag: tag})
+}
+
+// Stats returns the node's transport-level counters.
+func (k *Kernel) Stats() *trace.PEStats { return k.node.Stats() }
+
+// requestTimeout returns the configured request deadline (0 = wait forever).
+func (k *Kernel) requestTimeout() sim.Duration { return k.cfg.RequestTimeout }

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/transport/inproc"
+	"repro/internal/wire"
+)
+
+// testKernels builds n kernels over an inproc network without starting
+// their serve loops, so tests can drive handle() directly and observe the
+// outgoing messages on the peers' receive queues.
+func testKernels(t *testing.T, n int, mutate func(cfg *Config)) (*inproc.Net, []*Kernel) {
+	t.Helper()
+	cfg := Config{NumPE: n, Transport: TransportInproc}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := cfg.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := inproc.New(n)
+	t.Cleanup(net.Stop)
+	ks := make([]*Kernel, n)
+	for i := 0; i < n; i++ {
+		ks[i] = newKernel(i, net.Node(i), &c)
+	}
+	return net, ks
+}
+
+// recvFrom pops the next message from node i with a deadline.
+func recvFrom(t *testing.T, net *inproc.Net, i int) *wire.Message {
+	t.Helper()
+	ch := make(chan *wire.Message, 1)
+	go func() {
+		m, ok := net.Node(i).Recv()
+		if ok {
+			ch <- m
+		}
+	}()
+	select {
+	case m := <-ch:
+		return m
+	case <-time.After(10 * time.Second):
+		t.Fatalf("no message arrived at node %d", i)
+		return nil
+	}
+}
+
+func TestKernelHandleReadRepliesWithWords(t *testing.T) {
+	net, ks := testKernels(t, 2, nil)
+	// Address homed at kernel 0 (block 0).
+	ks[0].seg.Write(3, []int64{42, 43})
+	ks[0].handle(&wire.Message{Op: wire.OpRead, Src: 1, Dst: 0, Seq: 9, Addr: 3, Arg1: 2})
+	resp := recvFrom(t, net, 1)
+	if resp.Op != wire.OpReadResp || resp.Seq != 9 {
+		t.Fatalf("reply = %v", resp)
+	}
+	ws := resp.Words()
+	if len(ws) != 2 || ws[0] != 42 || ws[1] != 43 {
+		t.Fatalf("words = %v", ws)
+	}
+}
+
+func TestKernelHandleWriteAndFetchAdd(t *testing.T) {
+	net, ks := testKernels(t, 2, nil)
+	w := &wire.Message{Op: wire.OpWrite, Src: 1, Dst: 0, Seq: 1, Addr: 5}
+	w.PutWords([]int64{7})
+	ks[0].handle(w)
+	if ack := recvFrom(t, net, 1); ack.Op != wire.OpWriteAck || ack.Seq != 1 {
+		t.Fatalf("ack = %v", ack)
+	}
+	ks[0].handle(&wire.Message{Op: wire.OpFetchAdd, Src: 1, Dst: 0, Seq: 2, Addr: 5, Arg1: 3})
+	if resp := recvFrom(t, net, 1); resp.Op != wire.OpFetchAddResp || resp.Arg1 != 7 {
+		t.Fatalf("fetch-add resp = %v", resp)
+	}
+	if v := ks[0].seg.Read(5, 1)[0]; v != 10 {
+		t.Fatalf("value = %d", v)
+	}
+}
+
+func TestKernelCentralBarrierReleasesAll(t *testing.T) {
+	net, ks := testKernels(t, 3, nil)
+	ks[0].handle(&wire.Message{Op: wire.OpBarrierArrive, Src: 1, Tag: 4})
+	ks[0].handle(&wire.Message{Op: wire.OpBarrierArrive, Src: 2, Tag: 4})
+	ks[0].handle(&wire.Message{Op: wire.OpBarrierArrive, Src: 0, Tag: 4})
+	for _, node := range []int{1, 2} {
+		if m := recvFrom(t, net, node); m.Op != wire.OpBarrierRelease || m.Tag != 4 {
+			t.Fatalf("node %d got %v", node, m)
+		}
+	}
+	// Kernel 0's own release is routed straight to its sync mailbox by the
+	// next handle() of the self-delivered message.
+	self := recvFrom(t, net, 0)
+	ks[0].handle(self)
+	if m, ok := ks[0].syncMb.Take(); !ok || m.Op != wire.OpBarrierRelease {
+		t.Fatalf("kernel 0 sync mailbox got %v", m)
+	}
+}
+
+func TestKernelLockGrantChain(t *testing.T) {
+	net, ks := testKernels(t, 3, nil)
+	ks[0].handle(&wire.Message{Op: wire.OpLockAcquire, Src: 1, Tag: 2})
+	if m := recvFrom(t, net, 1); m.Op != wire.OpLockGrant {
+		t.Fatalf("first acquire: %v", m)
+	}
+	// Second acquirer queues: no grant yet.
+	ks[0].handle(&wire.Message{Op: wire.OpLockAcquire, Src: 2, Tag: 2})
+	ks[0].handle(&wire.Message{Op: wire.OpLockRelease, Src: 1, Tag: 2})
+	if m := recvFrom(t, net, 2); m.Op != wire.OpLockGrant || m.Tag != 2 {
+		t.Fatalf("queued acquire: %v", m)
+	}
+}
+
+func TestKernelInvalidationRound(t *testing.T) {
+	net, ks := testKernels(t, 3, func(cfg *Config) { cfg.Caching = true })
+	// Kernel 1 caches block 0 (homed at kernel 0).
+	ks[0].handle(&wire.Message{Op: wire.OpRead, Src: 1, Dst: 0, Seq: 1, Addr: 0, Arg2: 1})
+	if m := recvFrom(t, net, 1); m.Op != wire.OpReadResp {
+		t.Fatalf("block fetch: %v", m)
+	}
+	// Kernel 2 writes the block: kernel 1 must be invalidated before the ack.
+	w := &wire.Message{Op: wire.OpWrite, Src: 2, Dst: 0, Seq: 2, Addr: 0}
+	w.PutWords([]int64{99})
+	ks[0].handle(w)
+	inv := recvFrom(t, net, 1)
+	if inv.Op != wire.OpInvalidate {
+		t.Fatalf("expected invalidate at kernel 1, got %v", inv)
+	}
+	// The writer must NOT have its ack yet: the round is still open.
+	if len(ks[0].inv) != 1 {
+		t.Fatalf("invalidation round not tracked: %d open", len(ks[0].inv))
+	}
+	// Ack the invalidation (as kernel 1's handler would).
+	ks[0].handle(&wire.Message{Op: wire.OpInvAck, Src: 1, Dst: 0, Seq: inv.Seq, Addr: inv.Addr})
+	if ack := recvFrom(t, net, 2); ack.Op != wire.OpWriteAck || ack.Seq != 2 {
+		t.Fatalf("writer ack = %v", ack)
+	}
+}
+
+func TestKernelStrayInvAckPanics(t *testing.T) {
+	_, ks := testKernels(t, 2, func(cfg *Config) { cfg.Caching = true })
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(r.(string), "stray invalidation ack") {
+			t.Fatalf("expected stray-ack panic, got %v", r)
+		}
+	}()
+	ks[0].handle(&wire.Message{Op: wire.OpInvAck, Src: 1, Seq: 123})
+}
+
+func TestKernelUnknownOpPanics(t *testing.T) {
+	_, ks := testKernels(t, 1, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown op")
+		}
+	}()
+	ks[0].handle(&wire.Message{Op: wire.Op(200)})
+}
+
+func TestKernelPingPong(t *testing.T) {
+	net, ks := testKernels(t, 2, nil)
+	ks[0].handle(&wire.Message{Op: wire.OpPing, Src: 1, Seq: 5})
+	if m := recvFrom(t, net, 1); m.Op != wire.OpPong || m.Seq != 5 {
+		t.Fatalf("pong = %v", m)
+	}
+}
+
+func TestKernelUserMessageRouting(t *testing.T) {
+	_, ks := testKernels(t, 1, nil)
+	ks[0].handle(&wire.Message{Op: wire.OpUserMsg, Src: 0, Tag: 11, Data: []byte("hi")})
+	mb := ks[0].userMb(11)
+	m, ok := mb.Take()
+	if !ok || string(m.Data) != "hi" {
+		t.Fatalf("user message = %v", m)
+	}
+	// Different tag queues are independent.
+	ks[0].handle(&wire.Message{Op: wire.OpUserMsg, Src: 0, Tag: 12})
+	if _, _, timedOut := ks[0].userMb(11).TakeTimeout(10_000_000); !timedOut {
+		t.Fatal("tag 11 queue should be empty")
+	}
+}
+
+func TestKernelPendingResponseRouting(t *testing.T) {
+	_, ks := testKernels(t, 2, nil)
+	mb := ks[0].node.NewMailbox(1)
+	seq := ks[0].addPending(mb)
+	ks[0].handle(&wire.Message{Op: wire.OpReadResp, Src: 1, Seq: seq})
+	if m, ok := mb.Take(); !ok || m.Seq != seq {
+		t.Fatalf("pending routing failed: %v", m)
+	}
+	// A second response with the same (now consumed) seq is dropped.
+	ks[0].handle(&wire.Message{Op: wire.OpReadResp, Src: 1, Seq: seq})
+	if _, _, timedOut := mb.TakeTimeout(10_000_000); !timedOut {
+		t.Fatal("late response was not dropped")
+	}
+}
+
+func TestKernelProcManagement(t *testing.T) {
+	net, ks := testKernels(t, 2, nil)
+	ks[0].handle(&wire.Message{Op: wire.OpProcRegister, Src: 1, Seq: 1, Data: []byte("hostX")})
+	reg := recvFrom(t, net, 1)
+	if reg.Op != wire.OpProcRegResp || reg.Arg1 != 1 {
+		t.Fatalf("register resp = %v", reg)
+	}
+	ks[0].handle(&wire.Message{Op: wire.OpProcList, Src: 1, Seq: 2})
+	list := recvFrom(t, net, 1)
+	if list.Op != wire.OpProcListResp || len(list.Data) == 0 {
+		t.Fatalf("list resp = %v", list)
+	}
+	ks[0].handle(&wire.Message{Op: wire.OpProcExit, Src: 1, Seq: 3, Arg1: reg.Arg1, Arg2: 0})
+	if ack := recvFrom(t, net, 1); ack.Op != wire.OpProcExitAck {
+		t.Fatalf("exit ack = %v", ack)
+	}
+}

@@ -1,0 +1,548 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/gmem"
+	"repro/internal/procmgmt"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// PE is the application's view of one processor element: the Parallel API
+// Library of the paper. A PE value is used by exactly one goroutine (or sim
+// process) — the DSE process — and mediates every interaction with the
+// cluster: global memory, synchronisation, messages and process management.
+type PE struct {
+	k     *Kernel
+	app   transport.Port
+	alloc *gmem.Allocator
+	gpid  int64
+	extra trace.PEStats   // app-context counters merged into the result
+	rtt   trace.Histogram // request round-trip latency distribution
+}
+
+func newPE(k *Kernel) *PE {
+	return &PE{
+		k:     k,
+		app:   k.node.App(),
+		alloc: gmem.NewAllocator(k.space),
+	}
+}
+
+// ID returns this PE's kernel id in [0, N).
+func (pe *PE) ID() int { return pe.k.id }
+
+// N returns the number of PEs in the cluster.
+func (pe *PE) N() int { return pe.k.n }
+
+// Hostname names the physical machine hosting this PE. Under a virtual
+// cluster several PEs share one.
+func (pe *PE) Hostname() string { return pe.k.node.Hostname() }
+
+// GPID returns the cluster-global process id assigned at registration.
+func (pe *PE) GPID() int64 { return pe.gpid }
+
+// Now returns the PE's clock (virtual time under simulation).
+func (pe *PE) Now() sim.Time { return pe.app.Now() }
+
+// Compute charges the cost of ops application operations (roughly flops)
+// against this PE.
+func (pe *PE) Compute(ops float64) { pe.app.Compute(ops) }
+
+// Alloc reserves n global-memory words. Allocation is deterministic: every
+// PE of the SPMD program performs the same Alloc sequence and obtains the
+// same addresses without communicating.
+func (pe *PE) Alloc(n int) uint64 { return pe.alloc.Alloc(n) }
+
+// AllocBlocks reserves n words starting on a block boundary.
+func (pe *PE) AllocBlocks(n int) uint64 { return pe.alloc.AllocBlocks(n) }
+
+// Space exposes the global address-space geometry.
+func (pe *PE) Space() gmem.Space { return pe.k.space }
+
+// legacyCrossing charges the old two-process organisation's IPC round trip
+// at the top of a Parallel-API call (no-op in the reorganised design).
+func (pe *PE) legacyCrossing() {
+	if pe.k.cfg.Legacy {
+		pe.app.LegacyIPC()
+	}
+}
+
+// request sends m to kernel dst and blocks until the response arrives.
+// Request time beyond the send-side overhead is accounted as wait time.
+func (pe *PE) request(dst int, m *wire.Message) *wire.Message {
+	k := pe.k
+	mb := k.node.NewMailbox(1)
+	m.Src = int32(k.id)
+	m.Dst = int32(dst)
+	m.Seq = k.addPending(mb)
+	start := pe.app.Now()
+	pe.app.Send(dst, m)
+	var resp *wire.Message
+	var ok bool
+	if d := k.requestTimeout(); d > 0 {
+		var timedOut bool
+		resp, ok, timedOut = mb.TakeTimeout(d)
+		if timedOut {
+			k.dropPending(m.Seq)
+			panic(fmt.Sprintf("core: PE %d: %v request to kernel %d timed out after %v", k.id, m.Op, dst, d))
+		}
+	} else {
+		resp, ok = mb.Take()
+	}
+	if !ok {
+		panic(fmt.Sprintf("core: PE %d: cluster shut down during %v request", k.id, m.Op))
+	}
+	rtt := pe.app.Now() - start
+	pe.extra.WaitTime += rtt
+	pe.rtt.Observe(rtt)
+	return resp
+}
+
+// --- Global memory: word operations ---
+
+// GMRead reads the global-memory word at addr.
+func (pe *PE) GMRead(addr uint64) int64 {
+	pe.legacyCrossing()
+	k := pe.k
+	if k.cache != nil {
+		if v, ok := k.cache.Lookup(addr); ok {
+			pe.app.LocalAccess()
+			pe.extra.LocalGM++
+			return v
+		}
+		if k.space.HomeOf(addr) == k.id {
+			pe.app.LocalAccess()
+			pe.extra.LocalGM++
+			return k.seg.Read(addr, 1)[0]
+		}
+		pe.extra.RemoteGM++
+		resp := pe.request(k.space.HomeOf(addr), &wire.Message{Op: wire.OpRead, Addr: addr, Arg2: 1})
+		blk := resp.Words()
+		k.cache.Insert(addr, blk)
+		return blk[addr%uint64(k.space.BlockWords)]
+	}
+	if k.space.HomeOf(addr) == k.id {
+		pe.app.LocalAccess()
+		pe.extra.LocalGM++
+		return k.seg.Read(addr, 1)[0]
+	}
+	pe.extra.RemoteGM++
+	resp := pe.request(k.space.HomeOf(addr), &wire.Message{Op: wire.OpRead, Addr: addr, Arg1: 1})
+	return resp.Words()[0]
+}
+
+// GMWrite stores v at addr.
+func (pe *PE) GMWrite(addr uint64, v int64) {
+	pe.legacyCrossing()
+	k := pe.k
+	if k.cache == nil && k.space.HomeOf(addr) == k.id {
+		pe.app.LocalAccess()
+		pe.extra.LocalGM++
+		k.seg.Write(addr, []int64{v})
+		return
+	}
+	// Under caching every mutation goes through the home's invalidation
+	// machinery, including our own home (via the own-node message path).
+	// The writer drops its own cached copy too: a kept-warm copy would no
+	// longer be registered in the home's directory, so later writes by
+	// other PEs could not invalidate it.
+	pe.extra.RemoteGM++
+	m := &wire.Message{Op: wire.OpWrite, Addr: addr}
+	m.PutWords([]int64{v})
+	pe.request(k.space.HomeOf(addr), m)
+	if k.cache != nil {
+		k.cache.Invalidate(addr)
+	}
+}
+
+// FetchAdd atomically adds delta to the word at addr, returning the old
+// value. The primitive behind job pools and work counters.
+func (pe *PE) FetchAdd(addr uint64, delta int64) int64 {
+	pe.legacyCrossing()
+	k := pe.k
+	if k.cache == nil && k.space.HomeOf(addr) == k.id {
+		pe.app.LocalAccess()
+		pe.extra.LocalGM++
+		return k.seg.FetchAdd(addr, delta)
+	}
+	pe.extra.RemoteGM++
+	resp := pe.request(k.space.HomeOf(addr), &wire.Message{Op: wire.OpFetchAdd, Addr: addr, Arg1: delta})
+	if k.cache != nil {
+		k.cache.Invalidate(addr)
+	}
+	return resp.Arg1
+}
+
+// CAS atomically compares-and-swaps the word at addr; it returns the
+// previous value and whether the swap happened.
+func (pe *PE) CAS(addr uint64, old, new int64) (int64, bool) {
+	pe.legacyCrossing()
+	k := pe.k
+	if k.cache == nil && k.space.HomeOf(addr) == k.id {
+		pe.app.LocalAccess()
+		pe.extra.LocalGM++
+		return k.seg.CAS(addr, old, new)
+	}
+	pe.extra.RemoteGM++
+	resp := pe.request(k.space.HomeOf(addr), &wire.Message{Op: wire.OpCAS, Addr: addr, Arg1: old, Arg2: new})
+	if k.cache != nil {
+		k.cache.Invalidate(addr)
+	}
+	return resp.Arg1, resp.Arg2 == 1
+}
+
+// --- Global memory: block operations ---
+
+// blockPart is one outstanding piece of a pipelined block transfer.
+type blockPart struct {
+	mb    transport.Mailbox
+	op    wire.Op
+	local []int64 // filled immediately for locally-homed runs
+}
+
+// sendAsync issues a request without waiting for its reply.
+func (pe *PE) sendAsync(dst int, m *wire.Message) transport.Mailbox {
+	k := pe.k
+	mb := k.node.NewMailbox(1)
+	m.Src = int32(k.id)
+	m.Dst = int32(dst)
+	m.Seq = k.addPending(mb)
+	pe.app.Send(dst, m)
+	return mb
+}
+
+// awaitParts collects the replies of a pipelined transfer in issue order,
+// charging the wait once. The DSE kernel's asynchronous-I/O design lets a
+// DSE process keep several requests in flight, so a block transfer
+// overlaps the round trips of its per-home runs.
+func (pe *PE) awaitParts(parts []blockPart) []*wire.Message {
+	start := pe.app.Now()
+	out := make([]*wire.Message, len(parts))
+	for i, part := range parts {
+		if part.mb == nil {
+			continue
+		}
+		var resp *wire.Message
+		var ok bool
+		if d := pe.k.requestTimeout(); d > 0 {
+			var timedOut bool
+			resp, ok, timedOut = part.mb.TakeTimeout(d)
+			if timedOut {
+				panic(fmt.Sprintf("core: PE %d: %v block transfer timed out after %v", pe.k.id, part.op, d))
+			}
+		} else {
+			resp, ok = part.mb.Take()
+		}
+		if !ok {
+			panic(fmt.Sprintf("core: PE %d: cluster shut down during block transfer", pe.k.id))
+		}
+		out[i] = resp
+	}
+	pe.extra.WaitTime += pe.app.Now() - start
+	return out
+}
+
+// GMReadBlock reads n words starting at addr, splitting the range across
+// homes as needed; the per-home requests are pipelined. Block reads bypass
+// the read cache (they are always served fresh by the homes).
+func (pe *PE) GMReadBlock(addr uint64, n int) []int64 {
+	pe.legacyCrossing()
+	var parts []blockPart
+	pe.k.space.HomeRuns(addr, n, func(home int, start uint64, count int) {
+		if home == pe.k.id {
+			pe.app.LocalAccess()
+			pe.extra.LocalGM++
+			parts = append(parts, blockPart{local: pe.k.seg.Read(start, count)})
+			return
+		}
+		pe.extra.RemoteGM++
+		mb := pe.sendAsync(home, &wire.Message{Op: wire.OpRead, Addr: start, Arg1: int64(count)})
+		parts = append(parts, blockPart{mb: mb, op: wire.OpRead})
+	})
+	resps := pe.awaitParts(parts)
+	out := make([]int64, 0, n)
+	for i, part := range parts {
+		if part.mb == nil {
+			out = append(out, part.local...)
+			continue
+		}
+		out = append(out, resps[i].Words()...)
+	}
+	return out
+}
+
+// GMWriteBlock stores words starting at addr, splitting across homes with
+// pipelined per-home writes.
+func (pe *PE) GMWriteBlock(addr uint64, words []int64) {
+	pe.legacyCrossing()
+	k := pe.k
+	var parts []blockPart
+	k.space.HomeRuns(addr, len(words), func(home int, start uint64, count int) {
+		chunk := words[start-addr : start-addr+uint64(count)]
+		if k.cache == nil && home == k.id {
+			pe.app.LocalAccess()
+			pe.extra.LocalGM++
+			k.seg.Write(start, chunk)
+			return
+		}
+		pe.extra.RemoteGM++
+		m := &wire.Message{Op: wire.OpWrite, Addr: start}
+		m.PutWords(chunk)
+		mb := pe.sendAsync(home, m)
+		parts = append(parts, blockPart{mb: mb, op: wire.OpWrite})
+		if k.cache != nil {
+			k.cache.Invalidate(start)
+		}
+	})
+	pe.awaitParts(parts)
+}
+
+// --- Global memory: float64 convenience ---
+
+// GMReadF reads a float64 stored at addr.
+func (pe *PE) GMReadF(addr uint64) float64 { return gmem.W2F(pe.GMRead(addr)) }
+
+// GMWriteF stores a float64 at addr.
+func (pe *PE) GMWriteF(addr uint64, v float64) { pe.GMWrite(addr, gmem.F2W(v)) }
+
+// GMReadBlockF reads n float64 values starting at addr.
+func (pe *PE) GMReadBlockF(addr uint64, n int) []float64 {
+	ws := pe.GMReadBlock(addr, n)
+	fs := make([]float64, len(ws))
+	for i, w := range ws {
+		fs[i] = gmem.W2F(w)
+	}
+	return fs
+}
+
+// GMWriteBlockF stores float64 values starting at addr.
+func (pe *PE) GMWriteBlockF(addr uint64, vs []float64) {
+	ws := make([]int64, len(vs))
+	for i, v := range vs {
+		ws[i] = gmem.F2W(v)
+	}
+	pe.GMWriteBlock(addr, ws)
+}
+
+// --- Synchronisation ---
+
+// Barrier blocks until every PE has reached it (barrier id 0).
+func (pe *PE) Barrier() { pe.BarrierID(0) }
+
+// BarrierID blocks on the barrier with the given id; distinct ids are
+// independent barriers.
+func (pe *PE) BarrierID(id int32) {
+	pe.legacyCrossing()
+	k := pe.k
+	pe.extra.Barriers++
+	dst := 0
+	if k.cfg.Barrier == BarrierTree {
+		dst = k.id // tree arrivals start at the local kernel
+	}
+	start := pe.app.Now()
+	pe.app.Send(dst, &wire.Message{Op: wire.OpBarrierArrive, Src: int32(k.id), Dst: int32(dst), Tag: id})
+	m := pe.takeSync()
+	if m.Op != wire.OpBarrierRelease || m.Tag != id {
+		panic(fmt.Sprintf("core: PE %d: expected barrier %d release, got %v", k.id, id, m))
+	}
+	pe.extra.WaitTime += pe.app.Now() - start
+}
+
+// Lock acquires the cluster-wide lock id (FIFO, managed by kernel 0).
+func (pe *PE) Lock(id int32) {
+	pe.legacyCrossing()
+	pe.extra.Locks++
+	start := pe.app.Now()
+	pe.app.Send(0, &wire.Message{Op: wire.OpLockAcquire, Src: int32(pe.k.id), Tag: id})
+	m := pe.takeSync()
+	if m.Op != wire.OpLockGrant || m.Tag != id {
+		panic(fmt.Sprintf("core: PE %d: expected lock %d grant, got %v", pe.k.id, id, m))
+	}
+	pe.extra.WaitTime += pe.app.Now() - start
+}
+
+// Unlock releases lock id.
+func (pe *PE) Unlock(id int32) {
+	pe.legacyCrossing()
+	pe.app.Send(0, &wire.Message{Op: wire.OpLockRelease, Src: int32(pe.k.id), Tag: id})
+}
+
+// SemWait downs semaphore id, blocking while its value is zero.
+func (pe *PE) SemWait(id int32) {
+	pe.legacyCrossing()
+	start := pe.app.Now()
+	pe.app.Send(0, &wire.Message{Op: wire.OpSemWait, Src: int32(pe.k.id), Tag: id})
+	m := pe.takeSync()
+	if m.Op != wire.OpSemGrant || m.Tag != id {
+		panic(fmt.Sprintf("core: PE %d: expected sem %d grant, got %v", pe.k.id, id, m))
+	}
+	pe.extra.WaitTime += pe.app.Now() - start
+}
+
+// SemPost ups semaphore id.
+func (pe *PE) SemPost(id int32) {
+	pe.legacyCrossing()
+	pe.app.Send(0, &wire.Message{Op: wire.OpSemPost, Src: int32(pe.k.id), Tag: id})
+}
+
+func (pe *PE) takeSync() *wire.Message {
+	if d := pe.k.requestTimeout(); d > 0 {
+		m, ok, timedOut := pe.k.syncMb.TakeTimeout(d)
+		if timedOut {
+			panic(fmt.Sprintf("core: PE %d: synchronisation wait timed out after %v", pe.k.id, d))
+		}
+		if !ok {
+			panic(fmt.Sprintf("core: PE %d: cluster shut down during synchronisation", pe.k.id))
+		}
+		return m
+	}
+	m, ok := pe.k.syncMb.Take()
+	if !ok {
+		panic(fmt.Sprintf("core: PE %d: cluster shut down during synchronisation", pe.k.id))
+	}
+	return m
+}
+
+// --- Collectives (built on the message exchange mechanism) ---
+
+// Internal user-message tags; application tags must be non-negative.
+const (
+	tagReduceUp   int32 = -2
+	tagReduceDown int32 = -3
+)
+
+// AllReduceF combines one float64 contribution from every PE with op
+// (which must be commutative and associative) and returns the combined
+// value on all of them: a gather to PE 0 and a broadcast back, 2(N-1)
+// messages. It also acts as a synchronisation point: every PE's preceding
+// global-memory writes are completed (acknowledged) before any PE receives
+// the result.
+func (pe *PE) AllReduceF(x float64, op func(a, b float64) float64) float64 {
+	n := pe.N()
+	if n == 1 {
+		return x
+	}
+	if pe.ID() != 0 {
+		pe.SendMsg(0, tagReduceUp, f64Bytes(x))
+		_, data := pe.RecvMsg(tagReduceDown)
+		return f64FromBytes(data)
+	}
+	acc := x
+	for i := 1; i < n; i++ {
+		_, data := pe.RecvMsg(tagReduceUp)
+		acc = op(acc, f64FromBytes(data))
+	}
+	out := f64Bytes(acc)
+	for i := 1; i < n; i++ {
+		pe.SendMsg(i, tagReduceDown, out)
+	}
+	return acc
+}
+
+func f64Bytes(x float64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(x))
+	return b[:]
+}
+
+func f64FromBytes(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+// AllReduceSum sums one float64 contribution per PE.
+func (pe *PE) AllReduceSum(x float64) float64 {
+	return pe.AllReduceF(x, func(a, b float64) float64 { return a + b })
+}
+
+// AllReduceMax takes the maximum over one float64 contribution per PE.
+func (pe *PE) AllReduceMax(x float64) float64 {
+	return pe.AllReduceF(x, func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// --- PE-to-PE messages ---
+
+// SendMsg delivers payload to PE dst under tag. It does not wait for the
+// receiver. Application tags must be non-negative; negative tags are
+// reserved for the runtime's own collectives.
+func (pe *PE) SendMsg(dst int, tag int32, payload []byte) {
+	pe.legacyCrossing()
+	pe.app.Send(dst, &wire.Message{Op: wire.OpUserMsg, Src: int32(pe.k.id), Dst: int32(dst), Tag: tag, Data: payload})
+}
+
+// RecvMsg blocks until a message with tag arrives, returning its sender
+// and payload.
+func (pe *PE) RecvMsg(tag int32) (src int, payload []byte) {
+	pe.legacyCrossing()
+	mb := pe.k.userMb(tag)
+	start := pe.app.Now()
+	var m *wire.Message
+	if d := pe.k.requestTimeout(); d > 0 {
+		var ok, timedOut bool
+		m, ok, timedOut = mb.TakeTimeout(d)
+		if timedOut {
+			panic(fmt.Sprintf("core: PE %d: RecvMsg(tag=%d) timed out after %v", pe.k.id, tag, d))
+		}
+		if !ok {
+			panic(fmt.Sprintf("core: PE %d: cluster shut down in RecvMsg", pe.k.id))
+		}
+	} else {
+		var ok bool
+		m, ok = mb.Take()
+		if !ok {
+			panic(fmt.Sprintf("core: PE %d: cluster shut down in RecvMsg", pe.k.id))
+		}
+	}
+	pe.extra.WaitTime += pe.app.Now() - start
+	return int(m.Src), m.Data
+}
+
+// --- Process management / SSI ---
+
+// register announces this DSE process to the global process table.
+func (pe *PE) register() {
+	resp := pe.request(0, &wire.Message{Op: wire.OpProcRegister, Data: []byte(pe.Hostname())})
+	pe.gpid = resp.Arg1
+}
+
+// exit records this DSE process's termination.
+func (pe *PE) exit(code int64) {
+	pe.request(0, &wire.Message{Op: wire.OpProcExit, Arg1: pe.gpid, Arg2: code})
+}
+
+// Processes returns the cluster-global process table: the single-system
+// image of everything running on the virtual machine.
+func (pe *PE) Processes() []procmgmt.Entry {
+	resp := pe.request(0, &wire.Message{Op: wire.OpProcList})
+	entries, err := procmgmt.DecodeSnapshot(resp.Data)
+	if err != nil {
+		panic(fmt.Sprintf("core: PE %d: corrupt process table: %v", pe.k.id, err))
+	}
+	return entries
+}
+
+// Ping round-trips a liveness probe to kernel dst and reports the latency.
+func (pe *PE) Ping(dst int) sim.Duration {
+	start := pe.app.Now()
+	pe.request(dst, &wire.Message{Op: wire.OpPing})
+	return pe.app.Now() - start
+}
+
+// CacheStats reports cache hits, misses and invalidations (zeros when the
+// caching protocol is disabled).
+func (pe *PE) CacheStats() (hits, misses, invalidations uint64) {
+	if pe.k.cache == nil {
+		return 0, 0, 0
+	}
+	return pe.k.cache.Stats()
+}

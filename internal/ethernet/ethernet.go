@@ -1,0 +1,311 @@
+// Package ethernet models the shared 10 Mbps bus Ethernet of the paper's
+// testbed as a discrete-event system: a single broadcast medium with
+// carrier sense, a contention (collision) window, binary exponential
+// backoff, interframe gaps and MTU framing.
+//
+// The paper attributes the performance drop of communication-heavy runs
+// ("bus type Ethernet where occurrence of packet collision increases when
+// communication frequency between nodes increases") to exactly this medium,
+// so the model keeps the properties that produce that effect: the bus
+// serialises all frames, acquisition cost grows with the number of
+// simultaneous contenders, and every frame pays preamble/header/IFG
+// overhead that penalises small messages.
+package ethernet
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Frame is one Ethernet frame on the wire. Payload is carried by reference;
+// Size is the payload length in bytes used for timing and accounting.
+type Frame struct {
+	Src     int // sending station id
+	Dst     int // receiving station id, or Broadcast
+	Size    int // payload bytes
+	Payload interface{}
+}
+
+// Broadcast as a Frame.Dst delivers the frame to every station except Src.
+const Broadcast = -1
+
+// Config describes the physical medium. The zero value is unusable; use
+// DefaultConfig for classic 10BASE2-style parameters.
+type Config struct {
+	BandwidthBps  int64        // raw signalling rate, bits per second
+	SlotTime      sim.Duration // collision/contention slot (512 bit times on 10 Mbps)
+	InterframeGap sim.Duration // mandatory idle between frames (96 bit times)
+	PropDelay     sim.Duration // one-way propagation delay
+	MTU           int          // maximum payload per frame
+	MinPayload    int          // frames are padded up to this payload size
+	HeaderBytes   int          // per-frame header+trailer overhead (dst/src/type/FCS)
+	PreambleBytes int          // preamble+SFD
+	MaxBackoffExp int          // BEB exponent cap (10 for classic Ethernet)
+	RxQueue       int          // per-station receive queue capacity (frames)
+}
+
+// DefaultConfig returns classic shared 10 Mbps Ethernet parameters.
+func DefaultConfig() Config { return ConfigForBandwidth(10_000_000) }
+
+// ConfigForBandwidth returns shared-Ethernet parameters for the given
+// signalling rate: the slot time stays 512 bit times and the interframe
+// gap 96 bit times, as in every classic Ethernet speed grade.
+func ConfigForBandwidth(bps int64) Config {
+	if bps <= 0 {
+		panic("ethernet: non-positive bandwidth")
+	}
+	bit := float64(sim.Second) / float64(bps)
+	return Config{
+		BandwidthBps:  bps,
+		SlotTime:      sim.Duration(512 * bit),
+		InterframeGap: sim.Duration(96 * bit),
+		PropDelay:     5 * sim.Microsecond,
+		MTU:           1500,
+		MinPayload:    46,
+		HeaderBytes:   18,
+		PreambleBytes: 8,
+		MaxBackoffExp: 10,
+		RxQueue:       4096,
+	}
+}
+
+// Stats aggregates bus counters over a run.
+type Stats struct {
+	Frames        uint64       // frames successfully transmitted
+	PayloadBytes  uint64       // payload bytes carried
+	WireBytes     uint64       // bytes on the wire incl. padding and headers
+	Collisions    uint64       // collision events during contention resolution
+	Contended     uint64       // acquisitions that saw >1 contender
+	Drops         uint64       // frames dropped at a full receiver queue
+	BusyTime      sim.Duration // time the medium carried bits
+	ContentionLag sim.Duration // time lost to collision resolution
+}
+
+// Bus is the shared medium. Create one per simulated LAN, attach stations,
+// then Start it before running the engine.
+type Bus struct {
+	eng      *sim.Engine
+	cfg      Config
+	rng      *sim.Rand
+	reqs     *sim.Chan[txReq]
+	stations []*Station
+	stats    Stats
+	started  bool
+	lossProb float64 // failure injection: probability a frame is lost on the wire
+}
+
+type txReq struct {
+	frame Frame
+	done  *sim.Chan[struct{}] // signalled when the frame has left the sender
+}
+
+// NewBus creates a bus on the engine with the given medium parameters.
+func NewBus(e *sim.Engine, cfg Config) *Bus {
+	return &Bus{
+		eng:  e,
+		cfg:  cfg,
+		rng:  e.Rand().Fork(),
+		reqs: sim.NewChan[txReq](e, 1<<16),
+	}
+}
+
+// SetLossProbability enables failure injection: each frame is independently
+// dropped with probability p (0 disables). Intended for tests.
+func (b *Bus) SetLossProbability(p float64) { b.lossProb = p }
+
+// Stats returns a snapshot of the bus counters.
+func (b *Bus) Stats() Stats { return b.stats }
+
+// Attach adds a station to the bus and returns its handle. All stations
+// must be attached before Start.
+func (b *Bus) Attach() *Station {
+	if b.started {
+		panic("ethernet: Attach after Start")
+	}
+	s := &Station{
+		bus: b,
+		id:  len(b.stations),
+		rx:  sim.NewChan[Frame](b.eng, b.cfg.RxQueue),
+	}
+	b.stations = append(b.stations, s)
+	return s
+}
+
+// AttachNIC implements Medium.
+func (b *Bus) AttachNIC() NIC { return b.Attach() }
+
+// Start spawns the bus arbiter process. Call once, before Engine.Run.
+func (b *Bus) Start() {
+	if b.started {
+		return
+	}
+	b.started = true
+	b.eng.Spawn("ethernet-bus", b.arbiter)
+}
+
+// Stop closes the request stream; the arbiter exits after draining it.
+func (b *Bus) Stop() { b.reqs.Close() }
+
+// arbiter serialises access to the medium, charging contention, framing and
+// transmission time, then delivering frames to receiver queues.
+func (b *Bus) arbiter(p *sim.Proc) {
+	for {
+		req, ok := b.reqs.Recv(p)
+		if !ok {
+			return
+		}
+		// Contenders: the frame in hand plus everything already queued
+		// behind it. In CSMA/CD they would all have sensed the idle medium
+		// and collided; resolve the contention with binary exponential
+		// backoff before the winner transmits. The queue preserves FIFO so
+		// the "winner" is the head; the backoff time is what matters.
+		contenders := 1 + b.reqs.Len()
+		if contenders > 1 {
+			b.stats.Contended++
+			lag := b.contentionDelay(contenders)
+			b.stats.ContentionLag += lag
+			p.Sleep(lag)
+		}
+		p.Sleep(b.cfg.InterframeGap)
+		b.transmit(p, req)
+	}
+}
+
+// contentionDelay simulates BEB rounds among k stations until a unique
+// winner emerges, returning the total virtual time consumed.
+func (b *Bus) contentionDelay(k int) sim.Duration {
+	var total sim.Duration
+	round := 0
+	for k > 1 {
+		round++
+		b.stats.Collisions++
+		exp := round
+		if exp > b.cfg.MaxBackoffExp {
+			exp = b.cfg.MaxBackoffExp
+		}
+		window := 1 << uint(exp)
+		// Each contender draws a slot; the earliest unique draw wins.
+		// Count how many share the minimum draw: they collide again.
+		draws := make(map[int]int, k)
+		min := window
+		for i := 0; i < k; i++ {
+			d := b.rng.Intn(window)
+			draws[d]++
+			if d < min {
+				min = d
+			}
+		}
+		total += sim.Duration(min+1) * b.cfg.SlotTime
+		if draws[min] == 1 {
+			return total
+		}
+		k = draws[min] // the tied minimum draws collide in the next round
+	}
+	return total
+}
+
+// transmit charges wire time for req's frame and schedules delivery.
+func (b *Bus) transmit(p *sim.Proc, req txReq) {
+	f := req.frame
+	payload := f.Size
+	if payload < b.cfg.MinPayload {
+		payload = b.cfg.MinPayload
+	}
+	wireBytes := payload + b.cfg.HeaderBytes + b.cfg.PreambleBytes
+	txTime := sim.Duration(int64(wireBytes) * 8 * int64(sim.Second) / b.cfg.BandwidthBps)
+	p.Sleep(txTime)
+	b.stats.Frames++
+	b.stats.PayloadBytes += uint64(f.Size)
+	b.stats.WireBytes += uint64(wireBytes)
+	b.stats.BusyTime += txTime
+
+	// Sender unblocks once its frame has left the NIC.
+	req.done.TrySend(struct{}{})
+
+	if b.lossProb > 0 && b.rng.Float64() < b.lossProb {
+		b.stats.Drops++
+		return
+	}
+	deliverAt := p.Now() + b.cfg.PropDelay
+	if f.Dst == Broadcast {
+		for _, s := range b.stations {
+			if s.id == f.Src {
+				continue
+			}
+			b.deliver(s, f, deliverAt)
+		}
+		return
+	}
+	if f.Dst < 0 || f.Dst >= len(b.stations) {
+		panic(fmt.Sprintf("ethernet: frame to unknown station %d", f.Dst))
+	}
+	b.deliver(b.stations[f.Dst], f, deliverAt)
+}
+
+func (b *Bus) deliver(s *Station, f Frame, at sim.Time) {
+	b.eng.At(at, func() {
+		if !s.rx.TrySend(f) {
+			b.stats.Drops++
+		}
+	})
+}
+
+// Station is one attached NIC.
+type Station struct {
+	bus *Bus
+	id  int
+	rx  *sim.Chan[Frame]
+}
+
+// ID returns the station's bus address (0-based attach order).
+func (s *Station) ID() int { return s.id }
+
+// Send fragments payload-sized data into MTU frames and transmits them,
+// blocking the caller until the last frame has left the station. The
+// payload value rides on the final frame only; earlier fragments carry nil.
+func (s *Station) Send(p *sim.Proc, dst, size int, payload interface{}) {
+	if size < 0 {
+		panic("ethernet: negative frame size")
+	}
+	remaining := size
+	for {
+		chunk := remaining
+		if chunk > s.bus.cfg.MTU {
+			chunk = s.bus.cfg.MTU
+		}
+		remaining -= chunk
+		last := remaining == 0
+		var pl interface{}
+		if last {
+			pl = payload
+		}
+		done := sim.NewChan[struct{}](s.bus.eng, 1)
+		s.bus.reqs.Send(p, txReq{
+			frame: Frame{Src: s.id, Dst: dst, Size: chunk, Payload: pl},
+			done:  done,
+		})
+		done.Recv(p)
+		if last {
+			return
+		}
+	}
+}
+
+// Inject places a frame directly into this station's receive queue without
+// touching the medium (used for own-node message delivery, which the DSE
+// message exchange module short-cuts past the wire). It reports whether the
+// queue had room.
+func (s *Station) Inject(f Frame) bool { return s.rx.TrySend(f) }
+
+// Recv blocks until a frame addressed to this station arrives.
+// ok is false if the bus was stopped.
+func (s *Station) Recv(p *sim.Proc) (Frame, bool) {
+	return s.rx.Recv(p)
+}
+
+// TryRecv returns a queued frame without blocking.
+func (s *Station) TryRecv() (Frame, bool) { return s.rx.TryRecv() }
+
+// Close wakes any blocked receiver on this station with ok=false.
+func (s *Station) Close() { s.rx.Close() }

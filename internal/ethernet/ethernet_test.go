@@ -1,0 +1,333 @@
+package ethernet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func newTestBus(t *testing.T, stations int) (*sim.Engine, *Bus, []*Station) {
+	t.Helper()
+	e := sim.NewEngine(7)
+	b := NewBus(e, DefaultConfig())
+	ss := make([]*Station, stations)
+	for i := range ss {
+		ss[i] = b.Attach()
+	}
+	b.Start()
+	return e, b, ss
+}
+
+func TestPointToPointDelivery(t *testing.T) {
+	e, b, ss := newTestBus(t, 2)
+	var got Frame
+	var at sim.Time
+	e.Spawn("recv", func(p *sim.Proc) {
+		f, ok := ss[1].Recv(p)
+		if !ok {
+			t.Error("bus closed unexpectedly")
+		}
+		got, at = f, p.Now()
+	})
+	e.Spawn("send", func(p *sim.Proc) {
+		ss[0].Send(p, 1, 100, "hello")
+		b.Stop()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got.Payload != "hello" || got.Src != 0 || got.Dst != 1 {
+		t.Fatalf("frame = %+v", got)
+	}
+	if at <= 0 {
+		t.Fatal("delivery took no virtual time")
+	}
+	// 100B payload + 26B overhead = 126B = 1008 bits at 10 Mbps = 100.8us,
+	// plus IFG 9.6us and 5us propagation.
+	want := sim.Duration(100800) + DefaultConfig().InterframeGap + DefaultConfig().PropDelay
+	if at != want {
+		t.Fatalf("delivery at %v, want %v", at, want)
+	}
+}
+
+func TestSmallFramesPaddedToMinimum(t *testing.T) {
+	e, b, ss := newTestBus(t, 2)
+	e.Spawn("recv", func(p *sim.Proc) { ss[1].Recv(p) })
+	e.Spawn("send", func(p *sim.Proc) {
+		ss[0].Send(p, 1, 1, "x")
+		b.Stop()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := b.Stats()
+	if st.PayloadBytes != 1 {
+		t.Fatalf("payload bytes = %d, want 1", st.PayloadBytes)
+	}
+	wantWire := uint64(46 + 18 + 8)
+	if st.WireBytes != wantWire {
+		t.Fatalf("wire bytes = %d, want %d (padded)", st.WireBytes, wantWire)
+	}
+}
+
+func TestFragmentationOverMTU(t *testing.T) {
+	e, b, ss := newTestBus(t, 2)
+	const size = 4000 // 1500+1500+1000 -> 3 frames
+	var frames int
+	var sawPayload bool
+	e.Spawn("recv", func(p *sim.Proc) {
+		for {
+			f, ok := ss[1].Recv(p)
+			if !ok {
+				return
+			}
+			frames++
+			if f.Payload != nil {
+				sawPayload = true
+				ss[1].Close()
+				return
+			}
+		}
+	})
+	e.Spawn("send", func(p *sim.Proc) {
+		ss[0].Send(p, 1, size, "big")
+		b.Stop()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if frames != 3 {
+		t.Fatalf("frames = %d, want 3", frames)
+	}
+	if !sawPayload {
+		t.Fatal("payload never delivered")
+	}
+	if b.Stats().Frames != 3 {
+		t.Fatalf("bus counted %d frames, want 3", b.Stats().Frames)
+	}
+}
+
+func TestBroadcastReachesAllButSender(t *testing.T) {
+	e, b, ss := newTestBus(t, 4)
+	got := make([]int, 4)
+	for i := 1; i < 4; i++ {
+		i := i
+		e.Spawn("recv", func(p *sim.Proc) {
+			if _, ok := ss[i].Recv(p); ok {
+				got[i]++
+			}
+		})
+	}
+	e.Spawn("send", func(p *sim.Proc) {
+		ss[0].Send(p, Broadcast, 64, "all")
+		p.Sleep(sim.Millisecond)
+		b.Stop()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 1; i < 4; i++ {
+		if got[i] != 1 {
+			t.Fatalf("station %d received %d frames, want 1", i, got[i])
+		}
+	}
+	if got[0] != 0 {
+		t.Fatal("sender received its own broadcast")
+	}
+}
+
+func TestBusSerialisesConcurrentSenders(t *testing.T) {
+	e, b, ss := newTestBus(t, 3)
+	const each = 20
+	var received int
+	e.Spawn("recv", func(p *sim.Proc) {
+		for received < 2*each {
+			if _, ok := ss[2].Recv(p); !ok {
+				return
+			}
+			received++
+		}
+		b.Stop()
+	})
+	for s := 0; s < 2; s++ {
+		s := s
+		e.Spawn("send", func(p *sim.Proc) {
+			for i := 0; i < each; i++ {
+				ss[s].Send(p, 2, 200, i)
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if received != 2*each {
+		t.Fatalf("received %d, want %d", received, 2*each)
+	}
+	st := b.Stats()
+	if st.Contended == 0 {
+		t.Fatal("two simultaneous senders never contended")
+	}
+	if st.BusyTime == 0 {
+		t.Fatal("no busy time recorded")
+	}
+}
+
+func TestContentionGrowsWithSenders(t *testing.T) {
+	lag := func(senders int) sim.Duration {
+		e := sim.NewEngine(11)
+		b := NewBus(e, DefaultConfig())
+		ss := make([]*Station, senders+1)
+		for i := range ss {
+			ss[i] = b.Attach()
+		}
+		b.Start()
+		sink := senders
+		total := senders * 30
+		n := 0
+		e.Spawn("recv", func(p *sim.Proc) {
+			for n < total {
+				if _, ok := ss[sink].Recv(p); !ok {
+					return
+				}
+				n++
+			}
+			b.Stop()
+		})
+		for s := 0; s < senders; s++ {
+			s := s
+			e.Spawn("send", func(p *sim.Proc) {
+				for i := 0; i < 30; i++ {
+					ss[s].Send(p, sink, 100, i)
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatalf("Run(%d senders): %v", senders, err)
+		}
+		return b.Stats().ContentionLag
+	}
+	if l2, l8 := lag(2), lag(8); l8 <= l2 {
+		t.Fatalf("contention lag did not grow: 2 senders %v, 8 senders %v", l2, l8)
+	}
+}
+
+func TestLossInjectionDropsFrames(t *testing.T) {
+	e := sim.NewEngine(3)
+	b := NewBus(e, DefaultConfig())
+	s0, s1 := b.Attach(), b.Attach()
+	b.SetLossProbability(1.0)
+	b.Start()
+	var got int
+	e.Spawn("recv", func(p *sim.Proc) {
+		for {
+			if _, ok, timedOut := s1.rx.RecvTimeout(p, 50*sim.Millisecond); timedOut {
+				return
+			} else if ok {
+				got++
+			} else {
+				return
+			}
+		}
+	})
+	e.Spawn("send", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			s0.Send(p, 1, 64, i)
+		}
+		b.Stop()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got != 0 {
+		t.Fatalf("received %d frames despite 100%% loss", got)
+	}
+	if b.Stats().Drops != 5 {
+		t.Fatalf("drops = %d, want 5", b.Stats().Drops)
+	}
+}
+
+// Property: payload bytes are conserved for any mix of message sizes.
+func TestPayloadConservationProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		e := sim.NewEngine(5)
+		b := NewBus(e, DefaultConfig())
+		src, dst := b.Attach(), b.Attach()
+		b.Start()
+		var want uint64
+		for _, s := range sizes {
+			want += uint64(s)
+		}
+		done := 0
+		e.Spawn("recv", func(p *sim.Proc) {
+			for done < len(sizes) {
+				f, ok := dst.Recv(p)
+				if !ok {
+					return
+				}
+				if f.Payload != nil {
+					done++
+				}
+			}
+			b.Stop()
+		})
+		e.Spawn("send", func(p *sim.Proc) {
+			for i, s := range sizes {
+				src.Send(p, 1, int(s), i)
+			}
+			if len(sizes) == 0 {
+				b.Stop()
+				dst.Close()
+			}
+		})
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return b.Stats().PayloadBytes == want && done == len(sizes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BEB contention resolution always terminates and returns a
+// positive delay for k >= 2 contenders.
+func TestContentionDelayTerminates(t *testing.T) {
+	f := func(seed uint64, k uint8) bool {
+		n := int(k%32) + 2
+		e := sim.NewEngine(seed)
+		b := NewBus(e, DefaultConfig())
+		d := b.contentionDelay(n)
+		return d > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilisationBounded(t *testing.T) {
+	e, b, ss := newTestBus(t, 2)
+	var endAt sim.Time
+	e.Spawn("recv", func(p *sim.Proc) {
+		for i := 0; i < 50; i++ {
+			ss[1].Recv(p)
+		}
+		endAt = p.Now()
+		b.Stop()
+	})
+	e.Spawn("send", func(p *sim.Proc) {
+		for i := 0; i < 50; i++ {
+			ss[0].Send(p, 1, 1400, i)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if b.Stats().BusyTime > endAt {
+		t.Fatalf("busy time %v exceeds elapsed %v", b.Stats().BusyTime, endAt)
+	}
+	util := float64(b.Stats().BusyTime) / float64(endAt)
+	if util < 0.5 {
+		t.Fatalf("back-to-back sender achieved only %.0f%% utilisation", util*100)
+	}
+}

@@ -1,0 +1,222 @@
+package ethernet
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func newTestSwitch(t *testing.T, stations int) (*sim.Engine, *Switch, []NIC) {
+	t.Helper()
+	e := sim.NewEngine(7)
+	sw := NewSwitch(e, DefaultConfig())
+	nics := make([]NIC, stations)
+	for i := range nics {
+		nics[i] = sw.AttachNIC()
+	}
+	sw.Start()
+	return e, sw, nics
+}
+
+func TestSwitchPointToPoint(t *testing.T) {
+	e, sw, nics := newTestSwitch(t, 2)
+	var got Frame
+	e.Spawn("recv", func(p *sim.Proc) {
+		f, ok := nics[1].Recv(p)
+		if !ok {
+			t.Error("closed early")
+		}
+		got = f
+	})
+	e.Spawn("send", func(p *sim.Proc) {
+		nics[0].Send(p, 1, 100, "hello")
+		p.Sleep(sim.Millisecond)
+		sw.Stop()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got.Payload != "hello" || got.Src != 0 {
+		t.Fatalf("frame = %+v", got)
+	}
+	if sw.Stats().Frames != 1 {
+		t.Fatalf("frames = %d", sw.Stats().Frames)
+	}
+}
+
+func TestSwitchDisjointFlowsDoNotContend(t *testing.T) {
+	// Two disjoint flows (0->1, 2->3) on a switch must finish in about the
+	// time of one flow; on the bus they would serialise.
+	flowTime := func(medium func(e *sim.Engine) (Medium, []NIC)) sim.Time {
+		e := sim.NewEngine(3)
+		m, nics := medium(e)
+		m.Start()
+		const frames = 50
+		done := 0
+		var finish sim.Time
+		for _, pair := range [][2]int{{0, 1}, {2, 3}} {
+			pair := pair
+			e.Spawn("recv", func(p *sim.Proc) {
+				for i := 0; i < frames; i++ {
+					if _, ok := nics[pair[1]].Recv(p); !ok {
+						return
+					}
+				}
+				if t := p.Now(); t > finish {
+					finish = t
+				}
+				done++
+				if done == 2 {
+					m.Stop()
+					for _, nic := range nics {
+						nic.Close()
+					}
+				}
+			})
+			e.Spawn("send", func(p *sim.Proc) {
+				for i := 0; i < frames; i++ {
+					nics[pair[0]].Send(p, pair[1], 1400, i)
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return finish
+	}
+	busTime := flowTime(func(e *sim.Engine) (Medium, []NIC) {
+		b := NewBus(e, DefaultConfig())
+		nics := make([]NIC, 4)
+		for i := range nics {
+			nics[i] = b.AttachNIC()
+		}
+		return b, nics
+	})
+	switchTime := flowTime(func(e *sim.Engine) (Medium, []NIC) {
+		sw := NewSwitch(e, DefaultConfig())
+		nics := make([]NIC, 4)
+		for i := range nics {
+			nics[i] = sw.AttachNIC()
+		}
+		return sw, nics
+	})
+	if float64(switchTime) > 0.7*float64(busTime) {
+		t.Fatalf("switch (%v) should clearly beat the bus (%v) on disjoint flows", switchTime, busTime)
+	}
+}
+
+func TestSwitchNoCollisions(t *testing.T) {
+	e, sw, nics := newTestSwitch(t, 3)
+	var got int
+	e.Spawn("recv", func(p *sim.Proc) {
+		for got < 40 {
+			if _, ok := nics[2].Recv(p); !ok {
+				return
+			}
+			got++
+		}
+		sw.Stop()
+		for _, nic := range nics {
+			nic.Close()
+		}
+	})
+	for s := 0; s < 2; s++ {
+		s := s
+		e.Spawn("send", func(p *sim.Proc) {
+			for i := 0; i < 20; i++ {
+				nics[s].Send(p, 2, 200, i)
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got != 40 {
+		t.Fatalf("received %d frames", got)
+	}
+	if sw.Stats().Collisions != 0 {
+		t.Fatal("a switch must not record collisions")
+	}
+}
+
+func TestSwitchBroadcast(t *testing.T) {
+	e, sw, nics := newTestSwitch(t, 4)
+	counts := make([]int, 4)
+	for i := 1; i < 4; i++ {
+		i := i
+		e.Spawn("recv", func(p *sim.Proc) {
+			if _, ok := nics[i].Recv(p); ok {
+				counts[i]++
+			}
+		})
+	}
+	e.Spawn("send", func(p *sim.Proc) {
+		nics[0].Send(p, Broadcast, 64, "all")
+		p.Sleep(sim.Millisecond)
+		sw.Stop()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 1; i < 4; i++ {
+		if counts[i] != 1 {
+			t.Fatalf("port %d received %d broadcasts", i, counts[i])
+		}
+	}
+}
+
+func TestSwitchLossInjection(t *testing.T) {
+	e := sim.NewEngine(1)
+	sw := NewSwitch(e, DefaultConfig())
+	a, b := sw.AttachNIC(), sw.AttachNIC()
+	sw.SetLossProbability(1.0)
+	sw.Start()
+	_ = a
+	e.Spawn("send", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			a.Send(p, 1, 64, i)
+		}
+		p.Sleep(sim.Millisecond)
+		sw.Stop()
+		b.Close()
+	})
+	e.Spawn("recv", func(p *sim.Proc) {
+		if _, ok := b.Recv(p); ok {
+			t.Error("frame survived 100% loss")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sw.Stats().Drops != 5 {
+		t.Fatalf("drops = %d, want 5", sw.Stats().Drops)
+	}
+}
+
+func TestSwitchFragmentation(t *testing.T) {
+	e, sw, nics := newTestSwitch(t, 2)
+	frames := 0
+	e.Spawn("recv", func(p *sim.Proc) {
+		for {
+			f, ok := nics[1].Recv(p)
+			if !ok {
+				return
+			}
+			frames++
+			if f.Payload != nil {
+				sw.Stop()
+				nics[1].Close()
+				return
+			}
+		}
+	})
+	e.Spawn("send", func(p *sim.Proc) {
+		nics[0].Send(p, 1, 4000, "big")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if frames != 3 {
+		t.Fatalf("frames = %d, want 3 (MTU fragmentation)", frames)
+	}
+}

@@ -1,0 +1,350 @@
+// Package gmem implements the DSE global memory management module: a
+// global address space of 64-bit words distributed block-cyclically over
+// the DSE kernels (paper Fig. 1 — each PE contributes a Global Memory
+// slice; the union forms the Distributed Shared Memory).
+//
+// Each kernel owns a Segment holding the blocks homed at it, serves
+// read/write/atomic requests against it, and (when the caching protocol is
+// enabled) keeps a per-block directory of remote readers to invalidate on
+// writes. Address-space layout (Space) and allocation (Allocator) are pure
+// and deterministic so every PE in an SPMD program computes identical
+// addresses without coordination.
+package gmem
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Space describes the distributed global address space.
+type Space struct {
+	N          int // kernels sharing the space
+	BlockWords int // words per block (home-placement and caching granularity)
+}
+
+// DefaultBlockWords is the default block size: 32 words = 256 bytes.
+const DefaultBlockWords = 32
+
+// NewSpace validates and returns a Space.
+func NewSpace(n, blockWords int) Space {
+	if n <= 0 {
+		panic("gmem: space needs at least one kernel")
+	}
+	if blockWords <= 0 {
+		blockWords = DefaultBlockWords
+	}
+	return Space{N: n, BlockWords: blockWords}
+}
+
+// BlockOf returns the block index containing word address addr.
+func (s Space) BlockOf(addr uint64) uint64 { return addr / uint64(s.BlockWords) }
+
+// HomeOf returns the kernel that homes word address addr.
+func (s Space) HomeOf(addr uint64) int { return int(s.BlockOf(addr) % uint64(s.N)) }
+
+// HomeRuns splits the word range [addr, addr+n) into maximal sub-ranges
+// with a single home each, calling fn(home, start, count) for every run in
+// ascending address order.
+func (s Space) HomeRuns(addr uint64, n int, fn func(home int, start uint64, count int)) {
+	for n > 0 {
+		home := s.HomeOf(addr)
+		blockEnd := (s.BlockOf(addr) + 1) * uint64(s.BlockWords)
+		count := int(blockEnd - addr)
+		if count > n {
+			count = n
+		}
+		fn(home, addr, count)
+		addr += uint64(count)
+		n -= count
+	}
+}
+
+// Allocator hands out global addresses deterministically. Every PE of an
+// SPMD program runs the same allocation sequence and therefore computes the
+// same addresses with no messages exchanged.
+type Allocator struct {
+	space Space
+	next  uint64
+}
+
+// NewAllocator starts allocating at address 0.
+func NewAllocator(space Space) *Allocator { return &Allocator{space: space} }
+
+// Alloc reserves n words and returns the base address of the region.
+func (a *Allocator) Alloc(n int) uint64 {
+	if n <= 0 {
+		panic("gmem: Alloc of non-positive size")
+	}
+	base := a.next
+	a.next += uint64(n)
+	return base
+}
+
+// AllocBlocks reserves n words aligned to a block boundary, so the region
+// starts at a fresh home. Useful to spread independent structures evenly.
+func (a *Allocator) AllocBlocks(n int) uint64 {
+	bw := uint64(a.space.BlockWords)
+	if rem := a.next % bw; rem != 0 {
+		a.next += bw - rem
+	}
+	return a.Alloc(n)
+}
+
+// Used reports the number of words allocated so far.
+func (a *Allocator) Used() uint64 { return a.next }
+
+// Segment is the slice of global memory homed at one kernel, plus the
+// caching directory. Methods are safe for concurrent use (the real-network
+// transports run the kernel service and the DSE process on separate
+// goroutines; under the simulator the mutex is uncontended).
+type Segment struct {
+	space Space
+	self  int
+
+	mu     sync.Mutex
+	blocks map[uint64][]int64
+	// copyset maps a homed block to the kernels caching it (directory for
+	// the invalidation protocol; unused when caching is off).
+	copyset map[uint64]map[int]struct{}
+}
+
+// NewSegment creates kernel self's (initially zero-filled) segment.
+func NewSegment(space Space, self int) *Segment {
+	if self < 0 || self >= space.N {
+		panic(fmt.Sprintf("gmem: kernel %d outside space of %d", self, space.N))
+	}
+	return &Segment{
+		space:   space,
+		self:    self,
+		blocks:  make(map[uint64][]int64),
+		copyset: make(map[uint64]map[int]struct{}),
+	}
+}
+
+// block returns the backing storage for block b, allocating lazily.
+// Caller holds mu.
+func (g *Segment) block(b uint64) []int64 {
+	blk := g.blocks[b]
+	if blk == nil {
+		blk = make([]int64, g.space.BlockWords)
+		g.blocks[b] = blk
+	}
+	return blk
+}
+
+// checkHome panics if [addr, addr+n) is not entirely homed here.
+func (g *Segment) checkHome(addr uint64, n int) {
+	b0 := g.space.BlockOf(addr)
+	b1 := g.space.BlockOf(addr + uint64(n) - 1)
+	if b0 != b1 {
+		panic(fmt.Sprintf("gmem: range [%d,+%d) spans blocks; split by HomeRuns first", addr, n))
+	}
+	if g.space.HomeOf(addr) != g.self {
+		panic(fmt.Sprintf("gmem: address %d homed at %d, not %d", addr, g.space.HomeOf(addr), g.self))
+	}
+}
+
+// Read copies n words starting at addr (all homed here, single block).
+func (g *Segment) Read(addr uint64, n int) []int64 {
+	g.checkHome(addr, n)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	blk := g.block(g.space.BlockOf(addr))
+	off := int(addr % uint64(g.space.BlockWords))
+	out := make([]int64, n)
+	copy(out, blk[off:off+n])
+	return out
+}
+
+// Write stores words starting at addr (all homed here, single block).
+func (g *Segment) Write(addr uint64, words []int64) {
+	g.checkHome(addr, len(words))
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	blk := g.block(g.space.BlockOf(addr))
+	off := int(addr % uint64(g.space.BlockWords))
+	copy(blk[off:off+len(words)], words)
+}
+
+// FetchAdd atomically adds delta to the word at addr, returning the
+// previous value.
+func (g *Segment) FetchAdd(addr uint64, delta int64) int64 {
+	g.checkHome(addr, 1)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	blk := g.block(g.space.BlockOf(addr))
+	off := int(addr % uint64(g.space.BlockWords))
+	old := blk[off]
+	blk[off] = old + delta
+	return old
+}
+
+// CAS atomically compares-and-swaps the word at addr. It returns the
+// previous value and whether the swap happened.
+func (g *Segment) CAS(addr uint64, old, new int64) (prev int64, swapped bool) {
+	g.checkHome(addr, 1)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	blk := g.block(g.space.BlockOf(addr))
+	off := int(addr % uint64(g.space.BlockWords))
+	prev = blk[off]
+	if prev == old {
+		blk[off] = new
+		return prev, true
+	}
+	return prev, false
+}
+
+// ReadBlockFor returns a copy of the whole block containing addr and
+// records reader in the block's copyset (the caching protocol's read miss).
+func (g *Segment) ReadBlockFor(addr uint64, reader int) []int64 {
+	g.checkHome(addr, 1)
+	b := g.space.BlockOf(addr)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	blk := g.block(b)
+	out := make([]int64, len(blk))
+	copy(out, blk)
+	if reader != g.self {
+		cs := g.copyset[b]
+		if cs == nil {
+			cs = make(map[int]struct{})
+			g.copyset[b] = cs
+		}
+		cs[reader] = struct{}{}
+	}
+	return out
+}
+
+// WriteInvalidating performs a write and returns the kernels whose cached
+// copies of the touched block must be invalidated (the writer is excluded:
+// its copy is refreshed by the caller). The copyset is cleared.
+func (g *Segment) WriteInvalidating(addr uint64, words []int64, writer int) []int {
+	g.Write(addr, words)
+	return g.CollectInvalidations(addr, writer)
+}
+
+// CollectInvalidations clears the copyset of the block containing addr and
+// returns its members except writer, sorted for determinism. Used after any
+// mutation (write, fetch-add, CAS) under the caching protocol.
+func (g *Segment) CollectInvalidations(addr uint64, writer int) []int {
+	b := g.space.BlockOf(addr)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	cs := g.copyset[b]
+	if len(cs) == 0 {
+		return nil
+	}
+	targets := make([]int, 0, len(cs))
+	for k := range cs {
+		if k != writer {
+			targets = append(targets, k)
+		}
+	}
+	delete(g.copyset, b)
+	// Insertion sort: copysets are tiny and map iteration order is random.
+	for i := 1; i < len(targets); i++ {
+		for j := i; j > 0 && targets[j] < targets[j-1]; j-- {
+			targets[j], targets[j-1] = targets[j-1], targets[j]
+		}
+	}
+	return targets
+}
+
+// Copyset reports the kernels currently caching block b (for tests).
+func (g *Segment) Copyset(b uint64) []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []int
+	for k := range g.copyset[b] {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// F2W and W2F convert float64 values to and from their word representation;
+// the numeric applications store floating-point data in global memory.
+func F2W(f float64) int64 { return int64(math.Float64bits(f)) }
+
+// W2F is the inverse of F2W.
+func W2F(w int64) float64 { return math.Float64frombits(uint64(w)) }
+
+// Cache is a PE-local block cache for the invalidation protocol.
+type Cache struct {
+	space Space
+	mu    sync.Mutex
+	data  map[uint64][]int64
+	hits  uint64
+	miss  uint64
+	inval uint64
+}
+
+// NewCache creates an empty cache over the space.
+func NewCache(space Space) *Cache {
+	return &Cache{space: space, data: make(map[uint64][]int64)}
+}
+
+// Lookup returns the cached word at addr.
+func (c *Cache) Lookup(addr uint64) (int64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	blk, ok := c.data[c.space.BlockOf(addr)]
+	if !ok {
+		c.miss++
+		return 0, false
+	}
+	c.hits++
+	return blk[addr%uint64(c.space.BlockWords)], true
+}
+
+// Insert installs a whole block fetched from its home.
+func (c *Cache) Insert(addr uint64, block []int64) {
+	if len(block) != c.space.BlockWords {
+		panic("gmem: cache insert of wrong-sized block")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp := make([]int64, len(block))
+	copy(cp, block)
+	c.data[c.space.BlockOf(addr)] = cp
+}
+
+// Update refreshes cached words if the block is present (a write-through by
+// the local PE keeps its own copy warm).
+func (c *Cache) Update(addr uint64, words []int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	blk, ok := c.data[c.space.BlockOf(addr)]
+	if !ok {
+		return
+	}
+	copy(blk[addr%uint64(c.space.BlockWords):], words)
+}
+
+// Invalidate drops the block containing addr.
+func (c *Cache) Invalidate(addr uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.data, c.space.BlockOf(addr))
+	c.inval++
+}
+
+// Clear empties the cache.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.data = make(map[uint64][]int64)
+}
+
+// Stats reports hits, misses and invalidations so far.
+func (c *Cache) Stats() (hits, misses, invalidations uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.miss, c.inval
+}

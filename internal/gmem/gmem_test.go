@@ -1,0 +1,260 @@
+package gmem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHomePlacementBlockCyclic(t *testing.T) {
+	s := NewSpace(4, 8)
+	for addr := uint64(0); addr < 8; addr++ {
+		if s.HomeOf(addr) != 0 {
+			t.Fatalf("addr %d homed at %d, want 0", addr, s.HomeOf(addr))
+		}
+	}
+	if s.HomeOf(8) != 1 || s.HomeOf(16) != 2 || s.HomeOf(24) != 3 || s.HomeOf(32) != 0 {
+		t.Fatal("block-cyclic placement broken")
+	}
+}
+
+func TestHomeRunsSplitsAtBlockAndHomeBoundaries(t *testing.T) {
+	s := NewSpace(2, 4)
+	type run struct {
+		home  int
+		start uint64
+		count int
+	}
+	var runs []run
+	s.HomeRuns(2, 9, func(h int, st uint64, c int) { runs = append(runs, run{h, st, c}) })
+	want := []run{{0, 2, 2}, {1, 4, 4}, {0, 8, 3}}
+	if len(runs) != len(want) {
+		t.Fatalf("runs = %v, want %v", runs, want)
+	}
+	for i := range want {
+		if runs[i] != want[i] {
+			t.Fatalf("runs = %v, want %v", runs, want)
+		}
+	}
+}
+
+// Property: HomeRuns covers the requested range exactly once, in order,
+// with each run homed consistently.
+func TestHomeRunsCoverageProperty(t *testing.T) {
+	f := func(nRaw, bwRaw uint8, addrRaw uint16, countRaw uint8) bool {
+		s := NewSpace(int(nRaw%7)+1, int(bwRaw%16)+1)
+		addr := uint64(addrRaw)
+		count := int(countRaw)
+		if count == 0 {
+			return true
+		}
+		next := addr
+		total := 0
+		okHomes := true
+		s.HomeRuns(addr, count, func(h int, st uint64, c int) {
+			if st != next {
+				okHomes = false
+			}
+			for i := 0; i < c; i++ {
+				if s.HomeOf(st+uint64(i)) != h {
+					okHomes = false
+				}
+			}
+			next = st + uint64(c)
+			total += c
+		})
+		return okHomes && total == count
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocatorDeterministicSequence(t *testing.T) {
+	s := NewSpace(4, 8)
+	a1, a2 := NewAllocator(s), NewAllocator(s)
+	for i := 1; i < 20; i++ {
+		if a1.Alloc(i) != a2.Alloc(i) {
+			t.Fatal("allocators diverged on identical sequences")
+		}
+	}
+}
+
+func TestAllocBlocksAligns(t *testing.T) {
+	s := NewSpace(4, 8)
+	a := NewAllocator(s)
+	a.Alloc(3)
+	base := a.AllocBlocks(10)
+	if base%8 != 0 {
+		t.Fatalf("AllocBlocks returned unaligned base %d", base)
+	}
+	if base != 8 {
+		t.Fatalf("base = %d, want 8", base)
+	}
+}
+
+func TestSegmentReadWriteRoundTrip(t *testing.T) {
+	s := NewSpace(2, 8)
+	g := NewSegment(s, 0)
+	g.Write(2, []int64{10, 20, 30})
+	got := g.Read(2, 3)
+	if got[0] != 10 || got[1] != 20 || got[2] != 30 {
+		t.Fatalf("read back %v", got)
+	}
+	// Unwritten words are zero.
+	if g.Read(0, 1)[0] != 0 {
+		t.Fatal("fresh word not zero")
+	}
+}
+
+func TestSegmentRejectsForeignAddress(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for foreign address")
+		}
+	}()
+	s := NewSpace(2, 8)
+	NewSegment(s, 0).Write(8, []int64{1}) // block 1 homes at kernel 1
+}
+
+func TestSegmentRejectsBlockSpanningRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for spanning range")
+		}
+	}()
+	s := NewSpace(1, 4)
+	NewSegment(s, 0).Write(2, []int64{1, 2, 3}) // crosses block boundary
+}
+
+func TestFetchAddSequential(t *testing.T) {
+	s := NewSpace(1, 8)
+	g := NewSegment(s, 0)
+	for i := int64(0); i < 10; i++ {
+		if old := g.FetchAdd(3, 2); old != 2*i {
+			t.Fatalf("FetchAdd returned %d, want %d", old, 2*i)
+		}
+	}
+	if v := g.Read(3, 1)[0]; v != 20 {
+		t.Fatalf("final value %d, want 20", v)
+	}
+}
+
+func TestCASSemantics(t *testing.T) {
+	s := NewSpace(1, 8)
+	g := NewSegment(s, 0)
+	g.Write(0, []int64{5})
+	if prev, ok := g.CAS(0, 4, 9); ok || prev != 5 {
+		t.Fatalf("CAS with wrong old succeeded: prev=%d ok=%v", prev, ok)
+	}
+	if prev, ok := g.CAS(0, 5, 9); !ok || prev != 5 {
+		t.Fatalf("CAS with right old failed: prev=%d ok=%v", prev, ok)
+	}
+	if v := g.Read(0, 1)[0]; v != 9 {
+		t.Fatalf("value after CAS = %d", v)
+	}
+}
+
+func TestDirectoryTracksReadersAndInvalidates(t *testing.T) {
+	s := NewSpace(3, 4)
+	g := NewSegment(s, 0)
+	g.Write(1, []int64{42})
+	g.ReadBlockFor(1, 1)
+	g.ReadBlockFor(1, 2)
+	g.ReadBlockFor(1, 0) // self never joins the copyset
+	cs := g.Copyset(0)
+	if len(cs) != 2 || cs[0] != 1 || cs[1] != 2 {
+		t.Fatalf("copyset = %v, want [1 2]", cs)
+	}
+	targets := g.WriteInvalidating(2, []int64{7}, 1)
+	if len(targets) != 1 || targets[0] != 2 {
+		t.Fatalf("invalidation targets = %v, want [2] (writer excluded)", targets)
+	}
+	if len(g.Copyset(0)) != 0 {
+		t.Fatal("copyset not cleared after write")
+	}
+	if v := g.Read(2, 1)[0]; v != 7 {
+		t.Fatal("write was lost")
+	}
+}
+
+func TestCacheLifecycle(t *testing.T) {
+	s := NewSpace(2, 4)
+	c := NewCache(s)
+	if _, ok := c.Lookup(5); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Insert(5, []int64{10, 11, 12, 13}) // block 1 = addrs 4..7
+	if v, ok := c.Lookup(5); !ok || v != 11 {
+		t.Fatalf("lookup = %d,%v want 11,true", v, ok)
+	}
+	c.Update(6, []int64{99})
+	if v, _ := c.Lookup(6); v != 99 {
+		t.Fatalf("update lost: %d", v)
+	}
+	c.Invalidate(4)
+	if _, ok := c.Lookup(5); ok {
+		t.Fatal("hit after invalidate")
+	}
+	hits, misses, inv := c.Stats()
+	if hits != 2 || misses != 2 || inv != 1 {
+		t.Fatalf("stats = %d/%d/%d", hits, misses, inv)
+	}
+}
+
+func TestCacheInsertCopiesBlock(t *testing.T) {
+	s := NewSpace(1, 2)
+	c := NewCache(s)
+	src := []int64{1, 2}
+	c.Insert(0, src)
+	src[0] = 99
+	if v, _ := c.Lookup(0); v != 1 {
+		t.Fatal("cache aliases caller's slice")
+	}
+}
+
+func TestFloatWordRoundTrip(t *testing.T) {
+	f := func(x float64) bool {
+		y := W2F(F2W(x))
+		if x != x { // NaN
+			return y != y
+		}
+		return x == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a segment behaves as a linearisable map from address to value
+// under any sequence of writes and fetch-adds.
+func TestSegmentModelProperty(t *testing.T) {
+	f := func(ops []struct {
+		Addr  uint16
+		Val   int64
+		IsAdd bool
+	}) bool {
+		s := NewSpace(1, 16)
+		g := NewSegment(s, 0)
+		model := map[uint64]int64{}
+		for _, op := range ops {
+			addr := uint64(op.Addr % 256)
+			if op.IsAdd {
+				old := g.FetchAdd(addr, op.Val)
+				if old != model[addr] {
+					return false
+				}
+				model[addr] += op.Val
+			} else {
+				g.Write(addr, []int64{op.Val})
+				model[addr] = op.Val
+			}
+			if g.Read(addr, 1)[0] != model[addr] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

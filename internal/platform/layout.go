@@ -1,0 +1,131 @@
+package platform
+
+import "fmt"
+
+// PhysicalMachines is the number of workstations available in the paper's
+// laboratory (Table 2). When an experiment asks for more processors than
+// machines, a virtual cluster is constructed by starting several DSE
+// kernels per machine.
+const PhysicalMachines = 6
+
+// LoadModel selects how co-locating several DSE kernels on one machine
+// affects their compute speed.
+type LoadModel int
+
+const (
+	// LoadProportional follows the paper: "the machine load increases in
+	// proportion to this number" — each kernel computes k× slower when k
+	// kernels share the machine.
+	LoadProportional LoadModel = iota
+	// LoadNone pretends every kernel has a dedicated machine. Used as an
+	// ablation to show the >6-processor knee comes from the virtual
+	// cluster, not the algorithm.
+	LoadNone
+)
+
+func (m LoadModel) String() string {
+	switch m {
+	case LoadProportional:
+		return "proportional"
+	case LoadNone:
+		return "none"
+	default:
+		return fmt.Sprintf("LoadModel(%d)", int(m))
+	}
+}
+
+// Layout maps DSE kernels onto physical machines (paper Table 2).
+type Layout struct {
+	Machines int       // physical workstations on the LAN
+	Kernels  int       // DSE kernels (= requested processors)
+	Load     LoadModel // co-location slowdown model
+}
+
+// NewLayout builds the paper's placement: kernels are dealt round-robin
+// over the machines, so with 6 machines and 12 kernels every machine hosts
+// two (the paper's example).
+func NewLayout(machines, kernels int, load LoadModel) Layout {
+	if machines <= 0 {
+		panic("platform: layout needs at least one machine")
+	}
+	if kernels <= 0 {
+		panic("platform: layout needs at least one kernel")
+	}
+	return Layout{Machines: machines, Kernels: kernels, Load: load}
+}
+
+// MachineOf returns the machine hosting kernel k (round-robin placement).
+func (l Layout) MachineOf(k int) int {
+	if k < 0 || k >= l.Kernels {
+		panic(fmt.Sprintf("platform: kernel %d out of range [0,%d)", k, l.Kernels))
+	}
+	return k % l.Machines
+}
+
+// KernelsOn returns how many kernels machine m hosts.
+func (l Layout) KernelsOn(m int) int {
+	if m < 0 || m >= l.Machines {
+		panic(fmt.Sprintf("platform: machine %d out of range [0,%d)", m, l.Machines))
+	}
+	n := l.Kernels / l.Machines
+	if m < l.Kernels%l.Machines {
+		n++
+	}
+	return n
+}
+
+// UsedMachines reports how many machines host at least one kernel.
+func (l Layout) UsedMachines() int {
+	if l.Kernels < l.Machines {
+		return l.Kernels
+	}
+	return l.Machines
+}
+
+// LoadFactor is the compute-time multiplier for kernel k under the layout's
+// load model.
+func (l Layout) LoadFactor(k int) float64 {
+	switch l.Load {
+	case LoadNone:
+		return 1
+	default:
+		return float64(l.KernelsOn(l.MachineOf(k)))
+	}
+}
+
+// Hostname gives a stable per-machine name used by the SSI layer.
+func (l Layout) Hostname(k int) string {
+	return fmt.Sprintf("node%02d", l.MachineOf(k))
+}
+
+// Table2Row describes one row of the paper's Table 2 rendering: for a
+// processor count, how many machines are used and the kernels-per-machine
+// distribution.
+type Table2Row struct {
+	Processors     int
+	MachinesUsed   int
+	MaxPerMachine  int
+	MeanPerMachine float64
+}
+
+// Table2 reproduces paper Table 2 for processor counts 1..maxProcs on the
+// laboratory's six machines.
+func Table2(maxProcs int) []Table2Row {
+	rows := make([]Table2Row, 0, maxProcs)
+	for p := 1; p <= maxProcs; p++ {
+		l := NewLayout(PhysicalMachines, p, LoadProportional)
+		max := 0
+		for m := 0; m < l.UsedMachines(); m++ {
+			if k := l.KernelsOn(m); k > max {
+				max = k
+			}
+		}
+		rows = append(rows, Table2Row{
+			Processors:     p,
+			MachinesUsed:   l.UsedMachines(),
+			MaxPerMachine:  max,
+			MeanPerMachine: float64(p) / float64(l.UsedMachines()),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,162 @@
+// Package platform models the three experiment environments of the paper's
+// Table 1 — SparcStation/SunOS, IBM RS/6000/AIX and PC-AT PentiumII/Linux —
+// as parametric cost models, plus the Table 2 virtual-cluster layout (six
+// physical machines, several DSE kernels per machine when more processors
+// are requested).
+//
+// DSE is implemented at the UNIX user level, so the paper's performance is
+// shaped by (a) per-platform computation speed, (b) OS system-call and
+// TCP/IP protocol-processing overhead per message, and (c) the shared
+// 10 Mbps Ethernet. Each Platform captures (a) and (b); package ethernet
+// captures (c). The absolute values below are period-plausible estimates
+// calibrated so the reproduction matches the paper's curve shapes (see
+// EXPERIMENTS.md); they are model inputs, not measurements.
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Platform describes one experiment environment (a row of paper Table 1).
+type Platform struct {
+	Name    string // machine, e.g. "SparcStation"
+	OS      string // operating system, e.g. "SunOS 4.1.3"
+	CPUMHz  float64
+	Numeric string // short tag used in series labels, e.g. "sunos"
+
+	// OpsPerSec is the sustained rate of useful application operations
+	// (roughly flops for the numeric kernels) used to convert operation
+	// counts into virtual compute time.
+	OpsPerSec float64
+
+	// Per-message operating-system costs for user-level communication.
+	SyscallOverhead sim.Duration // system-call entry/exit
+	ProtoPerMessage sim.Duration // TCP/IP protocol processing per message
+	ProtoPerKB      sim.Duration // copy/checksum cost per kilobyte
+	InterruptCost   sim.Duration // receive-side interrupt handling
+	CtxSwitch       sim.Duration // async-I/O context switch between DSE kernel and DSE process
+	LocalGMAccess   sim.Duration // library-level access to a GM word homed locally
+
+	// IPCCost is one crossing of a UNIX IPC boundary (pipe/socketpair
+	// write plus the process context switch). The paper's *old* DSE
+	// organisation ran the DSE kernel and the DSE process as separate
+	// UNIX processes, paying this on every kernel interaction; the
+	// reorganised runtime links them into one process and avoids it.
+	IPCCost sim.Duration
+
+	// NetBandwidthBps is the cluster LAN's raw signalling rate. The SunOS
+	// testbed is the paper-era shared 10 Mbps bus; the newer AIX and PC
+	// clusters run 100 Mbps (still a shared medium in the model).
+	NetBandwidthBps int64
+}
+
+// ComputeTime converts an operation count into virtual compute time on an
+// otherwise idle processor.
+func (pl *Platform) ComputeTime(ops float64) sim.Duration {
+	if ops <= 0 {
+		return 0
+	}
+	return sim.Duration(ops / pl.OpsPerSec * float64(sim.Second))
+}
+
+// SendOverhead is the sender-side CPU cost of pushing a message of the
+// given payload size through the user-level protocol stack.
+func (pl *Platform) SendOverhead(bytes int) sim.Duration {
+	return pl.SyscallOverhead + pl.ProtoPerMessage + sim.Duration(int64(pl.ProtoPerKB)*int64(bytes)/1024)
+}
+
+// RecvOverhead is the receiver-side CPU cost of taking delivery of a
+// message, including the asynchronous-I/O context switch into the DSE
+// kernel that the paper's reorganised runtime uses.
+func (pl *Platform) RecvOverhead(bytes int) sim.Duration {
+	return pl.InterruptCost + pl.ProtoPerMessage + pl.CtxSwitch + sim.Duration(int64(pl.ProtoPerKB)*int64(bytes)/1024)
+}
+
+func (pl *Platform) String() string {
+	return fmt.Sprintf("%s / %s (%.0f MHz)", pl.Name, pl.OS, pl.CPUMHz)
+}
+
+// The three environments of paper Table 1. CPU rates and OS costs are
+// period-plausible: a mid-90s SuperSPARC workstation, a PowerPC RS/6000
+// server, and a PentiumII-266 PC whose Linux kernel has markedly cheaper
+// syscalls and protocol processing than SunOS 4.
+var (
+	SparcSunOS = &Platform{
+		Name: "SparcStation", OS: "SunOS 4.1.3-JL", CPUMHz: 60, Numeric: "sunos",
+		OpsPerSec:       2.5e6, // sustained out-of-cache dense-kernel rate of a 60 MHz SuperSPARC
+		SyscallOverhead: 60 * sim.Microsecond,
+		ProtoPerMessage: 350 * sim.Microsecond,
+		ProtoPerKB:      60 * sim.Microsecond,
+		InterruptCost:   80 * sim.Microsecond,
+		CtxSwitch:       120 * sim.Microsecond,
+		LocalGMAccess:   3 * sim.Microsecond,
+		IPCCost:         250 * sim.Microsecond,
+		NetBandwidthBps: 10_000_000,
+	}
+	RS6000AIX = &Platform{
+		Name: "RS/6000", OS: "AIX 4.2", CPUMHz: 133, Numeric: "aix",
+		OpsPerSec:       12e6,
+		SyscallOverhead: 30 * sim.Microsecond,
+		ProtoPerMessage: 220 * sim.Microsecond,
+		ProtoPerKB:      35 * sim.Microsecond,
+		InterruptCost:   50 * sim.Microsecond,
+		CtxSwitch:       80 * sim.Microsecond,
+		LocalGMAccess:   1500 * sim.Nanosecond,
+		IPCCost:         140 * sim.Microsecond,
+		NetBandwidthBps: 100_000_000,
+	}
+	PentiumIILinux = &Platform{
+		Name: "PC-AT PentiumII 266MHz", OS: "GNU/Linux 2.0.36", CPUMHz: 266, Numeric: "linux",
+		OpsPerSec:       20e6,
+		SyscallOverhead: 8 * sim.Microsecond,
+		ProtoPerMessage: 130 * sim.Microsecond,
+		ProtoPerKB:      20 * sim.Microsecond,
+		InterruptCost:   25 * sim.Microsecond,
+		CtxSwitch:       35 * sim.Microsecond,
+		LocalGMAccess:   900 * sim.Nanosecond,
+		IPCCost:         55 * sim.Microsecond,
+		NetBandwidthBps: 100_000_000,
+	}
+)
+
+// SolarisUltra is a fourth environment beyond paper Table 1 — the paper's
+// stated future work is "to carry out experiments on other UNIX-based
+// platforms in order to further assess the portability function". An
+// UltraSPARC-II running Solaris 2.6 with a kernel-tuned TCP stack is the
+// natural next lab machine of the period.
+var SolarisUltra = &Platform{
+	Name: "Ultra 5", OS: "Solaris 2.6", CPUMHz: 300, Numeric: "solaris",
+	OpsPerSec:       25e6,
+	SyscallOverhead: 15 * sim.Microsecond,
+	ProtoPerMessage: 170 * sim.Microsecond,
+	ProtoPerKB:      25 * sim.Microsecond,
+	InterruptCost:   35 * sim.Microsecond,
+	CtxSwitch:       50 * sim.Microsecond,
+	LocalGMAccess:   1200 * sim.Nanosecond,
+	IPCCost:         90 * sim.Microsecond,
+	NetBandwidthBps: 100_000_000,
+}
+
+// All returns the Table 1 platforms in paper order.
+func All() []*Platform {
+	return []*Platform{SparcSunOS, RS6000AIX, PentiumIILinux}
+}
+
+// Extended returns every available platform: Table 1 plus the future-work
+// environment.
+func Extended() []*Platform {
+	return append(All(), SolarisUltra)
+}
+
+// ByName looks a platform up by Name, OS or Numeric tag (case-sensitive),
+// across the extended registry.
+func ByName(name string) (*Platform, bool) {
+	for _, pl := range Extended() {
+		if pl.Name == name || pl.OS == name || pl.Numeric == name {
+			return pl, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,215 @@
+package platform
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestRegistryHasThreePlatforms(t *testing.T) {
+	all := All()
+	if len(all) != 3 {
+		t.Fatalf("got %d platforms, want 3 (paper Table 1)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, pl := range all {
+		if pl.Name == "" || pl.OS == "" || pl.OpsPerSec <= 0 {
+			t.Fatalf("incomplete platform %+v", pl)
+		}
+		if seen[pl.Numeric] {
+			t.Fatalf("duplicate tag %q", pl.Numeric)
+		}
+		seen[pl.Numeric] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, key := range []string{"sunos", "aix", "linux", "SparcStation", "RS/6000"} {
+		if _, ok := ByName(key); !ok {
+			t.Fatalf("ByName(%q) not found", key)
+		}
+	}
+	if _, ok := ByName("plan9"); ok {
+		t.Fatal("ByName(plan9) unexpectedly found")
+	}
+}
+
+func TestComputeTimeScalesLinearly(t *testing.T) {
+	pl := SparcSunOS
+	t1 := pl.ComputeTime(1e6)
+	t2 := pl.ComputeTime(2e6)
+	if t2 != 2*t1 {
+		t.Fatalf("ComputeTime not linear: %v vs %v", t1, t2)
+	}
+	if pl.ComputeTime(0) != 0 || pl.ComputeTime(-5) != 0 {
+		t.Fatal("non-positive ops should cost nothing")
+	}
+}
+
+func TestPlatformOrdering(t *testing.T) {
+	// The paper's Linux/PentiumII machine is the fastest CPU with the
+	// cheapest syscalls; SunOS/Sparc the slowest with the costliest stack.
+	if !(PentiumIILinux.OpsPerSec > RS6000AIX.OpsPerSec && RS6000AIX.OpsPerSec > SparcSunOS.OpsPerSec) {
+		t.Fatal("CPU rate ordering violated")
+	}
+	if !(PentiumIILinux.SendOverhead(64) < RS6000AIX.SendOverhead(64) &&
+		RS6000AIX.SendOverhead(64) < SparcSunOS.SendOverhead(64)) {
+		t.Fatal("protocol overhead ordering violated")
+	}
+}
+
+func TestSendRecvOverheadGrowWithSize(t *testing.T) {
+	for _, pl := range All() {
+		if pl.SendOverhead(64*1024) <= pl.SendOverhead(64) {
+			t.Fatalf("%s: send overhead does not grow with size", pl.Name)
+		}
+		if pl.RecvOverhead(64*1024) <= pl.RecvOverhead(64) {
+			t.Fatalf("%s: recv overhead does not grow with size", pl.Name)
+		}
+	}
+}
+
+func TestLayoutRoundRobin(t *testing.T) {
+	l := NewLayout(6, 12, LoadProportional)
+	for k := 0; k < 12; k++ {
+		if l.MachineOf(k) != k%6 {
+			t.Fatalf("kernel %d on machine %d, want %d", k, l.MachineOf(k), k%6)
+		}
+	}
+	for m := 0; m < 6; m++ {
+		if l.KernelsOn(m) != 2 {
+			t.Fatalf("machine %d hosts %d kernels, want 2 (paper: 12 procs -> 2 each)", m, l.KernelsOn(m))
+		}
+	}
+}
+
+func TestLayoutUnevenDistribution(t *testing.T) {
+	l := NewLayout(6, 8, LoadProportional)
+	total := 0
+	for m := 0; m < 6; m++ {
+		k := l.KernelsOn(m)
+		if k != 1 && k != 2 {
+			t.Fatalf("machine %d hosts %d kernels, want 1 or 2", m, k)
+		}
+		total += k
+	}
+	if total != 8 {
+		t.Fatalf("kernels sum to %d, want 8", total)
+	}
+	if l.KernelsOn(0) != 2 || l.KernelsOn(5) != 1 {
+		t.Fatal("first machines should absorb the excess kernels")
+	}
+}
+
+func TestLoadFactorProportionalVsNone(t *testing.T) {
+	prop := NewLayout(6, 12, LoadProportional)
+	none := NewLayout(6, 12, LoadNone)
+	if prop.LoadFactor(0) != 2 {
+		t.Fatalf("proportional load factor = %v, want 2", prop.LoadFactor(0))
+	}
+	if none.LoadFactor(0) != 1 {
+		t.Fatalf("LoadNone factor = %v, want 1", none.LoadFactor(0))
+	}
+}
+
+func TestLoadFactorIsOneBelowMachineCount(t *testing.T) {
+	for p := 1; p <= 6; p++ {
+		l := NewLayout(6, p, LoadProportional)
+		for k := 0; k < p; k++ {
+			if l.LoadFactor(k) != 1 {
+				t.Fatalf("p=%d kernel %d load factor %v, want 1", p, k, l.LoadFactor(k))
+			}
+		}
+	}
+}
+
+func TestTable2MatchesPaperExample(t *testing.T) {
+	rows := Table2(12)
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Paper: "two DSE kernels start on each computer when the [number of
+	// processors] is [12]".
+	r12 := rows[11]
+	if r12.MachinesUsed != 6 || r12.MaxPerMachine != 2 {
+		t.Fatalf("12 processors: %+v, want 6 machines x 2 kernels", r12)
+	}
+	r6 := rows[5]
+	if r6.MachinesUsed != 6 || r6.MaxPerMachine != 1 {
+		t.Fatalf("6 processors: %+v, want 6 machines x 1 kernel", r6)
+	}
+	r7 := rows[6]
+	if r7.MaxPerMachine != 2 {
+		t.Fatalf("7 processors: %+v, want one doubled machine", r7)
+	}
+}
+
+// Property: kernels are conserved by the layout for any machine/kernel mix.
+func TestLayoutConservationProperty(t *testing.T) {
+	f := func(machines, kernels uint8) bool {
+		m := int(machines%16) + 1
+		k := int(kernels%64) + 1
+		l := NewLayout(m, k, LoadProportional)
+		total := 0
+		for i := 0; i < m; i++ {
+			total += l.KernelsOn(i)
+		}
+		if total != k {
+			return false
+		}
+		// Per-machine counts must agree with MachineOf placement.
+		counts := make([]int, m)
+		for i := 0; i < k; i++ {
+			counts[l.MachineOf(i)]++
+		}
+		for i := 0; i < m; i++ {
+			if counts[i] != l.KernelsOn(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHostnameStablePerMachine(t *testing.T) {
+	l := NewLayout(6, 12, LoadProportional)
+	if l.Hostname(0) != l.Hostname(6) {
+		t.Fatal("kernels 0 and 6 share machine 0 but report different hostnames")
+	}
+	if l.Hostname(0) == l.Hostname(1) {
+		t.Fatal("kernels on different machines share a hostname")
+	}
+}
+
+func TestOverheadIsPositiveVirtualTime(t *testing.T) {
+	for _, pl := range All() {
+		if pl.SendOverhead(0) <= 0 || pl.RecvOverhead(0) <= 0 {
+			t.Fatalf("%s: zero-byte message has non-positive overhead", pl.Name)
+		}
+		if pl.SendOverhead(0) < sim.Microsecond {
+			t.Fatalf("%s: implausibly cheap send overhead", pl.Name)
+		}
+	}
+}
+
+func TestExtendedRegistryAddsFutureWorkPlatform(t *testing.T) {
+	ext := Extended()
+	if len(ext) != 4 {
+		t.Fatalf("extended registry has %d platforms, want 4", len(ext))
+	}
+	if ext[3] != SolarisUltra {
+		t.Fatal("future-work platform missing from the extended registry")
+	}
+	if pl, ok := ByName("solaris"); !ok || pl != SolarisUltra {
+		t.Fatal("ByName cannot find the future-work platform")
+	}
+	// It must carry a complete cost model like the Table 1 platforms.
+	if SolarisUltra.OpsPerSec <= 0 || SolarisUltra.NetBandwidthBps <= 0 ||
+		SolarisUltra.IPCCost <= 0 || SolarisUltra.SendOverhead(64) <= 0 {
+		t.Fatalf("incomplete platform: %+v", SolarisUltra)
+	}
+}

@@ -1,0 +1,30 @@
+package psync
+
+import "testing"
+
+func BenchmarkBarrierEpoch(b *testing.B) {
+	bm := NewBarrierManager(8)
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < 8; k++ {
+			bm.Arrive(k, 1)
+		}
+	}
+}
+
+func BenchmarkLockAcquireRelease(b *testing.B) {
+	lm := NewLockManager()
+	for i := 0; i < b.N; i++ {
+		lm.Acquire(0, 1)
+		lm.Release(0, 1)
+	}
+}
+
+func BenchmarkTreeBarrierArrive(b *testing.B) {
+	tb := NewTreeBarrier(0, 16, 2)
+	need := len(tb.Children()) + 1
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < need; k++ {
+			tb.Arrive(1)
+		}
+	}
+}

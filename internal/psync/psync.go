@@ -1,0 +1,199 @@
+// Package psync holds the synchronisation state machines of the DSE
+// parallel processing library: the centralised barrier, lock and semaphore
+// managers (hosted by kernel 0) and the distributed tree barrier used as an
+// ablation. The state machines are pure — they consume "PE x arrived/asked"
+// events and emit lists of PEs to notify — so the same code drives every
+// transport and is unit-testable without a cluster.
+package psync
+
+import "fmt"
+
+// BarrierManager implements the central barrier: kernels send arrive
+// messages to the manager, which releases everyone when the count is full.
+// Barriers are identified by a small integer id; each id cycles through
+// epochs independently.
+type BarrierManager struct {
+	n       int
+	arrived map[int32][]int
+}
+
+// NewBarrierManager creates a manager for an n-kernel cluster.
+func NewBarrierManager(n int) *BarrierManager {
+	if n <= 0 {
+		panic("psync: barrier over empty cluster")
+	}
+	return &BarrierManager{n: n, arrived: make(map[int32][]int)}
+}
+
+// Arrive records that src reached barrier id. When the epoch completes it
+// returns the kernels to release (in arrival order) and resets the epoch;
+// otherwise it returns nil.
+func (bm *BarrierManager) Arrive(src int, id int32) []int {
+	waiters := append(bm.arrived[id], src)
+	if len(waiters) > bm.n {
+		panic(fmt.Sprintf("psync: barrier %d over-arrived (%d > %d); duplicate arrival from %d?", id, len(waiters), bm.n, src))
+	}
+	if len(waiters) == bm.n {
+		delete(bm.arrived, id)
+		return waiters
+	}
+	bm.arrived[id] = waiters
+	return nil
+}
+
+// Pending reports how many kernels are waiting at barrier id.
+func (bm *BarrierManager) Pending(id int32) int { return len(bm.arrived[id]) }
+
+// LockManager implements the central distributed lock manager. Locks are
+// granted FIFO.
+type LockManager struct {
+	holder map[int32]int
+	waitq  map[int32][]int
+}
+
+// NewLockManager creates an empty manager.
+func NewLockManager() *LockManager {
+	return &LockManager{holder: make(map[int32]int), waitq: make(map[int32][]int)}
+}
+
+// Acquire asks for lock id on behalf of src. It reports whether the lock
+// was granted immediately; otherwise src is queued.
+func (lm *LockManager) Acquire(src int, id int32) bool {
+	if h, held := lm.holder[id]; held {
+		if h == src {
+			panic(fmt.Sprintf("psync: kernel %d re-acquired lock %d it already holds", src, id))
+		}
+		lm.waitq[id] = append(lm.waitq[id], src)
+		return false
+	}
+	lm.holder[id] = src
+	return true
+}
+
+// Release releases lock id held by src and returns the next kernel to grant
+// it to (ok=false when the queue is empty).
+func (lm *LockManager) Release(src int, id int32) (next int, ok bool) {
+	h, held := lm.holder[id]
+	if !held || h != src {
+		panic(fmt.Sprintf("psync: kernel %d released lock %d it does not hold", src, id))
+	}
+	q := lm.waitq[id]
+	if len(q) == 0 {
+		delete(lm.holder, id)
+		return 0, false
+	}
+	next = q[0]
+	if len(q) == 1 {
+		delete(lm.waitq, id)
+	} else {
+		lm.waitq[id] = q[1:]
+	}
+	lm.holder[id] = next
+	return next, true
+}
+
+// Holder reports the current holder of lock id.
+func (lm *LockManager) Holder(id int32) (int, bool) {
+	h, ok := lm.holder[id]
+	return h, ok
+}
+
+// SemManager implements central counting semaphores.
+type SemManager struct {
+	val   map[int32]int64
+	waitq map[int32][]int
+}
+
+// NewSemManager creates an empty manager; unknown semaphores start at 0.
+func NewSemManager() *SemManager {
+	return &SemManager{val: make(map[int32]int64), waitq: make(map[int32][]int)}
+}
+
+// Init sets semaphore id to v (only meaningful before any waiter queues).
+func (sm *SemManager) Init(id int32, v int64) { sm.val[id] = v }
+
+// Wait decrements semaphore id for src. It reports whether the down
+// succeeded immediately; otherwise src is queued.
+func (sm *SemManager) Wait(src int, id int32) bool {
+	if sm.val[id] > 0 {
+		sm.val[id]--
+		return true
+	}
+	sm.waitq[id] = append(sm.waitq[id], src)
+	return false
+}
+
+// Post increments semaphore id and returns the kernel to grant a pending
+// wait to, if any.
+func (sm *SemManager) Post(id int32) (next int, ok bool) {
+	q := sm.waitq[id]
+	if len(q) > 0 {
+		next = q[0]
+		if len(q) == 1 {
+			delete(sm.waitq, id)
+		} else {
+			sm.waitq[id] = q[1:]
+		}
+		return next, true
+	}
+	sm.val[id]++
+	return 0, false
+}
+
+// Value reports the semaphore's current value.
+func (sm *SemManager) Value(id int32) int64 { return sm.val[id] }
+
+// TreeBarrier is the distributed alternative to the central barrier: each
+// kernel combines arrivals from its tree children, forwards one message to
+// its parent, and the root broadcasts release back down. One TreeBarrier
+// lives at each kernel.
+type TreeBarrier struct {
+	self  int
+	n     int
+	arity int
+	count map[int32]int
+}
+
+// NewTreeBarrier builds the node-local state for kernel self of n with the
+// given fan-in (arity >= 2).
+func NewTreeBarrier(self, n, arity int) *TreeBarrier {
+	if arity < 2 {
+		arity = 2
+	}
+	return &TreeBarrier{self: self, n: n, arity: arity, count: make(map[int32]int)}
+}
+
+// Parent returns this kernel's tree parent (ok=false at the root).
+func (tb *TreeBarrier) Parent() (int, bool) {
+	if tb.self == 0 {
+		return 0, false
+	}
+	return (tb.self - 1) / tb.arity, true
+}
+
+// Children returns this kernel's tree children.
+func (tb *TreeBarrier) Children() []int {
+	var cs []int
+	for i := 1; i <= tb.arity; i++ {
+		c := tb.self*tb.arity + i
+		if c < tb.n {
+			cs = append(cs, c)
+		}
+	}
+	return cs
+}
+
+// Arrive records one arrival (the kernel's own, or a combined arrival from
+// a child subtree) for barrier id. When the whole subtree has arrived it
+// resets the epoch and reports complete=true: a non-root kernel must then
+// notify its parent, the root must broadcast release.
+func (tb *TreeBarrier) Arrive(id int32) (complete bool) {
+	need := len(tb.Children()) + 1
+	c := tb.count[id] + 1
+	if c >= need {
+		delete(tb.count, id)
+		return true
+	}
+	tb.count[id] = c
+	return false
+}

@@ -1,0 +1,191 @@
+package sim
+
+// Chan is a simulated channel carrying values of type T between processes.
+// Semantics mirror Go channels — FIFO delivery, optional buffering, blocking
+// send when full and blocking receive when empty — except that transfers are
+// instantaneous in virtual time. Network latency is modelled separately (by
+// the Ethernet bus), not by the channel.
+//
+// Chan methods must be called from process context (they take the calling
+// Proc), with the exception of Len and Close-from-event usage noted below.
+type Chan[T any] struct {
+	eng    *Engine
+	buf    []T
+	cap    int
+	sendq  []*chanWaiter[T]
+	recvq  []*chanWaiter[T]
+	closed bool
+}
+
+type chanWaiter[T any] struct {
+	p     *Proc
+	val   T
+	ok    bool
+	ready bool
+}
+
+// NewChan returns a channel with the given buffer capacity (0 = rendezvous).
+func NewChan[T any](e *Engine, capacity int) *Chan[T] {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Chan[T]{eng: e, cap: capacity}
+}
+
+// Len reports the number of buffered values.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Send delivers v, blocking p while the buffer is full (or, for an
+// unbuffered channel, until a receiver arrives). Send on a closed channel
+// panics, as with native channels.
+func (c *Chan[T]) Send(p *Proc, v T) {
+	if c.closed {
+		panic("sim: send on closed Chan")
+	}
+	// Direct handoff to a waiting receiver.
+	if len(c.recvq) > 0 {
+		w := c.recvq[0]
+		c.recvq = c.recvq[1:]
+		w.val, w.ok, w.ready = v, true, true
+		w.p.Unpark()
+		return
+	}
+	if c.cap > 0 && len(c.buf) < c.cap {
+		c.buf = append(c.buf, v)
+		return
+	}
+	// Block until a receiver takes our value.
+	w := &chanWaiter[T]{p: p, val: v}
+	c.sendq = append(c.sendq, w)
+	for !w.ready {
+		p.Park()
+	}
+	if c.closed && !w.ok {
+		panic("sim: Chan closed while send in flight")
+	}
+}
+
+// TrySend delivers v without blocking; it reports whether delivery happened.
+func (c *Chan[T]) TrySend(v T) bool {
+	if c.closed {
+		panic("sim: send on closed Chan")
+	}
+	if len(c.recvq) > 0 {
+		w := c.recvq[0]
+		c.recvq = c.recvq[1:]
+		w.val, w.ok, w.ready = v, true, true
+		w.p.Unpark()
+		return true
+	}
+	if c.cap > 0 && len(c.buf) < c.cap {
+		c.buf = append(c.buf, v)
+		return true
+	}
+	return false
+}
+
+// Recv returns the next value. ok is false only if the channel is closed and
+// drained, mirroring the native comma-ok receive.
+func (c *Chan[T]) Recv(p *Proc) (v T, ok bool) {
+	if v, ok, got := c.tryRecvLocked(); got {
+		return v, ok
+	}
+	w := &chanWaiter[T]{p: p}
+	c.recvq = append(c.recvq, w)
+	for !w.ready {
+		p.Park()
+	}
+	return w.val, w.ok
+}
+
+// RecvTimeout is Recv with a deadline: if no value arrives within d, it
+// returns ok=false with timedOut=true. A close also wakes the receiver
+// (ok=false, timedOut=false).
+func (c *Chan[T]) RecvTimeout(p *Proc, d Duration) (v T, ok bool, timedOut bool) {
+	if v, ok, got := c.tryRecvLocked(); got {
+		return v, ok, false
+	}
+	w := &chanWaiter[T]{p: p}
+	c.recvq = append(c.recvq, w)
+	fired := false
+	c.eng.After(d, func() {
+		if w.ready {
+			return
+		}
+		fired = true
+		w.ready = true
+		w.ok = false
+		c.removeRecvWaiter(w)
+		w.p.Unpark()
+	})
+	for !w.ready {
+		p.Park()
+	}
+	return w.val, w.ok, fired
+}
+
+// TryRecv returns a buffered or immediately-available value without blocking.
+func (c *Chan[T]) TryRecv() (v T, ok bool) {
+	v, ok, got := c.tryRecvLocked()
+	if !got {
+		var zero T
+		return zero, false
+	}
+	return v, ok
+}
+
+// tryRecvLocked pops a value if one is available now. got=false means the
+// caller must block; ok=false with got=true means closed-and-drained.
+func (c *Chan[T]) tryRecvLocked() (v T, ok bool, got bool) {
+	if len(c.buf) > 0 {
+		v = c.buf[0]
+		c.buf = c.buf[1:]
+		// A blocked sender can now slot its value into the freed space.
+		if len(c.sendq) > 0 {
+			s := c.sendq[0]
+			c.sendq = c.sendq[1:]
+			c.buf = append(c.buf, s.val)
+			s.ok, s.ready = true, true
+			s.p.Unpark()
+		}
+		return v, true, true
+	}
+	if len(c.sendq) > 0 { // unbuffered rendezvous
+		s := c.sendq[0]
+		c.sendq = c.sendq[1:]
+		s.ok, s.ready = true, true
+		s.p.Unpark()
+		return s.val, true, true
+	}
+	if c.closed {
+		var zero T
+		return zero, false, true
+	}
+	var zero T
+	return zero, false, false
+}
+
+func (c *Chan[T]) removeRecvWaiter(w *chanWaiter[T]) {
+	for i, x := range c.recvq {
+		if x == w {
+			c.recvq = append(c.recvq[:i], c.recvq[i+1:]...)
+			return
+		}
+	}
+}
+
+// Close marks the channel closed and wakes all blocked receivers with
+// ok=false. Close may be called from process or event context. Closing with
+// senders blocked is a programming error and panics at the sender.
+func (c *Chan[T]) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, w := range c.recvq {
+		w.ready = true
+		w.ok = false
+		w.p.Unpark()
+	}
+	c.recvq = nil
+}

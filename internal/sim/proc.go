@@ -1,0 +1,69 @@
+package sim
+
+// Proc is a cooperative simulated process. A Proc runs on its own goroutine
+// but only while it holds the engine's execution token; every blocking
+// operation (Sleep, Park, channel operations) returns the token to the
+// engine, which advances the virtual clock and wakes the next process.
+//
+// All Proc methods must be called from the process's own goroutine.
+type Proc struct {
+	eng    *Engine
+	name   string
+	pid    int
+	wake   chan struct{}
+	parked bool
+	done   bool
+}
+
+// Name returns the name given to Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// PID returns the engine-unique process id (1-based, in spawn order).
+func (p *Proc) PID() int { return p.pid }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// yield returns the execution token to the engine and blocks until resumed.
+func (p *Proc) yield() {
+	p.eng.ack <- struct{}{}
+	<-p.wake
+}
+
+// Sleep advances this process's virtual time by d, letting other processes
+// run in the meantime. Non-positive durations yield the token but do not
+// advance time (a fairness point at the current instant).
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.schedule(p.eng.now+d, func() { p.eng.resume(p) })
+	p.yield()
+}
+
+// Park blocks the process until another process or event calls Unpark.
+// The caller must have registered itself somewhere an Unpark will find it;
+// parking with no registered waker deadlocks the run (and is reported).
+func (p *Proc) Park() {
+	p.parked = true
+	p.yield()
+}
+
+// Unpark schedules p to resume at the current virtual time. It may be called
+// from any process or event callback. Unparking a process that is not parked
+// is a no-op by the time the wake event fires.
+func (p *Proc) Unpark() {
+	p.eng.schedule(p.eng.now, func() {
+		if p.parked && !p.done {
+			p.eng.resume(p)
+		}
+	})
+}
+
+// Spawn starts a child process at the current virtual time.
+func (p *Proc) Spawn(name string, fn func(*Proc)) *Proc {
+	return p.eng.Spawn(name, fn)
+}

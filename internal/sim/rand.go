@@ -1,0 +1,49 @@
+package sim
+
+// Rand is a small deterministic PRNG (xorshift64* with splitmix64 seeding).
+// Every source of randomness in the simulator — Ethernet backoff, placement
+// jitter, workload generators — draws from an engine-owned Rand so that runs
+// are reproducible from the seed alone.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded deterministically from seed.
+func NewRand(seed uint64) *Rand {
+	// splitmix64 scramble so nearby seeds diverge immediately.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x2545f4914f6cdd1d
+	}
+	return &Rand{state: z}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Fork returns an independent generator derived from this one's stream,
+// for subsystems that need their own sequence without perturbing others.
+func (r *Rand) Fork() *Rand { return NewRand(r.Uint64()) }

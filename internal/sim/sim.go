@@ -1,0 +1,242 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine models virtual time with nanosecond resolution. Simulated
+// activities run as cooperative processes: ordinary goroutines that hold an
+// execution token handed out by the engine, so that exactly one process (or
+// the engine itself) runs at any instant. Scheduling is fully deterministic:
+// events firing at the same virtual time are ordered by their creation
+// sequence number, and all randomness comes from a seedable PRNG.
+//
+// The package is the foundation for the cluster substrate: machines, the
+// Ethernet bus and DSE kernels are all sim processes exchanging values over
+// simulated channels, while computation advances virtual time through
+// Proc.Sleep according to per-platform cost models.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the run.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = Time
+
+// Common durations, mirroring time package conventions.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time as seconds with microsecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// ErrDeadlock is returned by Run when no events remain but live processes
+// are still parked waiting for one another.
+var ErrDeadlock = errors.New("sim: deadlock: all processes parked and no events pending")
+
+// event is a scheduled callback. Events at equal times fire in creation order.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine owns the virtual clock and the event queue.
+//
+// An Engine must be driven by a single caller: construct it, spawn the
+// initial processes, then call Run. Processes may spawn further processes
+// and schedule callbacks while the run is in progress.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *Rand
+
+	ack     chan struct{} // a running process signals here when it yields or exits
+	procs   map[*Proc]struct{}
+	nextPID int
+	stats   EngineStats
+	running bool
+	stopped bool
+}
+
+// EngineStats aggregates counters over a run.
+type EngineStats struct {
+	Events    uint64 // events dispatched
+	Spawned   int    // processes ever spawned
+	Completed int    // processes that ran to completion
+}
+
+// NewEngine returns an engine with its clock at zero and PRNG seeded with seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{
+		rng:   NewRand(seed),
+		ack:   make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic PRNG.
+func (e *Engine) Rand() *Rand { return e.rng }
+
+// Stats returns a snapshot of the run counters.
+func (e *Engine) Stats() EngineStats { return e.stats }
+
+// schedule enqueues fn to run at time at (>= now).
+func (e *Engine) schedule(at Time, fn func()) *event {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// At schedules fn to run in engine context at absolute virtual time at.
+// Scheduling in the past clamps to the present.
+func (e *Engine) At(at Time, fn func()) { e.schedule(at, fn) }
+
+// After schedules fn to run in engine context after d has elapsed.
+func (e *Engine) After(d Duration, fn func()) { e.schedule(e.now+d, fn) }
+
+// Spawn creates a process named name running fn and schedules it to start
+// at the current virtual time. It may be called before Run or from any
+// running process.
+func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
+	e.nextPID++
+	p := &Proc{
+		eng:  e,
+		name: name,
+		pid:  e.nextPID,
+		wake: make(chan struct{}),
+	}
+	e.procs[p] = struct{}{}
+	e.stats.Spawned++
+	go func() {
+		<-p.wake // wait for the start event to hand us the token
+		fn(p)
+		p.done = true
+		e.stats.Completed++
+		delete(e.procs, p)
+		e.ack <- struct{}{} // return the token
+	}()
+	e.schedule(e.now, func() { e.resume(p) })
+	return p
+}
+
+// resume hands the execution token to p and blocks until p yields or exits.
+// It must only be called from engine context (inside an event callback).
+func (e *Engine) resume(p *Proc) {
+	if p.done {
+		return
+	}
+	p.parked = false
+	p.wake <- struct{}{}
+	<-e.ack
+}
+
+// Run dispatches events until none remain, then reports how the run ended.
+// It returns nil when every spawned process has completed, ErrDeadlock when
+// live processes remain parked with no pending events, and the result of
+// Stop if the run was stopped explicitly.
+func (e *Engine) Run() error {
+	if e.running {
+		return errors.New("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.fn == nil {
+			continue // cancelled
+		}
+		e.now = ev.at
+		e.stats.Events++
+		ev.fn()
+	}
+	if e.stopped {
+		return nil
+	}
+	if len(e.procs) > 0 {
+		return fmt.Errorf("%w: %s", ErrDeadlock, e.parkedNames())
+	}
+	return nil
+}
+
+// RunUntil dispatches events up to and including virtual time limit.
+// The clock is left at min(limit, time of last dispatched event).
+func (e *Engine) RunUntil(limit Time) error {
+	if e.running {
+		return errors.New("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.events) > 0 && !e.stopped {
+		if e.events[0].at > limit {
+			return nil
+		}
+		ev := heap.Pop(&e.events).(*event)
+		if ev.fn == nil {
+			continue
+		}
+		e.now = ev.at
+		e.stats.Events++
+		ev.fn()
+	}
+	return nil
+}
+
+// Stop ends the run after the current event completes. Processes that are
+// still parked are abandoned (their goroutines stay blocked until the test
+// binary exits); Stop is intended for harness timeouts, not normal shutdown.
+func (e *Engine) Stop() { e.stopped = true }
+
+func (e *Engine) parkedNames() string {
+	names := make([]string, 0, len(e.procs))
+	for p := range e.procs {
+		names = append(names, fmt.Sprintf("%s(#%d)", p.name, p.pid))
+	}
+	sort.Strings(names)
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += ", "
+		}
+		s += n
+	}
+	return s
+}

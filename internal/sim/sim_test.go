@@ -1,0 +1,413 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvancesThroughSleep(t *testing.T) {
+	e := NewEngine(1)
+	var end Time
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(5 * Millisecond)
+		p.Sleep(7 * Millisecond)
+		end = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if end != 12*Millisecond {
+		t.Fatalf("end time = %v, want 12ms", end)
+	}
+}
+
+func TestEventsFireInTimeThenSeqOrder(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.At(10, func() { order = append(order, 2) })
+	e.At(5, func() { order = append(order, 1) })
+	e.At(10, func() { order = append(order, 3) }) // same time, later seq
+	e.At(20, func() { order = append(order, 4) })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3, 4}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSchedulingInPastClampsToNow(t *testing.T) {
+	e := NewEngine(1)
+	var at Time = -1
+	e.At(100, func() {
+		e.At(50, func() { at = e.Now() }) // in the past
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 100 {
+		t.Fatalf("past-scheduled event fired at %v, want 100", at)
+	}
+}
+
+func TestTwoProcsInterleaveDeterministically(t *testing.T) {
+	runOnce := func() []string {
+		e := NewEngine(42)
+		var log []string
+		e.Spawn("a", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				log = append(log, "a")
+				p.Sleep(2 * Millisecond)
+			}
+		})
+		e.Spawn("b", func(p *Proc) {
+			for i := 0; i < 2; i++ {
+				log = append(log, "b")
+				p.Sleep(3 * Millisecond)
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return log
+	}
+	first := runOnce()
+	for trial := 0; trial < 5; trial++ {
+		got := runOnce()
+		if len(got) != len(first) {
+			t.Fatalf("nondeterministic length: %v vs %v", got, first)
+		}
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatalf("nondeterministic interleave: %v vs %v", got, first)
+			}
+		}
+	}
+}
+
+func TestUnbufferedChanRendezvous(t *testing.T) {
+	e := NewEngine(1)
+	c := NewChan[int](e, 0)
+	var got int
+	var recvAt Time
+	e.Spawn("recv", func(p *Proc) {
+		v, ok := c.Recv(p)
+		if !ok {
+			t.Error("recv: channel unexpectedly closed")
+		}
+		got = v
+		recvAt = p.Now()
+	})
+	e.Spawn("send", func(p *Proc) {
+		p.Sleep(4 * Millisecond)
+		c.Send(p, 99)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got != 99 {
+		t.Fatalf("got %d, want 99", got)
+	}
+	if recvAt != 4*Millisecond {
+		t.Fatalf("recv completed at %v, want 4ms", recvAt)
+	}
+}
+
+func TestBufferedChanBlocksWhenFull(t *testing.T) {
+	e := NewEngine(1)
+	c := NewChan[int](e, 2)
+	var sendDone Time
+	e.Spawn("send", func(p *Proc) {
+		c.Send(p, 1)
+		c.Send(p, 2)
+		c.Send(p, 3) // must block until the receiver drains one
+		sendDone = p.Now()
+	})
+	e.Spawn("recv", func(p *Proc) {
+		p.Sleep(10 * Millisecond)
+		for i := 0; i < 3; i++ {
+			if _, ok := c.Recv(p); !ok {
+				t.Error("unexpected close")
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sendDone != 10*Millisecond {
+		t.Fatalf("third send completed at %v, want 10ms", sendDone)
+	}
+}
+
+func TestChanFIFOAcrossManySenders(t *testing.T) {
+	e := NewEngine(1)
+	c := NewChan[int](e, 0)
+	const n = 10
+	for i := 0; i < n; i++ {
+		i := i
+		e.Spawn("send", func(p *Proc) {
+			p.Sleep(Duration(i) * Millisecond)
+			c.Send(p, i)
+		})
+	}
+	var got []int
+	e.Spawn("recv", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			v, _ := c.Recv(p)
+			got = append(got, v)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != i {
+			t.Fatalf("FIFO violated: got %v", got)
+		}
+	}
+}
+
+func TestChanCloseWakesReceivers(t *testing.T) {
+	e := NewEngine(1)
+	c := NewChan[int](e, 0)
+	closedSeen := 0
+	for i := 0; i < 3; i++ {
+		e.Spawn("recv", func(p *Proc) {
+			if _, ok := c.Recv(p); !ok {
+				closedSeen++
+			}
+		})
+	}
+	e.Spawn("closer", func(p *Proc) {
+		p.Sleep(Millisecond)
+		c.Close()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if closedSeen != 3 {
+		t.Fatalf("closedSeen = %d, want 3", closedSeen)
+	}
+}
+
+func TestRecvTimeout(t *testing.T) {
+	e := NewEngine(1)
+	c := NewChan[int](e, 0)
+	var timedOut bool
+	var at Time
+	e.Spawn("recv", func(p *Proc) {
+		_, _, timedOut = c.RecvTimeout(p, 5*Millisecond)
+		at = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !timedOut {
+		t.Fatal("expected timeout")
+	}
+	if at != 5*Millisecond {
+		t.Fatalf("timeout fired at %v, want 5ms", at)
+	}
+}
+
+func TestRecvTimeoutValueBeatsDeadline(t *testing.T) {
+	e := NewEngine(1)
+	c := NewChan[int](e, 0)
+	var v int
+	var ok, timedOut bool
+	e.Spawn("recv", func(p *Proc) {
+		v, ok, timedOut = c.RecvTimeout(p, 50*Millisecond)
+	})
+	e.Spawn("send", func(p *Proc) {
+		p.Sleep(2 * Millisecond)
+		c.Send(p, 7)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if timedOut || !ok || v != 7 {
+		t.Fatalf("got v=%d ok=%v timedOut=%v, want 7/true/false", v, ok, timedOut)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := NewEngine(1)
+	c := NewChan[int](e, 0)
+	e.Spawn("stuck", func(p *Proc) {
+		c.Recv(p) // nobody will ever send
+	})
+	err := e.Run()
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+}
+
+func TestSpawnFromProc(t *testing.T) {
+	e := NewEngine(1)
+	var childRan bool
+	e.Spawn("parent", func(p *Proc) {
+		p.Sleep(Millisecond)
+		p.Spawn("child", func(q *Proc) {
+			q.Sleep(Millisecond)
+			childRan = true
+		})
+		p.Sleep(5 * Millisecond)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !childRan {
+		t.Fatal("child never ran")
+	}
+}
+
+func TestRunUntilStopsAtLimit(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	e.At(10, func() { fired++ })
+	e.At(20, func() { fired++ })
+	e.At(30, func() { fired++ })
+	if err := e.RunUntil(20); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("clock = %v, want 20", e.Now())
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(123), NewRand(123)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+	c := NewRand(124)
+	same := 0
+	a2 := NewRand(123)
+	for i := 0; i < 100; i++ {
+		if a2.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestRandIntnBounds(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		if n == 0 {
+			return true
+		}
+		r := NewRand(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(int(n))
+			if v < 0 || v >= int(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+// Property: for any schedule of sleeps, total elapsed virtual time of a
+// single process equals the sum of its sleeps.
+func TestSleepSumProperty(t *testing.T) {
+	f := func(durs []uint16) bool {
+		e := NewEngine(1)
+		var total Duration
+		var end Time
+		e.Spawn("p", func(p *Proc) {
+			for _, d := range durs {
+				dd := Duration(d) * Microsecond
+				total += dd
+				p.Sleep(dd)
+			}
+			end = p.Now()
+		})
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return end == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: values sent through a buffered channel arrive in order and
+// none are lost, for any buffer size and message count.
+func TestChanConservationProperty(t *testing.T) {
+	f := func(capacity uint8, count uint8) bool {
+		e := NewEngine(9)
+		c := NewChan[int](e, int(capacity))
+		n := int(count)
+		var got []int
+		e.Spawn("send", func(p *Proc) {
+			for i := 0; i < n; i++ {
+				c.Send(p, i)
+			}
+		})
+		e.Spawn("recv", func(p *Proc) {
+			for i := 0; i < n; i++ {
+				v, ok := c.Recv(p)
+				if !ok {
+					return
+				}
+				got = append(got, v)
+			}
+		})
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if len(got) != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if got[i] != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineStatsCountProcs(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 4; i++ {
+		e.Spawn("p", func(p *Proc) { p.Sleep(Millisecond) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	s := e.Stats()
+	if s.Spawned != 4 || s.Completed != 4 {
+		t.Fatalf("stats = %+v, want 4 spawned/completed", s)
+	}
+	if s.Events == 0 {
+		t.Fatal("no events recorded")
+	}
+}

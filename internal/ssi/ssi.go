@@ -1,0 +1,188 @@
+// Package ssi builds the single-system-image layer on top of the DSE
+// runtime: the cluster presents itself to applications as one machine with
+// one process table, one name space and one load picture, regardless of
+// which physical workstation hosts which DSE kernel — the stated goal of
+// the paper ("users can freely use these cluster computing systems without
+// knowing the underlying system architecture").
+package ssi
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/procmgmt"
+	"repro/internal/sim"
+)
+
+// View is a PE's single-machine view of the whole cluster.
+type View struct {
+	pe *core.PE
+}
+
+// NewView wraps a PE.
+func NewView(pe *core.PE) *View { return &View{pe: pe} }
+
+// NumCPU reports the cluster-wide processor count — the "machine size" a
+// user of the single system sees.
+func (v *View) NumCPU() int { return v.pe.N() }
+
+// Uname describes the virtual machine.
+func (v *View) Uname() string {
+	return fmt.Sprintf("DSE cluster: %d processors (this PE: %d on %s)",
+		v.pe.N(), v.pe.ID(), v.pe.Hostname())
+}
+
+// Processes returns the global process table.
+func (v *View) Processes() []procmgmt.Entry { return v.pe.Processes() }
+
+// LoadByHost reports running DSE processes per physical machine.
+func (v *View) LoadByHost() map[string]int {
+	load := make(map[string]int)
+	for _, e := range v.Processes() {
+		if e.State == procmgmt.StateRunning {
+			load[e.Host]++
+		}
+	}
+	return load
+}
+
+// LeastLoadedKernel picks the kernel on the least-loaded machine: the
+// placement decision a load-aware SSI scheduler would make for new work.
+// Ties break toward the lowest kernel id, deterministically.
+func (v *View) LeastLoadedKernel() int {
+	entries := v.Processes()
+	load := make(map[string]int)
+	hostOf := make(map[int32]string)
+	for _, e := range entries {
+		hostOf[e.Kernel] = e.Host
+		if e.State == procmgmt.StateRunning {
+			load[e.Host]++
+		}
+	}
+	kernels := make([]int, 0, len(hostOf))
+	for k := range hostOf {
+		kernels = append(kernels, int(k))
+	}
+	sort.Ints(kernels)
+	best, bestLoad := v.pe.ID(), int(^uint(0)>>1)
+	for _, k := range kernels {
+		if l := load[hostOf[int32(k)]]; l < bestLoad {
+			best, bestLoad = k, l
+		}
+	}
+	return best
+}
+
+// PeerStatus reports one kernel's liveness as seen from this PE.
+type PeerStatus struct {
+	Kernel int
+	Alive  bool
+	RTT    sim.Duration // valid only when Alive
+}
+
+// ProbePeers pings every other kernel and reports which answered — a
+// simple SSI liveness sweep. The cluster must be configured with a
+// core.Config.RequestTimeout, otherwise a dead peer would block the probe
+// forever; an unanswered ping marks the peer dead.
+func (v *View) ProbePeers() []PeerStatus {
+	out := make([]PeerStatus, 0, v.pe.N()-1)
+	for k := 0; k < v.pe.N(); k++ {
+		if k == v.pe.ID() {
+			continue
+		}
+		st := PeerStatus{Kernel: k}
+		func() {
+			defer func() {
+				if recover() != nil {
+					st.Alive = false
+				}
+			}()
+			st.RTT = v.pe.Ping(k)
+			st.Alive = true
+		}()
+		out = append(out, st)
+	}
+	return out
+}
+
+// Registry is a cluster-global name service: any PE can publish a 64-bit
+// value under a string name and any other PE can look it up — typically a
+// global-memory base address, giving applications location-transparent
+// naming of shared structures.
+//
+// All PEs must construct the Registry at the same point in their allocation
+// sequence (it reserves global memory deterministically).
+type Registry struct {
+	pe     *core.PE
+	base   uint64
+	cap    int
+	lockID int32
+}
+
+// slotWords is the per-entry layout: [hash, value].
+const slotWords = 2
+
+// registryLockID is the cluster lock protecting every Registry; distinct
+// registries share it (publishes are rare).
+const registryLockID int32 = 1<<30 - 1
+
+// NewRegistry reserves capacity naming slots in global memory.
+func NewRegistry(pe *core.PE, capacity int) *Registry {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &Registry{
+		pe:     pe,
+		base:   pe.AllocBlocks(capacity * slotWords),
+		cap:    capacity,
+		lockID: registryLockID,
+	}
+}
+
+// fnv1a hashes a name to a non-zero 64-bit key (zero marks an empty slot).
+func fnv1a(name string) int64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	if h == 0 {
+		h = 1
+	}
+	return int64(h)
+}
+
+// Publish stores value under name. Republishing a name overwrites it.
+// It fails when the registry is full.
+func (r *Registry) Publish(name string, value int64) error {
+	key := fnv1a(name)
+	r.pe.Lock(r.lockID)
+	defer r.pe.Unlock(r.lockID)
+	for i := 0; i < r.cap; i++ {
+		slot := r.base + uint64(i*slotWords)
+		h := r.pe.GMRead(slot)
+		if h == 0 || h == key {
+			r.pe.GMWrite(slot+1, value)
+			r.pe.GMWrite(slot, key)
+			return nil
+		}
+	}
+	return fmt.Errorf("ssi: registry full (%d names)", r.cap)
+}
+
+// Lookup retrieves the value published under name.
+func (r *Registry) Lookup(name string) (int64, bool) {
+	key := fnv1a(name)
+	for i := 0; i < r.cap; i++ {
+		slot := r.base + uint64(i*slotWords)
+		h := r.pe.GMRead(slot)
+		if h == 0 {
+			return 0, false
+		}
+		if h == key {
+			return r.pe.GMRead(slot + 1), true
+		}
+	}
+	return 0, false
+}

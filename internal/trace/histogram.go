@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// histBuckets spans 1 µs .. ~1 s in power-of-two buckets.
+const histBuckets = 21
+
+// Histogram is a power-of-two latency histogram for request round trips.
+// Bucket i counts samples in [2^i, 2^(i+1)) microseconds; the last bucket
+// absorbs everything larger.
+type Histogram struct {
+	Count   uint64
+	Sum     sim.Duration
+	Max     sim.Duration
+	Buckets [histBuckets]uint64
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d sim.Duration) int {
+	us := int64(d) / int64(sim.Microsecond)
+	if us < 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(us)) - 1
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d sim.Duration) {
+	h.Count++
+	h.Sum += d
+	if d > h.Max {
+		h.Max = d
+	}
+	h.Buckets[bucketOf(d)]++
+}
+
+// Merge accumulates o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	h.Count += o.Count
+	h.Sum += o.Sum
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Mean returns the average sample (0 when empty).
+func (h *Histogram) Mean() sim.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / sim.Duration(h.Count)
+}
+
+// Quantile returns an upper bound of the q-quantile (0 < q <= 1) from the
+// bucket boundaries — within 2× of the true value by construction.
+func (h *Histogram) Quantile(q float64) sim.Duration {
+	if h.Count == 0 || q <= 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.Count))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.Buckets {
+		seen += c
+		if seen >= target {
+			// Upper bucket boundary: 2^(i+1) microseconds.
+			return sim.Duration(int64(1)<<uint(i+1)) * sim.Microsecond
+		}
+	}
+	return h.Max
+}
+
+// String summarises the distribution.
+func (h *Histogram) String() string {
+	if h.Count == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("n=%d mean=%v p50<=%v p99<=%v max=%v",
+		h.Count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max)
+}
+
+// Render draws an ASCII bar chart of the non-empty bucket range.
+func (h *Histogram) Render(width int) string {
+	if h.Count == 0 {
+		return "(no samples)\n"
+	}
+	if width < 8 {
+		width = 8
+	}
+	lo, hi := -1, 0
+	var peak uint64
+	for i, c := range h.Buckets {
+		if c > 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+			if c > peak {
+				peak = c
+			}
+		}
+	}
+	var b strings.Builder
+	for i := lo; i <= hi; i++ {
+		n := int(float64(h.Buckets[i]) / float64(peak) * float64(width))
+		label := sim.Duration(int64(1)<<uint(i)) * sim.Microsecond
+		fmt.Fprintf(&b, "%12v |%-*s| %d\n", label, width, strings.Repeat("#", n), h.Buckets[i])
+	}
+	return b.String()
+}

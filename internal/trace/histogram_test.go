@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.Observe(10 * sim.Microsecond)
+	h.Observe(20 * sim.Microsecond)
+	h.Observe(30 * sim.Microsecond)
+	if h.Count != 3 || h.Mean() != 20*sim.Microsecond {
+		t.Fatalf("count=%d mean=%v", h.Count, h.Mean())
+	}
+	if h.Max != 30*sim.Microsecond {
+		t.Fatalf("max=%v", h.Max)
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(sim.Duration(i) * sim.Microsecond)
+	}
+	p50 := h.Quantile(0.5)
+	// True median is 500us; the bucketed bound must cover it within 2x.
+	if p50 < 500*sim.Microsecond || p50 > 1024*sim.Microsecond {
+		t.Fatalf("p50 bound %v", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 990*sim.Microsecond {
+		t.Fatalf("p99 bound %v below true value", p99)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(5 * sim.Microsecond)
+	b.Observe(50 * sim.Millisecond)
+	a.Merge(&b)
+	if a.Count != 2 || a.Max != 50*sim.Millisecond {
+		t.Fatalf("merged: %+v", a)
+	}
+}
+
+// Property: counts are conserved and Sum equals the sum of samples.
+func TestHistogramConservationProperty(t *testing.T) {
+	f := func(samples []uint32) bool {
+		var h Histogram
+		var sum sim.Duration
+		for _, s := range samples {
+			d := sim.Duration(s)
+			h.Observe(d)
+			sum += d
+		}
+		return h.Count == uint64(len(samples)) && h.Sum == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * sim.Microsecond)
+	}
+	h.Observe(10 * sim.Millisecond)
+	out := h.Render(20)
+	if !strings.Contains(out, "#") || !strings.Contains(out, "10") {
+		t.Fatalf("render:\n%s", out)
+	}
+	var empty Histogram
+	if !strings.Contains(empty.Render(20), "no samples") {
+		t.Fatal("empty render wrong")
+	}
+}
+
+func TestHistogramStringSummary(t *testing.T) {
+	var h Histogram
+	h.Observe(sim.Millisecond)
+	s := h.String()
+	for _, want := range []string{"n=1", "mean=", "p99<="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// seriesMarks are the plot glyphs, one per series in order.
+var seriesMarks = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Plot renders a family of series as an ASCII chart — enough to eyeball
+// the curve shapes of a regenerated figure in a terminal. The y axis
+// starts at zero (paper figures do), x spans the data range.
+func Plot(w io.Writer, title string, series []Series, width, height int) {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymax := 0.0
+	points := 0
+	for _, s := range series {
+		for i := range s.X {
+			points++
+			if s.X[i] < xmin {
+				xmin = s.X[i]
+			}
+			if s.X[i] > xmax {
+				xmax = s.X[i]
+			}
+			if s.Y[i] > ymax {
+				ymax = s.Y[i]
+			}
+		}
+	}
+	if points == 0 {
+		fmt.Fprintf(w, "%s\n(no data)\n", title)
+		return
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == 0 {
+		ymax = 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i := range s.X {
+			col := int(math.Round((s.X[i] - xmin) / (xmax - xmin) * float64(width-1)))
+			row := height - 1 - int(math.Round(s.Y[i]/ymax*float64(height-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = mark
+		}
+	}
+
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	yLabelW := len(fmt.Sprintf("%.3g", ymax))
+	for r, line := range grid {
+		label := strings.Repeat(" ", yLabelW)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*.3g", yLabelW, ymax)
+		case height - 1:
+			label = fmt.Sprintf("%*.3g", yLabelW, 0.0)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", yLabelW), strings.Repeat("-", width))
+	fmt.Fprintf(w, "%s  %-*.3g%*.3g\n", strings.Repeat(" ", yLabelW), width/2, xmin, width-width/2, xmax)
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", seriesMarks[si%len(seriesMarks)], s.Label))
+	}
+	fmt.Fprintf(w, "  %s\n", strings.Join(legend, "   "))
+}

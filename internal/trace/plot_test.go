@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func plotted(t *testing.T, series []Series) string {
+	t.Helper()
+	var b strings.Builder
+	Plot(&b, "demo", series, 40, 10)
+	return b.String()
+}
+
+func TestPlotContainsMarksAndLegend(t *testing.T) {
+	s1 := Series{Label: "alpha", X: []float64{1, 2, 3}, Y: []float64{1, 4, 9}}
+	s2 := Series{Label: "beta", X: []float64{1, 2, 3}, Y: []float64{9, 4, 1}}
+	out := plotted(t, []Series{s1, s2})
+	for _, want := range []string{"demo", "*", "+", "alpha", "beta", "|", "+---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlotEmptySeries(t *testing.T) {
+	out := plotted(t, nil)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot output: %q", out)
+	}
+}
+
+func TestPlotPeakAtTop(t *testing.T) {
+	s := Series{Label: "peak", X: []float64{0, 1, 2}, Y: []float64{0, 10, 0}}
+	out := plotted(t, []Series{s})
+	lines := strings.Split(out, "\n")
+	// First grid line carries the max-value label and the peak mark.
+	if !strings.Contains(lines[1], "*") {
+		t.Fatalf("peak not on top row:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "10") {
+		t.Fatalf("top row not labelled with max:\n%s", out)
+	}
+}
+
+func TestPlotConstantSeriesDoesNotPanic(t *testing.T) {
+	s := Series{Label: "flat", X: []float64{5, 5}, Y: []float64{0, 0}}
+	out := plotted(t, []Series{s})
+	if out == "" {
+		t.Fatal("no output")
+	}
+}
+
+func TestPlotClampsTinyDimensions(t *testing.T) {
+	var b strings.Builder
+	Plot(&b, "t", []Series{{Label: "s", X: []float64{1}, Y: []float64{1}}}, 1, 1)
+	if !strings.Contains(b.String(), "*") {
+		t.Fatal("clamped plot lost its data point")
+	}
+}

@@ -1,0 +1,172 @@
+// Package trace collects per-PE runtime statistics and provides the small
+// table/series types the experiment harness uses to print paper figures.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// PEStats aggregates what one DSE kernel/process pair spent its time on.
+// All durations are virtual time for the simulated transport and wall-clock
+// elapsed time for the real transports.
+type PEStats struct {
+	ComputeTime  sim.Duration // application computation
+	SendOverhead sim.Duration // protocol processing + syscalls on the send path
+	RecvOverhead sim.Duration // interrupts + protocol processing on the receive path
+	WaitTime     sim.Duration // blocked waiting for replies, barriers, locks
+
+	MsgsSent  uint64
+	MsgsRecv  uint64
+	BytesSent uint64
+	BytesRecv uint64
+
+	LocalGM  uint64 // global-memory accesses served from the local segment
+	RemoteGM uint64 // global-memory accesses that crossed the network
+	Barriers uint64
+	Locks    uint64
+}
+
+// Add accumulates o into s.
+func (s *PEStats) Add(o *PEStats) {
+	s.ComputeTime += o.ComputeTime
+	s.SendOverhead += o.SendOverhead
+	s.RecvOverhead += o.RecvOverhead
+	s.WaitTime += o.WaitTime
+	s.MsgsSent += o.MsgsSent
+	s.MsgsRecv += o.MsgsRecv
+	s.BytesSent += o.BytesSent
+	s.BytesRecv += o.BytesRecv
+	s.LocalGM += o.LocalGM
+	s.RemoteGM += o.RemoteGM
+	s.Barriers += o.Barriers
+	s.Locks += o.Locks
+}
+
+// CommTime is the total time attributable to communication.
+func (s *PEStats) CommTime() sim.Duration {
+	return s.SendOverhead + s.RecvOverhead + s.WaitTime
+}
+
+func (s *PEStats) String() string {
+	return fmt.Sprintf("compute=%v comm=%v (send=%v recv=%v wait=%v) msgs=%d/%d bytes=%d/%d gm=%d local/%d remote",
+		s.ComputeTime, s.CommTime(), s.SendOverhead, s.RecvOverhead, s.WaitTime,
+		s.MsgsSent, s.MsgsRecv, s.BytesSent, s.BytesRecv, s.LocalGM, s.RemoteGM)
+}
+
+// Series is one labelled curve of a figure: Y(X).
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// MaxY returns the largest Y value (0 for an empty series).
+func (s *Series) MaxY() float64 {
+	max := 0.0
+	for _, y := range s.Y {
+		if y > max {
+			max = y
+		}
+	}
+	return max
+}
+
+// ArgMaxY returns the X at which Y peaks (0 for an empty series).
+func (s *Series) ArgMaxY() float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	best := 0
+	for i, y := range s.Y {
+		if y > s.Y[best] {
+			best = i
+		}
+	}
+	return s.X[best]
+}
+
+// Table is a printable experiment result (a figure rendered as rows).
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint writes the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", pad))
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// SeriesTable renders a family of series sharing the same X axis as a table
+// with one column per series.
+func SeriesTable(title, xName string, fmtY string, series []Series) *Table {
+	t := &Table{Title: title, Header: []string{xName}}
+	for _, s := range series {
+		t.Header = append(t.Header, s.Label)
+	}
+	if len(series) == 0 {
+		return t
+	}
+	for i := range series[0].X {
+		row := []string{fmt.Sprintf("%g", series[0].X[i])}
+		for _, s := range series {
+			if i < len(s.Y) {
+				row = append(row, fmt.Sprintf(fmtY, s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

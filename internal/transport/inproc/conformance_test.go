@@ -1,0 +1,13 @@
+package inproc
+
+import (
+	"testing"
+
+	"repro/internal/transport/transporttest"
+)
+
+func TestConformance(t *testing.T) {
+	transporttest.Run(t, func(t *testing.T, n int) transporttest.Network {
+		return New(n)
+	})
+}

@@ -1,0 +1,184 @@
+// Package inproc is a loopback transport: kernels exchange encoded wire
+// messages over in-process Go channels with no cost model. It exists for
+// fast unit/integration testing of the runtime logic, independent of both
+// the simulator and real sockets.
+package inproc
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Net is an in-process cluster.
+type Net struct {
+	nodes []*Node
+	start time.Time
+}
+
+// New creates a cluster of n nodes.
+func New(n int) *Net {
+	if n <= 0 {
+		panic("inproc: need at least one node")
+	}
+	net := &Net{start: time.Now()}
+	for i := 0; i < n; i++ {
+		net.nodes = append(net.nodes, &Node{
+			net:  net,
+			id:   i,
+			rx:   make(chan []byte, 1<<14),
+			done: make(chan struct{}),
+		})
+	}
+	return net
+}
+
+// N implements transport.Network.
+func (n *Net) N() int { return len(n.nodes) }
+
+// Node implements transport.Network.
+func (n *Net) Node(i int) transport.Node { return n.nodes[i] }
+
+// Stop unblocks every receiver.
+func (n *Net) Stop() {
+	for _, nd := range n.nodes {
+		nd.CloseRecv()
+	}
+}
+
+// Node is one in-process endpoint. App and Svc share a single context.
+type Node struct {
+	net       *Net
+	id        int
+	rx        chan []byte
+	done      chan struct{}
+	closeOnce sync.Once
+
+	mu    sync.Mutex
+	stats trace.PEStats
+}
+
+var _ transport.Node = (*Node)(nil)
+
+// ID implements transport.Node.
+func (nd *Node) ID() int { return nd.id }
+
+// N implements transport.Node.
+func (nd *Node) N() int { return len(nd.net.nodes) }
+
+// Hostname implements transport.Node; every inproc node is its own host.
+func (nd *Node) Hostname() string { return "localhost" }
+
+// Stats implements transport.Node. The returned snapshot pointer must not
+// be read concurrently with a running cluster.
+func (nd *Node) Stats() *trace.PEStats { return &nd.stats }
+
+// App implements transport.Node.
+func (nd *Node) App() transport.Port { return (*port)(nd) }
+
+// Svc implements transport.Node.
+func (nd *Node) Svc() transport.Port { return (*port)(nd) }
+
+// Recv implements transport.Node.
+func (nd *Node) Recv() (*wire.Message, bool) {
+	select {
+	case enc := <-nd.rx:
+		m, err := wire.Decode(enc)
+		if err != nil {
+			panic("inproc: corrupt message: " + err.Error())
+		}
+		nd.mu.Lock()
+		nd.stats.MsgsRecv++
+		nd.stats.BytesRecv += uint64(len(enc))
+		nd.mu.Unlock()
+		return m, true
+	case <-nd.done:
+		return nil, false
+	}
+}
+
+// CloseRecv implements transport.Node.
+func (nd *Node) CloseRecv() { nd.closeOnce.Do(func() { close(nd.done) }) }
+
+// NewMailbox implements transport.Node.
+func (nd *Node) NewMailbox(capacity int) transport.Mailbox {
+	if capacity <= 0 {
+		capacity = 1 << 14
+	}
+	return &mailbox{ch: make(chan *wire.Message, capacity), done: make(chan struct{})}
+}
+
+// port implements transport.Port for a node; computation is free here.
+type port Node
+
+func (pt *port) Send(dst int, m *wire.Message) {
+	nd := (*Node)(pt)
+	peer := nd.net.nodes[dst]
+	enc := m.Encode()
+	select {
+	case peer.rx <- enc:
+		nd.mu.Lock()
+		nd.stats.MsgsSent++
+		nd.stats.BytesSent += uint64(len(enc))
+		nd.mu.Unlock()
+	case <-peer.done:
+		// Peer shut down: drop, as a real network would.
+	}
+}
+
+func (pt *port) Compute(ops float64) {}
+
+func (pt *port) LocalAccess() {}
+
+func (pt *port) LegacyIPC() {}
+
+func (pt *port) Sleep(d sim.Duration) { time.Sleep(time.Duration(d) / 1000) } // compressed real sleep
+
+func (pt *port) Now() sim.Time { return sim.Time(time.Since((*Node)(pt).net.start)) }
+
+type mailbox struct {
+	ch        chan *wire.Message
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+func (mb *mailbox) Put(m *wire.Message) {
+	select {
+	case mb.ch <- m:
+	case <-mb.done:
+	}
+}
+
+func (mb *mailbox) Take() (*wire.Message, bool) {
+	select {
+	case m := <-mb.ch:
+		return m, true
+	case <-mb.done:
+		// Drain anything racing with close.
+		select {
+		case m := <-mb.ch:
+			return m, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+func (mb *mailbox) TakeTimeout(d sim.Duration) (*wire.Message, bool, bool) {
+	t := time.NewTimer(time.Duration(d))
+	defer t.Stop()
+	select {
+	case m := <-mb.ch:
+		return m, true, false
+	case <-mb.done:
+		return nil, false, false
+	case <-t.C:
+		return nil, false, true
+	}
+}
+
+func (mb *mailbox) Close() { mb.closeOnce.Do(func() { close(mb.done) }) }

@@ -1,0 +1,285 @@
+// Package simnet is the simulated transport: DSE kernels exchange encoded
+// wire messages over the CSMA/CD Ethernet model, paying per-platform OS
+// costs (system calls, protocol processing, interrupts, context switches)
+// in virtual time. All paper experiments run on this transport.
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/ethernet"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Config assembles a simulated cluster.
+type Config struct {
+	NumPE    int
+	Platform *platform.Platform
+	Machines int                // physical machines; 0 means platform.PhysicalMachines
+	Load     platform.LoadModel // virtual-cluster co-location model
+	Seed     uint64
+	Ethernet *ethernet.Config // nil means the platform's LAN parameters
+	Switched bool             // switched Ethernet instead of the shared bus
+}
+
+// Net is a simulated cluster: engine + medium + one Node per DSE kernel.
+type Net struct {
+	eng    *sim.Engine
+	medium ethernet.Medium
+	pl     *platform.Platform
+	layout platform.Layout
+	nodes  []*Node
+}
+
+// New builds the cluster. The caller spawns kernel/app processes, binds
+// them to the nodes, and then runs the engine.
+func New(cfg Config) *Net {
+	if cfg.NumPE <= 0 {
+		panic("simnet: NumPE must be positive")
+	}
+	if cfg.Platform == nil {
+		panic("simnet: Platform required")
+	}
+	machines := cfg.Machines
+	if machines == 0 {
+		machines = platform.PhysicalMachines
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	ecfg := ethernet.ConfigForBandwidth(cfg.Platform.NetBandwidthBps)
+	if cfg.Ethernet != nil {
+		ecfg = *cfg.Ethernet
+	}
+	var medium ethernet.Medium
+	if cfg.Switched {
+		medium = ethernet.NewSwitch(eng, ecfg)
+	} else {
+		medium = ethernet.NewBus(eng, ecfg)
+	}
+	n := &Net{
+		eng:    eng,
+		medium: medium,
+		pl:     cfg.Platform,
+		layout: platform.NewLayout(machines, cfg.NumPE, cfg.Load),
+	}
+	for i := 0; i < cfg.NumPE; i++ {
+		nd := &Node{
+			net:     n,
+			id:      i,
+			station: medium.AttachNIC(),
+			load:    n.layout.LoadFactor(i),
+		}
+		n.nodes = append(n.nodes, nd)
+	}
+	medium.Start()
+	return n
+}
+
+// Engine returns the virtual-time engine driving the cluster.
+func (n *Net) Engine() *sim.Engine { return n.eng }
+
+// Medium returns the simulated LAN (for statistics and fault injection).
+func (n *Net) Medium() ethernet.Medium { return n.medium }
+
+// Layout returns the kernel-to-machine placement.
+func (n *Net) Layout() platform.Layout { return n.layout }
+
+// N returns the number of nodes.
+func (n *Net) N() int { return len(n.nodes) }
+
+// Node returns node i.
+func (n *Net) Node(i int) transport.Node { return n.nodes[i] }
+
+// SimNode returns the concrete node for binding processes.
+func (n *Net) SimNode(i int) *Node { return n.nodes[i] }
+
+// Stop closes the medium and unblocks all receivers, ending the run cleanly.
+func (n *Net) Stop() {
+	n.medium.Stop()
+	for _, nd := range n.nodes {
+		nd.CloseRecv()
+	}
+}
+
+// Node is one simulated DSE kernel endpoint.
+type Node struct {
+	net     *Net
+	id      int
+	station ethernet.NIC
+	load    float64
+	stats   trace.PEStats
+
+	appProc *sim.Proc
+	svcProc *sim.Proc
+}
+
+var _ transport.Node = (*Node)(nil)
+
+// BindApp attaches the DSE-process context to p. Must precede App() use.
+func (nd *Node) BindApp(p *sim.Proc) { nd.appProc = p }
+
+// BindSvc attaches the DSE-kernel context to p. Must precede Svc()/Recv use.
+func (nd *Node) BindSvc(p *sim.Proc) { nd.svcProc = p }
+
+// ID implements transport.Node.
+func (nd *Node) ID() int { return nd.id }
+
+// N implements transport.Node.
+func (nd *Node) N() int { return len(nd.net.nodes) }
+
+// Hostname implements transport.Node.
+func (nd *Node) Hostname() string { return nd.net.layout.Hostname(nd.id) }
+
+// Stats implements transport.Node.
+func (nd *Node) Stats() *trace.PEStats { return &nd.stats }
+
+// App implements transport.Node.
+func (nd *Node) App() transport.Port { return &port{nd: nd, procp: &nd.appProc} }
+
+// Svc implements transport.Node.
+func (nd *Node) Svc() transport.Port { return &port{nd: nd, procp: &nd.svcProc} }
+
+// Recv implements transport.Node: it blocks the Svc context on the NIC,
+// skips continuation fragments, charges receive overhead and decodes.
+func (nd *Node) Recv() (*wire.Message, bool) {
+	p := nd.svcProc
+	if p == nil {
+		panic("simnet: Recv before BindSvc")
+	}
+	for {
+		f, ok := nd.station.Recv(p)
+		if !ok {
+			return nil, false
+		}
+		if f.Payload == nil {
+			continue // MTU continuation fragment; timing already charged on the bus
+		}
+		enc := f.Payload.([]byte)
+		oh := nd.scale(nd.net.pl.RecvOverhead(len(enc)))
+		p.Sleep(oh)
+		nd.stats.RecvOverhead += oh
+		m, err := wire.Decode(enc)
+		if err != nil {
+			panic(fmt.Sprintf("simnet: corrupt message from station %d: %v", f.Src, err))
+		}
+		nd.stats.MsgsRecv++
+		nd.stats.BytesRecv += uint64(len(enc))
+		return m, true
+	}
+}
+
+// CloseRecv implements transport.Node.
+func (nd *Node) CloseRecv() { nd.station.Close() }
+
+// NewMailbox implements transport.Node.
+func (nd *Node) NewMailbox(capacity int) transport.Mailbox {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &mailbox{nd: nd, ch: sim.NewChan[*wire.Message](nd.net.eng, capacity)}
+}
+
+// scale applies the virtual-cluster load factor to a CPU cost.
+func (nd *Node) scale(d sim.Duration) sim.Duration {
+	if nd.load == 1 {
+		return d
+	}
+	return sim.Duration(float64(d) * nd.load)
+}
+
+// port binds Port operations to whichever sim process owns the context.
+// procp is resolved at call time so ports may be handed out before Bind.
+type port struct {
+	nd    *Node
+	procp **sim.Proc
+}
+
+func (pt *port) proc() *sim.Proc {
+	p := *pt.procp
+	if p == nil {
+		panic("simnet: port used before its context was bound")
+	}
+	return p
+}
+
+// Send implements transport.Port.
+func (pt *port) Send(dst int, m *wire.Message) {
+	nd := pt.nd
+	p := pt.proc()
+	enc := m.Encode()
+	oh := nd.scale(nd.net.pl.SendOverhead(len(enc)))
+	p.Sleep(oh)
+	nd.stats.SendOverhead += oh
+	if dst == nd.id {
+		// Own-node message: the paper's message exchange module short-cuts
+		// messages destined to the local kernel past the wire (Fig. 3,
+		// "response to message to own node"). Protocol cost was charged
+		// above; delivery is immediate.
+		if !nd.station.Inject(ethernet.Frame{Src: nd.id, Dst: nd.id, Size: len(enc), Payload: enc}) {
+			panic("simnet: local receive queue overflow")
+		}
+		nd.stats.MsgsSent++
+		nd.stats.BytesSent += uint64(len(enc))
+		return
+	}
+	nd.station.Send(p, dst, len(enc), enc)
+	nd.stats.MsgsSent++
+	nd.stats.BytesSent += uint64(len(enc))
+}
+
+// Compute implements transport.Port.
+func (pt *port) Compute(ops float64) {
+	nd := pt.nd
+	d := nd.scale(nd.net.pl.ComputeTime(ops))
+	if d <= 0 {
+		return
+	}
+	pt.proc().Sleep(d)
+	nd.stats.ComputeTime += d
+}
+
+// Sleep implements transport.Port.
+func (pt *port) Sleep(d sim.Duration) { pt.proc().Sleep(d) }
+
+// LocalAccess implements transport.Port.
+func (pt *port) LocalAccess() { pt.proc().Sleep(pt.nd.scale(pt.nd.net.pl.LocalGMAccess)) }
+
+// LegacyIPC implements transport.Port: two IPC boundary crossings (call
+// and return between the separate kernel and application processes).
+func (pt *port) LegacyIPC() { pt.proc().Sleep(pt.nd.scale(2 * pt.nd.net.pl.IPCCost)) }
+
+// Now implements transport.Port.
+func (pt *port) Now() sim.Time { return pt.nd.net.eng.Now() }
+
+// mailbox is a sim-channel-backed reply queue.
+type mailbox struct {
+	nd *Node
+	ch *sim.Chan[*wire.Message]
+}
+
+func (mb *mailbox) Put(m *wire.Message) {
+	if !mb.ch.TrySend(m) {
+		panic("simnet: mailbox overflow")
+	}
+}
+
+func (mb *mailbox) Take() (*wire.Message, bool) {
+	p := mb.nd.appProc
+	if p == nil {
+		panic("simnet: mailbox Take before BindApp")
+	}
+	return mb.ch.Recv(p)
+}
+
+func (mb *mailbox) TakeTimeout(d sim.Duration) (*wire.Message, bool, bool) {
+	p := mb.nd.appProc
+	if p == nil {
+		panic("simnet: mailbox Take before BindApp")
+	}
+	return mb.ch.RecvTimeout(p, d)
+}
+
+func (mb *mailbox) Close() { mb.ch.Close() }

@@ -1,0 +1,17 @@
+package tcpnet
+
+import (
+	"testing"
+
+	"repro/internal/transport/transporttest"
+)
+
+func TestConformance(t *testing.T) {
+	transporttest.Run(t, func(t *testing.T, n int) transporttest.Network {
+		net, err := NewLocal(n)
+		if err != nil {
+			t.Fatalf("NewLocal: %v", err)
+		}
+		return net
+	})
+}

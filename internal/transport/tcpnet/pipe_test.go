@@ -1,0 +1,6 @@
+package tcpnet
+
+import "net"
+
+// newPipe returns two ends of an in-memory stream for frame-level tests.
+func newPipe() (net.Conn, net.Conn) { return net.Pipe() }

@@ -1,0 +1,412 @@
+// Package tcpnet is the real-network transport: DSE kernels exchange
+// length-prefixed wire messages over TCP sockets from the standard library.
+// It demonstrates the paper's portability claim — the identical parallel
+// application and runtime run over an actual protocol stack, between
+// separate OS processes if desired (see cmd/dsenode).
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// handshake deadline for assembling the full mesh.
+const meshTimeout = 10 * time.Second
+
+// Net is a TCP cluster whose nodes all live in this process (each with its
+// own listener and sockets). For multi-process clusters use Open directly.
+type Net struct {
+	nodes []*Node
+}
+
+// NewLocal builds an n-node cluster on loopback TCP.
+func NewLocal(n int) (*Net, error) {
+	if n <= 0 {
+		return nil, errors.New("tcpnet: need at least one node")
+	}
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("tcpnet: listen: %w", err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	nodes := make([]*Node, n)
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			nd, err := open(i, addrs, lns[i])
+			if err != nil {
+				errs <- err
+				return
+			}
+			nodes[i] = nd
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	return &Net{nodes: nodes}, nil
+}
+
+// Open joins a (possibly multi-process) cluster as node id. addrs lists the
+// listen address of every node, in rank order; Open listens on addrs[id],
+// dials every lower rank, accepts every higher rank, and returns once the
+// full mesh is up.
+func Open(id int, addrs []string) (*Node, error) {
+	ln, err := net.Listen("tcp", addrs[id])
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", addrs[id], err)
+	}
+	return open(id, addrs, ln)
+}
+
+func open(id int, addrs []string, ln net.Listener) (*Node, error) {
+	n := len(addrs)
+	nd := &Node{
+		id:    id,
+		n:     n,
+		ln:    ln,
+		conns: make([]net.Conn, n),
+		wmu:   make([]sync.Mutex, n),
+		rx:    make(chan *wire.Message, 1<<14),
+		done:  make(chan struct{}),
+		start: time.Now(),
+	}
+	ready := make(chan error, n)
+	// Accept higher ranks.
+	go func() {
+		for i := id + 1; i < n; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				ready <- fmt.Errorf("tcpnet: node %d accept: %w", id, err)
+				return
+			}
+			go func(conn net.Conn) {
+				peer, err := nd.readHello(conn)
+				if err != nil {
+					ready <- err
+					return
+				}
+				nd.register(peer, conn)
+				ready <- nil
+			}(conn)
+		}
+	}()
+	// Dial lower ranks, retrying while they come up.
+	for j := 0; j < id; j++ {
+		j := j
+		go func() {
+			deadline := time.Now().Add(meshTimeout)
+			for {
+				conn, err := net.Dial("tcp", addrs[j])
+				if err != nil {
+					if time.Now().After(deadline) {
+						ready <- fmt.Errorf("tcpnet: node %d dial %d: %w", id, j, err)
+						return
+					}
+					time.Sleep(20 * time.Millisecond)
+					continue
+				}
+				if err := nd.writeHello(conn); err != nil {
+					ready <- err
+					return
+				}
+				nd.register(j, conn)
+				ready <- nil
+				return
+			}
+		}()
+	}
+	for i := 0; i < n-1; i++ {
+		select {
+		case err := <-ready:
+			if err != nil {
+				nd.Kill()
+				return nil, err
+			}
+		case <-time.After(meshTimeout):
+			nd.Kill()
+			return nil, fmt.Errorf("tcpnet: node %d mesh timeout", id)
+		}
+	}
+	return nd, nil
+}
+
+// N implements transport.Network.
+func (net *Net) N() int { return len(net.nodes) }
+
+// Node implements transport.Network.
+func (net *Net) Node(i int) transport.Node { return net.nodes[i] }
+
+// TCPNode returns the concrete node (for Kill in failure tests).
+func (net *Net) TCPNode(i int) *Node { return net.nodes[i] }
+
+// Stop shuts down every node.
+func (net *Net) Stop() {
+	for _, nd := range net.nodes {
+		nd.Kill()
+	}
+}
+
+// Node is one TCP endpoint.
+type Node struct {
+	id    int
+	n     int
+	ln    net.Listener
+	conns []net.Conn
+	wmu   []sync.Mutex
+	rx    chan *wire.Message
+	done  chan struct{}
+	start time.Time
+
+	closeOnce sync.Once
+	mu        sync.Mutex
+	stats     trace.PEStats
+	err       error
+}
+
+var _ transport.Node = (*Node)(nil)
+
+func (nd *Node) writeHello(conn net.Conn) error {
+	hello := &wire.Message{Op: wire.OpHello, Src: int32(nd.id), Arg1: 1}
+	return writeFrame(conn, hello)
+}
+
+func (nd *Node) readHello(conn net.Conn) (int, error) {
+	m, err := readFrame(conn)
+	if err != nil {
+		return 0, fmt.Errorf("tcpnet: handshake: %w", err)
+	}
+	if m.Op != wire.OpHello {
+		return 0, fmt.Errorf("tcpnet: unexpected handshake op %v", m.Op)
+	}
+	return int(m.Src), nil
+}
+
+func (nd *Node) register(peer int, conn net.Conn) {
+	nd.wmu[peer].Lock()
+	nd.conns[peer] = conn
+	nd.wmu[peer].Unlock()
+	go nd.reader(peer, conn)
+}
+
+func (nd *Node) reader(peer int, conn net.Conn) {
+	for {
+		m, err := readFrame(conn)
+		if err != nil {
+			return // peer gone; Recv keeps serving other peers
+		}
+		select {
+		case nd.rx <- m:
+		case <-nd.done:
+			return
+		}
+	}
+}
+
+func writeFrame(conn net.Conn, m *wire.Message) error {
+	enc := m.Encode()
+	var pre [4]byte
+	binary.LittleEndian.PutUint32(pre[:], uint32(len(enc)))
+	if _, err := conn.Write(pre[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(enc)
+	return err
+}
+
+func readFrame(conn net.Conn) (*wire.Message, error) {
+	var pre [4]byte
+	if _, err := io.ReadFull(conn, pre[:]); err != nil {
+		return nil, err
+	}
+	size := binary.LittleEndian.Uint32(pre[:])
+	if size < wire.HeaderSize || size > wire.HeaderSize+wire.MaxDataLen {
+		return nil, fmt.Errorf("tcpnet: bad frame size %d", size)
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return nil, err
+	}
+	return wire.Decode(buf)
+}
+
+// ID implements transport.Node.
+func (nd *Node) ID() int { return nd.id }
+
+// N implements transport.Node.
+func (nd *Node) N() int { return nd.n }
+
+// Hostname implements transport.Node.
+func (nd *Node) Hostname() string { return nd.ln.Addr().String() }
+
+// Stats implements transport.Node.
+func (nd *Node) Stats() *trace.PEStats { return &nd.stats }
+
+// App implements transport.Node.
+func (nd *Node) App() transport.Port { return (*port)(nd) }
+
+// Svc implements transport.Node.
+func (nd *Node) Svc() transport.Port { return (*port)(nd) }
+
+// Recv implements transport.Node.
+func (nd *Node) Recv() (*wire.Message, bool) {
+	select {
+	case m := <-nd.rx:
+		nd.mu.Lock()
+		nd.stats.MsgsRecv++
+		nd.stats.BytesRecv += uint64(m.WireSize())
+		nd.mu.Unlock()
+		return m, true
+	case <-nd.done:
+		return nil, false
+	}
+}
+
+// CloseRecv implements transport.Node.
+func (nd *Node) CloseRecv() { nd.Kill() }
+
+// Kill tears the node down: listener, sockets and receivers. Used both for
+// orderly shutdown and for failure injection in tests.
+func (nd *Node) Kill() {
+	nd.closeOnce.Do(func() {
+		close(nd.done)
+		if nd.ln != nil {
+			nd.ln.Close()
+		}
+		for i := range nd.conns {
+			nd.wmu[i].Lock()
+			if nd.conns[i] != nil {
+				nd.conns[i].Close()
+			}
+			nd.wmu[i].Unlock()
+		}
+	})
+}
+
+// Err reports the first send failure, if any.
+func (nd *Node) Err() error {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.err
+}
+
+// NewMailbox implements transport.Node.
+func (nd *Node) NewMailbox(capacity int) transport.Mailbox {
+	if capacity <= 0 {
+		capacity = 1 << 14
+	}
+	return &mailbox{ch: make(chan *wire.Message, capacity), done: make(chan struct{})}
+}
+
+// port implements transport.Port; App and Svc share it.
+type port Node
+
+func (pt *port) Send(dst int, m *wire.Message) {
+	nd := (*Node)(pt)
+	if dst == nd.id {
+		// Own-node message: deliver through a decode round-trip so the
+		// receiver sees the same aliasing as for remote messages.
+		dec, err := wire.Decode(m.Encode())
+		if err != nil {
+			panic("tcpnet: self-send encode round-trip failed: " + err.Error())
+		}
+		select {
+		case nd.rx <- dec:
+		case <-nd.done:
+		}
+		return
+	}
+	nd.wmu[dst].Lock()
+	conn := nd.conns[dst]
+	var err error
+	if conn == nil {
+		err = fmt.Errorf("tcpnet: no connection to node %d", dst)
+	} else {
+		err = writeFrame(conn, m)
+	}
+	nd.wmu[dst].Unlock()
+	nd.mu.Lock()
+	if err != nil {
+		if nd.err == nil {
+			nd.err = err
+		}
+	} else {
+		nd.stats.MsgsSent++
+		nd.stats.BytesSent += uint64(m.WireSize())
+	}
+	nd.mu.Unlock()
+}
+
+func (pt *port) Compute(ops float64) {}
+
+func (pt *port) LocalAccess() {}
+
+func (pt *port) LegacyIPC() {}
+
+func (pt *port) Sleep(d sim.Duration) { time.Sleep(time.Duration(d)) }
+
+func (pt *port) Now() sim.Time { return sim.Time(time.Since((*Node)(pt).start)) }
+
+type mailbox struct {
+	ch        chan *wire.Message
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+func (mb *mailbox) Put(m *wire.Message) {
+	select {
+	case mb.ch <- m:
+	case <-mb.done:
+	}
+}
+
+func (mb *mailbox) Take() (*wire.Message, bool) {
+	select {
+	case m := <-mb.ch:
+		return m, true
+	case <-mb.done:
+		select {
+		case m := <-mb.ch:
+			return m, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+func (mb *mailbox) TakeTimeout(d sim.Duration) (*wire.Message, bool, bool) {
+	t := time.NewTimer(time.Duration(d))
+	defer t.Stop()
+	select {
+	case m := <-mb.ch:
+		return m, true, false
+	case <-mb.done:
+		return nil, false, false
+	case <-t.C:
+		return nil, false, true
+	}
+}
+
+func (mb *mailbox) Close() { mb.closeOnce.Do(func() { close(mb.done) }) }

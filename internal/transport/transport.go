@@ -1,0 +1,94 @@
+// Package transport abstracts how DSE kernels exchange wire messages.
+//
+// The paper's reorganised DSE "eliminates dependency on a specific
+// communication protocol"; this package is that seam. Three implementations
+// exist:
+//
+//   - simnet:  over the simulated CSMA/CD Ethernet with per-platform OS
+//     cost models (used for all paper experiments),
+//   - inproc:  direct in-process channels (fast unit testing),
+//   - tcpnet:  real TCP sockets via the standard library (the portability
+//     demonstration: the same application binary runs over a real
+//     protocol stack).
+//
+// Each cluster endpoint is a Node with two execution contexts: the App port
+// (the DSE process running user code) and the Svc port (the DSE kernel
+// service loop, the paper's "parallel processing mechanism" that fields
+// requests from other nodes). On the simulated transport the two contexts
+// are distinct cooperative processes, mirroring the asynchronous-I/O
+// interleaving of kernel and process inside one UNIX process.
+package transport
+
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Port is an execution context bound to one node: everything a running
+// piece of DSE code may do that costs (virtual) time.
+type Port interface {
+	// Send transmits m to kernel dst, charging send-side overhead to the
+	// caller and blocking until the message has left the node.
+	Send(dst int, m *wire.Message)
+	// Compute charges the cost of ops application operations.
+	Compute(ops float64)
+	// Sleep idles the context for d.
+	Sleep(d sim.Duration)
+	// LocalAccess charges the cost of a library-level access to a global
+	// memory word homed at this node (a few microseconds of virtual time
+	// on the simulated transport; free on real transports). Charging it
+	// also guarantees that busy-wait loops over local words advance
+	// virtual time.
+	LocalAccess()
+	// LegacyIPC charges one application-to-kernel IPC round trip of the
+	// paper's *old* DSE organisation (kernel and process as separate UNIX
+	// processes). The reorganised runtime never calls it; core's Legacy
+	// mode uses it to reproduce the old-vs-new comparison.
+	LegacyIPC()
+	// Now is the context's clock (virtual time on simnet, elapsed wall
+	// time on real transports).
+	Now() sim.Time
+}
+
+// Mailbox is a queue the kernel service uses to hand messages to code
+// blocked in the App context.
+type Mailbox interface {
+	// Put enqueues m. It must not block (mailboxes are amply buffered);
+	// callable from the Svc context.
+	Put(m *wire.Message)
+	// Take blocks the App context until a message arrives. ok is false if
+	// the mailbox was closed.
+	Take() (*wire.Message, bool)
+	// TakeTimeout is Take with a deadline.
+	TakeTimeout(d sim.Duration) (m *wire.Message, ok bool, timedOut bool)
+	// Close wakes blocked takers with ok=false.
+	Close()
+}
+
+// Node is one cluster endpoint (one DSE kernel's view of the network).
+type Node interface {
+	ID() int
+	N() int
+	// Hostname names the physical machine hosting this kernel; co-located
+	// kernels in a virtual cluster share it.
+	Hostname() string
+	// App is the DSE-process context, Svc the DSE-kernel context.
+	App() Port
+	Svc() Port
+	// Recv blocks the Svc context until a message arrives; ok is false
+	// once the node is shut down. Receive-side overhead is charged here.
+	Recv() (m *wire.Message, ok bool)
+	// CloseRecv unblocks Recv with ok=false (idempotent).
+	CloseRecv()
+	// NewMailbox creates a reply queue usable between this node's contexts.
+	NewMailbox(capacity int) Mailbox
+	// Stats exposes this node's accumulating counters.
+	Stats() *trace.PEStats
+}
+
+// Network is a constructed cluster of nodes sharing a medium.
+type Network interface {
+	N() int
+	Node(i int) Node
+}

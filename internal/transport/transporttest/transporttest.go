@@ -1,0 +1,282 @@
+// Package transporttest is a conformance suite for transport
+// implementations whose ports may be driven from ordinary goroutines
+// (inproc, tcpnet). It checks the contract the DSE kernel relies on:
+// addressing, self-delivery, per-sender FIFO, payload integrity, mailbox
+// semantics and shutdown behaviour. The simulated transport has its own
+// in-engine tests.
+package transporttest
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Network is the minimal constructor contract the suite needs.
+type Network interface {
+	N() int
+	Node(i int) transport.Node
+	Stop()
+}
+
+// Factory builds a fresh n-node network.
+type Factory func(t *testing.T, n int) Network
+
+// Run executes the whole conformance suite against the factory.
+func Run(t *testing.T, factory Factory) {
+	t.Helper()
+	t.Run("Identity", func(t *testing.T) { testIdentity(t, factory) })
+	t.Run("SelfSend", func(t *testing.T) { testSelfSend(t, factory) })
+	t.Run("CrossSendAllPairs", func(t *testing.T) { testCrossSend(t, factory) })
+	t.Run("PerSenderFIFO", func(t *testing.T) { testFIFO(t, factory) })
+	t.Run("PayloadIntegrity", func(t *testing.T) { testPayload(t, factory) })
+	t.Run("StatsCount", func(t *testing.T) { testStats(t, factory) })
+	t.Run("MailboxOrderAndTimeout", func(t *testing.T) { testMailbox(t, factory) })
+	t.Run("CloseRecvUnblocks", func(t *testing.T) { testClose(t, factory) })
+	t.Run("ConcurrentLoad", func(t *testing.T) { testConcurrent(t, factory) })
+}
+
+func testIdentity(t *testing.T, factory Factory) {
+	net := factory(t, 3)
+	defer net.Stop()
+	if net.N() != 3 {
+		t.Fatalf("N = %d", net.N())
+	}
+	for i := 0; i < 3; i++ {
+		nd := net.Node(i)
+		if nd.ID() != i || nd.N() != 3 {
+			t.Fatalf("node %d identity: ID=%d N=%d", i, nd.ID(), nd.N())
+		}
+		if nd.Hostname() == "" {
+			t.Fatalf("node %d has no hostname", i)
+		}
+	}
+}
+
+func testSelfSend(t *testing.T, factory Factory) {
+	net := factory(t, 2)
+	defer net.Stop()
+	done := make(chan *wire.Message, 1)
+	go func() {
+		m, _ := net.Node(0).Recv()
+		done <- m
+	}()
+	net.Node(0).App().Send(0, &wire.Message{Op: wire.OpPing, Src: 0, Dst: 0, Tag: 7})
+	select {
+	case m := <-done:
+		if m.Tag != 7 {
+			t.Fatalf("self-send corrupted: %v", m)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("self-send never delivered")
+	}
+}
+
+func testCrossSend(t *testing.T, factory Factory) {
+	const n = 4
+	net := factory(t, n)
+	defer net.Stop()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			seen := map[int32]bool{}
+			for len(seen) < n-1 {
+				m, ok := net.Node(i).Recv()
+				if !ok {
+					t.Errorf("node %d: closed early", i)
+					return
+				}
+				if seen[m.Src] {
+					t.Errorf("node %d: duplicate from %d", i, m.Src)
+				}
+				seen[m.Src] = true
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				net.Node(i).App().Send(j, &wire.Message{Op: wire.OpUserMsg, Src: int32(i), Dst: int32(j)})
+			}
+		}
+	}
+	wg.Wait()
+}
+
+func testFIFO(t *testing.T, factory Factory) {
+	net := factory(t, 2)
+	defer net.Stop()
+	const count = 300
+	got := make([]uint64, 0, count)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for len(got) < count {
+			m, ok := net.Node(1).Recv()
+			if !ok {
+				return
+			}
+			got = append(got, m.Seq)
+		}
+	}()
+	for i := 0; i < count; i++ {
+		net.Node(0).App().Send(1, &wire.Message{Op: wire.OpUserMsg, Seq: uint64(i)})
+	}
+	wg.Wait()
+	for i, seq := range got {
+		if seq != uint64(i) {
+			t.Fatalf("reordered at %d: got seq %d", i, seq)
+		}
+	}
+}
+
+func testPayload(t *testing.T, factory Factory) {
+	net := factory(t, 2)
+	defer net.Stop()
+	sizes := []int{0, 1, 7, 48, 1499, 1500, 1501, 65536}
+	done := make(chan error, 1)
+	go func() {
+		for _, size := range sizes {
+			m, ok := net.Node(1).Recv()
+			if !ok {
+				done <- fmt.Errorf("closed early")
+				return
+			}
+			if len(m.Data) != size {
+				done <- fmt.Errorf("size %d arrived as %d", size, len(m.Data))
+				return
+			}
+			for i, b := range m.Data {
+				if b != byte(i*7) {
+					done <- fmt.Errorf("size %d corrupted at byte %d", size, i)
+					return
+				}
+			}
+		}
+		done <- nil
+	}()
+	for _, size := range sizes {
+		data := make([]byte, size)
+		for i := range data {
+			data[i] = byte(i * 7)
+		}
+		net.Node(0).App().Send(1, &wire.Message{Op: wire.OpUserMsg, Data: data})
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testStats(t *testing.T, factory Factory) {
+	net := factory(t, 2)
+	defer net.Stop()
+	const count = 5
+	m := &wire.Message{Op: wire.OpUserMsg, Data: bytes.Repeat([]byte{1}, 64)}
+	recvd := make(chan struct{})
+	go func() {
+		for i := 0; i < count; i++ {
+			net.Node(1).Recv()
+		}
+		close(recvd)
+	}()
+	for i := 0; i < count; i++ {
+		net.Node(0).App().Send(1, m)
+	}
+	<-recvd
+	if s := net.Node(0).Stats(); s.MsgsSent != count || s.BytesSent != count*uint64(m.WireSize()) {
+		t.Fatalf("sender stats %+v", s)
+	}
+	if s := net.Node(1).Stats(); s.MsgsRecv != count {
+		t.Fatalf("receiver stats %+v", s)
+	}
+}
+
+func testMailbox(t *testing.T, factory Factory) {
+	net := factory(t, 1)
+	defer net.Stop()
+	mb := net.Node(0).NewMailbox(8)
+	for i := uint64(1); i <= 3; i++ {
+		mb.Put(&wire.Message{Seq: i})
+	}
+	for i := uint64(1); i <= 3; i++ {
+		m, ok := mb.Take()
+		if !ok || m.Seq != i {
+			t.Fatalf("take %d: %v %v", i, m, ok)
+		}
+	}
+	if _, _, timedOut := mb.TakeTimeout(10 * sim.Millisecond); !timedOut {
+		t.Fatal("expected timeout on empty mailbox")
+	}
+	mb.Close()
+	if _, ok := mb.Take(); ok {
+		t.Fatal("take succeeded after close")
+	}
+}
+
+func testClose(t *testing.T, factory Factory) {
+	net := factory(t, 1)
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := net.Node(0).Recv()
+		done <- ok
+	}()
+	net.Node(0).CloseRecv()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Recv ok after CloseRecv")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Recv did not unblock")
+	}
+	net.Stop()
+}
+
+func testConcurrent(t *testing.T, factory Factory) {
+	const (
+		n    = 4
+		each = 100
+	)
+	net := factory(t, n)
+	defer net.Stop()
+	var wg sync.WaitGroup
+	for dst := 0; dst < n; dst++ {
+		dst := dst
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			want := (n - 1) * each
+			for i := 0; i < want; i++ {
+				if _, ok := net.Node(dst).Recv(); !ok {
+					t.Errorf("node %d closed early", dst)
+					return
+				}
+			}
+		}()
+	}
+	for src := 0; src < n; src++ {
+		src := src
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				for dst := 0; dst < n; dst++ {
+					if dst != src {
+						net.Node(src).App().Send(dst, &wire.Message{Op: wire.OpUserMsg, Src: int32(src)})
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
