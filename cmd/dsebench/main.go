@@ -30,6 +30,7 @@ func main() {
 		table    = flag.Int("table", 0, "print a paper table (1 or 2)")
 		all      = flag.Bool("all", false, "regenerate every table and figure")
 		ablation = flag.Bool("ablation", false, "run the design-choice ablation suite")
+		msgstats = flag.Bool("msgstats", false, "print per-op message traffic for the reference workloads")
 		plot     = flag.Bool("plot", false, "also render figures as ASCII charts")
 		quick    = flag.Bool("quick", false, "use reduced parameter ranges")
 		maxPE    = flag.Int("maxpe", 0, "override the processor sweep upper bound")
@@ -56,6 +57,19 @@ func main() {
 		bench.Table2(2 * platform.PhysicalMachines).Fprint(os.Stdout)
 	case *table != 0:
 		fatalf("no table %d in the paper (1 or 2)", *table)
+	case *msgstats:
+		npe := 4
+		if *maxPE > 0 {
+			npe = *maxPE
+		}
+		tables, err := bench.MessageProfile(platform.SparcSunOS, npe, sc.Seed)
+		if err != nil {
+			fatalf("message profile: %v", err)
+		}
+		for _, tb := range tables {
+			tb.Fprint(os.Stdout)
+			fmt.Println()
+		}
 	case *ablation:
 		figs, err := bench.Ablations(sc.MaxPE, sc.Seed)
 		if err != nil {

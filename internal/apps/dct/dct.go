@@ -386,6 +386,8 @@ func Parallel(pe *core.PE, p Params) (*Result, error) {
 			last = int64(totalBlocks)
 		}
 		// One contiguous pixel fetch and coefficient write-back per chunk.
+		// Chunks spanning several GM blocks ride the vectored path: all runs
+		// homed at one kernel travel in a single OpReadV/OpWriteV message.
 		words := pe.GMReadBlock(imgAddr+uint64(first)*uint64(pixWords), int(last-first)*pixWords)
 		pixels := UnpackPixels(words)
 		outWords := make([]int64, 0, int(last-first)*keptWords)

@@ -203,7 +203,10 @@ func Parallel(pe *core.PE, p Params) (*Result, error) {
 
 	res := &Result{}
 	for sweep := 0; sweep < p.MaxSweeps; sweep++ {
-		// Fetch the current global vector (previous sweep's values).
+		// Fetch the current global vector (previous sweep's values). The
+		// vector is block-cyclic over all homes, so this row fetch rides the
+		// vectored read path: one OpReadV per remote home instead of one
+		// OpRead per block-sized run.
 		x := pe.GMReadBlockF(xAddr, p.N)
 		// Update own rows in order, Gauss-Seidel within the block.
 		delta := 0.0

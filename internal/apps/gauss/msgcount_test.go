@@ -1,0 +1,43 @@
+package gauss
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/wire"
+)
+
+// The coalescing regression guard: with vectored per-home transfers, the
+// reference Gauss-Seidel run (N=300, p=4, simulated Ethernet) must stay
+// well under the seed's message volume. The seed issued 1696 messages over
+// 17 sweeps (99.8/sweep, one OpRead per block-sized run of the row fetch);
+// vectored transfers bring that to 1040 (61.2/sweep). The bound of 75
+// messages/sweep sits between the two so a regression to per-run messaging
+// fails loudly while leaving headroom for protocol tweaks.
+func TestParallelMessageVolume(t *testing.T) {
+	var sweeps int
+	res, err := core.Run(core.Config{NumPE: 4, Platform: platform.SparcSunOS, Seed: 1}, func(pe *core.PE) error {
+		r, err := Parallel(pe, Params{N: 300, MaxSweeps: 20})
+		if pe.ID() == 0 && r != nil {
+			sweeps = r.Sweeps
+		}
+		return err
+	})
+	if err != nil || res.FirstErr() != nil {
+		t.Fatal(err, res.FirstErr())
+	}
+	if sweeps == 0 {
+		t.Fatal("no sweeps recorded")
+	}
+	perSweep := float64(res.Total.MsgsSent) / float64(sweeps)
+	t.Logf("gauss N=300 p=4: sweeps=%d msgs=%d (%.1f/sweep) readV=%d read=%d",
+		sweeps, res.Total.MsgsSent, perSweep,
+		res.Total.ByOp[wire.OpReadV].Msgs, res.Total.ByOp[wire.OpRead].Msgs)
+	if perSweep > 75 {
+		t.Errorf("%.1f messages/sweep, want <= 75 (seed was 99.8; vectored is 61.2)", perSweep)
+	}
+	if res.Total.ByOp[wire.OpReadV].Msgs == 0 {
+		t.Errorf("row fetches did not use vectored reads")
+	}
+}

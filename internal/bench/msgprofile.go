@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/apps/dct"
+	"repro/internal/apps/gauss"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+// MessageProfile runs the two data-parallel reference workloads on the
+// simulated cluster and reports the cluster-wide per-op message traffic:
+// which protocol operations carry the communication, and how scalar
+// read/write requests trade against the vectored (scatter/gather) ones.
+func MessageProfile(pl *platform.Platform, npe int, seed uint64) ([]*trace.Table, error) {
+	type workload struct {
+		name       string
+		blockWords int
+		body       func(pe *core.PE) error
+	}
+	workloads := []workload{
+		{
+			// Default (32-word) DSM blocks: the shared vector then spans
+			// several blocks per home and the row fetch rides the vectored
+			// read path, visible below as read-v displacing scalar reads.
+			name: fmt.Sprintf("gauss N=300 p=%d", npe),
+			body: func(pe *core.PE) error {
+				_, err := gauss.Parallel(pe, gauss.Params{N: 300, Seed: seed})
+				return err
+			},
+		},
+		{
+			name: fmt.Sprintf("dct 256/8 p=%d", npe),
+			body: func(pe *core.PE) error {
+				_, err := dct.Parallel(pe, dct.Params{ImageN: 256, Block: 8, Rate: 0.5, Seed: seed})
+				return err
+			},
+		},
+	}
+	var tables []*trace.Table
+	for _, w := range workloads {
+		res, err := core.Run(core.Config{
+			NumPE:        npe,
+			Platform:     pl,
+			Seed:         seed,
+			GMBlockWords: w.blockWords,
+		}, w.body)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.name, err)
+		}
+		if err := res.FirstErr(); err != nil {
+			return nil, fmt.Errorf("%s: %w", w.name, err)
+		}
+		title := fmt.Sprintf("message profile, %s on %s (total %d msgs, %d bytes)",
+			w.name, pl.Numeric, res.Total.MsgsSent, res.Total.BytesSent)
+		tables = append(tables, res.Total.OpTable(title))
+	}
+	return tables, nil
+}

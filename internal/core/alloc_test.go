@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// The zero-allocation fast path: remote GMRead/GMWrite over the inproc
+// transport must stay allocation-free in steady state (the seed cost was 13
+// and 12 allocs/op respectively; pooled messages, pooled frame buffers and
+// the persistent reply mailbox removed all of them). The regression bound
+// is 1 alloc/op — far below the seed but tolerant of incidental runtime
+// noise under AllocsPerRun, which counts allocations on every goroutine,
+// including the remote kernel's.
+func TestRemoteWordOpsAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector defeats sync.Pool reuse")
+	}
+	res, err := Run(Config{NumPE: 2, Transport: TransportInproc}, func(pe *PE) error {
+		addr := pe.Alloc(64)
+		for pe.Space().HomeOf(addr) == pe.ID() {
+			addr++
+		}
+		pe.Barrier()
+		if pe.ID() == 0 {
+			readAllocs := testing.AllocsPerRun(2000, func() { pe.GMRead(addr) })
+			writeAllocs := testing.AllocsPerRun(2000, func() { pe.GMWrite(addr, 42) })
+			faAllocs := testing.AllocsPerRun(2000, func() { pe.FetchAdd(addr, 1) })
+			t.Logf("allocs/op: GMRead=%v GMWrite=%v FetchAdd=%v", readAllocs, writeAllocs, faAllocs)
+			if readAllocs > 1 {
+				t.Errorf("GMRead allocates %v/op, want <= 1", readAllocs)
+			}
+			if writeAllocs > 1 {
+				t.Errorf("GMWrite allocates %v/op, want <= 1", writeAllocs)
+			}
+			if faAllocs > 1 {
+				t.Errorf("FetchAdd allocates %v/op, want <= 1", faAllocs)
+			}
+		}
+		pe.Barrier()
+		return nil
+	})
+	if err != nil || res.FirstErr() != nil {
+		t.Fatal(err, res.FirstErr())
+	}
+}
+
+// GMGather and GMScatter move scattered single words in one message per
+// home, in input order, on every transport-visible path (local words,
+// remote words, repeated homes).
+func TestGatherScatter(t *testing.T) {
+	res, err := Run(Config{NumPE: 4, Transport: TransportInproc}, func(pe *PE) error {
+		bw := uint64(pe.Space().BlockWords)
+		base := pe.Alloc(int(bw) * 16)
+		pe.Barrier()
+		// Addresses deliberately out of order, covering every home twice.
+		var addrs []uint64
+		for i := uint64(0); i < 8; i++ {
+			addrs = append(addrs, base+(7-i)*bw+i)
+		}
+		if pe.ID() == 0 {
+			vals := make([]int64, len(addrs))
+			for i := range vals {
+				vals[i] = int64(1000 + i)
+			}
+			pe.GMScatter(addrs, vals)
+		}
+		pe.Barrier()
+		got := pe.GMGather(addrs)
+		for i, v := range got {
+			if v != int64(1000+i) {
+				return errAt(pe.ID(), i, v)
+			}
+		}
+		pe.Barrier()
+		return nil
+	})
+	if err != nil || res.FirstErr() != nil {
+		t.Fatal(err, res.FirstErr())
+	}
+	if got := res.Total.ByOp[wire.OpReadV].Msgs; got == 0 {
+		t.Errorf("expected vectored read messages, ByOp[OpReadV].Msgs = 0")
+	}
+	if got := res.Total.ByOp[wire.OpWriteV].Msgs; got == 0 {
+		t.Errorf("expected vectored write messages, ByOp[OpWriteV].Msgs = 0")
+	}
+}
+
+func errAt(id, i int, v int64) error {
+	return fmt.Errorf("PE %d: word %d = %d, unexpected", id, i, v)
+}
+
+// Block transfers must coalesce: a read spanning every home costs at most
+// one request message per remote home (plus its response), not one per
+// block-sized run.
+func TestBlockReadCoalescesPerHome(t *testing.T) {
+	const blocksPerHome = 8
+	res, err := Run(Config{NumPE: 4, Transport: TransportInproc}, func(pe *PE) error {
+		bw := pe.Space().BlockWords
+		n := 4 * blocksPerHome * bw
+		base := pe.AllocBlocks(n)
+		if pe.ID() == 0 {
+			ws := make([]int64, n)
+			for i := range ws {
+				ws[i] = int64(i)
+			}
+			pe.GMWriteBlock(base, ws)
+		}
+		pe.Barrier()
+		if pe.ID() == 1 {
+			got := pe.GMReadBlock(base, n)
+			for i, v := range got {
+				if v != int64(i) {
+					return errAt(1, i, v)
+				}
+			}
+		}
+		pe.Barrier()
+		return nil
+	})
+	if err != nil || res.FirstErr() != nil {
+		t.Fatal(err, res.FirstErr())
+	}
+	// PE 1's read: 3 remote homes -> at most 3 read requests of any kind.
+	reads := res.PerPE[1].ByOp[wire.OpRead].Msgs + res.PerPE[1].ByOp[wire.OpReadV].Msgs
+	if reads > 3 {
+		t.Errorf("PE 1 issued %d read requests for a 3-remote-home block read, want <= 3", reads)
+	}
+	if res.PerPE[1].ByOp[wire.OpReadV].Msgs == 0 {
+		t.Errorf("expected PE 1's multi-run block read to use OpReadV")
+	}
+}

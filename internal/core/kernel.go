@@ -65,6 +65,21 @@ type Kernel struct {
 	// In-flight invalidation rounds at this home (caching protocol).
 	inv     map[uint64]*invRound
 	invNext uint64
+
+	// Handler scratch, reused across requests. Handlers run only on the
+	// serve goroutine, so no locking is needed.
+	wscratch []int64   // payload words
+	vscratch []int64   // per-run words of a vectored write
+	raddrs   []uint64  // decoded vectored-read range starts
+	rcounts  []int     // decoded vectored-read range lengths
+	invSends []invSend // pending invalidations of a vectored write
+}
+
+// invSend is one invalidation a mutating request must issue: drop the
+// cached block containing addr at kernel dst.
+type invSend struct {
+	addr uint64
+	dst  int
 }
 
 // invRound tracks one write/atomic waiting for invalidation acks before the
@@ -158,32 +173,45 @@ func (k *Kernel) serve() {
 		if !ok {
 			return
 		}
-		k.handle(m)
+		if k.handle(m) {
+			wire.PutMessage(m)
+		}
 	}
 }
 
-func (k *Kernel) handle(m *wire.Message) {
+// handle dispatches one incoming message. It reports whether the message
+// was consumed here (true → serve recycles it); false means ownership moved
+// to another context: a reply mailbox, the sync mailbox or a user queue.
+func (k *Kernel) handle(m *wire.Message) bool {
 	k.logMessage(m)
 	switch m.Op {
 	// Responses to this kernel's own outstanding requests.
 	case wire.OpReadResp, wire.OpWriteAck, wire.OpFetchAddResp, wire.OpCASResp,
+		wire.OpReadVResp,
 		wire.OpProcRegResp, wire.OpProcExitAck, wire.OpProcListResp,
 		wire.OpPong, wire.OpWelcome:
 		if mb, ok := k.takePending(m.Seq); ok {
 			mb.Put(m)
+			return false
 		}
+		return true // stray (e.g. after a timeout): drop
 
 	// Synchronisation grants for the application context.
 	case wire.OpBarrierRelease:
-		k.handleBarrierRelease(m)
+		return k.handleBarrierRelease(m)
 	case wire.OpLockGrant, wire.OpSemGrant:
 		k.syncMb.Put(m)
+		return false
 
 	// Global memory service (this kernel is the home).
 	case wire.OpRead:
 		k.handleRead(m)
+	case wire.OpReadV:
+		k.handleReadV(m)
 	case wire.OpWrite:
 		k.handleWrite(m)
+	case wire.OpWriteV:
+		k.handleWriteV(m)
 	case wire.OpFetchAdd:
 		k.handleFetchAdd(m)
 	case wire.OpCAS:
@@ -198,44 +226,68 @@ func (k *Kernel) handle(m *wire.Message) {
 		k.handleBarrierArrive(m)
 	case wire.OpLockAcquire:
 		if k.locks.Acquire(int(m.Src), m.Tag) {
-			k.reply(m, &wire.Message{Op: wire.OpLockGrant, Tag: m.Tag})
+			grant := wire.GetMessage()
+			grant.Op, grant.Tag = wire.OpLockGrant, m.Tag
+			k.reply(m, grant)
 		}
 	case wire.OpLockRelease:
 		if next, ok := k.locks.Release(int(m.Src), m.Tag); ok {
-			k.svc.Send(next, &wire.Message{Op: wire.OpLockGrant, Src: int32(k.id), Dst: int32(next), Tag: m.Tag})
+			k.sendTo(next, wire.OpLockGrant, m.Tag)
 		}
 	case wire.OpSemWait:
 		if k.sems.Wait(int(m.Src), m.Tag) {
-			k.reply(m, &wire.Message{Op: wire.OpSemGrant, Tag: m.Tag})
+			grant := wire.GetMessage()
+			grant.Op, grant.Tag = wire.OpSemGrant, m.Tag
+			k.reply(m, grant)
 		}
 	case wire.OpSemPost:
 		if next, ok := k.sems.Post(m.Tag); ok {
-			k.svc.Send(next, &wire.Message{Op: wire.OpSemGrant, Src: int32(k.id), Dst: int32(next), Tag: m.Tag})
+			k.sendTo(next, wire.OpSemGrant, m.Tag)
 		}
 
 	// Parallel process management (kernel 0 hosts the global table).
 	case wire.OpProcRegister:
 		gpid := k.procs.Register(m.Src, string(m.Data), k.svc.Now())
-		k.reply(m, &wire.Message{Op: wire.OpProcRegResp, Arg1: gpid})
+		resp := wire.GetMessage()
+		resp.Op, resp.Arg1 = wire.OpProcRegResp, gpid
+		k.reply(m, resp)
 	case wire.OpProcExit:
 		if err := k.procs.Exit(m.Arg1, m.Arg2, k.svc.Now()); err != nil {
 			panic(fmt.Sprintf("core: kernel 0: %v", err))
 		}
-		k.reply(m, &wire.Message{Op: wire.OpProcExitAck})
+		resp := wire.GetMessage()
+		resp.Op = wire.OpProcExitAck
+		k.reply(m, resp)
 	case wire.OpProcList:
-		k.reply(m, &wire.Message{Op: wire.OpProcListResp, Data: procmgmt.EncodeSnapshot(k.procs.Snapshot())})
+		resp := wire.GetMessage()
+		resp.Op = wire.OpProcListResp
+		resp.Data = procmgmt.EncodeSnapshot(k.procs.Snapshot())
+		k.reply(m, resp)
 
-	// Application-level messages.
+	// Application-level messages: the payload escapes to the application
+	// via RecvMsg, so the message is never recycled.
 	case wire.OpUserMsg:
 		k.userMb(m.Tag).Put(m)
+		return false
 
 	// Liveness.
 	case wire.OpPing:
-		k.reply(m, &wire.Message{Op: wire.OpPong})
+		resp := wire.GetMessage()
+		resp.Op = wire.OpPong
+		k.reply(m, resp)
 
 	default:
 		panic(fmt.Sprintf("core: kernel %d: unexpected message %v", k.id, m))
 	}
+	return true
+}
+
+// sendTo sends a freshly pooled grant-style message to kernel dst.
+func (k *Kernel) sendTo(dst int, op wire.Op, tag int32) {
+	g := wire.GetMessage()
+	g.Op, g.Src, g.Dst, g.Tag = op, int32(k.id), int32(dst), tag
+	k.svc.Send(dst, g)
+	wire.PutMessage(g)
 }
 
 // logMessage appends m to the cluster-wide protocol trace, if enabled.
@@ -249,49 +301,110 @@ func (k *Kernel) logMessage(m *wire.Message) {
 	cfg.logMu.Unlock()
 }
 
-// reply answers request m, echoing its Seq.
+// reply answers request m, echoing its Seq. reply takes ownership of resp:
+// the transport has fully serialised it by the time Send returns, so it is
+// recycled here.
 func (k *Kernel) reply(m *wire.Message, resp *wire.Message) {
 	resp.Src = int32(k.id)
 	resp.Dst = m.Src
 	resp.Seq = m.Seq
 	k.svc.Send(int(m.Src), resp)
+	wire.PutMessage(resp)
 }
 
 func (k *Kernel) handleRead(m *wire.Message) {
+	resp := wire.GetMessage()
+	resp.Op, resp.Addr = wire.OpReadResp, m.Addr
 	if m.Arg2 == 1 {
 		// Block fetch for the caching protocol: return the whole block and
 		// record the reader in the directory.
-		blk := k.seg.ReadBlockFor(m.Addr, int(m.Src))
-		resp := &wire.Message{Op: wire.OpReadResp, Addr: m.Addr}
-		resp.PutWords(blk)
+		resp.PutWords(k.seg.ReadBlockFor(m.Addr, int(m.Src)))
 		k.reply(m, resp)
 		return
 	}
-	words := k.seg.Read(m.Addr, int(m.Arg1))
-	resp := &wire.Message{Op: wire.OpReadResp, Addr: m.Addr}
-	resp.PutWords(words)
+	k.wscratch = k.seg.ReadAppend(k.wscratch[:0], m.Addr, int(m.Arg1))
+	resp.PutWords(k.wscratch)
+	k.reply(m, resp)
+}
+
+// handleReadV serves a vectored read: every requested range, gathered into
+// one response payload.
+func (k *Kernel) handleReadV(m *wire.Message) {
+	k.raddrs = k.raddrs[:0]
+	k.rcounts = k.rcounts[:0]
+	if err := m.EachRange(func(addr uint64, count int) {
+		k.raddrs = append(k.raddrs, addr)
+		k.rcounts = append(k.rcounts, count)
+	}); err != nil {
+		panic(fmt.Sprintf("core: kernel %d: bad vectored read: %v", k.id, err))
+	}
+	k.wscratch = k.seg.ReadV(k.wscratch[:0], k.raddrs, k.rcounts)
+	resp := wire.GetMessage()
+	resp.Op, resp.Addr = wire.OpReadVResp, m.Addr
+	resp.PutWords(k.wscratch)
 	k.reply(m, resp)
 }
 
 func (k *Kernel) handleWrite(m *wire.Message) {
-	words := m.Words()
+	k.wscratch = m.WordsInto(k.wscratch)
 	if k.cache == nil {
-		k.seg.Write(m.Addr, words)
-		k.reply(m, &wire.Message{Op: wire.OpWriteAck})
+		k.seg.Write(m.Addr, k.wscratch)
+		ack := wire.GetMessage()
+		ack.Op = wire.OpWriteAck
+		k.reply(m, ack)
 		return
 	}
-	targets := k.seg.WriteInvalidating(m.Addr, words, int(m.Src))
-	k.finishAfterInvalidation(m, targets, wire.OpWriteAck, 0, 0)
+	targets := k.seg.WriteInvalidating(m.Addr, k.wscratch, int(m.Src))
+	k.invSends = k.invSends[:0]
+	for _, t := range targets {
+		k.invSends = append(k.invSends, invSend{addr: m.Addr, dst: t})
+	}
+	k.finishAfterInvalidations(m, k.invSends, wire.OpWriteAck, 0, 0)
+}
+
+// handleWriteV serves a vectored write: every run scattered to its range,
+// one ack. Under caching, the ack is withheld until every invalidation of
+// every touched block has been acknowledged.
+func (k *Kernel) handleWriteV(m *wire.Message) {
+	var err error
+	if k.cache == nil {
+		k.vscratch, err = m.EachWriteRun(k.vscratch, func(addr uint64, words []int64) {
+			k.seg.Write(addr, words)
+		})
+		if err != nil {
+			panic(fmt.Sprintf("core: kernel %d: bad vectored write: %v", k.id, err))
+		}
+		ack := wire.GetMessage()
+		ack.Op = wire.OpWriteAck
+		k.reply(m, ack)
+		return
+	}
+	k.invSends = k.invSends[:0]
+	k.vscratch, err = m.EachWriteRun(k.vscratch, func(addr uint64, words []int64) {
+		for _, t := range k.seg.WriteInvalidating(addr, words, int(m.Src)) {
+			k.invSends = append(k.invSends, invSend{addr: addr, dst: t})
+		}
+	})
+	if err != nil {
+		panic(fmt.Sprintf("core: kernel %d: bad vectored write: %v", k.id, err))
+	}
+	k.finishAfterInvalidations(m, k.invSends, wire.OpWriteAck, 0, 0)
 }
 
 func (k *Kernel) handleFetchAdd(m *wire.Message) {
 	old := k.seg.FetchAdd(m.Addr, m.Arg1)
 	if k.cache == nil {
-		k.reply(m, &wire.Message{Op: wire.OpFetchAddResp, Arg1: old})
+		resp := wire.GetMessage()
+		resp.Op, resp.Arg1 = wire.OpFetchAddResp, old
+		k.reply(m, resp)
 		return
 	}
 	targets := k.seg.CollectInvalidations(m.Addr, int(m.Src))
-	k.finishAfterInvalidation(m, targets, wire.OpFetchAddResp, old, 0)
+	k.invSends = k.invSends[:0]
+	for _, t := range targets {
+		k.invSends = append(k.invSends, invSend{addr: m.Addr, dst: t})
+	}
+	k.finishAfterInvalidations(m, k.invSends, wire.OpFetchAddResp, old, 0)
 }
 
 func (k *Kernel) handleCAS(m *wire.Message) {
@@ -301,20 +414,28 @@ func (k *Kernel) handleCAS(m *wire.Message) {
 		sw = 1
 	}
 	if k.cache == nil || !swapped {
-		k.reply(m, &wire.Message{Op: wire.OpCASResp, Arg1: prev, Arg2: sw})
+		resp := wire.GetMessage()
+		resp.Op, resp.Arg1, resp.Arg2 = wire.OpCASResp, prev, sw
+		k.reply(m, resp)
 		return
 	}
 	targets := k.seg.CollectInvalidations(m.Addr, int(m.Src))
-	k.finishAfterInvalidation(m, targets, wire.OpCASResp, prev, sw)
+	k.invSends = k.invSends[:0]
+	for _, t := range targets {
+		k.invSends = append(k.invSends, invSend{addr: m.Addr, dst: t})
+	}
+	k.finishAfterInvalidations(m, k.invSends, wire.OpCASResp, prev, sw)
 }
 
-// finishAfterInvalidation acknowledges a mutating request immediately when
-// no remote copies exist, or after every cached copy has acknowledged its
-// invalidation (write-invalidate coherence: the writer may not proceed
-// while stale copies are readable).
-func (k *Kernel) finishAfterInvalidation(m *wire.Message, targets []int, respOp wire.Op, arg1, arg2 int64) {
-	if len(targets) == 0 {
-		k.reply(m, &wire.Message{Op: respOp, Arg1: arg1, Arg2: arg2})
+// finishAfterInvalidations acknowledges a mutating request immediately when
+// no remote copies exist, or after every cached copy of every touched block
+// has acknowledged its invalidation (write-invalidate coherence: the writer
+// may not proceed while stale copies are readable).
+func (k *Kernel) finishAfterInvalidations(m *wire.Message, sends []invSend, respOp wire.Op, arg1, arg2 int64) {
+	if len(sends) == 0 {
+		resp := wire.GetMessage()
+		resp.Op, resp.Arg1, resp.Arg2 = respOp, arg1, arg2
+		k.reply(m, resp)
 		return
 	}
 	k.invNext++
@@ -322,13 +443,14 @@ func (k *Kernel) finishAfterInvalidation(m *wire.Message, targets []int, respOp 
 	k.inv[id] = &invRound{
 		requester: m.Src, seq: m.Seq,
 		respOp: respOp, arg1: arg1, arg2: arg2,
-		remaining: len(targets),
+		remaining: len(sends),
 	}
-	for _, t := range targets {
-		k.svc.Send(t, &wire.Message{
-			Op: wire.OpInvalidate, Src: int32(k.id), Dst: int32(t),
-			Seq: id, Addr: m.Addr,
-		})
+	for _, s := range sends {
+		inv := wire.GetMessage()
+		inv.Op, inv.Src, inv.Dst = wire.OpInvalidate, int32(k.id), int32(s.dst)
+		inv.Seq, inv.Addr = id, s.addr
+		k.svc.Send(s.dst, inv)
+		wire.PutMessage(inv)
 	}
 }
 
@@ -336,7 +458,9 @@ func (k *Kernel) handleInvalidate(m *wire.Message) {
 	if k.cache != nil {
 		k.cache.Invalidate(m.Addr)
 	}
-	k.reply(m, &wire.Message{Op: wire.OpInvAck, Addr: m.Addr})
+	ack := wire.GetMessage()
+	ack.Op, ack.Addr = wire.OpInvAck, m.Addr
+	k.reply(m, ack)
 }
 
 func (k *Kernel) handleInvAck(m *wire.Message) {
@@ -349,10 +473,11 @@ func (k *Kernel) handleInvAck(m *wire.Message) {
 		return
 	}
 	delete(k.inv, m.Seq)
-	k.svc.Send(int(r.requester), &wire.Message{
-		Op: r.respOp, Src: int32(k.id), Dst: r.requester, Seq: r.seq,
-		Arg1: r.arg1, Arg2: r.arg2,
-	})
+	resp := wire.GetMessage()
+	resp.Op, resp.Src, resp.Dst, resp.Seq = r.respOp, int32(k.id), r.requester, r.seq
+	resp.Arg1, resp.Arg2 = r.arg1, r.arg2
+	k.svc.Send(int(r.requester), resp)
+	wire.PutMessage(resp)
 }
 
 // handleBarrierArrive implements both barrier flavours.
@@ -360,7 +485,7 @@ func (k *Kernel) handleBarrierArrive(m *wire.Message) {
 	if k.cfg.Barrier == BarrierTree {
 		if k.tree.Arrive(m.Tag) {
 			if parent, ok := k.tree.Parent(); ok {
-				k.svc.Send(parent, &wire.Message{Op: wire.OpBarrierArrive, Src: int32(k.id), Dst: int32(parent), Tag: m.Tag})
+				k.sendTo(parent, wire.OpBarrierArrive, m.Tag)
 			} else {
 				k.releaseDown(m.Tag)
 			}
@@ -373,26 +498,31 @@ func (k *Kernel) handleBarrierArrive(m *wire.Message) {
 	}
 	if waiters := k.barrier.Arrive(int(m.Src), m.Tag); waiters != nil {
 		for _, w := range waiters {
-			k.svc.Send(w, &wire.Message{Op: wire.OpBarrierRelease, Src: int32(k.id), Dst: int32(w), Tag: m.Tag})
+			k.sendTo(w, wire.OpBarrierRelease, m.Tag)
 		}
 	}
 }
 
 // handleBarrierRelease wakes the local application and, for the tree
-// barrier, forwards the release to this kernel's subtree.
-func (k *Kernel) handleBarrierRelease(m *wire.Message) {
+// barrier, forwards the release to this kernel's subtree. It reports
+// whether the message was consumed (central releases move to the sync
+// mailbox instead).
+func (k *Kernel) handleBarrierRelease(m *wire.Message) bool {
 	if k.cfg.Barrier == BarrierTree {
 		k.releaseDown(m.Tag)
-		return
+		return true
 	}
 	k.syncMb.Put(m)
+	return false
 }
 
 func (k *Kernel) releaseDown(tag int32) {
 	for _, c := range k.tree.Children() {
-		k.svc.Send(c, &wire.Message{Op: wire.OpBarrierRelease, Src: int32(k.id), Dst: int32(c), Tag: tag})
+		k.sendTo(c, wire.OpBarrierRelease, tag)
 	}
-	k.syncMb.Put(&wire.Message{Op: wire.OpBarrierRelease, Src: int32(k.id), Dst: int32(k.id), Tag: tag})
+	wake := wire.GetMessage()
+	wake.Op, wake.Src, wake.Dst, wake.Tag = wire.OpBarrierRelease, int32(k.id), int32(k.id), tag
+	k.syncMb.Put(wake)
 }
 
 // Stats returns the node's transport-level counters.

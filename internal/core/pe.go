@@ -24,13 +24,40 @@ type PE struct {
 	gpid  int64
 	extra trace.PEStats   // app-context counters merged into the result
 	rtt   trace.Histogram // request round-trip latency distribution
+
+	// replyMb is the persistent reply mailbox: every response to this PE's
+	// requests lands here (the PE is single-threaded, so scalar requests
+	// never overlap; pipelined block transfers match replies by Seq).
+	replyMb transport.Mailbox
+
+	// Scratch reused across calls by the hot-path operations.
+	words []int64   // decoded response payloads
+	vruns []vrun    // home-runs of the block/gather being assembled
+	hruns []vrun    // the same runs, grouped by home
+	reqs  []homeReq // one in-flight request per remote home
+}
+
+// vrun is one single-home run of a block or gather operation.
+type vrun struct {
+	home  int
+	start uint64
+	count int
+	off   int // word offset within the caller's buffer
+}
+
+// homeReq is one coalesced per-home request of a pipelined transfer.
+type homeReq struct {
+	seq    uint64
+	lo, hi int // pe.hruns[lo:hi] travelled in this request
+	done   bool
 }
 
 func newPE(k *Kernel) *PE {
 	return &PE{
-		k:     k,
-		app:   k.node.App(),
-		alloc: gmem.NewAllocator(k.space),
+		k:       k,
+		app:     k.node.App(),
+		alloc:   gmem.NewAllocator(k.space),
+		replyMb: k.node.NewMailbox(0),
 	}
 }
 
@@ -73,34 +100,43 @@ func (pe *PE) legacyCrossing() {
 	}
 }
 
-// request sends m to kernel dst and blocks until the response arrives.
-// Request time beyond the send-side overhead is accounted as wait time.
+// request sends m to kernel dst and blocks until the response arrives in
+// the persistent reply mailbox. Request time beyond the send-side overhead
+// is accounted as wait time. The caller owns both m and the returned
+// response; recycle them with wire.PutMessage when done.
 func (pe *PE) request(dst int, m *wire.Message) *wire.Message {
 	k := pe.k
-	mb := k.node.NewMailbox(1)
 	m.Src = int32(k.id)
 	m.Dst = int32(dst)
-	m.Seq = k.addPending(mb)
+	m.Seq = k.addPending(pe.replyMb)
 	start := pe.app.Now()
 	pe.app.Send(dst, m)
+	resp := pe.takeReply(m.Seq, m.Op, dst)
+	rtt := pe.app.Now() - start
+	pe.extra.WaitTime += rtt
+	pe.rtt.Observe(rtt)
+	return resp
+}
+
+// takeReply blocks on the reply mailbox for the response to seq (op/dst
+// only flavour the panic messages).
+func (pe *PE) takeReply(seq uint64, op wire.Op, dst int) *wire.Message {
+	k := pe.k
 	var resp *wire.Message
 	var ok bool
 	if d := k.requestTimeout(); d > 0 {
 		var timedOut bool
-		resp, ok, timedOut = mb.TakeTimeout(d)
+		resp, ok, timedOut = pe.replyMb.TakeTimeout(d)
 		if timedOut {
-			k.dropPending(m.Seq)
-			panic(fmt.Sprintf("core: PE %d: %v request to kernel %d timed out after %v", k.id, m.Op, dst, d))
+			k.dropPending(seq)
+			panic(fmt.Sprintf("core: PE %d: %v request to kernel %d timed out after %v", k.id, op, dst, d))
 		}
 	} else {
-		resp, ok = mb.Take()
+		resp, ok = pe.replyMb.Take()
 	}
 	if !ok {
-		panic(fmt.Sprintf("core: PE %d: cluster shut down during %v request", k.id, m.Op))
+		panic(fmt.Sprintf("core: PE %d: cluster shut down during %v request", k.id, op))
 	}
-	rtt := pe.app.Now() - start
-	pe.extra.WaitTime += rtt
-	pe.rtt.Observe(rtt)
 	return resp
 }
 
@@ -119,22 +155,31 @@ func (pe *PE) GMRead(addr uint64) int64 {
 		if k.space.HomeOf(addr) == k.id {
 			pe.app.LocalAccess()
 			pe.extra.LocalGM++
-			return k.seg.Read(addr, 1)[0]
+			return k.seg.ReadWord(addr)
 		}
 		pe.extra.RemoteGM++
-		resp := pe.request(k.space.HomeOf(addr), &wire.Message{Op: wire.OpRead, Addr: addr, Arg2: 1})
-		blk := resp.Words()
-		k.cache.Insert(addr, blk)
-		return blk[addr%uint64(k.space.BlockWords)]
+		req := wire.GetMessage()
+		req.Op, req.Addr, req.Arg2 = wire.OpRead, addr, 1
+		resp := pe.request(k.space.HomeOf(addr), req)
+		wire.PutMessage(req)
+		pe.words = resp.WordsInto(pe.words)
+		wire.PutMessage(resp)
+		k.cache.Insert(addr, pe.words)
+		return pe.words[addr%uint64(k.space.BlockWords)]
 	}
 	if k.space.HomeOf(addr) == k.id {
 		pe.app.LocalAccess()
 		pe.extra.LocalGM++
-		return k.seg.Read(addr, 1)[0]
+		return k.seg.ReadWord(addr)
 	}
 	pe.extra.RemoteGM++
-	resp := pe.request(k.space.HomeOf(addr), &wire.Message{Op: wire.OpRead, Addr: addr, Arg1: 1})
-	return resp.Words()[0]
+	req := wire.GetMessage()
+	req.Op, req.Addr, req.Arg1 = wire.OpRead, addr, 1
+	resp := pe.request(k.space.HomeOf(addr), req)
+	wire.PutMessage(req)
+	v := resp.Word(0)
+	wire.PutMessage(resp)
+	return v
 }
 
 // GMWrite stores v at addr.
@@ -144,7 +189,7 @@ func (pe *PE) GMWrite(addr uint64, v int64) {
 	if k.cache == nil && k.space.HomeOf(addr) == k.id {
 		pe.app.LocalAccess()
 		pe.extra.LocalGM++
-		k.seg.Write(addr, []int64{v})
+		k.seg.WriteWord(addr, v)
 		return
 	}
 	// Under caching every mutation goes through the home's invalidation
@@ -153,9 +198,12 @@ func (pe *PE) GMWrite(addr uint64, v int64) {
 	// longer be registered in the home's directory, so later writes by
 	// other PEs could not invalidate it.
 	pe.extra.RemoteGM++
-	m := &wire.Message{Op: wire.OpWrite, Addr: addr}
-	m.PutWords([]int64{v})
-	pe.request(k.space.HomeOf(addr), m)
+	req := wire.GetMessage()
+	req.Op, req.Addr = wire.OpWrite, addr
+	req.PutWord(v)
+	resp := pe.request(k.space.HomeOf(addr), req)
+	wire.PutMessage(req)
+	wire.PutMessage(resp)
 	if k.cache != nil {
 		k.cache.Invalidate(addr)
 	}
@@ -172,11 +220,16 @@ func (pe *PE) FetchAdd(addr uint64, delta int64) int64 {
 		return k.seg.FetchAdd(addr, delta)
 	}
 	pe.extra.RemoteGM++
-	resp := pe.request(k.space.HomeOf(addr), &wire.Message{Op: wire.OpFetchAdd, Addr: addr, Arg1: delta})
+	req := wire.GetMessage()
+	req.Op, req.Addr, req.Arg1 = wire.OpFetchAdd, addr, delta
+	resp := pe.request(k.space.HomeOf(addr), req)
+	wire.PutMessage(req)
+	old := resp.Arg1
+	wire.PutMessage(resp)
 	if k.cache != nil {
 		k.cache.Invalidate(addr)
 	}
-	return resp.Arg1
+	return old
 }
 
 // CAS atomically compares-and-swaps the word at addr; it returns the
@@ -190,117 +243,269 @@ func (pe *PE) CAS(addr uint64, old, new int64) (int64, bool) {
 		return k.seg.CAS(addr, old, new)
 	}
 	pe.extra.RemoteGM++
-	resp := pe.request(k.space.HomeOf(addr), &wire.Message{Op: wire.OpCAS, Addr: addr, Arg1: old, Arg2: new})
+	req := wire.GetMessage()
+	req.Op, req.Addr, req.Arg1, req.Arg2 = wire.OpCAS, addr, old, new
+	resp := pe.request(k.space.HomeOf(addr), req)
+	wire.PutMessage(req)
+	prev, sw := resp.Arg1, resp.Arg2 == 1
+	wire.PutMessage(resp)
 	if k.cache != nil {
 		k.cache.Invalidate(addr)
 	}
-	return resp.Arg1, resp.Arg2 == 1
+	return prev, sw
 }
 
-// --- Global memory: block operations ---
+// --- Global memory: block and vectored (scatter/gather) operations ---
 
-// blockPart is one outstanding piece of a pipelined block transfer.
-type blockPart struct {
-	mb    transport.Mailbox
-	op    wire.Op
-	local []int64 // filled immediately for locally-homed runs
-}
-
-// sendAsync issues a request without waiting for its reply.
-func (pe *PE) sendAsync(dst int, m *wire.Message) transport.Mailbox {
+// sendAsync issues a request without waiting for its reply (which will
+// arrive in the persistent reply mailbox, matched by the returned Seq).
+// The DSE kernel's asynchronous-I/O design lets a DSE process keep several
+// requests in flight, so a transfer overlaps its per-home round trips.
+func (pe *PE) sendAsync(dst int, m *wire.Message) uint64 {
 	k := pe.k
-	mb := k.node.NewMailbox(1)
 	m.Src = int32(k.id)
 	m.Dst = int32(dst)
-	m.Seq = k.addPending(mb)
+	seq := k.addPending(pe.replyMb)
+	m.Seq = seq
 	pe.app.Send(dst, m)
-	return mb
+	return seq
 }
 
-// awaitParts collects the replies of a pipelined transfer in issue order,
-// charging the wait once. The DSE kernel's asynchronous-I/O design lets a
-// DSE process keep several requests in flight, so a block transfer
-// overlaps the round trips of its per-home runs.
-func (pe *PE) awaitParts(parts []blockPart) []*wire.Message {
-	start := pe.app.Now()
-	out := make([]*wire.Message, len(parts))
-	for i, part := range parts {
-		if part.mb == nil {
-			continue
-		}
-		var resp *wire.Message
-		var ok bool
-		if d := pe.k.requestTimeout(); d > 0 {
-			var timedOut bool
-			resp, ok, timedOut = part.mb.TakeTimeout(d)
-			if timedOut {
-				panic(fmt.Sprintf("core: PE %d: %v block transfer timed out after %v", pe.k.id, part.op, d))
+// groupRunsByHome regroups pe.vruns into pe.hruns ordered by home and
+// returns nothing; callers then slice pe.hruns per home. Runs keep their
+// relative (ascending-address) order within each home group.
+func (pe *PE) groupRunsByHome() {
+	pe.hruns = pe.hruns[:0]
+	pe.reqs = pe.reqs[:0]
+	for home := 0; home < pe.k.n; home++ {
+		lo := len(pe.hruns)
+		for _, r := range pe.vruns {
+			if r.home == home {
+				pe.hruns = append(pe.hruns, r)
 			}
-		} else {
-			resp, ok = part.mb.Take()
 		}
-		if !ok {
-			panic(fmt.Sprintf("core: PE %d: cluster shut down during block transfer", pe.k.id))
+		if hi := len(pe.hruns); hi > lo {
+			pe.reqs = append(pe.reqs, homeReq{lo: lo, hi: hi})
 		}
-		out[i] = resp
+	}
+}
+
+// awaitGather collects the per-home read responses of a pipelined gather,
+// scattering each response's words into out at the runs' offsets. Replies
+// are matched by Seq, so out-of-order arrival is fine.
+func (pe *PE) awaitGather(out []int64) {
+	start := pe.app.Now()
+	for remaining := len(pe.reqs); remaining > 0; remaining-- {
+		resp := pe.takeReply(0, wire.OpReadV, -1)
+		g := pe.findReq(resp.Seq)
+		pe.words = resp.WordsInto(pe.words)
+		wire.PutMessage(resp)
+		woff := 0
+		for _, r := range pe.hruns[g.lo:g.hi] {
+			copy(out[r.off:r.off+r.count], pe.words[woff:woff+r.count])
+			woff += r.count
+		}
 	}
 	pe.extra.WaitTime += pe.app.Now() - start
-	return out
+}
+
+// awaitAcks drains one ack per outstanding per-home request.
+func (pe *PE) awaitAcks() {
+	start := pe.app.Now()
+	for remaining := len(pe.reqs); remaining > 0; remaining-- {
+		resp := pe.takeReply(0, wire.OpWriteV, -1)
+		pe.findReq(resp.Seq)
+		wire.PutMessage(resp)
+	}
+	pe.extra.WaitTime += pe.app.Now() - start
+}
+
+// findReq marks the outstanding request with seq done and returns it.
+func (pe *PE) findReq(seq uint64) *homeReq {
+	for i := range pe.reqs {
+		if pe.reqs[i].seq == seq && !pe.reqs[i].done {
+			pe.reqs[i].done = true
+			return &pe.reqs[i]
+		}
+	}
+	panic(fmt.Sprintf("core: PE %d: stray transfer reply seq=%d", pe.k.id, seq))
 }
 
 // GMReadBlock reads n words starting at addr, splitting the range across
-// homes as needed; the per-home requests are pipelined. Block reads bypass
-// the read cache (they are always served fresh by the homes).
+// homes as needed. All runs homed at one kernel travel in a single
+// (vectored, if more than one run) request, and the per-home requests are
+// pipelined. Block reads bypass the read cache (they are always served
+// fresh by the homes).
 func (pe *PE) GMReadBlock(addr uint64, n int) []int64 {
 	pe.legacyCrossing()
-	var parts []blockPart
-	pe.k.space.HomeRuns(addr, n, func(home int, start uint64, count int) {
-		if home == pe.k.id {
+	k := pe.k
+	out := make([]int64, n)
+	pe.vruns = pe.vruns[:0]
+	k.space.HomeRuns(addr, n, func(home int, start uint64, count int) {
+		off := int(start - addr)
+		if home == k.id {
 			pe.app.LocalAccess()
 			pe.extra.LocalGM++
-			parts = append(parts, blockPart{local: pe.k.seg.Read(start, count)})
+			k.seg.ReadInto(out[off:off+count], start)
 			return
 		}
 		pe.extra.RemoteGM++
-		mb := pe.sendAsync(home, &wire.Message{Op: wire.OpRead, Addr: start, Arg1: int64(count)})
-		parts = append(parts, blockPart{mb: mb, op: wire.OpRead})
+		pe.vruns = append(pe.vruns, vrun{home: home, start: start, count: count, off: off})
 	})
-	resps := pe.awaitParts(parts)
-	out := make([]int64, 0, n)
-	for i, part := range parts {
-		if part.mb == nil {
-			out = append(out, part.local...)
-			continue
-		}
-		out = append(out, resps[i].Words()...)
+	if len(pe.vruns) == 0 {
+		return out
 	}
+	pe.groupRunsByHome()
+	for i := range pe.reqs {
+		g := &pe.reqs[i]
+		req := wire.GetMessage()
+		if g.hi-g.lo == 1 {
+			r := pe.hruns[g.lo]
+			req.Op, req.Addr, req.Arg1 = wire.OpRead, r.start, int64(r.count)
+		} else {
+			req.Op = wire.OpReadV
+			for _, r := range pe.hruns[g.lo:g.hi] {
+				req.AppendRange(r.start, r.count)
+			}
+		}
+		g.seq = pe.sendAsync(pe.hruns[g.lo].home, req)
+		wire.PutMessage(req)
+	}
+	pe.awaitGather(out)
 	return out
 }
 
-// GMWriteBlock stores words starting at addr, splitting across homes with
-// pipelined per-home writes.
+// GMWriteBlock stores words starting at addr, splitting across homes; all
+// runs homed at one kernel travel in a single (vectored, if more than one
+// run) request, and the per-home requests are pipelined.
 func (pe *PE) GMWriteBlock(addr uint64, words []int64) {
 	pe.legacyCrossing()
 	k := pe.k
-	var parts []blockPart
+	pe.vruns = pe.vruns[:0]
 	k.space.HomeRuns(addr, len(words), func(home int, start uint64, count int) {
-		chunk := words[start-addr : start-addr+uint64(count)]
+		off := int(start - addr)
 		if k.cache == nil && home == k.id {
 			pe.app.LocalAccess()
 			pe.extra.LocalGM++
-			k.seg.Write(start, chunk)
+			k.seg.Write(start, words[off:off+count])
 			return
 		}
 		pe.extra.RemoteGM++
-		m := &wire.Message{Op: wire.OpWrite, Addr: start}
-		m.PutWords(chunk)
-		mb := pe.sendAsync(home, m)
-		parts = append(parts, blockPart{mb: mb, op: wire.OpWrite})
+		pe.vruns = append(pe.vruns, vrun{home: home, start: start, count: count, off: off})
 		if k.cache != nil {
 			k.cache.Invalidate(start)
 		}
 	})
-	pe.awaitParts(parts)
+	if len(pe.vruns) == 0 {
+		return
+	}
+	pe.groupRunsByHome()
+	for i := range pe.reqs {
+		g := &pe.reqs[i]
+		req := wire.GetMessage()
+		if g.hi-g.lo == 1 {
+			r := pe.hruns[g.lo]
+			req.Op, req.Addr = wire.OpWrite, r.start
+			req.PutWords(words[r.off : r.off+r.count])
+		} else {
+			req.Op = wire.OpWriteV
+			for _, r := range pe.hruns[g.lo:g.hi] {
+				req.AppendWriteRun(r.start, words[r.off:r.off+r.count])
+			}
+		}
+		g.seq = pe.sendAsync(pe.hruns[g.lo].home, req)
+		wire.PutMessage(req)
+	}
+	pe.awaitAcks()
+}
+
+// GMGather reads the words at the given (arbitrary, possibly scattered)
+// addresses, returning them in input order. All addresses homed at one
+// kernel travel in a single vectored request; gathers bypass the read
+// cache. The fine-grained-access aggregation standard in user-level DSMs:
+// one message per home instead of one per word.
+func (pe *PE) GMGather(addrs []uint64) []int64 {
+	pe.legacyCrossing()
+	k := pe.k
+	out := make([]int64, len(addrs))
+	pe.vruns = pe.vruns[:0]
+	for i, addr := range addrs {
+		if home := k.space.HomeOf(addr); home != k.id {
+			pe.extra.RemoteGM++
+			pe.vruns = append(pe.vruns, vrun{home: home, start: addr, count: 1, off: i})
+			continue
+		}
+		pe.app.LocalAccess()
+		pe.extra.LocalGM++
+		out[i] = k.seg.ReadWord(addr)
+	}
+	if len(pe.vruns) == 0 {
+		return out
+	}
+	pe.groupRunsByHome()
+	for i := range pe.reqs {
+		g := &pe.reqs[i]
+		req := wire.GetMessage()
+		if g.hi-g.lo == 1 {
+			r := pe.hruns[g.lo]
+			req.Op, req.Addr, req.Arg1 = wire.OpRead, r.start, 1
+		} else {
+			req.Op = wire.OpReadV
+			for _, r := range pe.hruns[g.lo:g.hi] {
+				req.AppendRange(r.start, 1)
+			}
+		}
+		g.seq = pe.sendAsync(pe.hruns[g.lo].home, req)
+		wire.PutMessage(req)
+	}
+	pe.awaitGather(out)
+	return out
+}
+
+// GMScatter stores vals[i] at addrs[i] for every i. All addresses homed at
+// one kernel travel in a single vectored request. Under caching, touched
+// blocks are invalidated like GMWrite does.
+func (pe *PE) GMScatter(addrs []uint64, vals []int64) {
+	if len(addrs) != len(vals) {
+		panic("core: GMScatter length mismatch")
+	}
+	pe.legacyCrossing()
+	k := pe.k
+	pe.vruns = pe.vruns[:0]
+	for i, addr := range addrs {
+		if home := k.space.HomeOf(addr); home != k.id || k.cache != nil {
+			pe.extra.RemoteGM++
+			pe.vruns = append(pe.vruns, vrun{home: home, start: addr, count: 1, off: i})
+			if k.cache != nil {
+				k.cache.Invalidate(addr)
+			}
+			continue
+		}
+		pe.app.LocalAccess()
+		pe.extra.LocalGM++
+		k.seg.WriteWord(addr, vals[i])
+	}
+	if len(pe.vruns) == 0 {
+		return
+	}
+	pe.groupRunsByHome()
+	for i := range pe.reqs {
+		g := &pe.reqs[i]
+		req := wire.GetMessage()
+		if g.hi-g.lo == 1 {
+			r := pe.hruns[g.lo]
+			req.Op, req.Addr = wire.OpWrite, r.start
+			req.PutWords(vals[r.off : r.off+1])
+		} else {
+			req.Op = wire.OpWriteV
+			for _, r := range pe.hruns[g.lo:g.hi] {
+				req.AppendWriteRun(r.start, vals[r.off:r.off+1])
+			}
+		}
+		g.seq = pe.sendAsync(pe.hruns[g.lo].home, req)
+		wire.PutMessage(req)
+	}
+	pe.awaitAcks()
 }
 
 // --- Global memory: float64 convenience ---
@@ -346,11 +551,15 @@ func (pe *PE) BarrierID(id int32) {
 		dst = k.id // tree arrivals start at the local kernel
 	}
 	start := pe.app.Now()
-	pe.app.Send(dst, &wire.Message{Op: wire.OpBarrierArrive, Src: int32(k.id), Dst: int32(dst), Tag: id})
+	arrive := wire.GetMessage()
+	arrive.Op, arrive.Src, arrive.Dst, arrive.Tag = wire.OpBarrierArrive, int32(k.id), int32(dst), id
+	pe.app.Send(dst, arrive)
+	wire.PutMessage(arrive)
 	m := pe.takeSync()
 	if m.Op != wire.OpBarrierRelease || m.Tag != id {
 		panic(fmt.Sprintf("core: PE %d: expected barrier %d release, got %v", k.id, id, m))
 	}
+	wire.PutMessage(m)
 	pe.extra.WaitTime += pe.app.Now() - start
 }
 
@@ -359,36 +568,47 @@ func (pe *PE) Lock(id int32) {
 	pe.legacyCrossing()
 	pe.extra.Locks++
 	start := pe.app.Now()
-	pe.app.Send(0, &wire.Message{Op: wire.OpLockAcquire, Src: int32(pe.k.id), Tag: id})
+	pe.sendSync(wire.OpLockAcquire, id)
 	m := pe.takeSync()
 	if m.Op != wire.OpLockGrant || m.Tag != id {
 		panic(fmt.Sprintf("core: PE %d: expected lock %d grant, got %v", pe.k.id, id, m))
 	}
+	wire.PutMessage(m)
 	pe.extra.WaitTime += pe.app.Now() - start
 }
 
 // Unlock releases lock id.
 func (pe *PE) Unlock(id int32) {
 	pe.legacyCrossing()
-	pe.app.Send(0, &wire.Message{Op: wire.OpLockRelease, Src: int32(pe.k.id), Tag: id})
+	pe.sendSync(wire.OpLockRelease, id)
 }
 
 // SemWait downs semaphore id, blocking while its value is zero.
 func (pe *PE) SemWait(id int32) {
 	pe.legacyCrossing()
 	start := pe.app.Now()
-	pe.app.Send(0, &wire.Message{Op: wire.OpSemWait, Src: int32(pe.k.id), Tag: id})
+	pe.sendSync(wire.OpSemWait, id)
 	m := pe.takeSync()
 	if m.Op != wire.OpSemGrant || m.Tag != id {
 		panic(fmt.Sprintf("core: PE %d: expected sem %d grant, got %v", pe.k.id, id, m))
 	}
+	wire.PutMessage(m)
 	pe.extra.WaitTime += pe.app.Now() - start
 }
 
 // SemPost ups semaphore id.
 func (pe *PE) SemPost(id int32) {
 	pe.legacyCrossing()
-	pe.app.Send(0, &wire.Message{Op: wire.OpSemPost, Src: int32(pe.k.id), Tag: id})
+	pe.sendSync(wire.OpSemPost, id)
+}
+
+// sendSync sends a synchronisation request to the central manager at
+// kernel 0 using a pooled message.
+func (pe *PE) sendSync(op wire.Op, id int32) {
+	m := wire.GetMessage()
+	m.Op, m.Src, m.Tag = op, int32(pe.k.id), id
+	pe.app.Send(0, m)
+	wire.PutMessage(m)
 }
 
 func (pe *PE) takeSync() *wire.Message {
@@ -477,7 +697,11 @@ func (pe *PE) AllReduceMax(x float64) float64 {
 // reserved for the runtime's own collectives.
 func (pe *PE) SendMsg(dst int, tag int32, payload []byte) {
 	pe.legacyCrossing()
-	pe.app.Send(dst, &wire.Message{Op: wire.OpUserMsg, Src: int32(pe.k.id), Dst: int32(dst), Tag: tag, Data: payload})
+	m := wire.GetMessage()
+	m.Op, m.Src, m.Dst, m.Tag = wire.OpUserMsg, int32(pe.k.id), int32(dst), tag
+	m.Data = payload // caller's buffer; fully serialised before Send returns
+	pe.app.Send(dst, m)
+	wire.PutMessage(m)
 }
 
 // RecvMsg blocks until a message with tag arrives, returning its sender
@@ -511,20 +735,32 @@ func (pe *PE) RecvMsg(tag int32) (src int, payload []byte) {
 
 // register announces this DSE process to the global process table.
 func (pe *PE) register() {
-	resp := pe.request(0, &wire.Message{Op: wire.OpProcRegister, Data: []byte(pe.Hostname())})
+	req := wire.GetMessage()
+	req.Op, req.Data = wire.OpProcRegister, []byte(pe.Hostname())
+	resp := pe.request(0, req)
+	wire.PutMessage(req)
 	pe.gpid = resp.Arg1
+	wire.PutMessage(resp)
 }
 
 // exit records this DSE process's termination.
 func (pe *PE) exit(code int64) {
-	pe.request(0, &wire.Message{Op: wire.OpProcExit, Arg1: pe.gpid, Arg2: code})
+	req := wire.GetMessage()
+	req.Op, req.Arg1, req.Arg2 = wire.OpProcExit, pe.gpid, code
+	resp := pe.request(0, req)
+	wire.PutMessage(req)
+	wire.PutMessage(resp)
 }
 
 // Processes returns the cluster-global process table: the single-system
 // image of everything running on the virtual machine.
 func (pe *PE) Processes() []procmgmt.Entry {
-	resp := pe.request(0, &wire.Message{Op: wire.OpProcList})
+	req := wire.GetMessage()
+	req.Op = wire.OpProcList
+	resp := pe.request(0, req)
+	wire.PutMessage(req)
 	entries, err := procmgmt.DecodeSnapshot(resp.Data)
+	wire.PutMessage(resp)
 	if err != nil {
 		panic(fmt.Sprintf("core: PE %d: corrupt process table: %v", pe.k.id, err))
 	}
@@ -534,7 +770,11 @@ func (pe *PE) Processes() []procmgmt.Entry {
 // Ping round-trips a liveness probe to kernel dst and reports the latency.
 func (pe *PE) Ping(dst int) sim.Duration {
 	start := pe.app.Now()
-	pe.request(dst, &wire.Message{Op: wire.OpPing})
+	req := wire.GetMessage()
+	req.Op = wire.OpPing
+	resp := pe.request(dst, req)
+	wire.PutMessage(req)
+	wire.PutMessage(resp)
 	return pe.app.Now() - start
 }
 

@@ -157,6 +157,67 @@ func (g *Segment) Read(addr uint64, n int) []int64 {
 	return out
 }
 
+// ReadWord returns the single word at addr without allocating.
+func (g *Segment) ReadWord(addr uint64) int64 {
+	g.checkHome(addr, 1)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	blk := g.block(g.space.BlockOf(addr))
+	return blk[addr%uint64(g.space.BlockWords)]
+}
+
+// WriteWord stores a single word at addr without allocating.
+func (g *Segment) WriteWord(addr uint64, v int64) {
+	g.checkHome(addr, 1)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	blk := g.block(g.space.BlockOf(addr))
+	blk[addr%uint64(g.space.BlockWords)] = v
+}
+
+// ReadInto copies len(dst) words starting at addr into dst (all homed here,
+// single block), avoiding the allocation in Read.
+func (g *Segment) ReadInto(dst []int64, addr uint64) {
+	g.checkHome(addr, len(dst))
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	blk := g.block(g.space.BlockOf(addr))
+	off := int(addr % uint64(g.space.BlockWords))
+	copy(dst, blk[off:off+len(dst)])
+}
+
+// ReadAppend appends n words starting at addr to dst and returns the
+// extended slice (all homed here, single block).
+func (g *Segment) ReadAppend(dst []int64, addr uint64, n int) []int64 {
+	g.checkHome(addr, n)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	blk := g.block(g.space.BlockOf(addr))
+	off := int(addr % uint64(g.space.BlockWords))
+	return append(dst, blk[off:off+n]...)
+}
+
+// ReadV appends the words of every (addrs[i], counts[i]) range to dst in
+// order and returns the extended slice. Each range must be homed here and
+// stay within one block (the vectored read request's server side).
+func (g *Segment) ReadV(dst []int64, addrs []uint64, counts []int) []int64 {
+	for i, addr := range addrs {
+		dst = g.ReadAppend(dst, addr, counts[i])
+	}
+	return dst
+}
+
+// WriteV scatters words over the (addrs[i], counts[i]) ranges in order;
+// words is the concatenation of all ranges' data (the vectored write
+// request's server side).
+func (g *Segment) WriteV(addrs []uint64, counts []int, words []int64) {
+	off := 0
+	for i, addr := range addrs {
+		g.Write(addr, words[off:off+counts[i]])
+		off += counts[i]
+	}
+}
+
 // Write stores words starting at addr (all homed here, single block).
 func (g *Segment) Write(addr uint64, words []int64) {
 	g.checkHome(addr, len(words))

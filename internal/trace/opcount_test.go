@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func TestCountSentAndMerge(t *testing.T) {
+	var a, b PEStats
+	a.CountSent(wire.OpRead, 48)
+	a.CountSent(wire.OpRead, 48)
+	a.CountSent(wire.OpReadV, 80)
+	b.CountSent(wire.OpReadV, 96)
+	b.CountSent(wire.OpWriteV, 200)
+
+	a.Add(&b)
+	if a.ByOp[wire.OpRead].Msgs != 2 || a.ByOp[wire.OpRead].Bytes != 96 {
+		t.Errorf("OpRead = %+v, want 2 msgs / 96 bytes", a.ByOp[wire.OpRead])
+	}
+	if a.ByOp[wire.OpReadV].Msgs != 2 || a.ByOp[wire.OpReadV].Bytes != 176 {
+		t.Errorf("OpReadV = %+v, want 2 msgs / 176 bytes", a.ByOp[wire.OpReadV])
+	}
+	if a.ByOp[wire.OpWriteV].Msgs != 1 {
+		t.Errorf("OpWriteV = %+v, want 1 msg", a.ByOp[wire.OpWriteV])
+	}
+	// Out-of-range ops are dropped, not a panic.
+	a.CountSent(wire.Op(250), 1)
+}
+
+func TestOpTableListsOnlyUsedOps(t *testing.T) {
+	var s PEStats
+	s.CountSent(wire.OpBarrierArrive, 48)
+	s.CountSent(wire.OpReadV, 112)
+	var sb strings.Builder
+	s.OpTable("traffic").Fprint(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "barrier-arrive") || !strings.Contains(out, "read-v") {
+		t.Errorf("OpTable missing used ops:\n%s", out)
+	}
+	if strings.Contains(out, "write-v") || strings.Contains(out, "cas") {
+		t.Errorf("OpTable lists unused ops:\n%s", out)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/sim"
+	"repro/internal/wire"
 )
 
 // PEStats aggregates what one DSE kernel/process pair spent its time on.
@@ -28,6 +29,25 @@ type PEStats struct {
 	RemoteGM uint64 // global-memory accesses that crossed the network
 	Barriers uint64
 	Locks    uint64
+
+	// ByOp breaks sent traffic down per message op, so experiments can
+	// watch e.g. scalar reads being displaced by vectored reads.
+	ByOp [wire.NumOps]OpCount
+}
+
+// OpCount tallies sent traffic for one message op.
+type OpCount struct {
+	Msgs  uint64
+	Bytes uint64
+}
+
+// CountSent records one sent message of the given op and encoded size.
+// Transports call it under their own stats lock.
+func (s *PEStats) CountSent(op wire.Op, bytes int) {
+	if int(op) < len(s.ByOp) {
+		s.ByOp[op].Msgs++
+		s.ByOp[op].Bytes += uint64(bytes)
+	}
 }
 
 // Add accumulates o into s.
@@ -44,6 +64,24 @@ func (s *PEStats) Add(o *PEStats) {
 	s.RemoteGM += o.RemoteGM
 	s.Barriers += o.Barriers
 	s.Locks += o.Locks
+	for i := range s.ByOp {
+		s.ByOp[i].Msgs += o.ByOp[i].Msgs
+		s.ByOp[i].Bytes += o.ByOp[i].Bytes
+	}
+}
+
+// OpTable renders the non-zero per-op send counters as a table.
+func (s *PEStats) OpTable(title string) *Table {
+	t := &Table{Title: title, Header: []string{"op", "msgs", "bytes"}}
+	for i := range s.ByOp {
+		if s.ByOp[i].Msgs == 0 {
+			continue
+		}
+		t.AddRow(wire.Op(i).String(),
+			fmt.Sprintf("%d", s.ByOp[i].Msgs),
+			fmt.Sprintf("%d", s.ByOp[i].Bytes))
+	}
+	return t
 }
 
 // CommTime is the total time attributable to communication.

@@ -30,12 +30,19 @@ func New(n int) *Net {
 		net.nodes = append(net.nodes, &Node{
 			net:  net,
 			id:   i,
-			rx:   make(chan []byte, 1<<14),
+			rx:   make(chan *encBuf, 1<<14),
 			done: make(chan struct{}),
 		})
 	}
 	return net
 }
+
+// encBuf is a pooled encoded-frame buffer: Send serialises into one, Recv
+// decodes out of it (copying the payload into the pooled message) and
+// recycles it, so steady-state traffic allocates nothing.
+type encBuf struct{ b []byte }
+
+var bufPool = sync.Pool{New: func() interface{} { return new(encBuf) }}
 
 // N implements transport.Network.
 func (n *Net) N() int { return len(n.nodes) }
@@ -54,7 +61,7 @@ func (n *Net) Stop() {
 type Node struct {
 	net       *Net
 	id        int
-	rx        chan []byte
+	rx        chan *encBuf
 	done      chan struct{}
 	closeOnce sync.Once
 
@@ -86,14 +93,16 @@ func (nd *Node) Svc() transport.Port { return (*port)(nd) }
 // Recv implements transport.Node.
 func (nd *Node) Recv() (*wire.Message, bool) {
 	select {
-	case enc := <-nd.rx:
-		m, err := wire.Decode(enc)
-		if err != nil {
+	case eb := <-nd.rx:
+		m := wire.GetMessage()
+		if err := wire.DecodeInto(m, eb.b); err != nil {
 			panic("inproc: corrupt message: " + err.Error())
 		}
+		size := len(eb.b)
+		bufPool.Put(eb)
 		nd.mu.Lock()
 		nd.stats.MsgsRecv++
-		nd.stats.BytesRecv += uint64(len(enc))
+		nd.stats.BytesRecv += uint64(size)
 		nd.mu.Unlock()
 		return m, true
 	case <-nd.done:
@@ -118,15 +127,19 @@ type port Node
 func (pt *port) Send(dst int, m *wire.Message) {
 	nd := (*Node)(pt)
 	peer := nd.net.nodes[dst]
-	enc := m.Encode()
+	eb := bufPool.Get().(*encBuf)
+	eb.b = m.Append(eb.b[:0])
+	size := len(eb.b)
 	select {
-	case peer.rx <- enc:
+	case peer.rx <- eb:
 		nd.mu.Lock()
 		nd.stats.MsgsSent++
-		nd.stats.BytesSent += uint64(len(enc))
+		nd.stats.BytesSent += uint64(size)
+		nd.stats.CountSent(m.Op, size)
 		nd.mu.Unlock()
 	case <-peer.done:
 		// Peer shut down: drop, as a real network would.
+		bufPool.Put(eb)
 	}
 }
 

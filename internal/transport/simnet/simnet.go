@@ -161,8 +161,8 @@ func (nd *Node) Recv() (*wire.Message, bool) {
 		oh := nd.scale(nd.net.pl.RecvOverhead(len(enc)))
 		p.Sleep(oh)
 		nd.stats.RecvOverhead += oh
-		m, err := wire.Decode(enc)
-		if err != nil {
+		m := wire.GetMessage()
+		if err := wire.DecodeInto(m, enc); err != nil {
 			panic(fmt.Sprintf("simnet: corrupt message from station %d: %v", f.Src, err))
 		}
 		nd.stats.MsgsRecv++
@@ -209,6 +209,8 @@ func (pt *port) proc() *sim.Proc {
 func (pt *port) Send(dst int, m *wire.Message) {
 	nd := pt.nd
 	p := pt.proc()
+	// The encoded frame payload is held by the Ethernet simulation until
+	// delivery, so it must be a fresh allocation here (never pooled).
 	enc := m.Encode()
 	oh := nd.scale(nd.net.pl.SendOverhead(len(enc)))
 	p.Sleep(oh)
@@ -223,11 +225,13 @@ func (pt *port) Send(dst int, m *wire.Message) {
 		}
 		nd.stats.MsgsSent++
 		nd.stats.BytesSent += uint64(len(enc))
+		nd.stats.CountSent(m.Op, len(enc))
 		return
 	}
 	nd.station.Send(p, dst, len(enc), enc)
 	nd.stats.MsgsSent++
 	nd.stats.BytesSent += uint64(len(enc))
+	nd.stats.CountSent(m.Op, len(enc))
 }
 
 // Compute implements transport.Port.

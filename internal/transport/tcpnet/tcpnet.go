@@ -201,7 +201,9 @@ func (nd *Node) readHello(conn net.Conn) (int, error) {
 	if m.Op != wire.OpHello {
 		return 0, fmt.Errorf("tcpnet: unexpected handshake op %v", m.Op)
 	}
-	return int(m.Src), nil
+	peer := int(m.Src)
+	wire.PutMessage(m)
+	return peer, nil
 }
 
 func (nd *Node) register(peer int, conn net.Conn) {
@@ -225,14 +227,19 @@ func (nd *Node) reader(peer int, conn net.Conn) {
 	}
 }
 
+// framePool recycles encode/read buffers across frames; steady-state
+// traffic neither allocates frames nor pays a second syscall for the
+// 4-byte size prefix (prefix and frame go out in one Write).
+var framePool = sync.Pool{New: func() interface{} { return new([]byte) }}
+
 func writeFrame(conn net.Conn, m *wire.Message) error {
-	enc := m.Encode()
-	var pre [4]byte
-	binary.LittleEndian.PutUint32(pre[:], uint32(len(enc)))
-	if _, err := conn.Write(pre[:]); err != nil {
-		return err
-	}
-	_, err := conn.Write(enc)
+	bp := framePool.Get().(*[]byte)
+	buf := append((*bp)[:0], 0, 0, 0, 0)
+	buf = m.Append(buf)
+	binary.LittleEndian.PutUint32(buf, uint32(len(buf)-4))
+	_, err := conn.Write(buf)
+	*bp = buf
+	framePool.Put(bp)
 	return err
 }
 
@@ -245,11 +252,27 @@ func readFrame(conn net.Conn) (*wire.Message, error) {
 	if size < wire.HeaderSize || size > wire.HeaderSize+wire.MaxDataLen {
 		return nil, fmt.Errorf("tcpnet: bad frame size %d", size)
 	}
-	buf := make([]byte, size)
+	bp := framePool.Get().(*[]byte)
+	buf := *bp
+	if cap(buf) < int(size) {
+		buf = make([]byte, size)
+	} else {
+		buf = buf[:size]
+	}
 	if _, err := io.ReadFull(conn, buf); err != nil {
+		*bp = buf
+		framePool.Put(bp)
 		return nil, err
 	}
-	return wire.Decode(buf)
+	m := wire.GetMessage()
+	err := wire.DecodeInto(m, buf)
+	*bp = buf
+	framePool.Put(bp)
+	if err != nil {
+		wire.PutMessage(m)
+		return nil, err
+	}
+	return m, nil
 }
 
 // ID implements transport.Node.
@@ -326,15 +349,20 @@ type port Node
 func (pt *port) Send(dst int, m *wire.Message) {
 	nd := (*Node)(pt)
 	if dst == nd.id {
-		// Own-node message: deliver through a decode round-trip so the
-		// receiver sees the same aliasing as for remote messages.
-		dec, err := wire.Decode(m.Encode())
+		// Own-node message: deliver through an encode/decode round-trip so
+		// the receiver sees the same ownership rules as for remote messages.
+		bp := framePool.Get().(*[]byte)
+		*bp = m.Append((*bp)[:0])
+		dec := wire.GetMessage()
+		err := wire.DecodeInto(dec, *bp)
+		framePool.Put(bp)
 		if err != nil {
 			panic("tcpnet: self-send encode round-trip failed: " + err.Error())
 		}
 		select {
 		case nd.rx <- dec:
 		case <-nd.done:
+			wire.PutMessage(dec)
 		}
 		return
 	}
@@ -355,6 +383,7 @@ func (pt *port) Send(dst int, m *wire.Message) {
 	} else {
 		nd.stats.MsgsSent++
 		nd.stats.BytesSent += uint64(m.WireSize())
+		nd.stats.CountSent(m.Op, m.WireSize())
 	}
 	nd.mu.Unlock()
 }

@@ -8,12 +8,35 @@
 // over the simulated Ethernet, the in-process loopback and real TCP — which
 // is the modularity/portability property the paper's reorganisation is
 // after ("eliminates dependency on a specific communication protocol").
+//
+// # Message and buffer ownership
+//
+// The hot path is allocation-free: messages come from a sync.Pool
+// (GetMessage/PutMessage) and own a private scratch buffer that the payload
+// helpers (PutWords, PutWord, AppendRange, AppendWriteRun, DecodeInto)
+// reuse across recycles. The rules:
+//
+//  1. A message obtained from GetMessage is owned by the caller until it is
+//     passed to PutMessage; after that neither the message nor any slice
+//     derived from its Data may be touched.
+//  2. Transports serialise a message completely before Send returns, so a
+//     request may be recycled (or reused) immediately after Send.
+//  3. DecodeInto copies the payload into the message's own scratch, so the
+//     source frame buffer may be recycled immediately and the decoded
+//     message stays valid until its own PutMessage.
+//  4. A message whose Data has been handed to application code (user
+//     messages) must never be recycled — let the GC have it.
+//
+// Decode (without Into) retains the historical aliasing behaviour — its
+// payload points into the caller's buffer — and is kept for tests and for
+// callers that own the buffer outright.
 package wire
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Op identifies a message type.
@@ -63,31 +86,64 @@ const (
 	OpPing    //
 	OpPong    //
 	OpShutdown
+
+	// Vectored (scatter/gather) global memory: many (addr, count) ranges
+	// homed at one kernel travel in a single message, so a block transfer
+	// or a gather costs one request per home instead of one per run.
+	OpReadV     // Data = ranges (AppendRange); Arg1 = total word count
+	OpReadVResp // Data = the words of every range, concatenated in order
+	OpWriteV    // Data = runs (AppendWriteRun); Arg1 = run count; acked by OpWriteAck
+
+	numOps // sentinel: one past the highest op
 )
 
-var opNames = map[Op]string{
-	OpInvalid: "invalid",
-	OpRead:    "read", OpReadResp: "read-resp",
-	OpWrite: "write", OpWriteAck: "write-ack",
-	OpFetchAdd: "fetch-add", OpFetchAddResp: "fetch-add-resp",
-	OpCAS: "cas", OpCASResp: "cas-resp",
-	OpInvalidate: "invalidate", OpInvAck: "inv-ack",
-	OpBarrierArrive: "barrier-arrive", OpBarrierRelease: "barrier-release",
-	OpLockAcquire: "lock-acquire", OpLockGrant: "lock-grant", OpLockRelease: "lock-release",
-	OpSemPost: "sem-post", OpSemWait: "sem-wait", OpSemGrant: "sem-grant",
-	OpProcRegister: "proc-register", OpProcRegResp: "proc-reg-resp",
-	OpProcExit: "proc-exit", OpProcExitAck: "proc-exit-ack",
-	OpProcList: "proc-list", OpProcListResp: "proc-list-resp",
-	OpLoadReport: "load-report",
-	OpUserMsg:    "user-msg",
-	OpHello:      "hello", OpWelcome: "welcome",
-	OpPing: "ping", OpPong: "pong",
-	OpShutdown: "shutdown",
+// NumOps is the number of defined operations; per-op counters are sized by
+// it.
+const NumOps = int(numOps)
+
+// opNames is a dense name table: Op.String sits on hot trace/debug paths,
+// where the previous map lookup cost a hash per call.
+var opNames = [...]string{
+	OpInvalid:        "invalid",
+	OpRead:           "read",
+	OpReadResp:       "read-resp",
+	OpWrite:          "write",
+	OpWriteAck:       "write-ack",
+	OpFetchAdd:       "fetch-add",
+	OpFetchAddResp:   "fetch-add-resp",
+	OpCAS:            "cas",
+	OpCASResp:        "cas-resp",
+	OpInvalidate:     "invalidate",
+	OpInvAck:         "inv-ack",
+	OpBarrierArrive:  "barrier-arrive",
+	OpBarrierRelease: "barrier-release",
+	OpLockAcquire:    "lock-acquire",
+	OpLockGrant:      "lock-grant",
+	OpLockRelease:    "lock-release",
+	OpSemPost:        "sem-post",
+	OpSemWait:        "sem-wait",
+	OpSemGrant:       "sem-grant",
+	OpProcRegister:   "proc-register",
+	OpProcRegResp:    "proc-reg-resp",
+	OpProcExit:       "proc-exit",
+	OpProcExitAck:    "proc-exit-ack",
+	OpProcList:       "proc-list",
+	OpProcListResp:   "proc-list-resp",
+	OpLoadReport:     "load-report",
+	OpUserMsg:        "user-msg",
+	OpHello:          "hello",
+	OpWelcome:        "welcome",
+	OpPing:           "ping",
+	OpPong:           "pong",
+	OpShutdown:       "shutdown",
+	OpReadV:          "read-v",
+	OpReadVResp:      "read-v-resp",
+	OpWriteV:         "write-v",
 }
 
 func (op Op) String() string {
-	if s, ok := opNames[op]; ok {
-		return s
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
 	}
 	return fmt.Sprintf("Op(%d)", uint8(op))
 }
@@ -98,7 +154,8 @@ func (op Op) IsResponse() bool {
 	switch op {
 	case OpReadResp, OpWriteAck, OpFetchAddResp, OpCASResp, OpInvAck,
 		OpLockGrant, OpSemGrant, OpBarrierRelease,
-		OpProcRegResp, OpProcExitAck, OpProcListResp, OpWelcome, OpPong:
+		OpProcRegResp, OpProcExitAck, OpProcListResp, OpWelcome, OpPong,
+		OpReadVResp:
 		return true
 	}
 	return false
@@ -122,6 +179,34 @@ type Message struct {
 	Arg1 int64
 	Arg2 int64
 	Data []byte
+
+	// buf is the message-owned scratch that Data points into when the
+	// payload was produced by a payload helper. Its capacity survives
+	// PutMessage/GetMessage recycles, which is what makes the hot path
+	// allocation-free in steady state.
+	buf []byte
+}
+
+// msgPool recycles Messages together with their scratch buffers.
+var msgPool = sync.Pool{New: func() interface{} { return new(Message) }}
+
+// GetMessage returns an empty pooled Message. The caller owns it until
+// PutMessage.
+func GetMessage() *Message {
+	return msgPool.Get().(*Message)
+}
+
+// PutMessage resets m — retaining its scratch capacity — and returns it to
+// the pool. The caller must not touch m, or any slice derived from its
+// Data, afterwards. Recycling a message whose Data escaped to application
+// code is a use-after-free bug; leak those to the GC instead.
+func PutMessage(m *Message) {
+	if m == nil {
+		return
+	}
+	buf := m.buf
+	*m = Message{buf: buf[:0]}
+	msgPool.Put(m)
 }
 
 func (m *Message) String() string {
@@ -158,46 +243,104 @@ func (m *Message) Encode() []byte {
 // ErrShortMessage reports a buffer smaller than a header.
 var ErrShortMessage = errors.New("wire: message shorter than header")
 
+// decodeHeader fills m's header fields from buf (validated by the caller).
+func decodeHeader(m *Message, buf []byte) {
+	m.Op = Op(buf[0])
+	m.Src = int32(binary.LittleEndian.Uint32(buf[4:]))
+	m.Dst = int32(binary.LittleEndian.Uint32(buf[8:]))
+	m.Tag = int32(binary.LittleEndian.Uint32(buf[12:]))
+	m.Seq = binary.LittleEndian.Uint64(buf[16:])
+	m.Addr = binary.LittleEndian.Uint64(buf[24:])
+	m.Arg1 = int64(binary.LittleEndian.Uint64(buf[32:]))
+	m.Arg2 = int64(binary.LittleEndian.Uint64(buf[40:]))
+}
+
 // Decode parses a message from buf (header + trailing payload). The payload
-// slice aliases buf.
+// slice aliases buf; use DecodeInto when buf is recycled after the call.
 func Decode(buf []byte) (*Message, error) {
 	if len(buf) < HeaderSize {
 		return nil, ErrShortMessage
 	}
-	m := &Message{
-		Op:   Op(buf[0]),
-		Src:  int32(binary.LittleEndian.Uint32(buf[4:])),
-		Dst:  int32(binary.LittleEndian.Uint32(buf[8:])),
-		Tag:  int32(binary.LittleEndian.Uint32(buf[12:])),
-		Seq:  binary.LittleEndian.Uint64(buf[16:]),
-		Addr: binary.LittleEndian.Uint64(buf[24:]),
-		Arg1: int64(binary.LittleEndian.Uint64(buf[32:])),
-		Arg2: int64(binary.LittleEndian.Uint64(buf[40:])),
+	if len(buf)-HeaderSize > MaxDataLen {
+		return nil, fmt.Errorf("wire: payload %d exceeds limit", len(buf)-HeaderSize)
 	}
+	m := &Message{}
+	decodeHeader(m, buf)
 	if len(buf) > HeaderSize {
-		if len(buf)-HeaderSize > MaxDataLen {
-			return nil, fmt.Errorf("wire: payload %d exceeds limit", len(buf)-HeaderSize)
-		}
 		m.Data = buf[HeaderSize:]
 	}
 	return m, nil
 }
 
+// DecodeInto parses buf into m, copying the payload into m's own scratch
+// buffer: the caller may recycle buf immediately, and m.Data stays valid
+// until m itself is recycled with PutMessage.
+func DecodeInto(m *Message, buf []byte) error {
+	if len(buf) < HeaderSize {
+		return ErrShortMessage
+	}
+	if len(buf)-HeaderSize > MaxDataLen {
+		return fmt.Errorf("wire: payload %d exceeds limit", len(buf)-HeaderSize)
+	}
+	decodeHeader(m, buf)
+	m.Data = nil
+	if len(buf) > HeaderSize {
+		m.buf = append(m.buf[:0], buf[HeaderSize:]...)
+		m.Data = m.buf
+	}
+	return nil
+}
+
 // Words copies the payload as 64-bit little-endian words.
 func (m *Message) Words() []int64 {
+	return m.WordsInto(nil)
+}
+
+// WordsInto decodes the whole payload into dst, reusing its capacity, and
+// returns the resized slice.
+func (m *Message) WordsInto(dst []int64) []int64 {
 	if len(m.Data)%8 != 0 {
 		panic(fmt.Sprintf("wire: %d-byte payload is not whole words", len(m.Data)))
 	}
-	ws := make([]int64, len(m.Data)/8)
-	for i := range ws {
-		ws[i] = int64(binary.LittleEndian.Uint64(m.Data[i*8:]))
+	n := len(m.Data) / 8
+	if cap(dst) < n {
+		dst = make([]int64, n)
+	} else {
+		dst = dst[:n]
 	}
-	return ws
+	for i := range dst {
+		dst[i] = int64(binary.LittleEndian.Uint64(m.Data[i*8:]))
+	}
+	return dst
 }
 
-// PutWords encodes ws as the payload.
+// Word returns payload word i without decoding the rest of the payload.
+func (m *Message) Word(i int) int64 {
+	return int64(binary.LittleEndian.Uint64(m.Data[i*8:]))
+}
+
+// PayloadWords reports how many whole words the payload holds.
+func (m *Message) PayloadWords() int { return len(m.Data) / 8 }
+
+// ResetData clears the payload, retaining scratch capacity, so the Append*
+// helpers can build a fresh one.
+func (m *Message) ResetData() {
+	m.buf = m.buf[:0]
+	m.Data = nil
+}
+
+// PutWords encodes ws as the payload, reusing the message's scratch buffer.
 func (m *Message) PutWords(ws []int64) {
-	m.Data = AppendWords(nil, ws)
+	m.buf = AppendWords(m.buf[:0], ws)
+	m.Data = m.buf
+}
+
+// PutWord encodes a single word as the payload without a slice argument.
+func (m *Message) PutWord(w int64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(w))
+	m.buf = append(m.buf[:0], b[:]...)
+	m.Data = m.buf
 }
 
 // AppendWords appends ws to buf in wire order.
@@ -208,4 +351,77 @@ func AppendWords(buf []byte, ws []int64) []byte {
 		buf = append(buf, b[:]...)
 	}
 	return buf
+}
+
+// --- Vectored (scatter/gather) payloads ---
+
+// rangeBytes is the encoded size of one (addr, count) range descriptor.
+const rangeBytes = 16
+
+// AppendRange appends one (addr, count) range descriptor to an OpReadV
+// payload, reusing scratch, and accumulates the total word count in Arg1.
+func (m *Message) AppendRange(addr uint64, count int) {
+	var b [rangeBytes]byte
+	binary.LittleEndian.PutUint64(b[:], addr)
+	binary.LittleEndian.PutUint64(b[8:], uint64(count))
+	m.buf = append(m.buf, b[:]...)
+	m.Data = m.buf
+	m.Arg1 += int64(count)
+}
+
+// EachRange decodes an OpReadV payload, calling fn once per range in order.
+func (m *Message) EachRange(fn func(addr uint64, count int)) error {
+	if len(m.Data)%rangeBytes != 0 {
+		return fmt.Errorf("wire: %d-byte payload is not whole ranges", len(m.Data))
+	}
+	for off := 0; off < len(m.Data); off += rangeBytes {
+		addr := binary.LittleEndian.Uint64(m.Data[off:])
+		count := binary.LittleEndian.Uint64(m.Data[off+8:])
+		if count > uint64(MaxDataLen/8) {
+			return fmt.Errorf("wire: range count %d exceeds limit", count)
+		}
+		fn(addr, int(count))
+	}
+	return nil
+}
+
+// AppendWriteRun appends one (addr, words) run to an OpWriteV payload,
+// reusing scratch, and counts the run in Arg1.
+func (m *Message) AppendWriteRun(addr uint64, words []int64) {
+	var b [rangeBytes]byte
+	binary.LittleEndian.PutUint64(b[:], addr)
+	binary.LittleEndian.PutUint64(b[8:], uint64(len(words)))
+	m.buf = append(m.buf, b[:]...)
+	m.buf = AppendWords(m.buf, words)
+	m.Data = m.buf
+	m.Arg1++
+}
+
+// EachWriteRun decodes an OpWriteV payload, calling fn once per run in
+// order. The words slice is only valid during the call (it aliases scratch,
+// which is reused between runs); the possibly-grown scratch is returned for
+// the caller to keep.
+func (m *Message) EachWriteRun(scratch []int64, fn func(addr uint64, words []int64)) ([]int64, error) {
+	off := 0
+	for off < len(m.Data) {
+		if off+rangeBytes > len(m.Data) {
+			return scratch, fmt.Errorf("wire: truncated write run header at byte %d", off)
+		}
+		addr := binary.LittleEndian.Uint64(m.Data[off:])
+		count := int(binary.LittleEndian.Uint64(m.Data[off+8:]))
+		off += rangeBytes
+		if count < 0 || off+count*8 > len(m.Data) {
+			return scratch, fmt.Errorf("wire: write run at byte %d overruns payload", off-rangeBytes)
+		}
+		if cap(scratch) < count {
+			scratch = make([]int64, count)
+		}
+		ws := scratch[:count]
+		for i := range ws {
+			ws[i] = int64(binary.LittleEndian.Uint64(m.Data[off+i*8:]))
+		}
+		off += count * 8
+		fn(addr, ws)
+	}
+	return scratch, nil
 }
