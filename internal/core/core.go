@@ -73,6 +73,21 @@ type Config struct {
 	// RequestTimeout bounds every remote request; 0 waits forever.
 	// Recommended for TransportTCP so node failures surface as errors.
 	RequestTimeout sim.Duration
+	// RequestRetries is how many times a timed-out request is retransmitted
+	// before the timeout is surfaced (0 = no retries). Retried mutating
+	// operations are applied exactly once: the home kernel's dedup window
+	// absorbs duplicates. Requires RequestTimeout > 0 to have any effect.
+	RequestRetries int
+	// RetryBackoff is the pause before the first retransmission, doubling
+	// per attempt (capped at 8x). 0 defaults to RequestTimeout/4.
+	RetryBackoff sim.Duration
+	// PeerLossBudget enables peer-failure detection on the simulated
+	// transport: after this many consecutive undelivered frames to one
+	// kernel, that kernel is declared dead and requests against it fail
+	// immediately with PeerDownError. 0 disables detection. (The TCP
+	// transport detects failures from broken connections and needs no
+	// budget.)
+	PeerLossBudget int
 	// Ethernet overrides the simulated medium (nil = the platform's LAN).
 	Ethernet *ethernet.Config
 	// LossProbability injects frame loss on the simulated medium (failure
@@ -101,6 +116,9 @@ func (cfg *Config) withDefaults() (Config, error) {
 	}
 	if c.GMBlockWords == 0 {
 		c.GMBlockWords = 32
+	}
+	if c.RetryBackoff == 0 && c.RequestTimeout > 0 {
+		c.RetryBackoff = c.RequestTimeout / 4
 	}
 	if c.MessageLog != nil {
 		c.logMu = &sync.Mutex{}
@@ -233,13 +251,14 @@ func runPE(pe *PE, program Program) (err error) {
 // all inside one deterministic engine.
 func runSim(cfg *Config, program Program) (*Result, error) {
 	net := simnet.New(simnet.Config{
-		NumPE:    cfg.NumPE,
-		Platform: cfg.Platform,
-		Machines: cfg.Machines,
-		Load:     cfg.Load,
-		Seed:     cfg.Seed,
-		Ethernet: cfg.Ethernet,
-		Switched: cfg.Switched,
+		NumPE:      cfg.NumPE,
+		Platform:   cfg.Platform,
+		Machines:   cfg.Machines,
+		Load:       cfg.Load,
+		Seed:       cfg.Seed,
+		Ethernet:   cfg.Ethernet,
+		Switched:   cfg.Switched,
+		LossBudget: cfg.PeerLossBudget,
 	})
 	if cfg.LossProbability > 0 {
 		net.Medium().SetLossProbability(cfg.LossProbability)
@@ -330,6 +349,7 @@ func collectStats(res *Result, kernels []*Kernel, pes []*PE) {
 	for i := range kernels {
 		s := *kernels[i].Stats()
 		s.Add(&pes[i].extra)
+		s.Add(&kernels[i].extra)
 		res.PerPE = append(res.PerPE, s)
 		res.Total.Add(&s)
 		res.RTT.Merge(&pes[i].rtt)

@@ -1,0 +1,49 @@
+package core
+
+import "fmt"
+
+// The reliability layer surfaces request failures as typed errors through the
+// *Err API tier (GMReadErr, GMWriteErr, FetchAddErr, CASErr, PingErr). The
+// classic panic tier (GMRead, GMWrite, ...) wraps that tier and panics with
+// the error text, preserving the original "timed out" / "shut down" messages.
+
+// TimeoutError reports that a request exhausted its timeout (and, when
+// retries are configured, every retry attempt).
+type TimeoutError struct {
+	PE       int // requesting PE
+	Dst      int // home kernel the request was addressed to
+	Op       string
+	Attempts int // total send attempts (1 = no retries configured)
+}
+
+func (e *TimeoutError) Error() string {
+	if e.Attempts > 1 {
+		return fmt.Sprintf("core: PE %d: %s request to kernel %d timed out after %d attempts", e.PE, e.Op, e.Dst, e.Attempts)
+	}
+	return fmt.Sprintf("core: PE %d: %s request to kernel %d timed out", e.PE, e.Op, e.Dst)
+}
+
+// PeerDownError reports that the transport declared the home kernel dead
+// while a request was outstanding (or before it was sent). It arrives well
+// before the request timeout would expire: peer-failure detection is what
+// makes it fast.
+type PeerDownError struct {
+	PE   int // requesting PE
+	Peer int // dead kernel
+	Op   string
+}
+
+func (e *PeerDownError) Error() string {
+	return fmt.Sprintf("core: PE %d: %s request failed: peer %d is down", e.PE, e.Op, e.Peer)
+}
+
+// ShutdownError reports that the cluster shut down while a request was
+// outstanding.
+type ShutdownError struct {
+	PE int
+	Op string
+}
+
+func (e *ShutdownError) Error() string {
+	return fmt.Sprintf("core: PE %d: cluster shut down during %s request", e.PE, e.Op)
+}

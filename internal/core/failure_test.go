@@ -61,9 +61,10 @@ func TestSimnetPartialLossLocalWorkSucceeds(t *testing.T) {
 	}
 }
 
-// Killing a TCP node mid-run must fail the survivors' requests via the
-// timeout instead of hanging them.
-func TestTCPNodeDeathSurfacesAsTimeout(t *testing.T) {
+// Killing a TCP node mid-run must fail the survivors' requests — via the
+// failure detector's fast peer-down path when the broken connection is
+// noticed, or the request timeout at worst — instead of hanging them.
+func TestTCPNodeDeathSurfacesAsError(t *testing.T) {
 	net, err := tcpnet.NewLocal(3)
 	if err != nil {
 		t.Fatalf("NewLocal: %v", err)
@@ -73,6 +74,7 @@ func TestTCPNodeDeathSurfacesAsTimeout(t *testing.T) {
 
 	var wg sync.WaitGroup
 	errs := make([]error, 3)
+	writeTook := make([]time.Duration, 3)
 	// Node 2 "crashes" before serving anything beyond the mesh handshake.
 	net.TCPNode(2).Kill()
 	for i := 0; i < 2; i++ {
@@ -87,8 +89,13 @@ func TestTCPNodeDeathSurfacesAsTimeout(t *testing.T) {
 				for space.HomeOf(addr) != 2 {
 					addr++
 				}
-				pe.GMWrite(addr, 1)
-				return nil
+				t0 := time.Now()
+				werr := pe.GMWriteErr(addr, 1)
+				writeTook[i] = time.Since(t0)
+				if werr == nil {
+					return fmt.Errorf("write to dead home succeeded")
+				}
+				return werr
 			})
 			if err != nil {
 				errs[i] = err
@@ -108,9 +115,17 @@ func TestTCPNodeDeathSurfacesAsTimeout(t *testing.T) {
 		if errs[i] == nil {
 			t.Fatalf("node %d: write to dead home succeeded", i)
 		}
-		if !strings.Contains(errs[i].Error(), "timed out") {
+		text := errs[i].Error()
+		if !strings.Contains(text, "is down") && !strings.Contains(text, "timed out") {
 			t.Fatalf("node %d: unexpected failure: %v", i, errs[i])
 		}
+		// The broken connections are noticed when node 2 dies, so the write
+		// must fail through the detector's peer-down path, well under the 2s
+		// request timeout.
+		if writeTook[i] >= time.Second {
+			t.Fatalf("node %d: write failed only after %v — detector did not fire", i, writeTook[i])
+		}
+		t.Logf("node %d: write failed in %v (%v)", i, writeTook[i], errs[i])
 	}
 }
 

@@ -19,6 +19,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/gmem"
@@ -57,10 +58,19 @@ type Kernel struct {
 	// (single-threaded) application context.
 	syncMb transport.Mailbox
 
-	mu      sync.Mutex
-	seq     uint64
-	pending map[uint64]transport.Mailbox
-	userq   map[int32]transport.Mailbox
+	mu        sync.Mutex
+	seq       uint64
+	pending   map[uint64]pendingReq
+	userq     map[int32]transport.Mailbox
+	deadPeers map[int]bool // peers the transport declared dead
+
+	// dedup holds the per-requester exactly-once window for mutating
+	// operations (serve goroutine only, no locking).
+	dedup map[int32]*dedupRing
+
+	// extra accumulates reliability counters the transport does not track
+	// (kernel side; the PE keeps its own in pe.extra). Serve goroutine only.
+	extra trace.PEStats
 
 	// In-flight invalidation rounds at this home (caching protocol).
 	inv     map[uint64]*invRound
@@ -82,6 +92,42 @@ type invSend struct {
 	dst  int
 }
 
+// pendingReq is one outstanding request of this kernel's PE: the mailbox its
+// reply routes to and the kernel it was addressed to (so a peer-down event
+// can fail exactly the requests aimed at the dead kernel).
+type pendingReq struct {
+	mb  transport.Mailbox
+	dst int
+}
+
+// The dedup window: the home kernel remembers the last dedupWindow mutating
+// requests per requester, so a retried request (same Seq) is absorbed instead
+// of re-applied. A PE issues requests one at a time, so a window this size is
+// far deeper than any retry can reach back.
+const dedupWindow = 32
+
+const (
+	dedupEmpty      uint8 = iota
+	dedupInProgress       // dispatched; response not yet produced (invalidation round outstanding)
+	dedupDone             // response sent; cached for resend
+)
+
+// dedupEntry records one mutating request and, once known, its response.
+type dedupEntry struct {
+	seq    uint64
+	respOp wire.Op
+	arg1   int64
+	arg2   int64
+	state  uint8
+}
+
+// dedupRing is a fixed ring of the most recent mutating requests from one
+// requester.
+type dedupRing struct {
+	entries [dedupWindow]dedupEntry
+	next    int
+}
+
 // invRound tracks one write/atomic waiting for invalidation acks before the
 // home may acknowledge it.
 type invRound struct {
@@ -96,18 +142,21 @@ type invRound struct {
 func newKernel(id int, node transport.Node, cfg *Config) *Kernel {
 	space := gmem.NewSpace(cfg.NumPE, cfg.GMBlockWords)
 	k := &Kernel{
-		id:      id,
-		n:       cfg.NumPE,
-		node:    node,
-		svc:     node.Svc(),
-		cfg:     cfg,
-		space:   space,
-		seg:     gmem.NewSegment(space, id),
-		syncMb:  node.NewMailbox(16),
-		pending: make(map[uint64]transport.Mailbox),
-		userq:   make(map[int32]transport.Mailbox),
-		inv:     make(map[uint64]*invRound),
+		id:        id,
+		n:         cfg.NumPE,
+		node:      node,
+		svc:       node.Svc(),
+		cfg:       cfg,
+		space:     space,
+		seg:       gmem.NewSegment(space, id),
+		syncMb:    node.NewMailbox(16),
+		pending:   make(map[uint64]pendingReq),
+		userq:     make(map[int32]transport.Mailbox),
+		deadPeers: make(map[int]bool),
+		dedup:     make(map[int32]*dedupRing),
+		inv:       make(map[uint64]*invRound),
 	}
+	node.SetPeerDown(k.peerDown)
 	if cfg.Caching {
 		k.cache = gmem.NewCache(space)
 	}
@@ -126,23 +175,29 @@ func newKernel(id int, node transport.Node, cfg *Config) *Kernel {
 // treeArity is the fan-in of the tree barrier.
 const treeArity = 2
 
-// nextSeq reserves a request id and registers its reply mailbox.
-func (k *Kernel) addPending(mb transport.Mailbox) uint64 {
+// addPending reserves a request id and registers its reply mailbox. If the
+// transport has already declared dst dead it reports dead=true and registers
+// nothing: the caller fails the request immediately instead of sending into
+// the void.
+func (k *Kernel) addPending(mb transport.Mailbox, dst int) (seq uint64, dead bool) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	k.seq++
-	k.pending[k.seq] = mb
-	return k.seq
+	if k.deadPeers[dst] {
+		return k.seq, true
+	}
+	k.pending[k.seq] = pendingReq{mb: mb, dst: dst}
+	return k.seq, false
 }
 
 func (k *Kernel) takePending(seq uint64) (transport.Mailbox, bool) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	mb, ok := k.pending[seq]
+	pr, ok := k.pending[seq]
 	if ok {
 		delete(k.pending, seq)
 	}
-	return mb, ok
+	return pr.mb, ok
 }
 
 // dropPending forgets a request that timed out.
@@ -150,6 +205,97 @@ func (k *Kernel) dropPending(seq uint64) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	delete(k.pending, seq)
+}
+
+// peerDown is the transport's peer-failure callback (any goroutine). It
+// marks the peer dead, so new requests to it fail fast, and synthesises an
+// OpPeerDown reply for every request outstanding against it, so blocked
+// requesters wake immediately instead of waiting out the timeout.
+func (k *Kernel) peerDown(peer int) {
+	k.mu.Lock()
+	if k.deadPeers[peer] {
+		k.mu.Unlock()
+		return
+	}
+	k.deadPeers[peer] = true
+	var victims []pendingVictim
+	for seq, pr := range k.pending {
+		if pr.dst == peer {
+			victims = append(victims, pendingVictim{seq: seq, mb: pr.mb})
+			delete(k.pending, seq)
+		}
+	}
+	k.mu.Unlock()
+	sort.Slice(victims, func(i, j int) bool { return victims[i].seq < victims[j].seq })
+	for _, v := range victims {
+		m := wire.GetMessage()
+		m.Op, m.Src, m.Dst, m.Seq = wire.OpPeerDown, int32(peer), int32(k.id), v.seq
+		v.mb.Put(m)
+	}
+}
+
+type pendingVictim struct {
+	seq uint64
+	mb  transport.Mailbox
+}
+
+// isMutating reports whether op changes state at its destination, i.e.
+// whether a blind retransmission could apply it twice. These are exactly the
+// ops the dedup window tracks.
+func isMutating(op wire.Op) bool {
+	switch op {
+	case wire.OpWrite, wire.OpWriteV, wire.OpFetchAdd, wire.OpCAS,
+		wire.OpProcRegister, wire.OpProcExit:
+		return true
+	}
+	return false
+}
+
+// dedupCheck consults the requester's dedup window before a mutating request
+// is dispatched. It reports whether the message was absorbed here: a
+// duplicate whose response is cached is answered by resend, a duplicate
+// still in progress is dropped (the eventual response will serve it). A
+// first-seen request is recorded in-progress and dispatched normally.
+// Serve goroutine only.
+func (k *Kernel) dedupCheck(m *wire.Message) bool {
+	r := k.dedup[m.Src]
+	if r == nil {
+		r = &dedupRing{}
+		k.dedup[m.Src] = r
+	}
+	for i := range r.entries {
+		e := &r.entries[i]
+		if e.state == dedupEmpty || e.seq != m.Seq {
+			continue
+		}
+		k.extra.DupRequests++
+		if e.state == dedupDone {
+			resp := wire.GetMessage()
+			resp.Op, resp.Arg1, resp.Arg2 = e.respOp, e.arg1, e.arg2
+			k.reply(m, resp)
+		}
+		return true
+	}
+	r.entries[r.next] = dedupEntry{seq: m.Seq, state: dedupInProgress}
+	r.next = (r.next + 1) % dedupWindow
+	return false
+}
+
+// dedupComplete caches the response of a mutating request so a later retry
+// can be answered by resend. Serve goroutine only.
+func (k *Kernel) dedupComplete(src int32, seq uint64, respOp wire.Op, arg1, arg2 int64) {
+	r := k.dedup[src]
+	if r == nil {
+		return
+	}
+	for i := range r.entries {
+		e := &r.entries[i]
+		if e.state != dedupEmpty && e.seq == seq {
+			e.respOp, e.arg1, e.arg2 = respOp, arg1, arg2
+			e.state = dedupDone
+			return
+		}
+	}
 }
 
 // userMb returns (creating on demand) the queue for user messages with tag.
@@ -184,6 +330,9 @@ func (k *Kernel) serve() {
 // to another context: a reply mailbox, the sync mailbox or a user queue.
 func (k *Kernel) handle(m *wire.Message) bool {
 	k.logMessage(m)
+	if isMutating(m.Op) && k.dedupCheck(m) {
+		return true // duplicate: absorbed by the dedup window
+	}
 	switch m.Op {
 	// Responses to this kernel's own outstanding requests.
 	case wire.OpReadResp, wire.OpWriteAck, wire.OpFetchAddResp, wire.OpCASResp,
@@ -194,7 +343,10 @@ func (k *Kernel) handle(m *wire.Message) bool {
 			mb.Put(m)
 			return false
 		}
-		return true // stray (e.g. after a timeout): drop
+		// Stray: a reply that outlived its request (timeout, retry already
+		// answered, peer-down already surfaced). Count and drop.
+		k.extra.StrayDrops++
+		return true
 
 	// Synchronisation grants for the application context.
 	case wire.OpBarrierRelease:
@@ -253,7 +405,9 @@ func (k *Kernel) handle(m *wire.Message) bool {
 		k.reply(m, resp)
 	case wire.OpProcExit:
 		if err := k.procs.Exit(m.Arg1, m.Arg2, k.svc.Now()); err != nil {
-			panic(fmt.Sprintf("core: kernel 0: %v", err))
+			// Unknown or already-exited gpid: a duplicate that outlived the
+			// dedup window. Exit is idempotent, so count it and ack anyway.
+			k.extra.StrayDrops++
 		}
 		resp := wire.GetMessage()
 		resp.Op = wire.OpProcExitAck
@@ -277,7 +431,9 @@ func (k *Kernel) handle(m *wire.Message) bool {
 		k.reply(m, resp)
 
 	default:
-		panic(fmt.Sprintf("core: kernel %d: unexpected message %v", k.id, m))
+		// Unknown op: malformed or hostile traffic must not take the kernel
+		// down. Count and drop.
+		k.extra.CorruptDrops++
 	}
 	return true
 }
@@ -308,6 +464,9 @@ func (k *Kernel) reply(m *wire.Message, resp *wire.Message) {
 	resp.Src = int32(k.id)
 	resp.Dst = m.Src
 	resp.Seq = m.Seq
+	if isMutating(m.Op) {
+		k.dedupComplete(m.Src, m.Seq, resp.Op, resp.Arg1, resp.Arg2)
+	}
 	k.svc.Send(int(m.Src), resp)
 	wire.PutMessage(resp)
 }
@@ -336,7 +495,10 @@ func (k *Kernel) handleReadV(m *wire.Message) {
 		k.raddrs = append(k.raddrs, addr)
 		k.rcounts = append(k.rcounts, count)
 	}); err != nil {
-		panic(fmt.Sprintf("core: kernel %d: bad vectored read: %v", k.id, err))
+		// Corrupt vectored-read payload: drop without replying (the
+		// requester's timeout/retry machinery owns recovery).
+		k.extra.CorruptDrops++
+		return
 	}
 	k.wscratch = k.seg.ReadV(k.wscratch[:0], k.raddrs, k.rcounts)
 	resp := wire.GetMessage()
@@ -346,6 +508,12 @@ func (k *Kernel) handleReadV(m *wire.Message) {
 }
 
 func (k *Kernel) handleWrite(m *wire.Message) {
+	if len(m.Data)%8 != 0 {
+		// Torn payload (WordsInto would panic): drop and let the requester
+		// retry.
+		k.extra.CorruptDrops++
+		return
+	}
 	k.wscratch = m.WordsInto(k.wscratch)
 	if k.cache == nil {
 		k.seg.Write(m.Addr, k.wscratch)
@@ -372,7 +540,10 @@ func (k *Kernel) handleWriteV(m *wire.Message) {
 			k.seg.Write(addr, words)
 		})
 		if err != nil {
-			panic(fmt.Sprintf("core: kernel %d: bad vectored write: %v", k.id, err))
+			// Runs decoded before the corruption were already applied; the
+			// request is not acked, so the requester treats it as lost.
+			k.extra.CorruptDrops++
+			return
 		}
 		ack := wire.GetMessage()
 		ack.Op = wire.OpWriteAck
@@ -386,7 +557,8 @@ func (k *Kernel) handleWriteV(m *wire.Message) {
 		}
 	})
 	if err != nil {
-		panic(fmt.Sprintf("core: kernel %d: bad vectored write: %v", k.id, err))
+		k.extra.CorruptDrops++
+		return
 	}
 	k.finishAfterInvalidations(m, k.invSends, wire.OpWriteAck, 0, 0)
 }
@@ -466,13 +638,17 @@ func (k *Kernel) handleInvalidate(m *wire.Message) {
 func (k *Kernel) handleInvAck(m *wire.Message) {
 	r, ok := k.inv[m.Seq]
 	if !ok {
-		panic(fmt.Sprintf("core: kernel %d: stray invalidation ack %v", k.id, m))
+		// A duplicate or late ack for a round already completed: count and
+		// drop instead of taking the kernel down.
+		k.extra.StrayDrops++
+		return
 	}
 	r.remaining--
 	if r.remaining > 0 {
 		return
 	}
 	delete(k.inv, m.Seq)
+	k.dedupComplete(r.requester, r.seq, r.respOp, r.arg1, r.arg2)
 	resp := wire.GetMessage()
 	resp.Op, resp.Src, resp.Dst, resp.Seq = r.respOp, int32(k.id), r.requester, r.seq
 	resp.Arg1, resp.Arg2 = r.arg1, r.arg2

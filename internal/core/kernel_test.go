@@ -1,7 +1,6 @@
 package core
 
 import (
-	"strings"
 	"testing"
 	"time"
 
@@ -141,24 +140,60 @@ func TestKernelInvalidationRound(t *testing.T) {
 	}
 }
 
-func TestKernelStrayInvAckPanics(t *testing.T) {
+func TestKernelStrayInvAckDropped(t *testing.T) {
 	_, ks := testKernels(t, 2, func(cfg *Config) { cfg.Caching = true })
-	defer func() {
-		if r := recover(); r == nil || !strings.Contains(r.(string), "stray invalidation ack") {
-			t.Fatalf("expected stray-ack panic, got %v", r)
-		}
-	}()
 	ks[0].handle(&wire.Message{Op: wire.OpInvAck, Src: 1, Seq: 123})
+	if ks[0].extra.StrayDrops != 1 {
+		t.Fatalf("StrayDrops = %d, want 1", ks[0].extra.StrayDrops)
+	}
 }
 
-func TestKernelUnknownOpPanics(t *testing.T) {
+func TestKernelUnknownOpDropped(t *testing.T) {
 	_, ks := testKernels(t, 1, nil)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for unknown op")
-		}
-	}()
 	ks[0].handle(&wire.Message{Op: wire.Op(200)})
+	if ks[0].extra.CorruptDrops != 1 {
+		t.Fatalf("CorruptDrops = %d, want 1", ks[0].extra.CorruptDrops)
+	}
+}
+
+// TestKernelCorruptPayloadsDropped feeds malformed global-memory traffic to
+// a kernel and checks it drops (and counts) each message instead of
+// panicking.
+func TestKernelCorruptPayloadsDropped(t *testing.T) {
+	_, ks := testKernels(t, 2, nil)
+	// Torn scalar write: payload is not whole words.
+	ks[0].handle(&wire.Message{Op: wire.OpWrite, Src: 1, Seq: 1, Addr: 0, Data: []byte{1, 2, 3}})
+	// Ragged vectored read: truncated range list.
+	ks[0].handle(&wire.Message{Op: wire.OpReadV, Src: 1, Seq: 2, Data: []byte{9, 9, 9, 9, 9}})
+	// Truncated vectored write: header promises more runs than present.
+	ks[0].handle(&wire.Message{Op: wire.OpWriteV, Src: 1, Seq: 3, Arg1: 5, Data: []byte{0}})
+	if ks[0].extra.CorruptDrops != 3 {
+		t.Fatalf("CorruptDrops = %d, want 3", ks[0].extra.CorruptDrops)
+	}
+}
+
+// TestKernelDedupAbsorbsRetriedFetchAdd retransmits a FetchAdd with the same
+// Seq (as the PE's retry path would) and checks it is applied exactly once,
+// with the cached response resent.
+func TestKernelDedupAbsorbsRetriedFetchAdd(t *testing.T) {
+	net, ks := testKernels(t, 2, nil)
+	req := &wire.Message{Op: wire.OpFetchAdd, Src: 1, Dst: 0, Seq: 7, Addr: 5, Arg1: 3}
+	ks[0].handle(req)
+	if resp := recvFrom(t, net, 1); resp.Op != wire.OpFetchAddResp || resp.Arg1 != 0 {
+		t.Fatalf("first resp = %v", resp)
+	}
+	retry := &wire.Message{Op: wire.OpFetchAdd, Src: 1, Dst: 0, Seq: 7, Addr: 5, Arg1: 3, Flags: wire.FlagRetry}
+	ks[0].handle(retry)
+	resp := recvFrom(t, net, 1)
+	if resp.Op != wire.OpFetchAddResp || resp.Arg1 != 0 {
+		t.Fatalf("resent resp = %v (want cached old value 0)", resp)
+	}
+	if v := ks[0].seg.Read(5, 1)[0]; v != 3 {
+		t.Fatalf("value = %d, want 3 (applied exactly once)", v)
+	}
+	if ks[0].extra.DupRequests != 1 {
+		t.Fatalf("DupRequests = %d, want 1", ks[0].extra.DupRequests)
+	}
 }
 
 func TestKernelPingPong(t *testing.T) {
@@ -187,7 +222,10 @@ func TestKernelUserMessageRouting(t *testing.T) {
 func TestKernelPendingResponseRouting(t *testing.T) {
 	_, ks := testKernels(t, 2, nil)
 	mb := ks[0].node.NewMailbox(1)
-	seq := ks[0].addPending(mb)
+	seq, dead := ks[0].addPending(mb, 1)
+	if dead {
+		t.Fatal("peer 1 unexpectedly dead")
+	}
 	ks[0].handle(&wire.Message{Op: wire.OpReadResp, Src: 1, Seq: seq})
 	if m, ok := mb.Take(); !ok || m.Seq != seq {
 		t.Fatalf("pending routing failed: %v", m)
@@ -196,6 +234,9 @@ func TestKernelPendingResponseRouting(t *testing.T) {
 	ks[0].handle(&wire.Message{Op: wire.OpReadResp, Src: 1, Seq: seq})
 	if _, _, timedOut := mb.TakeTimeout(10_000_000); !timedOut {
 		t.Fatal("late response was not dropped")
+	}
+	if ks[0].extra.StrayDrops != 1 {
+		t.Fatalf("StrayDrops = %d, want 1", ks[0].extra.StrayDrops)
 	}
 }
 

@@ -103,94 +103,180 @@ func (pe *PE) legacyCrossing() {
 // request sends m to kernel dst and blocks until the response arrives in
 // the persistent reply mailbox. Request time beyond the send-side overhead
 // is accounted as wait time. The caller owns both m and the returned
-// response; recycle them with wire.PutMessage when done.
+// response; recycle them with wire.PutMessage when done. Failures panic;
+// requestErr is the error-returning tier underneath.
 func (pe *PE) request(dst int, m *wire.Message) *wire.Message {
-	k := pe.k
-	m.Src = int32(k.id)
-	m.Dst = int32(dst)
-	m.Seq = k.addPending(pe.replyMb)
-	start := pe.app.Now()
-	pe.app.Send(dst, m)
-	resp := pe.takeReply(m.Seq, m.Op, dst)
-	rtt := pe.app.Now() - start
-	pe.extra.WaitTime += rtt
-	pe.rtt.Observe(rtt)
+	resp, err := pe.requestErr(dst, m)
+	if err != nil {
+		panic(err.Error())
+	}
 	return resp
 }
 
-// takeReply blocks on the reply mailbox for the response to seq (op/dst
-// only flavour the panic messages).
-func (pe *PE) takeReply(seq uint64, op wire.Op, dst int) *wire.Message {
+// requestErr is request with failures surfaced as errors: *TimeoutError
+// after the configured retries are exhausted, *PeerDownError when the
+// transport declared dst dead, *ShutdownError when the cluster went down.
+//
+// Retries resend the request with the same Seq and the retry flag set; the
+// home kernel's dedup window guarantees a retried mutating operation is
+// applied exactly once. The pending registration survives across attempts so
+// a late first reply still routes to us (and is then matched by Seq).
+func (pe *PE) requestErr(dst int, m *wire.Message) (*wire.Message, error) {
 	k := pe.k
-	var resp *wire.Message
-	var ok bool
-	if d := k.requestTimeout(); d > 0 {
-		var timedOut bool
-		resp, ok, timedOut = pe.replyMb.TakeTimeout(d)
-		if timedOut {
-			k.dropPending(seq)
-			panic(fmt.Sprintf("core: PE %d: %v request to kernel %d timed out after %v", k.id, op, dst, d))
+	m.Src = int32(k.id)
+	m.Dst = int32(dst)
+	seq, dead := k.addPending(pe.replyMb, dst)
+	if dead {
+		return nil, &PeerDownError{PE: k.id, Peer: dst, Op: m.Op.String()}
+	}
+	m.Seq = seq
+	start := pe.app.Now()
+	backoff := k.cfg.RetryBackoff
+	for attempts := 1; ; attempts++ {
+		pe.app.Send(dst, m)
+		resp, err := pe.takeReply(seq, m.Op, dst, attempts)
+		if err == nil {
+			rtt := pe.app.Now() - start
+			pe.extra.WaitTime += rtt
+			pe.rtt.Observe(rtt)
+			return resp, nil
 		}
-	} else {
-		resp, ok = pe.replyMb.Take()
+		if _, timedOut := err.(*TimeoutError); !timedOut || attempts > k.cfg.RequestRetries {
+			k.dropPending(seq)
+			pe.extra.WaitTime += pe.app.Now() - start
+			return nil, err
+		}
+		if backoff > 0 {
+			pe.app.Sleep(backoff)
+			if backoff < 8*k.cfg.RetryBackoff {
+				backoff *= 2
+			}
+		}
+		m.Flags |= wire.FlagRetry
+		pe.extra.Retries++
 	}
-	if !ok {
-		panic(fmt.Sprintf("core: PE %d: cluster shut down during %v request", k.id, op))
+}
+
+// takeReply blocks on the reply mailbox until the response to seq arrives or
+// the per-attempt timeout expires. Sequence validation is what makes the
+// persistent mailbox safe: residue of an earlier timed-out request (a stale
+// reply that arrived after we gave up on it) is recycled and skipped instead
+// of being misdelivered as the answer to the current request.
+func (pe *PE) takeReply(seq uint64, op wire.Op, dst int, attempts int) (*wire.Message, error) {
+	k := pe.k
+	d := k.requestTimeout()
+	deadline := pe.app.Now() + d
+	for {
+		var resp *wire.Message
+		var ok bool
+		if d > 0 {
+			remaining := deadline - pe.app.Now()
+			if remaining <= 0 {
+				return nil, &TimeoutError{PE: k.id, Dst: dst, Op: op.String(), Attempts: attempts}
+			}
+			var timedOut bool
+			resp, ok, timedOut = pe.replyMb.TakeTimeout(remaining)
+			if timedOut {
+				return nil, &TimeoutError{PE: k.id, Dst: dst, Op: op.String(), Attempts: attempts}
+			}
+		} else {
+			resp, ok = pe.replyMb.Take()
+		}
+		if !ok {
+			return nil, &ShutdownError{PE: k.id, Op: op.String()}
+		}
+		if resp.Op == wire.OpPeerDown {
+			peer, rseq := int(resp.Src), resp.Seq
+			wire.PutMessage(resp)
+			if rseq != seq {
+				pe.extra.StaleReplies++ // failure notice for an older request
+				continue
+			}
+			return nil, &PeerDownError{PE: k.id, Peer: peer, Op: op.String()}
+		}
+		if resp.Seq != seq {
+			pe.extra.StaleReplies++
+			wire.PutMessage(resp)
+			continue
+		}
+		return resp, nil
 	}
-	return resp
 }
 
 // --- Global memory: word operations ---
 
-// GMRead reads the global-memory word at addr.
+// GMRead reads the global-memory word at addr, panicking on failure.
 func (pe *PE) GMRead(addr uint64) int64 {
+	v, err := pe.GMReadErr(addr)
+	if err != nil {
+		panic(err.Error())
+	}
+	return v
+}
+
+// GMReadErr reads the global-memory word at addr, surfacing request
+// failures (timeout, peer down, shutdown) as errors instead of panicking.
+func (pe *PE) GMReadErr(addr uint64) (int64, error) {
 	pe.legacyCrossing()
 	k := pe.k
 	if k.cache != nil {
 		if v, ok := k.cache.Lookup(addr); ok {
 			pe.app.LocalAccess()
 			pe.extra.LocalGM++
-			return v
+			return v, nil
 		}
 		if k.space.HomeOf(addr) == k.id {
 			pe.app.LocalAccess()
 			pe.extra.LocalGM++
-			return k.seg.ReadWord(addr)
+			return k.seg.ReadWord(addr), nil
 		}
 		pe.extra.RemoteGM++
 		req := wire.GetMessage()
 		req.Op, req.Addr, req.Arg2 = wire.OpRead, addr, 1
-		resp := pe.request(k.space.HomeOf(addr), req)
+		resp, err := pe.requestErr(k.space.HomeOf(addr), req)
 		wire.PutMessage(req)
+		if err != nil {
+			return 0, err
+		}
 		pe.words = resp.WordsInto(pe.words)
 		wire.PutMessage(resp)
 		k.cache.Insert(addr, pe.words)
-		return pe.words[addr%uint64(k.space.BlockWords)]
+		return pe.words[addr%uint64(k.space.BlockWords)], nil
 	}
 	if k.space.HomeOf(addr) == k.id {
 		pe.app.LocalAccess()
 		pe.extra.LocalGM++
-		return k.seg.ReadWord(addr)
+		return k.seg.ReadWord(addr), nil
 	}
 	pe.extra.RemoteGM++
 	req := wire.GetMessage()
 	req.Op, req.Addr, req.Arg1 = wire.OpRead, addr, 1
-	resp := pe.request(k.space.HomeOf(addr), req)
+	resp, err := pe.requestErr(k.space.HomeOf(addr), req)
 	wire.PutMessage(req)
+	if err != nil {
+		return 0, err
+	}
 	v := resp.Word(0)
 	wire.PutMessage(resp)
-	return v
+	return v, nil
 }
 
-// GMWrite stores v at addr.
+// GMWrite stores v at addr, panicking on failure.
 func (pe *PE) GMWrite(addr uint64, v int64) {
+	if err := pe.GMWriteErr(addr, v); err != nil {
+		panic(err.Error())
+	}
+}
+
+// GMWriteErr stores v at addr, surfacing request failures as errors.
+func (pe *PE) GMWriteErr(addr uint64, v int64) error {
 	pe.legacyCrossing()
 	k := pe.k
 	if k.cache == nil && k.space.HomeOf(addr) == k.id {
 		pe.app.LocalAccess()
 		pe.extra.LocalGM++
 		k.seg.WriteWord(addr, v)
-		return
+		return nil
 	}
 	// Under caching every mutation goes through the home's invalidation
 	// machinery, including our own home (via the own-node message path).
@@ -201,58 +287,90 @@ func (pe *PE) GMWrite(addr uint64, v int64) {
 	req := wire.GetMessage()
 	req.Op, req.Addr = wire.OpWrite, addr
 	req.PutWord(v)
-	resp := pe.request(k.space.HomeOf(addr), req)
+	resp, err := pe.requestErr(k.space.HomeOf(addr), req)
 	wire.PutMessage(req)
+	if err != nil {
+		return err
+	}
 	wire.PutMessage(resp)
 	if k.cache != nil {
 		k.cache.Invalidate(addr)
 	}
+	return nil
 }
 
 // FetchAdd atomically adds delta to the word at addr, returning the old
-// value. The primitive behind job pools and work counters.
+// value. The primitive behind job pools and work counters. Panics on failure.
 func (pe *PE) FetchAdd(addr uint64, delta int64) int64 {
+	old, err := pe.FetchAddErr(addr, delta)
+	if err != nil {
+		panic(err.Error())
+	}
+	return old
+}
+
+// FetchAddErr is FetchAdd with request failures surfaced as errors. A retry
+// that slips past a lost reply is absorbed by the home's dedup window, so
+// the addition is applied exactly once even under retransmission.
+func (pe *PE) FetchAddErr(addr uint64, delta int64) (int64, error) {
 	pe.legacyCrossing()
 	k := pe.k
 	if k.cache == nil && k.space.HomeOf(addr) == k.id {
 		pe.app.LocalAccess()
 		pe.extra.LocalGM++
-		return k.seg.FetchAdd(addr, delta)
+		return k.seg.FetchAdd(addr, delta), nil
 	}
 	pe.extra.RemoteGM++
 	req := wire.GetMessage()
 	req.Op, req.Addr, req.Arg1 = wire.OpFetchAdd, addr, delta
-	resp := pe.request(k.space.HomeOf(addr), req)
+	resp, err := pe.requestErr(k.space.HomeOf(addr), req)
 	wire.PutMessage(req)
+	if err != nil {
+		return 0, err
+	}
 	old := resp.Arg1
 	wire.PutMessage(resp)
 	if k.cache != nil {
 		k.cache.Invalidate(addr)
 	}
-	return old
+	return old, nil
 }
 
 // CAS atomically compares-and-swaps the word at addr; it returns the
-// previous value and whether the swap happened.
+// previous value and whether the swap happened. Panics on failure.
 func (pe *PE) CAS(addr uint64, old, new int64) (int64, bool) {
+	prev, sw, err := pe.CASErr(addr, old, new)
+	if err != nil {
+		panic(err.Error())
+	}
+	return prev, sw
+}
+
+// CASErr is CAS with request failures surfaced as errors; like FetchAddErr
+// it stays exactly-once under retransmission.
+func (pe *PE) CASErr(addr uint64, old, new int64) (int64, bool, error) {
 	pe.legacyCrossing()
 	k := pe.k
 	if k.cache == nil && k.space.HomeOf(addr) == k.id {
 		pe.app.LocalAccess()
 		pe.extra.LocalGM++
-		return k.seg.CAS(addr, old, new)
+		prev, sw := k.seg.CAS(addr, old, new)
+		return prev, sw, nil
 	}
 	pe.extra.RemoteGM++
 	req := wire.GetMessage()
 	req.Op, req.Addr, req.Arg1, req.Arg2 = wire.OpCAS, addr, old, new
-	resp := pe.request(k.space.HomeOf(addr), req)
+	resp, err := pe.requestErr(k.space.HomeOf(addr), req)
 	wire.PutMessage(req)
+	if err != nil {
+		return 0, false, err
+	}
 	prev, sw := resp.Arg1, resp.Arg2 == 1
 	wire.PutMessage(resp)
 	if k.cache != nil {
 		k.cache.Invalidate(addr)
 	}
-	return prev, sw
+	return prev, sw, nil
 }
 
 // --- Global memory: block and vectored (scatter/gather) operations ---
@@ -265,7 +383,11 @@ func (pe *PE) sendAsync(dst int, m *wire.Message) uint64 {
 	k := pe.k
 	m.Src = int32(k.id)
 	m.Dst = int32(dst)
-	seq := k.addPending(pe.replyMb)
+	seq, dead := k.addPending(pe.replyMb, dst)
+	if dead {
+		pe.dropTransferPending()
+		panic((&PeerDownError{PE: k.id, Peer: dst, Op: m.Op.String()}).Error())
+	}
 	m.Seq = seq
 	pe.app.Send(dst, m)
 	return seq
@@ -292,12 +414,19 @@ func (pe *PE) groupRunsByHome() {
 
 // awaitGather collects the per-home read responses of a pipelined gather,
 // scattering each response's words into out at the runs' offsets. Replies
-// are matched by Seq, so out-of-order arrival is fine.
+// are matched by Seq, so out-of-order arrival is fine and stale mailbox
+// residue is discarded rather than corrupting the transfer.
 func (pe *PE) awaitGather(out []int64) {
 	start := pe.app.Now()
-	for remaining := len(pe.reqs); remaining > 0; remaining-- {
-		resp := pe.takeReply(0, wire.OpReadV, -1)
+	for remaining := len(pe.reqs); remaining > 0; {
+		resp := pe.takeTransfer(wire.OpReadV)
 		g := pe.findReq(resp.Seq)
+		if g == nil {
+			pe.extra.StaleReplies++
+			wire.PutMessage(resp)
+			continue
+		}
+		remaining--
 		pe.words = resp.WordsInto(pe.words)
 		wire.PutMessage(resp)
 		woff := 0
@@ -312,15 +441,78 @@ func (pe *PE) awaitGather(out []int64) {
 // awaitAcks drains one ack per outstanding per-home request.
 func (pe *PE) awaitAcks() {
 	start := pe.app.Now()
-	for remaining := len(pe.reqs); remaining > 0; remaining-- {
-		resp := pe.takeReply(0, wire.OpWriteV, -1)
-		pe.findReq(resp.Seq)
+	for remaining := len(pe.reqs); remaining > 0; {
+		resp := pe.takeTransfer(wire.OpWriteV)
+		g := pe.findReq(resp.Seq)
 		wire.PutMessage(resp)
+		if g == nil {
+			pe.extra.StaleReplies++
+			continue
+		}
+		remaining--
 	}
 	pe.extra.WaitTime += pe.app.Now() - start
 }
 
-// findReq marks the outstanding request with seq done and returns it.
+// takeTransfer blocks on the reply mailbox for the next transfer reply,
+// panicking on timeout, shutdown or a peer-down notice for one of the
+// transfer's outstanding requests.
+func (pe *PE) takeTransfer(op wire.Op) *wire.Message {
+	k := pe.k
+	for {
+		var resp *wire.Message
+		var ok bool
+		if d := k.requestTimeout(); d > 0 {
+			var timedOut bool
+			resp, ok, timedOut = pe.replyMb.TakeTimeout(d)
+			if timedOut {
+				pe.dropTransferPending()
+				panic(fmt.Sprintf("core: PE %d: %v transfer timed out after %v", k.id, op, d))
+			}
+		} else {
+			resp, ok = pe.replyMb.Take()
+		}
+		if !ok {
+			panic(fmt.Sprintf("core: PE %d: cluster shut down during %v request", k.id, op))
+		}
+		if resp.Op == wire.OpPeerDown {
+			peer, seq := int(resp.Src), resp.Seq
+			wire.PutMessage(resp)
+			if !pe.transferSeq(seq) {
+				pe.extra.StaleReplies++ // notice for an older, non-transfer request
+				continue
+			}
+			pe.dropTransferPending()
+			panic(fmt.Sprintf("core: PE %d: %v transfer failed: peer %d is down", k.id, op, peer))
+		}
+		return resp
+	}
+}
+
+// transferSeq reports whether seq belongs to an outstanding (not yet done)
+// request of the current transfer.
+func (pe *PE) transferSeq(seq uint64) bool {
+	for i := range pe.reqs {
+		if pe.reqs[i].seq == seq && !pe.reqs[i].done {
+			return true
+		}
+	}
+	return false
+}
+
+// dropTransferPending forgets the still-outstanding requests of an aborted
+// transfer so their late replies are dropped as stray instead of lingering
+// in the reply mailbox.
+func (pe *PE) dropTransferPending() {
+	for i := range pe.reqs {
+		if pe.reqs[i].seq != 0 && !pe.reqs[i].done {
+			pe.k.dropPending(pe.reqs[i].seq)
+		}
+	}
+}
+
+// findReq marks the outstanding request with seq done and returns it; nil
+// means seq matches none of them (stale residue — the caller discards it).
 func (pe *PE) findReq(seq uint64) *homeReq {
 	for i := range pe.reqs {
 		if pe.reqs[i].seq == seq && !pe.reqs[i].done {
@@ -328,7 +520,7 @@ func (pe *PE) findReq(seq uint64) *homeReq {
 			return &pe.reqs[i]
 		}
 	}
-	panic(fmt.Sprintf("core: PE %d: stray transfer reply seq=%d", pe.k.id, seq))
+	return nil
 }
 
 // GMReadBlock reads n words starting at addr, splitting the range across
@@ -768,14 +960,29 @@ func (pe *PE) Processes() []procmgmt.Entry {
 }
 
 // Ping round-trips a liveness probe to kernel dst and reports the latency.
+// Panics on failure.
 func (pe *PE) Ping(dst int) sim.Duration {
+	d, err := pe.PingErr(dst)
+	if err != nil {
+		panic(err.Error())
+	}
+	return d
+}
+
+// PingErr is Ping with failures surfaced as errors: a dead peer reports
+// *PeerDownError (fast, via the transport's failure detector) or
+// *TimeoutError, an unreachable but undetected one only the latter.
+func (pe *PE) PingErr(dst int) (sim.Duration, error) {
 	start := pe.app.Now()
 	req := wire.GetMessage()
 	req.Op = wire.OpPing
-	resp := pe.request(dst, req)
+	resp, err := pe.requestErr(dst, req)
 	wire.PutMessage(req)
+	if err != nil {
+		return 0, err
+	}
 	wire.PutMessage(resp)
-	return pe.app.Now() - start
+	return pe.app.Now() - start, nil
 }
 
 // CacheStats reports cache hits, misses and invalidations (zeros when the

@@ -97,7 +97,11 @@ type Bus struct {
 
 type txReq struct {
 	frame Frame
-	done  *sim.Chan[struct{}] // signalled when the frame has left the sender
+	// done is signalled when the frame has left the sender; the value
+	// reports whether the frame will be delivered (false: lost on the wire
+	// or addressed to a closed station), which is what lets a transport
+	// implement consecutive-loss peer-failure detection.
+	done *sim.Chan[bool]
 }
 
 // NewBus creates a bus on the engine with the given medium parameters.
@@ -220,11 +224,27 @@ func (b *Bus) transmit(p *sim.Proc, req txReq) {
 	b.stats.WireBytes += uint64(wireBytes)
 	b.stats.BusyTime += txTime
 
-	// Sender unblocks once its frame has left the NIC.
-	req.done.TrySend(struct{}{})
-
-	if b.lossProb > 0 && b.rng.Float64() < b.lossProb {
+	// Decide the frame's fate before unblocking the sender, so the sender
+	// learns whether its frame made it onto a live receiver. The rng draw
+	// stays one-per-frame (iff loss injection is on) to keep seeded runs
+	// deterministic.
+	lost := b.lossProb > 0 && b.rng.Float64() < b.lossProb
+	if f.Dst != Broadcast {
+		if f.Dst < 0 || f.Dst >= len(b.stations) {
+			panic(fmt.Sprintf("ethernet: frame to unknown station %d", f.Dst))
+		}
+		if b.stations[f.Dst].Closed() {
+			lost = true // dead station: the frame falls on the floor
+		}
+	}
+	if lost {
 		b.stats.Drops++
+	}
+
+	// Sender unblocks once its frame has left the NIC.
+	req.done.TrySend(!lost)
+
+	if lost {
 		return
 	}
 	deliverAt := p.Now() + b.cfg.PropDelay
@@ -236,9 +256,6 @@ func (b *Bus) transmit(p *sim.Proc, req txReq) {
 			b.deliver(s, f, deliverAt)
 		}
 		return
-	}
-	if f.Dst < 0 || f.Dst >= len(b.stations) {
-		panic(fmt.Sprintf("ethernet: frame to unknown station %d", f.Dst))
 	}
 	b.deliver(b.stations[f.Dst], f, deliverAt)
 }
@@ -264,10 +281,13 @@ func (s *Station) ID() int { return s.id }
 // Send fragments payload-sized data into MTU frames and transmits them,
 // blocking the caller until the last frame has left the station. The
 // payload value rides on the final frame only; earlier fragments carry nil.
-func (s *Station) Send(p *sim.Proc, dst, size int, payload interface{}) {
+// It reports whether every fragment was delivered: false means at least one
+// fragment was lost on the wire or the destination station is closed.
+func (s *Station) Send(p *sim.Proc, dst, size int, payload interface{}) bool {
 	if size < 0 {
 		panic("ethernet: negative frame size")
 	}
+	delivered := true
 	remaining := size
 	for {
 		chunk := remaining
@@ -280,14 +300,16 @@ func (s *Station) Send(p *sim.Proc, dst, size int, payload interface{}) {
 		if last {
 			pl = payload
 		}
-		done := sim.NewChan[struct{}](s.bus.eng, 1)
+		done := sim.NewChan[bool](s.bus.eng, 1)
 		s.bus.reqs.Send(p, txReq{
 			frame: Frame{Src: s.id, Dst: dst, Size: chunk, Payload: pl},
 			done:  done,
 		})
-		done.Recv(p)
+		if v, _ := done.Recv(p); !v {
+			delivered = false
+		}
 		if last {
-			return
+			return delivered
 		}
 	}
 }
@@ -309,3 +331,7 @@ func (s *Station) TryRecv() (Frame, bool) { return s.rx.TryRecv() }
 
 // Close wakes any blocked receiver on this station with ok=false.
 func (s *Station) Close() { s.rx.Close() }
+
+// Closed reports whether the station has been closed (its receive queue no
+// longer accepts frames).
+func (s *Station) Closed() bool { return s.rx.Closed() }

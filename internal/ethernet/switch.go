@@ -12,8 +12,13 @@ type NIC interface {
 	// ID is the station's address on the medium.
 	ID() int
 	// Send fragments and transmits, blocking until the last fragment has
-	// left the station.
-	Send(p *sim.Proc, dst, size int, payload interface{})
+	// left the station. It reports whether the medium accepted every
+	// fragment for delivery; on the bus a false return means the frame was
+	// lost (injected loss or a closed destination), which transports use
+	// for consecutive-loss peer-failure detection. The switch decides loss
+	// asynchronously at the egress port, so it reports only enqueue
+	// failures.
+	Send(p *sim.Proc, dst, size int, payload interface{}) bool
 	// Recv blocks for the next frame; ok=false after Close.
 	Recv(p *sim.Proc) (Frame, bool)
 	// TryRecv polls without blocking.
@@ -160,11 +165,12 @@ func (p *swPort) ID() int { return p.id }
 
 // Send implements NIC: the sender pays serialisation on its private uplink
 // per fragment, then the frame queues at the destination's egress port.
-func (p *swPort) Send(proc *sim.Proc, dst, size int, payload interface{}) {
+func (p *swPort) Send(proc *sim.Proc, dst, size int, payload interface{}) bool {
 	if size < 0 {
 		panic("ethernet: negative frame size")
 	}
 	sw := p.sw
+	delivered := true
 	remaining := size
 	for {
 		chunk := remaining
@@ -191,10 +197,11 @@ func (p *swPort) Send(proc *sim.Proc, dst, size int, payload interface{}) {
 			}
 			if !sw.ports[dst].egress.TrySend(swReq{frame: f}) {
 				sw.stats.Drops++
+				delivered = false
 			}
 		}
 		if last {
-			return
+			return delivered
 		}
 	}
 }

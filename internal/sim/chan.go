@@ -35,6 +35,9 @@ func NewChan[T any](e *Engine, capacity int) *Chan[T] {
 // Len reports the number of buffered values.
 func (c *Chan[T]) Len() int { return len(c.buf) }
 
+// Closed reports whether Close has been called.
+func (c *Chan[T]) Closed() bool { return c.closed }
+
 // Send delivers v, blocking p while the buffer is full (or, for an
 // unbuffered channel, until a receiver arrives). Send on a closed channel
 // panics, as with native channels.
@@ -66,9 +69,12 @@ func (c *Chan[T]) Send(p *Proc, v T) {
 }
 
 // TrySend delivers v without blocking; it reports whether delivery happened.
+// Unlike Send, trying to send on a closed channel is not a programming
+// error: it reports false, so fire-and-forget deliveries (frames to a dead
+// station, mailbox puts racing a shutdown) degrade instead of panicking.
 func (c *Chan[T]) TrySend(v T) bool {
 	if c.closed {
-		panic("sim: send on closed Chan")
+		return false
 	}
 	if len(c.recvq) > 0 {
 		w := c.recvq[0]

@@ -83,8 +83,10 @@ type PeerStatus struct {
 
 // ProbePeers pings every other kernel and reports which answered — a
 // simple SSI liveness sweep. The cluster must be configured with a
-// core.Config.RequestTimeout, otherwise a dead peer would block the probe
-// forever; an unanswered ping marks the peer dead.
+// core.Config.RequestTimeout, otherwise an undetected dead peer would block
+// the probe forever. A peer the transport's failure detector has already
+// declared dead fails immediately (core.PeerDownError) without waiting out
+// the timeout.
 func (v *View) ProbePeers() []PeerStatus {
 	out := make([]PeerStatus, 0, v.pe.N()-1)
 	for k := 0; k < v.pe.N(); k++ {
@@ -92,15 +94,10 @@ func (v *View) ProbePeers() []PeerStatus {
 			continue
 		}
 		st := PeerStatus{Kernel: k}
-		func() {
-			defer func() {
-				if recover() != nil {
-					st.Alive = false
-				}
-			}()
-			st.RTT = v.pe.Ping(k)
+		if rtt, err := v.pe.PingErr(k); err == nil {
 			st.Alive = true
-		}()
+			st.RTT = rtt
+		}
 		out = append(out, st)
 	}
 	return out

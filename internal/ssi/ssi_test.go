@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/platform"
@@ -220,13 +221,20 @@ func TestProbePeersDetectsDeadNode(t *testing.T) {
 						return nil
 					}
 					alive := map[int]bool{}
+					probeStart := time.Now()
 					for _, st := range NewView(pe).ProbePeers() {
 						alive[st.Kernel] = st.Alive
 					}
+					probeTook := time.Since(probeStart)
 					if alive[2] {
 						probeErr = fmt.Errorf("dead kernel 2 reported alive")
 					} else if !alive[1] {
 						probeErr = fmt.Errorf("healthy kernel 1 reported dead")
+					} else if probeTook >= 900*time.Millisecond {
+						// The transport noticed the broken connection, so the
+						// dead peer must fail via the detector's fast path,
+						// not by waiting out the full 1s request timeout.
+						probeErr = fmt.Errorf("probe took %v, want fast peer-down detection", probeTook)
 					}
 					return nil
 				})

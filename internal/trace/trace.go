@@ -30,6 +30,13 @@ type PEStats struct {
 	Barriers uint64
 	Locks    uint64
 
+	// Reliability-layer counters.
+	StaleReplies uint64 // mailbox residue discarded by sequence validation
+	Retries      uint64 // request retransmissions after a timeout
+	StrayDrops   uint64 // unsolicited/duplicate responses and acks dropped
+	CorruptDrops uint64 // malformed messages dropped instead of panicking
+	DupRequests  uint64 // retried requests absorbed by the dedup window
+
 	// ByOp breaks sent traffic down per message op, so experiments can
 	// watch e.g. scalar reads being displaced by vectored reads.
 	ByOp [wire.NumOps]OpCount
@@ -64,6 +71,11 @@ func (s *PEStats) Add(o *PEStats) {
 	s.RemoteGM += o.RemoteGM
 	s.Barriers += o.Barriers
 	s.Locks += o.Locks
+	s.StaleReplies += o.StaleReplies
+	s.Retries += o.Retries
+	s.StrayDrops += o.StrayDrops
+	s.CorruptDrops += o.CorruptDrops
+	s.DupRequests += o.DupRequests
 	for i := range s.ByOp {
 		s.ByOp[i].Msgs += o.ByOp[i].Msgs
 		s.ByOp[i].Bytes += o.ByOp[i].Bytes

@@ -67,6 +67,8 @@ type Node struct {
 
 	mu    sync.Mutex
 	stats trace.PEStats
+
+	pd transport.PeerDownNotifier
 }
 
 var _ transport.Node = (*Node)(nil)
@@ -113,6 +115,9 @@ func (nd *Node) Recv() (*wire.Message, bool) {
 // CloseRecv implements transport.Node.
 func (nd *Node) CloseRecv() { nd.closeOnce.Do(func() { close(nd.done) }) }
 
+// SetPeerDown implements transport.Node.
+func (nd *Node) SetPeerDown(fn func(peer int)) { nd.pd.Set(fn) }
+
 // NewMailbox implements transport.Node.
 func (nd *Node) NewMailbox(capacity int) transport.Mailbox {
 	if capacity <= 0 {
@@ -138,8 +143,9 @@ func (pt *port) Send(dst int, m *wire.Message) {
 		nd.stats.CountSent(m.Op, size)
 		nd.mu.Unlock()
 	case <-peer.done:
-		// Peer shut down: drop, as a real network would.
+		// Peer shut down: drop, as a real network would, and declare it dead.
 		bufPool.Put(eb)
+		nd.pd.Report(dst)
 	}
 }
 

@@ -24,6 +24,11 @@ type Config struct {
 	Seed     uint64
 	Ethernet *ethernet.Config // nil means the platform's LAN parameters
 	Switched bool             // switched Ethernet instead of the shared bus
+	// LossBudget enables peer-failure detection on the shared bus: after
+	// this many consecutive frames to one destination fail to reach a live
+	// station (injected loss or a closed/killed station), that peer is
+	// declared dead via the SetPeerDown callback. 0 disables detection.
+	LossBudget int
 }
 
 // Net is a simulated cluster: engine + medium + one Node per DSE kernel.
@@ -67,10 +72,12 @@ func New(cfg Config) *Net {
 	}
 	for i := 0; i < cfg.NumPE; i++ {
 		nd := &Node{
-			net:     n,
-			id:      i,
-			station: medium.AttachNIC(),
-			load:    n.layout.LoadFactor(i),
+			net:        n,
+			id:         i,
+			station:    medium.AttachNIC(),
+			load:       n.layout.LoadFactor(i),
+			lossBudget: cfg.LossBudget,
+			lossRun:    make([]int, cfg.NumPE),
 		}
 		n.nodes = append(n.nodes, nd)
 	}
@@ -111,6 +118,13 @@ type Node struct {
 	station ethernet.NIC
 	load    float64
 	stats   trace.PEStats
+
+	// lossRun[dst] counts consecutive frames to dst the medium reported
+	// undelivered; reaching lossBudget declares dst dead. Only touched from
+	// simulated-process context, so no locking is needed.
+	lossBudget int
+	lossRun    []int
+	pd         transport.PeerDownNotifier
 
 	appProc *sim.Proc
 	svcProc *sim.Proc
@@ -174,6 +188,9 @@ func (nd *Node) Recv() (*wire.Message, bool) {
 // CloseRecv implements transport.Node.
 func (nd *Node) CloseRecv() { nd.station.Close() }
 
+// SetPeerDown implements transport.Node.
+func (nd *Node) SetPeerDown(fn func(peer int)) { nd.pd.Set(fn) }
+
 // NewMailbox implements transport.Node.
 func (nd *Node) NewMailbox(capacity int) transport.Mailbox {
 	if capacity <= 0 {
@@ -228,10 +245,20 @@ func (pt *port) Send(dst int, m *wire.Message) {
 		nd.stats.CountSent(m.Op, len(enc))
 		return
 	}
-	nd.station.Send(p, dst, len(enc), enc)
+	delivered := nd.station.Send(p, dst, len(enc), enc)
 	nd.stats.MsgsSent++
 	nd.stats.BytesSent += uint64(len(enc))
 	nd.stats.CountSent(m.Op, len(enc))
+	if nd.lossBudget > 0 && dst >= 0 && dst < len(nd.lossRun) {
+		if delivered {
+			nd.lossRun[dst] = 0
+		} else {
+			nd.lossRun[dst]++
+			if nd.lossRun[dst] >= nd.lossBudget {
+				nd.pd.Report(dst)
+			}
+		}
+	}
 }
 
 // Compute implements transport.Port.
@@ -266,6 +293,9 @@ type mailbox struct {
 
 func (mb *mailbox) Put(m *wire.Message) {
 	if !mb.ch.TrySend(m) {
+		if mb.ch.Closed() {
+			return // racing a shutdown: the taker is gone, drop quietly
+		}
 		panic("simnet: mailbox overflow")
 	}
 }

@@ -1,0 +1,107 @@
+package tcpnet
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// trackedListener records Close so tests can assert nothing leaks.
+type trackedListener struct {
+	net.Listener
+	mu         sync.Mutex
+	closed     bool
+	failAccept bool
+}
+
+func (l *trackedListener) Accept() (net.Conn, error) {
+	if l.failAccept {
+		return nil, errors.New("induced accept failure")
+	}
+	return l.Listener.Accept()
+}
+
+func (l *trackedListener) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	return l.Listener.Close()
+}
+
+func (l *trackedListener) isClosed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closed
+}
+
+// withListenHook swaps the listener factory for the test's duration.
+func withListenHook(t *testing.T, fn func(network, address string) (net.Listener, error)) {
+	t.Helper()
+	old := listen
+	listen = fn
+	t.Cleanup(func() { listen = old })
+}
+
+// A listen failure partway through NewLocal must close every listener opened
+// before it, not leak them.
+func TestNewLocalClosesListenersOnListenFailure(t *testing.T) {
+	var opened []*trackedListener
+	calls := 0
+	withListenHook(t, func(network, address string) (net.Listener, error) {
+		calls++
+		if calls == 3 {
+			return nil, errors.New("induced listen failure")
+		}
+		ln, err := net.Listen(network, address)
+		if err != nil {
+			return nil, err
+		}
+		tl := &trackedListener{Listener: ln}
+		opened = append(opened, tl)
+		return tl, nil
+	})
+	if _, err := NewLocal(3); err == nil || !strings.Contains(err.Error(), "induced listen failure") {
+		t.Fatalf("NewLocal error = %v, want induced listen failure", err)
+	}
+	if len(opened) != 2 {
+		t.Fatalf("opened %d listeners before the failure, want 2", len(opened))
+	}
+	for i, tl := range opened {
+		if !tl.isClosed() {
+			t.Fatalf("listener %d leaked after failed NewLocal", i)
+		}
+	}
+}
+
+// A mesh-assembly failure (one node cannot accept) must tear down the nodes
+// that did come up and close every listener, surfacing the error instead of
+// hanging or leaking.
+func TestNewLocalCleansUpOnMeshFailure(t *testing.T) {
+	oldTimeout := meshTimeout
+	meshTimeout = 500 * time.Millisecond
+	t.Cleanup(func() { meshTimeout = oldTimeout })
+	var opened []*trackedListener
+	withListenHook(t, func(network, address string) (net.Listener, error) {
+		ln, err := net.Listen(network, address)
+		if err != nil {
+			return nil, err
+		}
+		// Node 0 (the first listener) accepts from every higher rank; breaking
+		// it fails mesh assembly while node 1 still comes up and must be
+		// killed by the cleanup path.
+		tl := &trackedListener{Listener: ln, failAccept: len(opened) == 0}
+		opened = append(opened, tl)
+		return tl, nil
+	})
+	if _, err := NewLocal(2); err == nil || !strings.Contains(err.Error(), "accept") {
+		t.Fatalf("NewLocal error = %v, want accept failure", err)
+	}
+	for i, tl := range opened {
+		if !tl.isClosed() {
+			t.Fatalf("listener %d leaked after failed mesh assembly", i)
+		}
+	}
+}

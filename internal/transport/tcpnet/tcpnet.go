@@ -20,8 +20,12 @@ import (
 	"repro/internal/wire"
 )
 
-// handshake deadline for assembling the full mesh.
-const meshTimeout = 10 * time.Second
+// handshake deadline for assembling the full mesh. A variable so failure
+// tests can shorten it.
+var meshTimeout = 10 * time.Second
+
+// listen is the listener factory; a variable so tests can inject failures.
+var listen = net.Listen
 
 // Net is a TCP cluster whose nodes all live in this process (each with its
 // own listener and sockets). For multi-process clusters use Open directly.
@@ -37,34 +41,44 @@ func NewLocal(n int) (*Net, error) {
 	lns := make([]net.Listener, n)
 	addrs := make([]string, n)
 	for i := 0; i < n; i++ {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		ln, err := listen("tcp", "127.0.0.1:0")
 		if err != nil {
+			for _, prev := range lns[:i] {
+				prev.Close()
+			}
 			return nil, fmt.Errorf("tcpnet: listen: %w", err)
 		}
 		lns[i] = ln
 		addrs[i] = ln.Addr().String()
 	}
 	nodes := make([]*Node, n)
-	errs := make(chan error, n)
+	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		i := i
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			nd, err := open(i, addrs, lns[i])
-			if err != nil {
-				errs <- err
-				return
-			}
-			nodes[i] = nd
+			nodes[i], errs[i] = open(i, addrs, lns[i])
 		}()
 	}
 	wg.Wait()
-	select {
-	case err := <-errs:
+	if err := errors.Join(errs...); err != nil {
+		// Partial failure: tear down every node that did come up, and close
+		// the listener of every slot that has no node to own it (open closes
+		// its own listener on its error paths; net.Listener.Close is
+		// idempotent, so double-closing is harmless).
+		for _, nd := range nodes {
+			if nd != nil {
+				nd.Kill()
+			}
+		}
+		for i, ln := range lns {
+			if nodes[i] == nil {
+				ln.Close()
+			}
+		}
 		return nil, err
-	default:
 	}
 	return &Net{nodes: nodes}, nil
 }
@@ -94,6 +108,9 @@ func open(id int, addrs []string, ln net.Listener) (*Node, error) {
 		start: time.Now(),
 	}
 	ready := make(chan error, n)
+	// Snapshot the deadline here: goroutines below may outlive open (a test
+	// restoring the meshTimeout hook must not race with them).
+	timeout := meshTimeout
 	// Accept higher ranks.
 	go func() {
 		for i := id + 1; i < n; i++ {
@@ -117,8 +134,14 @@ func open(id int, addrs []string, ln net.Listener) (*Node, error) {
 	for j := 0; j < id; j++ {
 		j := j
 		go func() {
-			deadline := time.Now().Add(meshTimeout)
+			deadline := time.Now().Add(timeout)
 			for {
+				select {
+				case <-nd.done:
+					ready <- fmt.Errorf("tcpnet: node %d dial %d: node killed", id, j)
+					return
+				default:
+				}
 				conn, err := net.Dial("tcp", addrs[j])
 				if err != nil {
 					if time.Now().After(deadline) {
@@ -145,7 +168,7 @@ func open(id int, addrs []string, ln net.Listener) (*Node, error) {
 				nd.Kill()
 				return nil, err
 			}
-		case <-time.After(meshTimeout):
+		case <-time.After(timeout):
 			nd.Kill()
 			return nil, fmt.Errorf("tcpnet: node %d mesh timeout", id)
 		}
@@ -184,6 +207,8 @@ type Node struct {
 	mu        sync.Mutex
 	stats     trace.PEStats
 	err       error
+
+	pd transport.PeerDownNotifier
 }
 
 var _ transport.Node = (*Node)(nil)
@@ -217,7 +242,16 @@ func (nd *Node) reader(peer int, conn net.Conn) {
 	for {
 		m, err := readFrame(conn)
 		if err != nil {
-			return // peer gone; Recv keeps serving other peers
+			// Peer gone (EOF or reset); Recv keeps serving other peers. If we
+			// are not ourselves shutting down, declare the peer dead so the
+			// kernel can fail its pending requests immediately instead of
+			// waiting out the request timeout.
+			select {
+			case <-nd.done:
+			default:
+				nd.pd.Report(peer)
+			}
+			return
 		}
 		select {
 		case nd.rx <- m:
@@ -310,6 +344,9 @@ func (nd *Node) Recv() (*wire.Message, bool) {
 // CloseRecv implements transport.Node.
 func (nd *Node) CloseRecv() { nd.Kill() }
 
+// SetPeerDown implements transport.Node.
+func (nd *Node) SetPeerDown(fn func(peer int)) { nd.pd.Set(fn) }
+
 // Kill tears the node down: listener, sockets and receivers. Used both for
 // orderly shutdown and for failure injection in tests.
 func (nd *Node) Kill() {
@@ -386,6 +423,13 @@ func (pt *port) Send(dst int, m *wire.Message) {
 		nd.stats.CountSent(m.Op, m.WireSize())
 	}
 	nd.mu.Unlock()
+	if err != nil {
+		select {
+		case <-nd.done:
+		default:
+			nd.pd.Report(dst)
+		}
+	}
 }
 
 func (pt *port) Compute(ops float64) {}

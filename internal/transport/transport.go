@@ -20,6 +20,9 @@
 package transport
 
 import (
+	"sort"
+	"sync"
+
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/wire"
@@ -85,10 +88,62 @@ type Node interface {
 	NewMailbox(capacity int) Mailbox
 	// Stats exposes this node's accumulating counters.
 	Stats() *trace.PEStats
+	// SetPeerDown registers the peer-failure callback: the transport calls
+	// fn(peer) at most once per peer it declares dead (tcpnet: a broken
+	// connection; simnet: a run of consecutive undelivered frames; inproc:
+	// a send to a stopped node). Peers already declared dead before
+	// registration are replayed into fn immediately, so a kernel built
+	// after a failure still learns about it. fn may be invoked from any
+	// goroutine or context and must not block.
+	SetPeerDown(fn func(peer int))
 }
 
 // Network is a constructed cluster of nodes sharing a medium.
 type Network interface {
 	N() int
 	Node(i int) Node
+}
+
+// PeerDownNotifier implements the SetPeerDown contract shared by every
+// transport: at-most-once reporting per peer, and replay of peers that went
+// down before the callback was registered. The zero value is ready to use.
+type PeerDownNotifier struct {
+	mu   sync.Mutex
+	fn   func(peer int)
+	down map[int]bool
+}
+
+// Set registers fn and immediately replays every already-recorded dead peer
+// into it (in ascending peer order, for determinism).
+func (n *PeerDownNotifier) Set(fn func(peer int)) {
+	n.mu.Lock()
+	n.fn = fn
+	replay := make([]int, 0, len(n.down))
+	for p := range n.down {
+		replay = append(replay, p)
+	}
+	n.mu.Unlock()
+	sort.Ints(replay)
+	for _, p := range replay {
+		fn(p)
+	}
+}
+
+// Report records peer as dead and invokes the callback unless this peer was
+// already reported. Safe from any goroutine.
+func (n *PeerDownNotifier) Report(peer int) {
+	n.mu.Lock()
+	if n.down == nil {
+		n.down = make(map[int]bool)
+	}
+	if n.down[peer] {
+		n.mu.Unlock()
+		return
+	}
+	n.down[peer] = true
+	fn := n.fn
+	n.mu.Unlock()
+	if fn != nil {
+		fn(peer)
+	}
 }

@@ -94,7 +94,21 @@ const (
 	OpReadVResp // Data = the words of every range, concatenated in order
 	OpWriteV    // Data = runs (AppendWriteRun); Arg1 = run count; acked by OpWriteAck
 
+	// OpPeerDown is a kernel-internal notification: the transport declared
+	// kernel Src dead, failing the outstanding request Seq. It never travels
+	// the wire; the local kernel synthesises one per pending request when a
+	// peer-down event arrives.
+	OpPeerDown // Src = dead kernel, Seq = failed request
+
 	numOps // sentinel: one past the highest op
+)
+
+// Message flags (header byte 1).
+const (
+	// FlagRetry marks a retransmission of an earlier request with the same
+	// Seq; home kernels use it together with their dedup window so retried
+	// mutating operations apply exactly once.
+	FlagRetry uint8 = 1 << 0
 )
 
 // NumOps is the number of defined operations; per-op counters are sized by
@@ -139,6 +153,7 @@ var opNames = [...]string{
 	OpReadV:          "read-v",
 	OpReadVResp:      "read-v-resp",
 	OpWriteV:         "write-v",
+	OpPeerDown:       "peer-down",
 }
 
 func (op Op) String() string {
@@ -170,15 +185,16 @@ const MaxDataLen = 1 << 24
 
 // Message is one DSE protocol message.
 type Message struct {
-	Op   Op
-	Src  int32  // sending kernel id
-	Dst  int32  // destination kernel id
-	Tag  int32  // barrier/lock/semaphore id, or user message tag
-	Seq  uint64 // request id; responses echo the request's Seq
-	Addr uint64 // global memory word address
-	Arg1 int64
-	Arg2 int64
-	Data []byte
+	Op    Op
+	Flags uint8  // Flag* bits (retry marking)
+	Src   int32  // sending kernel id
+	Dst   int32  // destination kernel id
+	Tag   int32  // barrier/lock/semaphore id, or user message tag
+	Seq   uint64 // request id; responses echo the request's Seq
+	Addr  uint64 // global memory word address
+	Arg1  int64
+	Arg2  int64
+	Data  []byte
 
 	// buf is the message-owned scratch that Data points into when the
 	// payload was produced by a payload helper. Its capacity survives
@@ -221,7 +237,8 @@ func (m *Message) WireSize() int { return HeaderSize + len(m.Data) }
 func (m *Message) Append(buf []byte) []byte {
 	var hdr [HeaderSize]byte
 	hdr[0] = byte(m.Op)
-	// hdr[1:4] reserved
+	hdr[1] = m.Flags
+	// hdr[2:4] reserved
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(m.Src))
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(m.Dst))
 	binary.LittleEndian.PutUint32(hdr[12:], uint32(m.Tag))
@@ -246,6 +263,7 @@ var ErrShortMessage = errors.New("wire: message shorter than header")
 // decodeHeader fills m's header fields from buf (validated by the caller).
 func decodeHeader(m *Message, buf []byte) {
 	m.Op = Op(buf[0])
+	m.Flags = buf[1]
 	m.Src = int32(binary.LittleEndian.Uint32(buf[4:]))
 	m.Dst = int32(binary.LittleEndian.Uint32(buf[8:]))
 	m.Tag = int32(binary.LittleEndian.Uint32(buf[12:]))

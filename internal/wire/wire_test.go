@@ -84,6 +84,22 @@ func TestAppendReusesBuffer(t *testing.T) {
 	}
 }
 
+func TestFlagsRoundTrip(t *testing.T) {
+	m := sampleMessage()
+	m.Flags = FlagRetry
+	got, err := Decode(m.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Flags != FlagRetry {
+		t.Fatalf("Flags = %#x, want %#x", got.Flags, FlagRetry)
+	}
+	m.Flags = 0
+	if got, err = Decode(m.Encode()); err != nil || got.Flags != 0 {
+		t.Fatalf("zero Flags not preserved: %#x, %v", got.Flags, err)
+	}
+}
+
 func TestWordsRoundTrip(t *testing.T) {
 	f := func(ws []int64) bool {
 		m := &Message{Op: OpReadResp}
