@@ -8,6 +8,10 @@
 //	dsebench -fig 5              # regenerate one figure (4..21)
 //	dsebench -all                # regenerate every table and figure
 //	dsebench -all -quick         # smaller parameter ranges (fast)
+//	dsebench -quick -json out.json            # machine-readable metrics snapshot
+//	dsebench -quick -json out.json -baseline BENCH_baseline.json
+//	                             # ...and fail (exit 1) on >10% regressions
+//	dsebench -trace out.trace.json            # traced gauss run, Chrome trace_event
 //
 // Figures print as aligned tables: one row per x value, one column per
 // series, exactly the rows/series the paper plots.
@@ -31,11 +35,15 @@ func main() {
 		all      = flag.Bool("all", false, "regenerate every table and figure")
 		ablation = flag.Bool("ablation", false, "run the design-choice ablation suite")
 		msgstats = flag.Bool("msgstats", false, "print per-op message traffic for the reference workloads")
+		latency  = flag.Bool("latency", false, "print per-op latency distributions for the reference workloads")
 		plot     = flag.Bool("plot", false, "also render figures as ASCII charts")
 		quick    = flag.Bool("quick", false, "use reduced parameter ranges")
 		maxPE    = flag.Int("maxpe", 0, "override the processor sweep upper bound")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		csvDir   = flag.String("csv", "", "also save each regenerated figure as CSV into this directory")
+		jsonOut  = flag.String("json", "", "write a machine-readable metrics snapshot to this file")
+		baseline = flag.String("baseline", "", "compare the snapshot against this baseline; exit 1 on regression")
+		traceOut = flag.String("trace", "", "run gauss p=4 with span tracing and write Chrome trace_event JSON here")
 	)
 	flag.Parse()
 	plotFigures = *plot
@@ -51,6 +59,14 @@ func main() {
 	sc.Seed = *seed
 
 	switch {
+	case *jsonOut != "":
+		scaleName := "full"
+		if *quick {
+			scaleName = "quick"
+		}
+		writeSnapshot(*jsonOut, *baseline, sc, scaleName)
+	case *traceOut != "":
+		writeTrace(*traceOut, sc)
 	case *table == 1:
 		bench.Table1().Fprint(os.Stdout)
 	case *table == 2:
@@ -65,6 +81,15 @@ func main() {
 		tables, err := bench.MessageProfile(platform.SparcSunOS, npe, sc.Seed)
 		if err != nil {
 			fatalf("message profile: %v", err)
+		}
+		for _, tb := range tables {
+			tb.Fprint(os.Stdout)
+			fmt.Println()
+		}
+	case *latency:
+		tables, err := bench.LatencyTables(platform.SparcSunOS, sc)
+		if err != nil {
+			fatalf("latency tables: %v", err)
 		}
 		for _, tb := range tables {
 			tb.Fprint(os.Stdout)
@@ -132,6 +157,58 @@ func maybeCSV(f *bench.Figure) {
 		fatalf("saving CSV: %v", err)
 	}
 	fmt.Printf("(saved %s)\n", path)
+}
+
+// writeSnapshot builds the metrics snapshot, saves it, and (when a baseline
+// is given) gates on regressions: the CI benchmark-regression pipeline.
+func writeSnapshot(path, baselinePath string, sc bench.Scale, scaleName string) {
+	start := time.Now()
+	snap, err := bench.BuildSnapshot(platform.SparcSunOS, sc, scaleName)
+	if err != nil {
+		fatalf("building snapshot: %v", err)
+	}
+	if err := snap.SaveJSON(path); err != nil {
+		fatalf("saving snapshot: %v", err)
+	}
+	fmt.Printf("wrote %s (%d workloads, %v)\n", path, len(snap.Workloads), time.Since(start).Round(time.Millisecond))
+	if baselinePath == "" {
+		return
+	}
+	base, err := bench.LoadSnapshot(baselinePath)
+	if err != nil {
+		fatalf("loading baseline: %v", err)
+	}
+	regs := bench.Compare(base, snap)
+	if len(regs) == 0 {
+		fmt.Printf("no regressions vs %s\n", baselinePath)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "dsebench: %d regression(s) vs %s:\n", len(regs), baselinePath)
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "  %s\n", r)
+	}
+	os.Exit(1)
+}
+
+// writeTrace runs a traced gauss p=4 and exports the Chrome trace.
+func writeTrace(path string, sc bench.Scale) {
+	n := 120
+	if len(sc.GaussNs) > 1 {
+		n = sc.GaussNs[1]
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("creating trace file: %v", err)
+	}
+	res, err := bench.TraceGauss(platform.SparcSunOS, n, 4, sc.Seed, f)
+	if err != nil {
+		f.Close()
+		fatalf("traced run: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("closing trace file: %v", err)
+	}
+	fmt.Printf("wrote %s (%d spans, gauss N=%d p=4, elapsed %v)\n", path, len(res.Spans), n, res.Elapsed)
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// metricsSchemaVersion versions the /metrics JSON document.
+const metricsSchemaVersion = 1
+
+// debugServer serves live node observability over HTTP: a JSON metrics
+// snapshot at /metrics and the standard pprof handlers under /debug/pprof/.
+// It reads the shared live round-trip histogram while the node is still
+// running — the concurrency the trace.Histogram atomics exist for.
+type debugServer struct {
+	node    int
+	n       int
+	start   time.Time
+	liveRTT *trace.Histogram // shared with every PE via core.Config.LiveRTT
+
+	mu    sync.Mutex
+	state string // "running", then "done"
+	final *core.Result
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// startDebugServer listens on addr and serves /metrics and /debug/pprof/.
+func startDebugServer(addr string, nodeID, n int) (*debugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ds := &debugServer{
+		node:    nodeID,
+		n:       n,
+		start:   time.Now(),
+		liveRTT: &trace.Histogram{},
+		state:   "running",
+		ln:      ln,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", ds.serveMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ds.srv = &http.Server{Handler: mux}
+	go ds.srv.Serve(ln)
+	return ds, nil
+}
+
+// Addr is the bound listen address (resolves ":0" requests).
+func (ds *debugServer) Addr() string { return ds.ln.Addr().String() }
+
+// Finish records the completed run; /metrics switches to the final totals.
+func (ds *debugServer) Finish(res *core.Result) {
+	ds.mu.Lock()
+	ds.state = "done"
+	ds.final = res
+	ds.mu.Unlock()
+}
+
+// Close stops serving.
+func (ds *debugServer) Close() { ds.srv.Close() }
+
+// latencyJSON is a latency distribution in microseconds.
+type latencyJSON struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+func latencyFrom(h *trace.Histogram) latencyJSON {
+	hs := h.Snapshot()
+	us := func(d sim.Duration) float64 { return float64(d) / float64(sim.Microsecond) }
+	return latencyJSON{
+		Count: hs.Count,
+		Mean:  us(hs.Mean()),
+		P50:   us(hs.Quantile(0.50)),
+		P95:   us(hs.Quantile(0.95)),
+		P99:   us(hs.Quantile(0.99)),
+		Max:   us(hs.Max),
+	}
+}
+
+// metricsJSON is the /metrics document.
+type metricsJSON struct {
+	SchemaVersion int         `json:"schema_version"`
+	Node          int         `json:"node"`
+	NumPE         int         `json:"num_pe"`
+	State         string      `json:"state"`
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	RTTUS         latencyJSON `json:"rtt_us"`
+
+	// Final run totals, present once State is "done".
+	ElapsedUS    int64  `json:"elapsed_us,omitempty"`
+	MsgsSent     uint64 `json:"msgs_sent,omitempty"`
+	BytesSent    uint64 `json:"bytes_sent,omitempty"`
+	RemoteGM     uint64 `json:"remote_gm,omitempty"`
+	Retries      uint64 `json:"retries,omitempty"`
+	StaleReplies uint64 `json:"stale_replies,omitempty"`
+}
+
+func (ds *debugServer) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	ds.mu.Lock()
+	state, final := ds.state, ds.final
+	ds.mu.Unlock()
+
+	doc := metricsJSON{
+		SchemaVersion: metricsSchemaVersion,
+		Node:          ds.node,
+		NumPE:         ds.n,
+		State:         state,
+		UptimeSeconds: time.Since(ds.start).Seconds(),
+		RTTUS:         latencyFrom(ds.liveRTT),
+	}
+	if final != nil {
+		doc.ElapsedUS = int64(final.Elapsed / sim.Microsecond)
+		doc.MsgsSent = final.Total.MsgsSent
+		doc.BytesSent = final.Total.BytesSent
+		doc.RemoteGM = final.Total.RemoteGM
+		doc.Retries = final.Total.Retries
+		doc.StaleReplies = final.Total.StaleReplies
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/apps/gauss"
 	"repro/internal/apps/knight"
@@ -27,11 +28,13 @@ import (
 
 func main() {
 	var (
-		id    = flag.Int("id", -1, "this node's rank in the address list")
-		addrs = flag.String("addrs", "", "comma-separated host:port listen addresses, one per rank")
-		app   = flag.String("app", "demo", "application: demo, gauss, knight")
-		n     = flag.Int("n", 120, "gauss: system dimension")
-		jobs  = flag.Int("jobs", 16, "knight: job count")
+		id     = flag.Int("id", -1, "this node's rank in the address list")
+		addrs  = flag.String("addrs", "", "comma-separated host:port listen addresses, one per rank")
+		app    = flag.String("app", "demo", "application: demo, gauss, knight")
+		n      = flag.Int("n", 120, "gauss: system dimension")
+		jobs   = flag.Int("jobs", 16, "knight: job count")
+		debug  = flag.String("debug-addr", "", "serve /metrics JSON and /debug/pprof/ on this host:port")
+		linger = flag.Duration("debug-linger", 0, "keep the debug server up this long after the run completes")
 	)
 	flag.Parse()
 
@@ -78,14 +81,32 @@ func main() {
 		fatalf("unknown app %q (demo, gauss, knight)", *app)
 	}
 
-	res, err := core.RunOn(core.Config{RequestTimeout: 30 * sim.Second}, node, program)
+	cfg := core.Config{RequestTimeout: 30 * sim.Second}
+	var ds *debugServer
+	if *debug != "" {
+		ds, err = startDebugServer(*debug, node.ID(), node.N())
+		if err != nil {
+			fatalf("debug server: %v", err)
+		}
+		defer ds.Close()
+		cfg.LiveRTT = ds.liveRTT
+		fmt.Printf("node %d: debug server on http://%s/metrics\n", *id, ds.Addr())
+	}
+
+	res, err := core.RunOn(cfg, node, program)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	if err := res.FirstErr(); err != nil {
 		fatalf("program: %v", err)
 	}
+	if ds != nil {
+		ds.Finish(res)
+	}
 	fmt.Printf("node %d: done, %s\n", *id, res.Total.String())
+	if ds != nil && *linger > 0 {
+		time.Sleep(*linger)
+	}
 }
 
 // demo exercises the single-system image: every process contributes to a

@@ -1,0 +1,375 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+
+	"repro/internal/apps/dct"
+	"repro/internal/apps/gauss"
+	"repro/internal/apps/knight"
+	"repro/internal/apps/othello"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// SnapshotSchemaVersion is bumped whenever the snapshot JSON layout changes
+// incompatibly, so downstream consumers (the CI regression gate, plotting
+// scripts) can refuse data they do not understand.
+const SnapshotSchemaVersion = 1
+
+// Snapshot is one machine-readable benchmark run: the repo's performance
+// trajectory, committed as BENCH_*.json and diffed by the CI regression
+// gate. Everything in it except AllocPerRemoteOp is deterministic on the
+// simulated transport (virtual time, exact message counts).
+type Snapshot struct {
+	SchemaVersion int    `json:"schema_version"`
+	Tool          string `json:"tool"`  // producer, e.g. "dsebench"
+	Scale         string `json:"scale"` // "quick" or "full"
+	Platform      string `json:"platform"`
+	Seed          uint64 `json:"seed"`
+
+	Workloads []WorkloadMetrics `json:"workloads"`
+	Speedup   []SpeedupPoint    `json:"speedup"`
+}
+
+// WorkloadMetrics captures one reference-application run.
+type WorkloadMetrics struct {
+	Name      string `json:"name"`
+	NumPE     int    `json:"num_pe"`
+	ElapsedUS int64  `json:"elapsed_us"` // virtual end-to-end time
+
+	MsgsSent  uint64 `json:"msgs_sent"`
+	BytesSent uint64 `json:"bytes_sent"`
+	LocalGM   uint64 `json:"local_gm"`
+	RemoteGM  uint64 `json:"remote_gm"`
+
+	// AllocPerRemoteOp is whole-run heap allocations (application work
+	// included) normalised by remote global-memory operations, measured
+	// after a warm-up run primes the message pools. A drift upward means
+	// something on the request path started allocating. It is the one
+	// nondeterministic field; the regression gate compares it with an
+	// epsilon.
+	AllocPerRemoteOp float64 `json:"alloc_per_remote_op"`
+
+	// PerOp breaks sent traffic down by protocol operation.
+	PerOp map[string]OpMetrics `json:"per_op"`
+
+	RTT         LatencySummary `json:"rtt_us"`
+	BarrierWait LatencySummary `json:"barrier_wait_us"`
+
+	// Reliability-layer counters (all zero on a healthy simulated run).
+	Retries      uint64 `json:"retries"`
+	StaleReplies uint64 `json:"stale_replies"`
+	StrayDrops   uint64 `json:"stray_drops"`
+	CorruptDrops uint64 `json:"corrupt_drops"`
+	DupRequests  uint64 `json:"dup_requests"`
+}
+
+// OpMetrics is one op's share of the sent traffic.
+type OpMetrics struct {
+	Msgs  uint64 `json:"msgs"`
+	Bytes uint64 `json:"bytes"`
+}
+
+// LatencySummary summarises a latency distribution in microseconds
+// (quantiles are bucket upper bounds; see trace.Histogram.Quantile).
+type LatencySummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// SpeedupPoint is one cell of the speed-up curve committed with the
+// snapshot: how much faster the named workload runs on NumPE processors
+// than on one.
+type SpeedupPoint struct {
+	Workload string  `json:"workload"`
+	NumPE    int     `json:"num_pe"`
+	Ratio    float64 `json:"ratio"`
+}
+
+func summarize(h *trace.Histogram) LatencySummary {
+	hs := h.Snapshot()
+	us := func(d sim.Duration) float64 { return float64(d) / float64(sim.Microsecond) }
+	return LatencySummary{
+		Count: hs.Count,
+		Mean:  us(hs.Mean()),
+		P50:   us(hs.Quantile(0.50)),
+		P95:   us(hs.Quantile(0.95)),
+		P99:   us(hs.Quantile(0.99)),
+		Max:   us(hs.Max),
+	}
+}
+
+// snapshotWorkload is one reference app configured for the snapshot.
+type snapshotWorkload struct {
+	name       string
+	npe        int
+	blockWords int
+	body       core.Program
+}
+
+// snapshotWorkloads are the four reference applications at fixed, fast
+// parameter points: the metrics the repo tracks across PRs.
+func snapshotWorkloads(sc Scale) []snapshotWorkload {
+	const p = 4
+	gaussN := 120
+	if len(sc.GaussNs) > 1 {
+		gaussN = sc.GaussNs[1]
+	}
+	return []snapshotWorkload{
+		{
+			name: fmt.Sprintf("gauss N=%d", gaussN), npe: p, blockWords: gaussBlockWords,
+			body: func(pe *core.PE) error {
+				_, err := gauss.Parallel(pe, gauss.Params{N: gaussN, Seed: sc.Seed})
+				return err
+			},
+		},
+		{
+			name: "dct 64/8", npe: p,
+			body: func(pe *core.PE) error {
+				_, err := dct.Parallel(pe, dct.Params{ImageN: 64, Block: 8, Rate: 0.5, Seed: sc.Seed})
+				return err
+			},
+		},
+		{
+			name: "knight jobs=16", npe: p,
+			body: func(pe *core.PE) error {
+				_, err := knight.Parallel(pe, knight.Params{BoardN: 5, Jobs: 16})
+				return err
+			},
+		},
+		{
+			name: "othello depth=3", npe: p,
+			body: func(pe *core.PE) error {
+				_, err := othello.Parallel(pe, othello.Params{Depth: 3})
+				return err
+			},
+		},
+	}
+}
+
+// measureWorkload runs w twice on the simulated cluster — once to warm the
+// message pools, once measured (virtual-time metrics plus a heap-allocation
+// count around the measured run) — and fills one WorkloadMetrics.
+func measureWorkload(pl *platform.Platform, sc Scale, w snapshotWorkload) (WorkloadMetrics, error) {
+	cfg := core.Config{NumPE: w.npe, Platform: pl, Seed: sc.Seed, GMBlockWords: w.blockWords}
+	run := func() (*core.Result, error) {
+		res, err := core.Run(cfg, w.body)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.name, err)
+		}
+		if err := res.FirstErr(); err != nil {
+			return nil, fmt.Errorf("%s: %w", w.name, err)
+		}
+		return res, nil
+	}
+	if _, err := run(); err != nil { // warm-up: prime pools, JIT-free but cache-warm
+		return WorkloadMetrics{}, err
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	res, err := run()
+	if err != nil {
+		return WorkloadMetrics{}, err
+	}
+	runtime.ReadMemStats(&after)
+
+	m := WorkloadMetrics{
+		Name:      w.name,
+		NumPE:     w.npe,
+		ElapsedUS: int64(res.Elapsed / sim.Microsecond),
+		MsgsSent:  res.Total.MsgsSent,
+		BytesSent: res.Total.BytesSent,
+		LocalGM:   res.Total.LocalGM,
+		RemoteGM:  res.Total.RemoteGM,
+		PerOp:     map[string]OpMetrics{},
+
+		RTT:         summarize(&res.Total.RTT),
+		BarrierWait: summarize(&res.Total.BarrierWait),
+
+		Retries:      res.Total.Retries,
+		StaleReplies: res.Total.StaleReplies,
+		StrayDrops:   res.Total.StrayDrops,
+		CorruptDrops: res.Total.CorruptDrops,
+		DupRequests:  res.Total.DupRequests,
+	}
+	if res.Total.RemoteGM > 0 {
+		m.AllocPerRemoteOp = float64(after.Mallocs-before.Mallocs) / float64(res.Total.RemoteGM)
+	}
+	for i := range res.Total.ByOp {
+		if res.Total.ByOp[i].Msgs > 0 {
+			m.PerOp[wire.Op(i).String()] = OpMetrics{
+				Msgs:  res.Total.ByOp[i].Msgs,
+				Bytes: res.Total.ByOp[i].Bytes,
+			}
+		}
+	}
+	return m, nil
+}
+
+// BuildSnapshot runs the four reference applications on the simulated
+// cluster and assembles the repo's benchmark snapshot. scaleName is recorded
+// verbatim ("quick" or "full").
+func BuildSnapshot(pl *platform.Platform, sc Scale, scaleName string) (*Snapshot, error) {
+	snap := &Snapshot{
+		SchemaVersion: SnapshotSchemaVersion,
+		Tool:          "dsebench",
+		Scale:         scaleName,
+		Platform:      pl.Numeric,
+		Seed:          sc.Seed,
+	}
+	for _, w := range snapshotWorkloads(sc) {
+		m, err := measureWorkload(pl, sc, w)
+		if err != nil {
+			return nil, err
+		}
+		snap.Workloads = append(snap.Workloads, m)
+	}
+
+	// Speed-up curve: gauss at p = 1,2,4 (the snapshot's scaling check).
+	gaussN := 120
+	if len(sc.GaussNs) > 1 {
+		gaussN = sc.GaussNs[1]
+	}
+	var base sim.Duration
+	for _, p := range []int{1, 2, 4} {
+		d, err := gaussElapsed(pl, gaussN, p, sc.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("speedup gauss p=%d: %w", p, err)
+		}
+		if p == 1 {
+			base = d
+		}
+		snap.Speedup = append(snap.Speedup, SpeedupPoint{
+			Workload: fmt.Sprintf("gauss N=%d", gaussN),
+			NumPE:    p,
+			Ratio:    float64(base) / float64(d),
+		})
+	}
+	return snap, nil
+}
+
+// WriteJSON writes the snapshot, indented, stable.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// SaveJSON writes the snapshot to path.
+func (s *Snapshot) SaveJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadSnapshot reads a snapshot written by SaveJSON, rejecting unknown
+// schema versions.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	if s.SchemaVersion != SnapshotSchemaVersion {
+		return nil, fmt.Errorf("bench: %s has schema version %d, this tool expects %d",
+			path, s.SchemaVersion, SnapshotSchemaVersion)
+	}
+	return &s, nil
+}
+
+// LatencyTables runs the four reference applications and renders each one's
+// per-op latency distribution (round trips, kernel service times,
+// synchronisation waits) as a table: EXPERIMENTS.md's latency-distribution
+// data.
+func LatencyTables(pl *platform.Platform, sc Scale) ([]*trace.Table, error) {
+	var tables []*trace.Table
+	for _, w := range snapshotWorkloads(sc) {
+		cfg := core.Config{NumPE: w.npe, Platform: pl, Seed: sc.Seed, GMBlockWords: w.blockWords}
+		res, err := core.Run(cfg, w.body)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.name, err)
+		}
+		if err := res.FirstErr(); err != nil {
+			return nil, fmt.Errorf("%s: %w", w.name, err)
+		}
+		title := fmt.Sprintf("latency distribution, %s p=%d on %s (elapsed %v)",
+			w.name, w.npe, pl.Numeric, res.Elapsed)
+		tables = append(tables, res.Total.LatencyTable(title))
+	}
+	return tables, nil
+}
+
+// regressionTolerance is how much a tracked deterministic metric may grow
+// before Compare flags it.
+const regressionTolerance = 0.10
+
+// allocEpsilon absorbs run-to-run noise in the allocation counter on top of
+// the fractional tolerance.
+const allocEpsilon = 0.5
+
+// Compare diffs cur against base and describes every tracked metric that
+// regressed: per-op message counts, total messages/bytes, remote-GM
+// allocations per op, and p95 round-trip latency. Deterministic metrics use
+// the >10% rule; the allocation rate additionally gets an absolute epsilon.
+// An empty result means no regression.
+func Compare(base, cur *Snapshot) []string {
+	var regressions []string
+	worse := func(name string, old, new float64) {
+		if old > 0 && new > old*(1+regressionTolerance) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.4g -> %.4g (+%.1f%%)", name, old, new, 100*(new-old)/old))
+		}
+	}
+	curByKey := map[string]*WorkloadMetrics{}
+	for i := range cur.Workloads {
+		w := &cur.Workloads[i]
+		curByKey[fmt.Sprintf("%s/p%d", w.Name, w.NumPE)] = w
+	}
+	for i := range base.Workloads {
+		old := &base.Workloads[i]
+		key := fmt.Sprintf("%s/p%d", old.Name, old.NumPE)
+		now, ok := curByKey[key]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: workload missing from current snapshot", key))
+			continue
+		}
+		worse(key+" msgs_sent", float64(old.MsgsSent), float64(now.MsgsSent))
+		worse(key+" bytes_sent", float64(old.BytesSent), float64(now.BytesSent))
+		worse(key+" rtt p95", old.RTT.P95, now.RTT.P95)
+		if now.AllocPerRemoteOp > old.AllocPerRemoteOp*(1+regressionTolerance)+allocEpsilon {
+			regressions = append(regressions,
+				fmt.Sprintf("%s alloc/remote-op: %.3g -> %.3g", key, old.AllocPerRemoteOp, now.AllocPerRemoteOp))
+		}
+		ops := make([]string, 0, len(old.PerOp))
+		for op := range old.PerOp {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		for _, op := range ops {
+			worse(fmt.Sprintf("%s msgs[%s]", key, op), float64(old.PerOp[op].Msgs), float64(now.PerOp[op].Msgs))
+		}
+	}
+	return regressions
+}

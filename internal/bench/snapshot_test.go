@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+// tinyScale keeps the snapshot test fast: minimal workload sizes.
+func tinyScale() Scale {
+	return Scale{GaussNs: []int{30, 60}, Seed: 1}
+}
+
+func TestBuildSnapshotAndRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("snapshot build runs all four apps")
+	}
+	snap, err := BuildSnapshot(platform.SparcSunOS, tinyScale(), "quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.SchemaVersion != SnapshotSchemaVersion {
+		t.Fatalf("schema version %d", snap.SchemaVersion)
+	}
+	if len(snap.Workloads) != 4 {
+		t.Fatalf("%d workloads, want 4", len(snap.Workloads))
+	}
+	for _, w := range snap.Workloads {
+		if w.ElapsedUS <= 0 || w.MsgsSent == 0 || len(w.PerOp) == 0 {
+			t.Fatalf("workload %q implausible: %+v", w.Name, w)
+		}
+		if w.RTT.Count == 0 || w.RTT.P95 <= 0 {
+			t.Fatalf("workload %q missing RTT summary: %+v", w.Name, w.RTT)
+		}
+		if w.Retries != 0 || w.CorruptDrops != 0 {
+			t.Fatalf("workload %q saw reliability events on simnet: %+v", w.Name, w)
+		}
+	}
+	if len(snap.Speedup) != 3 || snap.Speedup[0].Ratio != 1 {
+		t.Fatalf("speedup curve: %+v", snap.Speedup)
+	}
+	for _, p := range snap.Speedup {
+		// A tiny communication-bound problem need not speed up, but the
+		// ratio must be a sane positive number.
+		if p.Ratio <= 0 {
+			t.Fatalf("speedup curve: %+v", snap.Speedup)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := snap.SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Workloads[0].MsgsSent != snap.Workloads[0].MsgsSent {
+		t.Fatal("round trip lost data")
+	}
+}
+
+func TestLoadSnapshotRejectsUnknownSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	s := &Snapshot{SchemaVersion: SnapshotSchemaVersion + 1}
+	if err := s.SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(path); err == nil {
+		t.Fatal("unknown schema version must be rejected")
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := &Snapshot{
+		SchemaVersion: SnapshotSchemaVersion,
+		Workloads: []WorkloadMetrics{{
+			Name: "gauss N=120", NumPE: 4,
+			MsgsSent: 1000, BytesSent: 50000,
+			AllocPerRemoteOp: 1.0,
+			RTT:              LatencySummary{Count: 100, P95: 200},
+			PerOp:            map[string]OpMetrics{"read": {Msgs: 400}, "read-v": {Msgs: 50}},
+		}},
+	}
+	clone := func() *Snapshot {
+		c := *base
+		c.Workloads = append([]WorkloadMetrics(nil), base.Workloads...)
+		w := &c.Workloads[0]
+		w.PerOp = map[string]OpMetrics{}
+		for k, v := range base.Workloads[0].PerOp {
+			w.PerOp[k] = v
+		}
+		return &c
+	}
+
+	if regs := Compare(base, clone()); len(regs) != 0 {
+		t.Fatalf("identical snapshots flagged: %v", regs)
+	}
+
+	// Within tolerance: +5% messages, alloc within epsilon.
+	ok := clone()
+	ok.Workloads[0].MsgsSent = 1050
+	ok.Workloads[0].AllocPerRemoteOp = 1.4
+	if regs := Compare(base, ok); len(regs) != 0 {
+		t.Fatalf("within-tolerance changes flagged: %v", regs)
+	}
+
+	// Regressions: +20% total msgs, +50% of one op, worse p95, alloc blowup.
+	bad := clone()
+	bad.Workloads[0].MsgsSent = 1200
+	bad.Workloads[0].PerOp["read"] = OpMetrics{Msgs: 600}
+	bad.Workloads[0].RTT.P95 = 300
+	bad.Workloads[0].AllocPerRemoteOp = 3.0
+	regs := Compare(base, bad)
+	if len(regs) != 4 {
+		t.Fatalf("want 4 regressions, got %d: %v", len(regs), regs)
+	}
+
+	// A missing workload is itself a regression.
+	gone := clone()
+	gone.Workloads[0].Name = "renamed"
+	if regs := Compare(base, gone); len(regs) != 1 {
+		t.Fatalf("missing workload: %v", regs)
+	}
+}

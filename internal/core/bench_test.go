@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/platform"
+	"repro/internal/trace"
 )
 
 // runBenchProgram runs body once over an inproc cluster, b.N iterations
@@ -89,4 +90,45 @@ func BenchmarkSimClusterConstruction(b *testing.B) {
 			b.Fatal(err, res.FirstErr())
 		}
 	}
+}
+
+// benchRemoteRead builds the remote-read round trip loop used by the
+// tracing-overhead benchmarks.
+func benchRemoteRead(b *testing.B, cfg Config) {
+	cfg.NumPE = 2
+	cfg.Transport = TransportInproc
+	res, err := Run(cfg, func(pe *PE) error {
+		addr := pe.Alloc(64)
+		for pe.Space().HomeOf(addr) == pe.ID() {
+			addr++
+		}
+		pe.Barrier()
+		if pe.ID() == 0 {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pe.GMRead(addr)
+			}
+			b.StopTimer()
+		}
+		pe.Barrier()
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := res.FirstErr(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRoundTripTracingDisabled is the default path: histograms are
+// always on, span tracing costs one nil check.
+func BenchmarkRoundTripTracingDisabled(b *testing.B) {
+	benchRemoteRead(b, Config{})
+}
+
+// BenchmarkRoundTripTracingEnabled records a span per round trip on both
+// the requester and home sides.
+func BenchmarkRoundTripTracingEnabled(b *testing.B) {
+	benchRemoteRead(b, Config{Tracing: trace.TracingConfig{Enabled: true, RingSize: 1 << 16}})
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 
 	"repro/internal/ethernet"
@@ -94,6 +95,18 @@ type Config struct {
 	// injection; combine with RequestTimeout so lost requests surface as
 	// errors instead of hanging the virtual cluster).
 	LossProbability float64
+	// Tracing enables request span tracing: every request round trip,
+	// synchronisation wait and kernel service event is recorded into a
+	// fixed-size per-context ring buffer (sampling-capable) and surfaced as
+	// Result.Spans, exportable with trace.WriteChromeTrace. The zero value
+	// is disabled and costs one nil pointer check per request.
+	Tracing trace.TracingConfig
+	// LiveRTT, when non-nil, additionally receives every request
+	// round-trip latency any PE observes. trace.Histogram is safe for
+	// parallel Observe and concurrent reads, so a live exporter (e.g.
+	// dsenode's /metrics endpoint) may aggregate it while kernels still
+	// run — the one PEStats surface with that guarantee.
+	LiveRTT *trace.Histogram
 	// MessageLog, when non-nil, receives one line per message any kernel
 	// handles ("t=<time> k=<kernel> <message>") — a cluster-wide protocol
 	// trace for debugging. Writes are serialised across kernels.
@@ -138,10 +151,26 @@ type Result struct {
 	// Bus carries medium statistics (simulated transport only).
 	Bus ethernet.Stats
 	// RTT is the distribution of request round-trip latencies across all
-	// PEs (global-memory operations, process management, pings).
+	// PEs (global-memory operations, process management, pings). Per-op
+	// distributions, kernel service times and synchronisation waits are in
+	// Total (and PerPE) — see trace.PEStats.LatencyTable.
 	RTT trace.Histogram
+	// Spans holds every recorded request/service span across all PEs,
+	// sorted by start time (empty unless Config.Tracing.Enabled). Export
+	// with trace.WriteChromeTrace.
+	Spans []trace.Span
 	// Errs holds each PE's program error (nil entries for success).
 	Errs []error
+}
+
+// WriteChromeTrace exports the run's spans in Chrome trace_event format
+// (openable in chrome://tracing or Perfetto). It fails when the run was not
+// traced.
+func (r *Result) WriteChromeTrace(w io.Writer) error {
+	if len(r.Spans) == 0 {
+		return errors.New("core: no spans recorded (enable Config.Tracing)")
+	}
+	return trace.WriteChromeTrace(w, r.Spans)
 }
 
 // FirstErr returns the lowest-PE error, or nil.
@@ -230,10 +259,20 @@ func RunOn(cfg Config, node transport.Node, program Program) (*Result, error) {
 }
 
 // runPE wraps one PE's program with registration, exit and panic recovery.
+// Under tracing it records the PE's run span — the top-level interval every
+// request/wait span nests inside, which is what lets a Chrome trace account
+// for the whole measured wall time.
 func runPE(pe *PE, program Program) (err error) {
+	start := pe.app.Now()
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("PE %d panicked: %v", pe.ID(), r)
+		}
+		if pe.spans != nil {
+			pe.spans.Record(trace.Span{
+				Kind: trace.SpanRun, PE: int32(pe.ID()),
+				Start: start, End: pe.app.Now(),
+			})
 		}
 	}()
 	pe.register()
@@ -345,13 +384,34 @@ func runReal(cfg *Config, net realNetwork, program Program) (*Result, error) {
 	return res, nil
 }
 
+// collectStats merges per-kernel and per-PE counters into the result. It
+// runs only after every kernel and PE has quiesced (transports stopped),
+// which is what makes the plain-counter PEStats.Add merges safe; the
+// histograms inside would tolerate live merging on their own.
 func collectStats(res *Result, kernels []*Kernel, pes []*PE) {
 	for i := range kernels {
+		// The hot path feeds only the per-op round-trip histograms; the
+		// aggregate RTT is derived here, once the PE has quiesced.
+		for j := range pes[i].extra.RTTByOp {
+			pes[i].extra.RTT.Merge(&pes[i].extra.RTTByOp[j])
+		}
 		s := *kernels[i].Stats()
 		s.Add(&pes[i].extra)
 		s.Add(&kernels[i].extra)
 		res.PerPE = append(res.PerPE, s)
 		res.Total.Add(&s)
-		res.RTT.Merge(&pes[i].rtt)
+		res.RTT.Merge(&pes[i].extra.RTT)
+		if pes[i].spans != nil {
+			res.Spans = append(res.Spans, pes[i].spans.Snapshot()...)
+		}
+		if kernels[i].spans != nil {
+			res.Spans = append(res.Spans, kernels[i].spans.Snapshot()...)
+		}
 	}
+	sort.SliceStable(res.Spans, func(i, j int) bool {
+		if res.Spans[i].Start != res.Spans[j].Start {
+			return res.Spans[i].Start < res.Spans[j].Start
+		}
+		return res.Spans[i].PE < res.Spans[j].PE
+	})
 }

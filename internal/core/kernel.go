@@ -68,9 +68,15 @@ type Kernel struct {
 	// operations (serve goroutine only, no locking).
 	dedup map[int32]*dedupRing
 
-	// extra accumulates reliability counters the transport does not track
-	// (kernel side; the PE keeps its own in pe.extra). Serve goroutine only.
+	// extra accumulates reliability counters and service-time histograms the
+	// transport does not track (kernel side; the PE keeps its own in
+	// pe.extra). Serve goroutine only (histograms follow their own
+	// concurrency contract and may additionally be read live).
 	extra trace.PEStats
+
+	// spans records one service span per handled message (nil unless
+	// Config.Tracing). Serve goroutine only.
+	spans *trace.SpanRing
 
 	// In-flight invalidation rounds at this home (caching protocol).
 	inv     map[uint64]*invRound
@@ -155,6 +161,7 @@ func newKernel(id int, node transport.Node, cfg *Config) *Kernel {
 		deadPeers: make(map[int]bool),
 		dedup:     make(map[int32]*dedupRing),
 		inv:       make(map[uint64]*invRound),
+		spans:     cfg.Tracing.NewRing(),
 	}
 	node.SetPeerDown(k.peerDown)
 	if cfg.Caching {
@@ -312,14 +319,31 @@ func (k *Kernel) userMb(tag int32) transport.Mailbox {
 
 // serve is the DSE kernel main loop (the "parallel processing mechanism"):
 // it receives every message addressed to this kernel and dispatches it,
-// until the node shuts down.
+// until the node shuts down. Around every dispatch it observes the per-op
+// service time (receive timestamp → handling done) and, when tracing is
+// enabled, records a service span.
 func (k *Kernel) serve() {
 	for {
 		m, ok := k.node.Recv()
 		if !ok {
 			return
 		}
-		if k.handle(m) {
+		// Copy the header before handle: for unconsumed messages ownership
+		// moves to another context (a mailbox) the moment handle returns.
+		op, src, seq, rcv := m.Op, m.Src, m.Seq, m.RecvAt
+		consumed := k.handle(m)
+		end := k.svc.Now()
+		if int(op) < wire.NumOps {
+			k.extra.ServiceByOp[op].Observe(end - rcv)
+		}
+		if k.spans != nil && k.spans.Sampled() {
+			k.spans.Record(trace.Span{
+				Kind: trace.SpanService, Op: op,
+				PE: int32(k.id), Peer: src, Seq: seq,
+				Start: rcv, End: end,
+			})
+		}
+		if consumed {
 			wire.PutMessage(m)
 		}
 	}

@@ -22,8 +22,9 @@ type PE struct {
 	app   transport.Port
 	alloc *gmem.Allocator
 	gpid  int64
-	extra trace.PEStats   // app-context counters merged into the result
-	rtt   trace.Histogram // request round-trip latency distribution
+	extra trace.PEStats    // app-context counters merged into the result
+	spans *trace.SpanRing  // request span ring (nil unless Config.Tracing)
+	live  *trace.Histogram // Config.LiveRTT: shared live round-trip histogram
 
 	// replyMb is the persistent reply mailbox: every response to this PE's
 	// requests lands here (the PE is single-threaded, so scalar requests
@@ -58,6 +59,8 @@ func newPE(k *Kernel) *PE {
 		app:     k.node.App(),
 		alloc:   gmem.NewAllocator(k.space),
 		replyMb: k.node.NewMailbox(0),
+		spans:   k.cfg.Tracing.NewRing(),
+		live:    k.cfg.LiveRTT,
 	}
 }
 
@@ -131,14 +134,31 @@ func (pe *PE) requestErr(dst int, m *wire.Message) (*wire.Message, error) {
 	}
 	m.Seq = seq
 	start := pe.app.Now()
+	var sent sim.Time
 	backoff := k.cfg.RetryBackoff
 	for attempts := 1; ; attempts++ {
 		pe.app.Send(dst, m)
+		if pe.spans != nil && sent == 0 {
+			sent = pe.app.Now()
+		}
 		resp, err := pe.takeReply(seq, m.Op, dst, attempts)
 		if err == nil {
-			rtt := pe.app.Now() - start
+			now := pe.app.Now()
+			rtt := now - start
 			pe.extra.WaitTime += rtt
-			pe.rtt.Observe(rtt)
+			// Only the per-op histogram is fed on the hot path; the
+			// aggregate PEStats.RTT is derived from it at collect time.
+			pe.extra.RTTByOp[m.Op].Observe(rtt)
+			if pe.live != nil {
+				pe.live.Observe(rtt)
+			}
+			if pe.spans != nil && pe.spans.Sampled() {
+				pe.spans.Record(trace.Span{
+					Kind: trace.SpanRequest, Op: m.Op,
+					PE: int32(k.id), Peer: int32(dst), Seq: seq,
+					Start: start, Sent: sent, End: now,
+				})
+			}
 			return resp, nil
 		}
 		if _, timedOut := err.(*TimeoutError); !timedOut || attempts > k.cfg.RequestRetries {
@@ -435,7 +455,25 @@ func (pe *PE) awaitGather(out []int64) {
 			woff += r.count
 		}
 	}
-	pe.extra.WaitTime += pe.app.Now() - start
+	pe.finishTransfer(wire.OpReadV, start)
+}
+
+// finishTransfer charges a pipelined transfer's wait phase and records its
+// span (the per-home round trips overlap, so the transfer — not each
+// request — is the observable unit).
+func (pe *PE) finishTransfer(op wire.Op, start sim.Time) {
+	end := pe.app.Now()
+	pe.extra.WaitTime += end - start
+	pe.extra.RTTByOp[op].Observe(end - start)
+	if pe.live != nil {
+		pe.live.Observe(end - start)
+	}
+	if pe.spans != nil && pe.spans.Sampled() {
+		pe.spans.Record(trace.Span{
+			Kind: trace.SpanTransfer, Op: op, PE: int32(pe.k.id),
+			Peer: int32(pe.k.id), Start: start, End: end,
+		})
+	}
 }
 
 // awaitAcks drains one ack per outstanding per-home request.
@@ -451,7 +489,7 @@ func (pe *PE) awaitAcks() {
 		}
 		remaining--
 	}
-	pe.extra.WaitTime += pe.app.Now() - start
+	pe.finishTransfer(wire.OpWriteV, start)
 }
 
 // takeTransfer blocks on the reply mailbox for the next transfer reply,
@@ -752,7 +790,15 @@ func (pe *PE) BarrierID(id int32) {
 		panic(fmt.Sprintf("core: PE %d: expected barrier %d release, got %v", k.id, id, m))
 	}
 	wire.PutMessage(m)
-	pe.extra.WaitTime += pe.app.Now() - start
+	end := pe.app.Now()
+	pe.extra.WaitTime += end - start
+	pe.extra.BarrierWait.Observe(end - start)
+	if pe.spans != nil {
+		pe.spans.Record(trace.Span{
+			Kind: trace.SpanBarrier, PE: int32(k.id), Seq: uint64(uint32(id)),
+			Start: start, End: end,
+		})
+	}
 }
 
 // Lock acquires the cluster-wide lock id (FIFO, managed by kernel 0).
@@ -766,7 +812,15 @@ func (pe *PE) Lock(id int32) {
 		panic(fmt.Sprintf("core: PE %d: expected lock %d grant, got %v", pe.k.id, id, m))
 	}
 	wire.PutMessage(m)
-	pe.extra.WaitTime += pe.app.Now() - start
+	end := pe.app.Now()
+	pe.extra.WaitTime += end - start
+	pe.extra.LockWait.Observe(end - start)
+	if pe.spans != nil {
+		pe.spans.Record(trace.Span{
+			Kind: trace.SpanLock, PE: int32(pe.k.id), Seq: uint64(uint32(id)),
+			Start: start, End: end,
+		})
+	}
 }
 
 // Unlock releases lock id.

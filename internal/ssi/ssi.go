@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/procmgmt"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // View is a PE's single-machine view of the whole cluster.
@@ -101,6 +102,56 @@ func (v *View) ProbePeers() []PeerStatus {
 		out = append(out, st)
 	}
 	return out
+}
+
+// HealthReport summarises cluster liveness from one PE's vantage point
+// over several probe rounds — the SSI operator's "is the machine healthy"
+// answer, with a latency distribution instead of a single sample.
+type HealthReport struct {
+	// Peers is the last round's per-peer status. A peer is Alive when it
+	// answered the final round's probe.
+	Peers []PeerStatus
+	// Rounds is how many probe sweeps ran.
+	Rounds int
+	// ProbeRTT aggregates every successful probe's round trip across all
+	// rounds and peers.
+	ProbeRTT trace.Histogram
+	// Failures counts probes that went unanswered across all rounds.
+	Failures int
+}
+
+// AllAlive reports whether every peer answered the final probe round.
+func (r *HealthReport) AllAlive() bool {
+	for i := range r.Peers {
+		if !r.Peers[i].Alive {
+			return false
+		}
+	}
+	return true
+}
+
+// Health probes every peer rounds times (at least once) and aggregates the
+// results. Like ProbePeers it needs core.Config.RequestTimeout configured to
+// bound probes of silently-dead peers.
+func (v *View) Health(rounds int) HealthReport {
+	if rounds < 1 {
+		rounds = 1
+	}
+	rep := HealthReport{Rounds: rounds}
+	for r := 0; r < rounds; r++ {
+		peers := v.ProbePeers()
+		for i := range peers {
+			if peers[i].Alive {
+				rep.ProbeRTT.Observe(peers[i].RTT)
+			} else {
+				rep.Failures++
+			}
+		}
+		if r == rounds-1 {
+			rep.Peers = peers
+		}
+	}
+	return rep
 }
 
 // Registry is a cluster-global name service: any PE can publish a 64-bit

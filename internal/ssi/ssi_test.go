@@ -252,3 +252,38 @@ func TestProbePeersDetectsDeadNode(t *testing.T) {
 		t.Fatal(probeErr)
 	}
 }
+
+func TestHealthAggregatesProbeRounds(t *testing.T) {
+	run(t, 4, func(pe *core.PE) error {
+		v := NewView(pe)
+		rep := v.Health(3)
+		if rep.Rounds != 3 {
+			return fmt.Errorf("rounds = %d", rep.Rounds)
+		}
+		if !rep.AllAlive() {
+			return fmt.Errorf("healthy cluster reported dead peers: %+v", rep.Peers)
+		}
+		if len(rep.Peers) != 3 {
+			return fmt.Errorf("%d peers, want 3", len(rep.Peers))
+		}
+		if want := uint64(3 * 3); rep.ProbeRTT.Count != want {
+			return fmt.Errorf("probe histogram has %d samples, want %d", rep.ProbeRTT.Count, want)
+		}
+		if rep.Failures != 0 {
+			return fmt.Errorf("failures = %d", rep.Failures)
+		}
+		pe.Barrier()
+		return nil
+	})
+}
+
+func TestHealthClampsRounds(t *testing.T) {
+	run(t, 2, func(pe *core.PE) error {
+		rep := NewView(pe).Health(0)
+		if rep.Rounds != 1 || rep.ProbeRTT.Count != 1 {
+			return fmt.Errorf("rounds=%d samples=%d", rep.Rounds, rep.ProbeRTT.Count)
+		}
+		pe.Barrier()
+		return nil
+	})
+}

@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// TestWriteChromeTraceGolden pins the exact exported JSON for a small span
+// set, so the trace_event dialect (field names, units, metadata events,
+// ordering) cannot drift without a deliberate golden update.
+func TestWriteChromeTraceGolden(t *testing.T) {
+	spans := []Span{
+		// Deliberately out of order: the writer must sort by (Start, PE, tid).
+		{Kind: SpanService, Op: wire.OpRead, PE: 1, Peer: 0, Seq: 7,
+			Start: 12 * sim.Microsecond, End: 14 * sim.Microsecond},
+		{Kind: SpanRun, PE: 0,
+			Start: 0, End: 100 * sim.Microsecond},
+		{Kind: SpanRequest, Op: wire.OpRead, PE: 0, Peer: 1, Seq: 7,
+			Start: 10 * sim.Microsecond, Sent: 11 * sim.Microsecond, End: 20 * sim.Microsecond},
+		{Kind: SpanBarrier, PE: 0, Seq: 3,
+			Start: 30 * sim.Microsecond, End: 42 * sim.Microsecond},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimSpace(buf.String())
+	want := strings.TrimSpace(`
+[{"name":"process_name","ph":"M","ts":0,"pid":0,"tid":0,"args":{"name":"PE 0"}},{"name":"thread_name","ph":"M","ts":0,"pid":0,"tid":0,"args":{"name":"dse-process"}},{"name":"thread_name","ph":"M","ts":0,"pid":0,"tid":1,"args":{"name":"dse-kernel"}},{"name":"process_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"PE 1"}},{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"dse-process"}},{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":1,"args":{"name":"dse-kernel"}},{"name":"run","ph":"X","ts":0,"dur":100,"pid":0,"tid":0,"args":{"seq":0}},{"name":"req:read","ph":"X","ts":10,"dur":10,"pid":0,"tid":0,"args":{"peer":1,"sent_us":1,"seq":7}},{"name":"svc:read","ph":"X","ts":12,"dur":2,"pid":1,"tid":1,"args":{"peer":0,"seq":7}},{"name":"barrier","ph":"X","ts":30,"dur":12,"pid":0,"tid":0,"args":{"seq":3}}]
+`)
+	if got != want {
+		t.Fatalf("golden mismatch\ngot:  %s\nwant: %s", got, want)
+	}
+
+	// The output must also round-trip as generic JSON.
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("output not valid JSON: %v", err)
+	}
+	if len(events) != 10 {
+		t.Fatalf("events=%d want 10", len(events))
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var events []any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil || len(events) != 0 {
+		t.Fatalf("empty trace: %v %v", events, err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
@@ -14,6 +15,23 @@ const histBuckets = 21
 // Histogram is a power-of-two latency histogram for request round trips.
 // Bucket i counts samples in [2^i, 2^(i+1)) microseconds; the last bucket
 // absorbs everything larger.
+//
+// # Concurrency contract
+//
+// Observe, Merge and the read accessors (Mean, Quantile, Samples, Total,
+// MaxSample, Snapshot, String, Render) use atomic operations on every field,
+// so a Histogram may be observed from any number of goroutines in parallel
+// and merged or read while observers are still running — this is what makes
+// the cross-PE aggregation path (live /metrics exporters, Result merging)
+// safe while kernels are still serving. Two caveats:
+//
+//  1. A concurrent read is per-field atomic but not a cross-field snapshot:
+//     Count, Sum and Buckets may be mutually out of date by the samples in
+//     flight. Quantiles read live are therefore approximate; they become
+//     exact once observers quiesce.
+//  2. Direct field access is only safe once all observers have quiesced
+//     (e.g. in tests, or after core.Run returned). Concurrent readers must
+//     go through the accessors or Snapshot.
 type Histogram struct {
 	Count   uint64
 	Sum     sim.Duration
@@ -34,69 +52,107 @@ func bucketOf(d sim.Duration) int {
 	return b
 }
 
-// Observe records one sample.
+// Observe records one sample. Safe for concurrent use.
 func (h *Histogram) Observe(d sim.Duration) {
-	h.Count++
-	h.Sum += d
-	if d > h.Max {
-		h.Max = d
+	atomic.AddUint64(&h.Count, 1)
+	atomic.AddInt64((*int64)(&h.Sum), int64(d))
+	for {
+		old := atomic.LoadInt64((*int64)(&h.Max))
+		if int64(d) <= old || atomic.CompareAndSwapInt64((*int64)(&h.Max), old, int64(d)) {
+			break
+		}
 	}
-	h.Buckets[bucketOf(d)]++
+	atomic.AddUint64(&h.Buckets[bucketOf(d)], 1)
 }
 
-// Merge accumulates o into h.
+// Merge accumulates o into h. Both sides may still be receiving Observe
+// calls; the merged result then reflects some prefix of the in-flight
+// samples (see the concurrency contract above).
 func (h *Histogram) Merge(o *Histogram) {
-	h.Count += o.Count
-	h.Sum += o.Sum
-	if o.Max > h.Max {
-		h.Max = o.Max
+	atomic.AddUint64(&h.Count, atomic.LoadUint64(&o.Count))
+	atomic.AddInt64((*int64)(&h.Sum), atomic.LoadInt64((*int64)(&o.Sum)))
+	om := atomic.LoadInt64((*int64)(&o.Max))
+	for {
+		old := atomic.LoadInt64((*int64)(&h.Max))
+		if om <= old || atomic.CompareAndSwapInt64((*int64)(&h.Max), old, om) {
+			break
+		}
 	}
 	for i := range h.Buckets {
-		h.Buckets[i] += o.Buckets[i]
+		atomic.AddUint64(&h.Buckets[i], atomic.LoadUint64(&o.Buckets[i]))
 	}
+}
+
+// Snapshot returns an atomically-read copy safe to inspect field by field.
+func (h *Histogram) Snapshot() Histogram {
+	var s Histogram
+	s.Count = atomic.LoadUint64(&h.Count)
+	s.Sum = sim.Duration(atomic.LoadInt64((*int64)(&h.Sum)))
+	s.Max = sim.Duration(atomic.LoadInt64((*int64)(&h.Max)))
+	for i := range s.Buckets {
+		s.Buckets[i] = atomic.LoadUint64(&h.Buckets[i])
+	}
+	return s
+}
+
+// Samples returns the sample count (atomically).
+func (h *Histogram) Samples() uint64 { return atomic.LoadUint64(&h.Count) }
+
+// Total returns the sample sum (atomically).
+func (h *Histogram) Total() sim.Duration {
+	return sim.Duration(atomic.LoadInt64((*int64)(&h.Sum)))
+}
+
+// MaxSample returns the largest sample (atomically).
+func (h *Histogram) MaxSample() sim.Duration {
+	return sim.Duration(atomic.LoadInt64((*int64)(&h.Max)))
 }
 
 // Mean returns the average sample (0 when empty).
 func (h *Histogram) Mean() sim.Duration {
-	if h.Count == 0 {
+	n := atomic.LoadUint64(&h.Count)
+	if n == 0 {
 		return 0
 	}
-	return h.Sum / sim.Duration(h.Count)
+	return sim.Duration(atomic.LoadInt64((*int64)(&h.Sum))) / sim.Duration(n)
 }
 
 // Quantile returns an upper bound of the q-quantile (0 < q <= 1) from the
 // bucket boundaries — within 2× of the true value by construction.
 func (h *Histogram) Quantile(q float64) sim.Duration {
-	if h.Count == 0 || q <= 0 {
+	n := atomic.LoadUint64(&h.Count)
+	if n == 0 || q <= 0 {
 		return 0
 	}
-	target := uint64(q * float64(h.Count))
+	target := uint64(q * float64(n))
 	if target == 0 {
 		target = 1
 	}
 	var seen uint64
-	for i, c := range h.Buckets {
-		seen += c
+	for i := range h.Buckets {
+		seen += atomic.LoadUint64(&h.Buckets[i])
 		if seen >= target {
 			// Upper bucket boundary: 2^(i+1) microseconds.
 			return sim.Duration(int64(1)<<uint(i+1)) * sim.Microsecond
 		}
 	}
-	return h.Max
+	return h.MaxSample()
 }
 
 // String summarises the distribution.
 func (h *Histogram) String() string {
-	if h.Count == 0 {
+	s := h.Snapshot()
+	if s.Count == 0 {
 		return "no samples"
 	}
 	return fmt.Sprintf("n=%d mean=%v p50<=%v p99<=%v max=%v",
-		h.Count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max)
+		s.Count, s.Mean(), s.Quantile(0.5), s.Quantile(0.99), s.Max)
 }
 
 // Render draws an ASCII bar chart of the non-empty bucket range.
 func (h *Histogram) Render(width int) string {
-	if h.Count == 0 {
+	s := h.Snapshot()
+	if s.Count == 0 {
 		return "(no samples)\n"
 	}
 	if width < 8 {
@@ -104,7 +160,7 @@ func (h *Histogram) Render(width int) string {
 	}
 	lo, hi := -1, 0
 	var peak uint64
-	for i, c := range h.Buckets {
+	for i, c := range s.Buckets {
 		if c > 0 {
 			if lo < 0 {
 				lo = i
@@ -117,9 +173,9 @@ func (h *Histogram) Render(width int) string {
 	}
 	var b strings.Builder
 	for i := lo; i <= hi; i++ {
-		n := int(float64(h.Buckets[i]) / float64(peak) * float64(width))
+		n := int(float64(s.Buckets[i]) / float64(peak) * float64(width))
 		label := sim.Duration(int64(1)<<uint(i)) * sim.Microsecond
-		fmt.Fprintf(&b, "%12v |%-*s| %d\n", label, width, strings.Repeat("#", n), h.Buckets[i])
+		fmt.Fprintf(&b, "%12v |%-*s| %d\n", label, width, strings.Repeat("#", n), s.Buckets[i])
 	}
 	return b.String()
 }

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -64,6 +65,62 @@ func TestHistogramConservationProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestHistogramParallelObserve drives Observe, Merge and the quantile
+// readers from many goroutines at once; run under -race it checks the
+// documented multi-writer contract (live exporters read while PEs observe).
+func TestHistogramParallelObserve(t *testing.T) {
+	const writers = 8
+	const perWriter = 5000
+	var h Histogram
+	var readerTotal Histogram
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent reader: a live /metrics exporter
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			hs := h.Snapshot()
+			_ = hs.Quantile(0.95)
+			_ = hs.Mean()
+			readerTotal.Merge(&h) // concurrent Merge from a live source
+		}
+	}()
+	var writersDone sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersDone.Add(1)
+		go func(w int) {
+			defer writersDone.Done()
+			for i := 1; i <= perWriter; i++ {
+				h.Observe(sim.Duration(w*perWriter+i) * sim.Microsecond)
+			}
+		}(w)
+	}
+	writersDone.Wait()
+	close(stop)
+	wg.Wait()
+
+	hs := h.Snapshot()
+	if hs.Count != writers*perWriter {
+		t.Fatalf("count=%d want %d (lost updates)", hs.Count, writers*perWriter)
+	}
+	wantMax := sim.Duration(writers*perWriter) * sim.Microsecond
+	if hs.Max != wantMax {
+		t.Fatalf("max=%v want %v", hs.Max, wantMax)
+	}
+	var total uint64
+	for i := range hs.Buckets {
+		total += hs.Buckets[i]
+	}
+	if total != hs.Count {
+		t.Fatalf("bucket total %d != count %d", total, hs.Count)
 	}
 }
 

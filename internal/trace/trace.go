@@ -40,6 +40,18 @@ type PEStats struct {
 	// ByOp breaks sent traffic down per message op, so experiments can
 	// watch e.g. scalar reads being displaced by vectored reads.
 	ByOp [wire.NumOps]OpCount
+
+	// Latency distributions (the paper's execution-time breakdown, per
+	// operation instead of as scalar totals). Histograms follow Histogram's
+	// concurrency contract — they may be observed, merged and read while
+	// kernels still run, which is what live exporters rely on. The scalar
+	// counters above are single-writer and must only be merged (Add) after
+	// their writers quiesce; core.Run's collectStats runs post-shutdown.
+	RTT         Histogram              // request round trips, all ops (app side)
+	RTTByOp     [wire.NumOps]Histogram // request round trips per request op
+	ServiceByOp [wire.NumOps]Histogram // kernel time handling each incoming op
+	BarrierWait Histogram              // time blocked per barrier crossing
+	LockWait    Histogram              // time blocked per lock acquisition
 }
 
 // OpCount tallies sent traffic for one message op.
@@ -80,6 +92,13 @@ func (s *PEStats) Add(o *PEStats) {
 		s.ByOp[i].Msgs += o.ByOp[i].Msgs
 		s.ByOp[i].Bytes += o.ByOp[i].Bytes
 	}
+	s.RTT.Merge(&o.RTT)
+	for i := range s.RTTByOp {
+		s.RTTByOp[i].Merge(&o.RTTByOp[i])
+		s.ServiceByOp[i].Merge(&o.ServiceByOp[i])
+	}
+	s.BarrierWait.Merge(&o.BarrierWait)
+	s.LockWait.Merge(&o.LockWait)
 }
 
 // OpTable renders the non-zero per-op send counters as a table.
@@ -93,6 +112,35 @@ func (s *PEStats) OpTable(title string) *Table {
 			fmt.Sprintf("%d", s.ByOp[i].Msgs),
 			fmt.Sprintf("%d", s.ByOp[i].Bytes))
 	}
+	return t
+}
+
+// LatencyTable renders the non-empty per-op round-trip distributions plus
+// the synchronisation waits as a quantile table (p50/p95/p99 are bucket
+// upper bounds; see Histogram.Quantile).
+func (s *PEStats) LatencyTable(title string) *Table {
+	t := &Table{Title: title, Header: []string{"op", "count", "mean", "p50", "p95", "p99", "max"}}
+	row := func(name string, h *Histogram) {
+		hs := h.Snapshot()
+		if hs.Count == 0 {
+			return
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%d", hs.Count),
+			hs.Mean().String(),
+			hs.Quantile(0.50).String(),
+			hs.Quantile(0.95).String(),
+			hs.Quantile(0.99).String(),
+			hs.Max.String())
+	}
+	for i := range s.RTTByOp {
+		row("rtt:"+wire.Op(i).String(), &s.RTTByOp[i])
+	}
+	for i := range s.ServiceByOp {
+		row("svc:"+wire.Op(i).String(), &s.ServiceByOp[i])
+	}
+	row("barrier-wait", &s.BarrierWait)
+	row("lock-wait", &s.LockWait)
 	return t
 }
 

@@ -106,6 +106,7 @@ func (nd *Node) Recv() (*wire.Message, bool) {
 		nd.stats.MsgsRecv++
 		nd.stats.BytesRecv += uint64(size)
 		nd.mu.Unlock()
+		m.RecvAt = (*port)(nd).Now()
 		return m, true
 	case <-nd.done:
 		return nil, false

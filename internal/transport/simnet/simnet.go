@@ -181,6 +181,7 @@ func (nd *Node) Recv() (*wire.Message, bool) {
 		}
 		nd.stats.MsgsRecv++
 		nd.stats.BytesRecv += uint64(len(enc))
+		m.RecvAt = p.Now()
 		return m, true
 	}
 }

@@ -335,6 +335,7 @@ func (nd *Node) Recv() (*wire.Message, bool) {
 		nd.stats.MsgsRecv++
 		nd.stats.BytesRecv += uint64(m.WireSize())
 		nd.mu.Unlock()
+		m.RecvAt = sim.Time(time.Since(nd.start))
 		return m, true
 	case <-nd.done:
 		return nil, false

@@ -37,6 +37,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"repro/internal/sim"
 )
 
 // Op identifies a message type.
@@ -195,6 +197,13 @@ type Message struct {
 	Arg1  int64
 	Arg2  int64
 	Data  []byte
+
+	// RecvAt is the transport's receive timestamp: every transport stamps
+	// it (with the node's clock) just before handing the decoded message to
+	// the kernel, so the observability layer can attribute queueing and
+	// service time per message. It never travels the wire and is cleared on
+	// recycle.
+	RecvAt sim.Time
 
 	// buf is the message-owned scratch that Data points into when the
 	// payload was produced by a payload helper. Its capacity survives
