@@ -12,6 +12,7 @@
 //	dsebench -quick -json out.json -baseline BENCH_baseline.json
 //	                             # ...and fail (exit 1) on >10% regressions
 //	dsebench -trace out.trace.json            # traced gauss run, Chrome trace_event
+//	dsebench -stress -seed 7     # seeded consistency stress matrix (exit 1 on violation)
 //
 // Figures print as aligned tables: one row per x value, one column per
 // series, exactly the rows/series the paper plots.
@@ -44,6 +45,7 @@ func main() {
 		jsonOut  = flag.String("json", "", "write a machine-readable metrics snapshot to this file")
 		baseline = flag.String("baseline", "", "compare the snapshot against this baseline; exit 1 on regression")
 		traceOut = flag.String("trace", "", "run gauss p=4 with span tracing and write Chrome trace_event JSON here")
+		stressF  = flag.Bool("stress", false, "run the seeded consistency stress matrix; -seed selects the schedule")
 	)
 	flag.Parse()
 	plotFigures = *plot
@@ -59,6 +61,8 @@ func main() {
 	sc.Seed = *seed
 
 	switch {
+	case *stressF:
+		runStress(*seed, *quick)
 	case *jsonOut != "":
 		scaleName := "full"
 		if *quick {

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/check/stress"
+	"repro/internal/sim"
+)
+
+// runStress sweeps the consistency stress matrix (PEs x loss x caching,
+// plus a peer-kill schedule) for one base seed, printing per-configuration
+// results and exiting 1 on any violation. Every configuration is a pure
+// function of the seed: re-running with the printed seed replays the
+// failing history bit-for-bit.
+func runStress(seed uint64, quick bool) {
+	pes := []int{2, 4, 8}
+	losses := []float64{0, 0.05, 0.15}
+	ops := 1000
+	if quick {
+		pes = []int{2, 4}
+		losses = []float64{0, 0.15}
+		ops = 150
+	}
+	var configs []stress.Options
+	for _, np := range pes {
+		for _, loss := range losses {
+			for _, caching := range []bool{false, true} {
+				configs = append(configs, stress.Options{
+					Seed: seed, NumPE: np, OpsPerPE: ops,
+					Caching: caching, Loss: loss,
+					Jitter: 200 * sim.Microsecond,
+				})
+			}
+		}
+	}
+	// One peer-kill schedule rides along at the end of the matrix.
+	configs = append(configs, stress.Options{
+		Seed: seed, NumPE: 4, OpsPerPE: ops, Loss: 0.02,
+		KillPE: 2, KillAt: 2 * sim.Second,
+	})
+
+	start := time.Now()
+	totalOps, failures := 0, 0
+	for _, o := range configs {
+		res, err := stress.Run(o)
+		if err != nil {
+			fatalf("stress (%v): %v", o, err)
+		}
+		status := "ok"
+		if res.Err != nil {
+			status = fmt.Sprintf("PE ERROR: %v", res.Err)
+			failures++
+		}
+		if !res.Report.OK() {
+			status = fmt.Sprintf("%d VIOLATIONS", len(res.Report.Violations))
+			failures++
+		}
+		fmt.Printf("%-60s %7d ops  %s\n", o.String(), res.History.Len(), status)
+		if !res.Report.OK() {
+			fmt.Print(res.Report)
+		}
+		totalOps += res.History.Len()
+	}
+	fmt.Printf("checked %d operations across %d configurations in %v\n",
+		totalOps, len(configs), time.Since(start).Round(time.Millisecond))
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "dsebench: stress FAILED (%d bad configurations); replay with -stress -seed %d\n", failures, seed)
+		os.Exit(1)
+	}
+}

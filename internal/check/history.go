@@ -1,0 +1,215 @@
+// Package check is the deterministic correctness-verification subsystem:
+// an operation-history recorder the core runtime hooks into (behind
+// core.Config.RecordHistory), and a consistency checker (Check) that
+// validates recorded histories against the DSM memory model — per-word
+// linearizability for the uncached/atomic operations and write-invalidate
+// coherence for cached reads.
+//
+// The package is deliberately free of core dependencies so the runtime can
+// import it; the seeded stress runner that drives core lives in the
+// check/stress subpackage.
+package check
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies one recorded operation.
+type Kind uint8
+
+// Operation kinds.
+const (
+	KindRead     Kind = iota // Out = value observed
+	KindWrite                // Arg1 = value written
+	KindFetchAdd             // Arg1 = delta, Out = previous value
+	KindCAS                  // Arg1 = expected, Arg2 = new, Out = previous, Ok = swapped
+	KindLock                 // Addr = lock id; Inv..Resp spans acquire
+	KindUnlock               // Addr = lock id; Inv = release request time
+	KindBarrier              // Addr = barrier id; Inv = arrival, Resp = release
+)
+
+var kindNames = [...]string{"read", "write", "fetch-add", "cas", "lock", "unlock", "barrier"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one recorded operation: an invocation/response interval plus the
+// operation's arguments and observed result. Failed operations (timeout,
+// peer down) keep Failed=true and a zero Resp — the op MAY have applied at
+// its home, so the checker treats its effect window as [Inv, ∞).
+type Event struct {
+	PE     int32
+	Seq    int32 // per-PE record index; stable tiebreak and replay identity
+	Kind   Kind
+	Addr   uint64 // word address; lock/barrier id for sync events
+	Arg1   int64
+	Arg2   int64
+	Out    int64
+	Ok     bool // CAS: swap happened
+	Failed bool // op errored; effect unknown
+	Cached bool // read served from the local block cache
+	Inv    sim.Time
+	Resp   sim.Time
+}
+
+func (e Event) String() string {
+	status := ""
+	if e.Failed {
+		status = " FAILED"
+	}
+	if e.Cached {
+		status += " cached"
+	}
+	switch e.Kind {
+	case KindRead:
+		return fmt.Sprintf("PE%d#%d read(%d)=%d [%d,%d]%s", e.PE, e.Seq, e.Addr, e.Out, e.Inv, e.Resp, status)
+	case KindWrite:
+		return fmt.Sprintf("PE%d#%d write(%d,%d) [%d,%d]%s", e.PE, e.Seq, e.Addr, e.Arg1, e.Inv, e.Resp, status)
+	case KindFetchAdd:
+		return fmt.Sprintf("PE%d#%d fetchadd(%d,%+d)=%d [%d,%d]%s", e.PE, e.Seq, e.Addr, e.Arg1, e.Out, e.Inv, e.Resp, status)
+	case KindCAS:
+		return fmt.Sprintf("PE%d#%d cas(%d,%d->%d)=(%d,%v) [%d,%d]%s", e.PE, e.Seq, e.Addr, e.Arg1, e.Arg2, e.Out, e.Ok, e.Inv, e.Resp, status)
+	default:
+		return fmt.Sprintf("PE%d#%d %v(id=%d) [%d,%d]%s", e.PE, e.Seq, e.Kind, e.Addr, e.Inv, e.Resp, status)
+	}
+}
+
+// PERecorder collects one PE's events. A PE is single-threaded, so the
+// recorder is lock-free; the merged history is read only after the cluster
+// has quiesced.
+type PERecorder struct {
+	events []Event
+	pe     int32
+}
+
+// Add appends a completed event (reads and sync ops record after success).
+func (r *PERecorder) Add(ev Event) {
+	if r == nil {
+		return
+	}
+	ev.PE = r.pe
+	ev.Seq = int32(len(r.events))
+	r.events = append(r.events, ev)
+}
+
+// Begin appends ev as in-flight — Failed until Complete — and returns its
+// index. Mutating ops record through Begin/Complete so an op that dies
+// mid-request (timeout, panic, peer down) is retained with its "may have
+// applied" status rather than lost.
+func (r *PERecorder) Begin(ev Event) int {
+	if r == nil {
+		return -1
+	}
+	ev.PE = r.pe
+	ev.Seq = int32(len(r.events))
+	ev.Failed = true
+	r.events = append(r.events, ev)
+	return len(r.events) - 1
+}
+
+// Complete marks the Begin-ed event idx successful with its observed result.
+func (r *PERecorder) Complete(idx int, out int64, ok bool, resp sim.Time) {
+	if r == nil {
+		return
+	}
+	e := &r.events[idx]
+	e.Out, e.Ok, e.Resp = out, ok, resp
+	e.Failed = false
+}
+
+// Recorder fans out one PERecorder per PE.
+type Recorder struct {
+	pes []*PERecorder
+}
+
+// NewRecorder builds a recorder for an n-PE cluster.
+func NewRecorder(n int) *Recorder {
+	r := &Recorder{pes: make([]*PERecorder, n)}
+	for i := range r.pes {
+		r.pes[i] = &PERecorder{pe: int32(i)}
+	}
+	return r
+}
+
+// PE returns PE i's recorder; a nil Recorder returns nil (recording off).
+func (r *Recorder) PE(i int) *PERecorder {
+	if r == nil {
+		return nil
+	}
+	return r.pes[i]
+}
+
+// History merges the per-PE event streams into one globally ordered
+// history. Call only after every PE has quiesced.
+func (r *Recorder) History() *History {
+	h := &History{}
+	for _, p := range r.pes {
+		h.Events = append(h.Events, p.events...)
+	}
+	sort.SliceStable(h.Events, func(i, j int) bool {
+		a, b := &h.Events[i], &h.Events[j]
+		if a.Inv != b.Inv {
+			return a.Inv < b.Inv
+		}
+		if a.PE != b.PE {
+			return a.PE < b.PE
+		}
+		return a.Seq < b.Seq
+	})
+	return h
+}
+
+// History is a merged, globally ordered operation history. Timestamps must
+// come from one global clock (the deterministic simulator provides one);
+// real transports with per-node clocks cannot be checked for cross-PE
+// real-time precedence.
+type History struct {
+	Events []Event
+}
+
+// Len returns the number of recorded operations.
+func (h *History) Len() int { return len(h.Events) }
+
+// Digest returns a hex SHA-256 over the canonical byte encoding of the
+// history. Two runs of the same seeded workload are bit-identical exactly
+// when their digests match — the replayability check.
+func (h *History) Digest() string {
+	hash := sha256.New()
+	var b [66]byte
+	for i := range h.Events {
+		e := &h.Events[i]
+		binary.LittleEndian.PutUint32(b[0:], uint32(e.PE))
+		binary.LittleEndian.PutUint32(b[4:], uint32(e.Seq))
+		b[8] = byte(e.Kind)
+		binary.LittleEndian.PutUint64(b[9:], e.Addr)
+		binary.LittleEndian.PutUint64(b[17:], uint64(e.Arg1))
+		binary.LittleEndian.PutUint64(b[25:], uint64(e.Arg2))
+		binary.LittleEndian.PutUint64(b[33:], uint64(e.Out))
+		var flags byte
+		if e.Ok {
+			flags |= 1
+		}
+		if e.Failed {
+			flags |= 2
+		}
+		if e.Cached {
+			flags |= 4
+		}
+		b[41] = flags
+		binary.LittleEndian.PutUint64(b[42:], uint64(e.Inv))
+		binary.LittleEndian.PutUint64(b[50:], uint64(e.Resp))
+		binary.LittleEndian.PutUint64(b[58:], uint64(len(h.Events)))
+		hash.Write(b[:])
+	}
+	return hex.EncodeToString(hash.Sum(nil))
+}

@@ -1,0 +1,52 @@
+package check
+
+import "testing"
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	pr := r.PE(0)
+	if pr != nil {
+		t.Fatal("nil Recorder must hand out nil PERecorders")
+	}
+	pr.Add(Event{}) // must not panic
+	pr.Complete(pr.Begin(Event{}), 0, false, 0)
+}
+
+func TestRecorderMergeOrdersByInvocation(t *testing.T) {
+	r := NewRecorder(2)
+	r.PE(1).Add(Event{Kind: KindWrite, Addr: 8, Arg1: 2, Inv: 5, Resp: 6})
+	r.PE(0).Add(Event{Kind: KindWrite, Addr: 8, Arg1: 1, Inv: 1, Resp: 2})
+	idx := r.PE(0).Begin(Event{Kind: KindWrite, Addr: 8, Arg1: 3, Inv: 9})
+	h := r.History()
+	if h.Len() != 3 {
+		t.Fatalf("merged %d events, want 3", h.Len())
+	}
+	if h.Events[0].Arg1 != 1 || h.Events[1].Arg1 != 2 || h.Events[2].Arg1 != 3 {
+		t.Fatalf("events not in invocation order: %v", h.Events)
+	}
+	if !h.Events[2].Failed {
+		t.Fatal("un-completed Begin event must stay Failed")
+	}
+	r.PE(0).Complete(idx, 0, true, 10)
+	if h2 := r.History(); h2.Events[2].Failed || h2.Events[2].Resp != 10 {
+		t.Fatalf("Complete not reflected: %v", h2.Events[2])
+	}
+}
+
+func TestHistoryDigestDeterministic(t *testing.T) {
+	build := func() *History {
+		r := NewRecorder(2)
+		r.PE(0).Add(Event{Kind: KindWrite, Addr: 8, Arg1: 7, Inv: 1, Resp: 2})
+		r.PE(1).Add(Event{Kind: KindRead, Addr: 8, Out: 7, Inv: 3, Resp: 4, Cached: true})
+		return r.History()
+	}
+	d1, d2 := build().Digest(), build().Digest()
+	if d1 != d2 {
+		t.Fatalf("same history, different digests: %s vs %s", d1, d2)
+	}
+	r := NewRecorder(2)
+	r.PE(0).Add(Event{Kind: KindWrite, Addr: 8, Arg1: 8, Inv: 1, Resp: 2})
+	if d3 := r.History().Digest(); d3 == d1 {
+		t.Fatal("different histories share a digest")
+	}
+}

@@ -1,0 +1,299 @@
+// Package stress is the seeded stress runner of the correctness harness:
+// it generates a randomized mixed workload (scalar, block, gather/scatter
+// global-memory operations, atomics and — in fault-free configurations —
+// locks and barriers) over the deterministic simulated transport, under a
+// replayable fault schedule (frame loss, delay jitter, a mid-run station
+// kill), records the complete operation history and validates it with the
+// check package's consistency checker.
+//
+// Everything is a pure function of Options: running the same Options twice
+// yields bit-identical histories (compare History.Digest), which is what
+// makes a failing seed a complete bug report.
+package stress
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/transport/simnet"
+)
+
+// Global-memory regions of the workload, in words.
+const (
+	dataWords = 256 // scalar + block reads/writes, unique non-zero values
+	ctrWords  = 16  // FetchAdd counters, uniform +1 deltas
+	casWords  = 16  // CAS chains, unique non-zero values
+	lockWords = 4   // one word per lock id, mutated only under its lock
+)
+
+// Options selects one stress configuration. Every field participates in
+// the deterministic replay: same Options, same history.
+type Options struct {
+	Seed     uint64
+	NumPE    int // 2..8
+	OpsPerPE int // operations issued per PE
+	Caching  bool
+	Loss     float64      // frame-loss probability on the simulated medium
+	Jitter   sim.Duration // per-frame receive-side delay jitter, 0 = off
+	// KillPE > 0 schedules that PE's network station to die at KillAt
+	// (never PE 0 — kernel 0 hosts the sync managers and process table).
+	// The victim PE winds down shortly before the kill so its exit message
+	// still gets out; survivors detect the dead home via the loss budget
+	// and skip addresses homed there.
+	KillPE int
+	KillAt sim.Duration
+	// FaultDropInvalidations enables the kernel's test-only coherence fault
+	// (writes acknowledged without invalidating remote caches). A run with
+	// this set must produce checker violations; the harness tests use it to
+	// prove the checker actually catches broken invalidation.
+	FaultDropInvalidations bool
+}
+
+func (o Options) String() string {
+	return fmt.Sprintf("seed=%d pe=%d ops=%d caching=%v loss=%g jitter=%v kill=%d@%v",
+		o.Seed, o.NumPE, o.OpsPerPE, o.Caching, o.Loss, o.Jitter, o.KillPE, o.KillAt)
+}
+
+// faulty reports whether the configuration can lose messages, which rules
+// out the unreliable fire-and-forget operations (locks, barriers) and the
+// no-retry block transfers.
+func (o Options) faulty() bool { return o.Loss > 0 || o.KillAt > 0 }
+
+// Result is one stress run's outcome.
+type Result struct {
+	Report  *check.Report
+	History *check.History
+	Elapsed sim.Duration
+	Err     error // first unexpected PE error (nil in a healthy run)
+}
+
+// Run executes one seeded stress run and checks its history.
+func Run(o Options) (*Result, error) {
+	if o.NumPE < 2 {
+		o.NumPE = 2
+	}
+	if o.OpsPerPE <= 0 {
+		o.OpsPerPE = 200
+	}
+	cfg := core.Config{
+		NumPE:                  o.NumPE,
+		Platform:               platform.SparcSunOS,
+		Seed:                   o.Seed,
+		Caching:                o.Caching,
+		LossProbability:        o.Loss,
+		DelayJitter:            o.Jitter,
+		RecordHistory:          true,
+		FaultDropInvalidations: o.FaultDropInvalidations,
+	}
+	if o.faulty() {
+		cfg.RequestTimeout = 50 * sim.Millisecond
+		cfg.RequestRetries = 30
+	}
+	if o.KillAt > 0 {
+		cfg.Kills = []simnet.Kill{{Node: o.KillPE, At: o.KillAt}}
+		cfg.PeerLossBudget = 8
+	}
+	res, err := core.Run(cfg, program(o))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Report:  check.Check(res.History),
+		History: res.History,
+		Elapsed: res.Elapsed,
+		Err:     res.FirstErr(),
+	}, nil
+}
+
+// program builds the per-PE workload body.
+func program(o Options) core.Program {
+	return func(pe *core.PE) error {
+		// SPMD allocation: every PE makes the identical calls, so the
+		// regions land at the same addresses cluster-wide.
+		data := pe.Alloc(dataWords)
+		ctrs := pe.Alloc(ctrWords)
+		casb := pe.Alloc(casWords)
+		lckw := pe.Alloc(lockWords)
+
+		rng := sim.NewRand(o.Seed ^ (uint64(pe.ID()+1) * 0x9e3779b97f4a7c15))
+		w := &worker{pe: pe, o: o, rng: rng, data: data, ctrs: ctrs, casb: casb, lckw: lckw}
+		w.casGuess = make([]int64, casWords)
+
+		victim := o.KillPE > 0 && pe.ID() == o.KillPE
+		// Leave a quarter of the schedule as margin so the victim's exit
+		// message reaches kernel 0 before the station dies.
+		stopAt := sim.Time(o.KillAt - o.KillAt/4)
+
+		for i := 0; i < o.OpsPerPE; i++ {
+			if victim && pe.Now() >= stopAt {
+				return nil
+			}
+			w.step(i)
+			// Fault-free runs rendezvous periodically: barriers are
+			// fire-and-forget and must be reached by every PE, so their
+			// schedule is fixed, never randomized.
+			if !o.faulty() && i%64 == 63 {
+				pe.BarrierID(int32(1 + i/64%2))
+			}
+		}
+		return nil
+	}
+}
+
+// worker is one PE's workload state.
+type worker struct {
+	pe       *core.PE
+	o        Options
+	rng      *sim.Rand
+	data     uint64
+	ctrs     uint64
+	casb     uint64
+	lckw     uint64
+	casGuess []int64
+	uniq     int64
+	dead     map[int]bool // homes declared down; their addresses are skipped
+}
+
+// next returns a cluster-unique non-zero value: the checker's value
+// discipline maps every read back to the one write that produced it.
+func (w *worker) next() int64 {
+	w.uniq++
+	return int64(w.pe.ID()+1)<<40 | w.uniq
+}
+
+// skip reports whether addr is homed at a kernel already declared down.
+func (w *worker) skip(addr uint64) bool {
+	return w.dead != nil && w.dead[w.pe.Space().HomeOf(addr)]
+}
+
+// note tracks peer-down errors so later operations stop hammering the dead
+// home (each would burn the full retry schedule).
+func (w *worker) note(err error) {
+	var pd *core.PeerDownError
+	if errors.As(err, &pd) {
+		if w.dead == nil {
+			w.dead = make(map[int]bool)
+		}
+		w.dead[pd.Peer] = true
+	}
+}
+
+func (w *worker) step(i int) {
+	pe, rng := w.pe, w.rng
+	switch p := rng.Intn(100); {
+	case p < 25: // scalar read
+		a := w.data + uint64(rng.Intn(dataWords))
+		if w.skip(a) {
+			return
+		}
+		if _, err := pe.GMReadErr(a); err != nil {
+			w.note(err)
+		}
+	case p < 50: // scalar write
+		a := w.data + uint64(rng.Intn(dataWords))
+		if w.skip(a) {
+			return
+		}
+		if err := pe.GMWriteErr(a, w.next()); err != nil {
+			w.note(err)
+		}
+	case p < 65: // counter fetch-add
+		a := w.ctrs + uint64(rng.Intn(ctrWords))
+		if w.skip(a) {
+			return
+		}
+		if _, err := pe.FetchAddErr(a, 1); err != nil {
+			w.note(err)
+		}
+	case p < 75: // CAS chain: guess tracks the last observed value
+		wi := rng.Intn(casWords)
+		a := w.casb + uint64(wi)
+		if w.skip(a) {
+			return
+		}
+		nv := w.next()
+		out, ok, err := pe.CASErr(a, w.casGuess[wi], nv)
+		if err != nil {
+			w.note(err)
+			return
+		}
+		if ok {
+			w.casGuess[wi] = nv
+		} else {
+			w.casGuess[wi] = out
+		}
+	case p < 85: // block/gather read (no-retry transfers: fault-free only)
+		if w.o.faulty() {
+			a := w.data + uint64(rng.Intn(dataWords))
+			if w.skip(a) {
+				return
+			}
+			if _, err := pe.GMReadErr(a); err != nil {
+				w.note(err)
+			}
+			return
+		}
+		if rng.Intn(2) == 0 {
+			n := 2 + rng.Intn(15)
+			off := rng.Intn(dataWords - n)
+			pe.GMReadBlock(w.data+uint64(off), n)
+		} else {
+			addrs := make([]uint64, 2+rng.Intn(7))
+			for j := range addrs {
+				addrs[j] = w.data + uint64(rng.Intn(dataWords))
+			}
+			pe.GMGather(addrs)
+		}
+	case p < 95: // block/scatter write (fault-free only)
+		if w.o.faulty() {
+			a := w.data + uint64(rng.Intn(dataWords))
+			if w.skip(a) {
+				return
+			}
+			if err := pe.GMWriteErr(a, w.next()); err != nil {
+				w.note(err)
+			}
+			return
+		}
+		if rng.Intn(2) == 0 {
+			n := 2 + rng.Intn(15)
+			off := rng.Intn(dataWords - n)
+			words := make([]int64, n)
+			for j := range words {
+				words[j] = w.next()
+			}
+			pe.GMWriteBlock(w.data+uint64(off), words)
+		} else {
+			n := 2 + rng.Intn(7)
+			addrs := make([]uint64, n)
+			vals := make([]int64, n)
+			for j := range addrs {
+				addrs[j] = w.data + uint64(rng.Intn(dataWords))
+				vals[j] = w.next()
+			}
+			pe.GMScatter(addrs, vals)
+		}
+	default: // lock-protected read-modify-write (fire-and-forget: fault-free only)
+		if w.o.faulty() {
+			a := w.ctrs + uint64(rng.Intn(ctrWords))
+			if w.skip(a) {
+				return
+			}
+			if _, err := pe.FetchAddErr(a, 1); err != nil {
+				w.note(err)
+			}
+			return
+		}
+		id := int32(rng.Intn(lockWords))
+		pe.Lock(id)
+		a := w.lckw + uint64(id)
+		if _, err := pe.GMReadErr(a); err == nil {
+			_ = pe.GMWriteErr(a, w.next())
+		}
+		pe.Unlock(id)
+	}
+}

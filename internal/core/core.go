@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/check"
 	"repro/internal/ethernet"
 	"repro/internal/platform"
 	"repro/internal/sim"
@@ -111,9 +112,32 @@ type Config struct {
 	// handles ("t=<time> k=<kernel> <message>") — a cluster-wide protocol
 	// trace for debugging. Writes are serialised across kernels.
 	MessageLog io.Writer
+	// RecordHistory enables the operation-history recorder: every
+	// global-memory operation, lock and barrier is logged with its
+	// invocation/response interval and surfaced as Result.History for
+	// check.Check to validate against the memory model. Off, it costs one
+	// nil pointer check per operation (the Config.Tracing pattern).
+	RecordHistory bool
+	// DelayJitter adds a uniformly distributed extra delay in [0,
+	// DelayJitter) to every frame received on the simulated transport —
+	// fault-schedule injection for the stress harness (deterministic: drawn
+	// from a per-node rng forked off the engine seed).
+	DelayJitter sim.Duration
+	// Kills schedules mid-run kernel deaths on the simulated transport
+	// (fault-schedule injection; see simnet.Kill).
+	Kills []simnet.Kill
+	// FaultDropInvalidations is a TEST-ONLY fault: home kernels acknowledge
+	// mutating requests without invalidating remote cached copies, leaving
+	// stale data readable. It exists to prove the history checker can fail
+	// (a deliberately broken invalidation path must surface as stale-read
+	// violations) and must never be set outside tests.
+	FaultDropInvalidations bool
 
 	// logMu serialises MessageLog writes; created by withDefaults.
 	logMu *sync.Mutex
+	// recorder fans out per-PE history recorders; created by withDefaults
+	// when RecordHistory is set.
+	recorder *check.Recorder
 }
 
 func (cfg *Config) withDefaults() (Config, error) {
@@ -135,6 +159,9 @@ func (cfg *Config) withDefaults() (Config, error) {
 	}
 	if c.MessageLog != nil {
 		c.logMu = &sync.Mutex{}
+	}
+	if c.RecordHistory {
+		c.recorder = check.NewRecorder(c.NumPE)
 	}
 	return c, nil
 }
@@ -161,6 +188,9 @@ type Result struct {
 	Spans []trace.Span
 	// Errs holds each PE's program error (nil entries for success).
 	Errs []error
+	// History is the merged operation history (nil unless
+	// Config.RecordHistory); validate it with check.Check.
+	History *check.History
 }
 
 // WriteChromeTrace exports the run's spans in Chrome trace_event format
@@ -255,6 +285,9 @@ func RunOn(cfg Config, node transport.Node, program Program) (*Result, error) {
 	<-done
 	res := &Result{Elapsed: pe.app.Now(), Errs: []error{perr}}
 	collectStats(res, []*Kernel{k}, []*PE{pe})
+	if c.recorder != nil {
+		res.History = c.recorder.History()
+	}
 	return res, nil
 }
 
@@ -290,14 +323,16 @@ func runPE(pe *PE, program Program) (err error) {
 // all inside one deterministic engine.
 func runSim(cfg *Config, program Program) (*Result, error) {
 	net := simnet.New(simnet.Config{
-		NumPE:      cfg.NumPE,
-		Platform:   cfg.Platform,
-		Machines:   cfg.Machines,
-		Load:       cfg.Load,
-		Seed:       cfg.Seed,
-		Ethernet:   cfg.Ethernet,
-		Switched:   cfg.Switched,
-		LossBudget: cfg.PeerLossBudget,
+		NumPE:       cfg.NumPE,
+		Platform:    cfg.Platform,
+		Machines:    cfg.Machines,
+		Load:        cfg.Load,
+		Seed:        cfg.Seed,
+		Ethernet:    cfg.Ethernet,
+		Switched:    cfg.Switched,
+		LossBudget:  cfg.PeerLossBudget,
+		DelayJitter: cfg.DelayJitter,
+		Kills:       cfg.Kills,
 	})
 	if cfg.LossProbability > 0 {
 		net.Medium().SetLossProbability(cfg.LossProbability)
@@ -335,6 +370,9 @@ func runSim(cfg *Config, program Program) (*Result, error) {
 	}
 	res := &Result{Elapsed: finish, Errs: errs, Bus: net.Medium().Stats()}
 	collectStats(res, kernels, pes)
+	if cfg.recorder != nil {
+		res.History = cfg.recorder.History()
+	}
 	return res, nil
 }
 
@@ -381,6 +419,9 @@ func runReal(cfg *Config, net realNetwork, program Program) (*Result, error) {
 	svcWG.Wait()
 	res := &Result{Elapsed: finish, Errs: errs}
 	collectStats(res, kernels, pes)
+	if cfg.recorder != nil {
+		res.History = cfg.recorder.History()
+	}
 	return res, nil
 }
 

@@ -135,14 +135,18 @@ type dedupRing struct {
 }
 
 // invRound tracks one write/atomic waiting for invalidation acks before the
-// home may acknowledge it.
+// home may acknowledge it. outstanding holds the invalidations not yet
+// acked, so a retried writer request can trigger their retransmission — an
+// OpInvalidate or OpInvAck lost on the wire would otherwise leave the round
+// stuck forever while the writer's retries are absorbed as in-progress
+// duplicates.
 type invRound struct {
-	requester int32
-	seq       uint64
-	respOp    wire.Op
-	arg1      int64
-	arg2      int64
-	remaining int
+	requester   int32
+	seq         uint64
+	respOp      wire.Op
+	arg1        int64
+	arg2        int64
+	outstanding []invSend
 }
 
 func newKernel(id int, node transport.Node, cfg *Config) *Kernel {
@@ -280,6 +284,11 @@ func (k *Kernel) dedupCheck(m *wire.Message) bool {
 			resp := wire.GetMessage()
 			resp.Op, resp.Arg1, resp.Arg2 = e.respOp, e.arg1, e.arg2
 			k.reply(m, resp)
+		} else if m.Flags&wire.FlagRetry != 0 {
+			// The writer is retrying while its invalidation round is still
+			// open: a lost OpInvalidate/OpInvAck would wedge the round (and
+			// absorb every further retry right here), so nudge it along.
+			k.resendInvalidations(m.Src, m.Seq)
 		}
 		return true
 	}
@@ -628,6 +637,12 @@ func (k *Kernel) handleCAS(m *wire.Message) {
 // has acknowledged its invalidation (write-invalidate coherence: the writer
 // may not proceed while stale copies are readable).
 func (k *Kernel) finishAfterInvalidations(m *wire.Message, sends []invSend, respOp wire.Op, arg1, arg2 int64) {
+	if k.cfg.FaultDropInvalidations {
+		// TEST-ONLY fault: pretend no copies exist, acknowledging the write
+		// without invalidating remote caches. Readers keep serving stale
+		// values — the consistency checker must flag them.
+		sends = nil
+	}
 	if len(sends) == 0 {
 		resp := wire.GetMessage()
 		resp.Op, resp.Arg1, resp.Arg2 = respOp, arg1, arg2
@@ -636,17 +651,43 @@ func (k *Kernel) finishAfterInvalidations(m *wire.Message, sends []invSend, resp
 	}
 	k.invNext++
 	id := k.invNext
-	k.inv[id] = &invRound{
+	r := &invRound{
 		requester: m.Src, seq: m.Seq,
 		respOp: respOp, arg1: arg1, arg2: arg2,
-		remaining: len(sends),
 	}
+	// sends aliases the reused k.invSends scratch; the round needs its own
+	// copy to survive until the last ack.
+	r.outstanding = append(r.outstanding, sends...)
+	k.inv[id] = r
 	for _, s := range sends {
 		inv := wire.GetMessage()
 		inv.Op, inv.Src, inv.Dst = wire.OpInvalidate, int32(k.id), int32(s.dst)
 		inv.Seq, inv.Addr = id, s.addr
 		k.svc.Send(s.dst, inv)
 		wire.PutMessage(inv)
+	}
+}
+
+// resendInvalidations retransmits the still-unacked invalidations of the
+// round started by requester's mutating request seq, if one is in flight.
+// Called when a retried duplicate of that request arrives: the retry means
+// the writer never got its response, and under a lossy transport the likely
+// cause is a lost OpInvalidate or OpInvAck that no other timer would ever
+// recover. Serve goroutine only.
+func (k *Kernel) resendInvalidations(requester int32, seq uint64) {
+	for id, r := range k.inv {
+		if r.requester != requester || r.seq != seq {
+			continue
+		}
+		for _, s := range r.outstanding {
+			inv := wire.GetMessage()
+			inv.Op, inv.Src, inv.Dst = wire.OpInvalidate, int32(k.id), int32(s.dst)
+			inv.Seq, inv.Addr = id, s.addr
+			inv.Flags |= wire.FlagRetry
+			k.svc.Send(s.dst, inv)
+			wire.PutMessage(inv)
+		}
+		return
 	}
 }
 
@@ -667,8 +708,22 @@ func (k *Kernel) handleInvAck(m *wire.Message) {
 		k.extra.StrayDrops++
 		return
 	}
-	r.remaining--
-	if r.remaining > 0 {
+	// Match the ack against a specific outstanding invalidation so that a
+	// duplicated ack (original + the answer to a retransmission) cannot
+	// complete the round while other copies are still live.
+	found := -1
+	for i, s := range r.outstanding {
+		if s.dst == int(m.Src) && s.addr == m.Addr {
+			found = i
+			break
+		}
+	}
+	if found < 0 {
+		k.extra.StrayDrops++
+		return
+	}
+	r.outstanding = append(r.outstanding[:found], r.outstanding[found+1:]...)
+	if len(r.outstanding) > 0 {
 		return
 	}
 	delete(k.inv, m.Seq)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/check"
 	"repro/internal/gmem"
 	"repro/internal/procmgmt"
 	"repro/internal/sim"
@@ -22,9 +23,10 @@ type PE struct {
 	app   transport.Port
 	alloc *gmem.Allocator
 	gpid  int64
-	extra trace.PEStats    // app-context counters merged into the result
-	spans *trace.SpanRing  // request span ring (nil unless Config.Tracing)
-	live  *trace.Histogram // Config.LiveRTT: shared live round-trip histogram
+	extra trace.PEStats     // app-context counters merged into the result
+	spans *trace.SpanRing   // request span ring (nil unless Config.Tracing)
+	live  *trace.Histogram  // Config.LiveRTT: shared live round-trip histogram
+	hist  *check.PERecorder // operation history (nil unless Config.RecordHistory)
 
 	// replyMb is the persistent reply mailbox: every response to this PE's
 	// requests lands here (the PE is single-threaded, so scalar requests
@@ -61,6 +63,7 @@ func newPE(k *Kernel) *PE {
 		replyMb: k.node.NewMailbox(0),
 		spans:   k.cfg.Tracing.NewRing(),
 		live:    k.cfg.LiveRTT,
+		hist:    k.cfg.recorder.PE(k.id),
 	}
 }
 
@@ -239,16 +242,23 @@ func (pe *PE) GMRead(addr uint64) int64 {
 func (pe *PE) GMReadErr(addr uint64) (int64, error) {
 	pe.legacyCrossing()
 	k := pe.k
+	var t0 sim.Time
+	if pe.hist != nil {
+		t0 = pe.app.Now()
+	}
 	if k.cache != nil {
 		if v, ok := k.cache.Lookup(addr); ok {
 			pe.app.LocalAccess()
 			pe.extra.LocalGM++
+			pe.recordRead(addr, v, true, t0)
 			return v, nil
 		}
 		if k.space.HomeOf(addr) == k.id {
 			pe.app.LocalAccess()
 			pe.extra.LocalGM++
-			return k.seg.ReadWord(addr), nil
+			v := k.seg.ReadWord(addr)
+			pe.recordRead(addr, v, false, t0)
+			return v, nil
 		}
 		pe.extra.RemoteGM++
 		req := wire.GetMessage()
@@ -256,17 +266,22 @@ func (pe *PE) GMReadErr(addr uint64) (int64, error) {
 		resp, err := pe.requestErr(k.space.HomeOf(addr), req)
 		wire.PutMessage(req)
 		if err != nil {
+			pe.recordReadFailed(addr, t0)
 			return 0, err
 		}
 		pe.words = resp.WordsInto(pe.words)
 		wire.PutMessage(resp)
 		k.cache.Insert(addr, pe.words)
-		return pe.words[addr%uint64(k.space.BlockWords)], nil
+		v := pe.words[addr%uint64(k.space.BlockWords)]
+		pe.recordRead(addr, v, false, t0)
+		return v, nil
 	}
 	if k.space.HomeOf(addr) == k.id {
 		pe.app.LocalAccess()
 		pe.extra.LocalGM++
-		return k.seg.ReadWord(addr), nil
+		v := k.seg.ReadWord(addr)
+		pe.recordRead(addr, v, false, t0)
+		return v, nil
 	}
 	pe.extra.RemoteGM++
 	req := wire.GetMessage()
@@ -274,11 +289,37 @@ func (pe *PE) GMReadErr(addr uint64) (int64, error) {
 	resp, err := pe.requestErr(k.space.HomeOf(addr), req)
 	wire.PutMessage(req)
 	if err != nil {
+		pe.recordReadFailed(addr, t0)
 		return 0, err
 	}
 	v := resp.Word(0)
 	wire.PutMessage(resp)
+	pe.recordRead(addr, v, false, t0)
 	return v, nil
+}
+
+// recordRead logs one successful word read into the operation history
+// (no-op unless Config.RecordHistory).
+func (pe *PE) recordRead(addr uint64, v int64, cached bool, t0 sim.Time) {
+	if pe.hist == nil {
+		return
+	}
+	pe.hist.Add(check.Event{
+		Kind: check.KindRead, Addr: addr, Out: v, Cached: cached,
+		Inv: t0, Resp: pe.app.Now(),
+	})
+}
+
+// recordReadFailed logs a read that errored (no effect on memory; the
+// checker ignores it beyond counting).
+func (pe *PE) recordReadFailed(addr uint64, t0 sim.Time) {
+	if pe.hist == nil {
+		return
+	}
+	pe.hist.Add(check.Event{
+		Kind: check.KindRead, Addr: addr, Failed: true,
+		Inv: t0, Resp: pe.app.Now(),
+	})
 }
 
 // GMWrite stores v at addr, panicking on failure.
@@ -292,10 +333,19 @@ func (pe *PE) GMWrite(addr uint64, v int64) {
 func (pe *PE) GMWriteErr(addr uint64, v int64) error {
 	pe.legacyCrossing()
 	k := pe.k
+	hidx := -1
+	if pe.hist != nil {
+		hidx = pe.hist.Begin(check.Event{
+			Kind: check.KindWrite, Addr: addr, Arg1: v, Inv: pe.app.Now(),
+		})
+	}
 	if k.cache == nil && k.space.HomeOf(addr) == k.id {
 		pe.app.LocalAccess()
 		pe.extra.LocalGM++
 		k.seg.WriteWord(addr, v)
+		if pe.hist != nil {
+			pe.hist.Complete(hidx, 0, true, pe.app.Now())
+		}
 		return nil
 	}
 	// Under caching every mutation goes through the home's invalidation
@@ -316,6 +366,9 @@ func (pe *PE) GMWriteErr(addr uint64, v int64) error {
 	if k.cache != nil {
 		k.cache.Invalidate(addr)
 	}
+	if pe.hist != nil {
+		pe.hist.Complete(hidx, 0, true, pe.app.Now())
+	}
 	return nil
 }
 
@@ -335,10 +388,20 @@ func (pe *PE) FetchAdd(addr uint64, delta int64) int64 {
 func (pe *PE) FetchAddErr(addr uint64, delta int64) (int64, error) {
 	pe.legacyCrossing()
 	k := pe.k
+	hidx := -1
+	if pe.hist != nil {
+		hidx = pe.hist.Begin(check.Event{
+			Kind: check.KindFetchAdd, Addr: addr, Arg1: delta, Inv: pe.app.Now(),
+		})
+	}
 	if k.cache == nil && k.space.HomeOf(addr) == k.id {
 		pe.app.LocalAccess()
 		pe.extra.LocalGM++
-		return k.seg.FetchAdd(addr, delta), nil
+		old := k.seg.FetchAdd(addr, delta)
+		if pe.hist != nil {
+			pe.hist.Complete(hidx, old, true, pe.app.Now())
+		}
+		return old, nil
 	}
 	pe.extra.RemoteGM++
 	req := wire.GetMessage()
@@ -352,6 +415,9 @@ func (pe *PE) FetchAddErr(addr uint64, delta int64) (int64, error) {
 	wire.PutMessage(resp)
 	if k.cache != nil {
 		k.cache.Invalidate(addr)
+	}
+	if pe.hist != nil {
+		pe.hist.Complete(hidx, old, true, pe.app.Now())
 	}
 	return old, nil
 }
@@ -371,10 +437,19 @@ func (pe *PE) CAS(addr uint64, old, new int64) (int64, bool) {
 func (pe *PE) CASErr(addr uint64, old, new int64) (int64, bool, error) {
 	pe.legacyCrossing()
 	k := pe.k
+	hidx := -1
+	if pe.hist != nil {
+		hidx = pe.hist.Begin(check.Event{
+			Kind: check.KindCAS, Addr: addr, Arg1: old, Arg2: new, Inv: pe.app.Now(),
+		})
+	}
 	if k.cache == nil && k.space.HomeOf(addr) == k.id {
 		pe.app.LocalAccess()
 		pe.extra.LocalGM++
 		prev, sw := k.seg.CAS(addr, old, new)
+		if pe.hist != nil {
+			pe.hist.Complete(hidx, prev, sw, pe.app.Now())
+		}
 		return prev, sw, nil
 	}
 	pe.extra.RemoteGM++
@@ -389,6 +464,9 @@ func (pe *PE) CASErr(addr uint64, old, new int64) (int64, bool, error) {
 	wire.PutMessage(resp)
 	if k.cache != nil {
 		k.cache.Invalidate(addr)
+	}
+	if pe.hist != nil {
+		pe.hist.Complete(hidx, prev, sw, pe.app.Now())
 	}
 	return prev, sw, nil
 }
@@ -569,6 +647,10 @@ func (pe *PE) findReq(seq uint64) *homeReq {
 func (pe *PE) GMReadBlock(addr uint64, n int) []int64 {
 	pe.legacyCrossing()
 	k := pe.k
+	var t0 sim.Time
+	if pe.hist != nil {
+		t0 = pe.app.Now()
+	}
 	out := make([]int64, n)
 	pe.vruns = pe.vruns[:0]
 	k.space.HomeRuns(addr, n, func(home int, start uint64, count int) {
@@ -583,6 +665,7 @@ func (pe *PE) GMReadBlock(addr uint64, n int) []int64 {
 		pe.vruns = append(pe.vruns, vrun{home: home, start: start, count: count, off: off})
 	})
 	if len(pe.vruns) == 0 {
+		pe.recordBlockRead(addr, out, t0)
 		return out
 	}
 	pe.groupRunsByHome()
@@ -602,7 +685,53 @@ func (pe *PE) GMReadBlock(addr uint64, n int) []int64 {
 		wire.PutMessage(req)
 	}
 	pe.awaitGather(out)
+	pe.recordBlockRead(addr, out, t0)
 	return out
+}
+
+// recordBlockRead logs one read event per word of a completed block read;
+// the words share the block operation's invocation/response interval.
+func (pe *PE) recordBlockRead(addr uint64, out []int64, t0 sim.Time) {
+	if pe.hist == nil {
+		return
+	}
+	resp := pe.app.Now()
+	for i, v := range out {
+		pe.hist.Add(check.Event{
+			Kind: check.KindRead, Addr: addr + uint64(i), Out: v, Inv: t0, Resp: resp,
+		})
+	}
+}
+
+// beginBlockWrite logs one in-flight write event per word of a block write
+// and returns the index of the first; the indices are contiguous, so
+// completeBlock(first, len(words)) closes them all.
+func (pe *PE) beginBlockWrite(addr uint64, words []int64) int {
+	if pe.hist == nil {
+		return -1
+	}
+	t0 := pe.app.Now()
+	first := -1
+	for i, v := range words {
+		idx := pe.hist.Begin(check.Event{
+			Kind: check.KindWrite, Addr: addr + uint64(i), Arg1: v, Inv: t0,
+		})
+		if first < 0 {
+			first = idx
+		}
+	}
+	return first
+}
+
+// completeBlock marks the n contiguous events starting at first successful.
+func (pe *PE) completeBlock(first, n int) {
+	if pe.hist == nil {
+		return
+	}
+	resp := pe.app.Now()
+	for i := 0; i < n; i++ {
+		pe.hist.Complete(first+i, 0, true, resp)
+	}
 }
 
 // GMWriteBlock stores words starting at addr, splitting across homes; all
@@ -611,6 +740,7 @@ func (pe *PE) GMReadBlock(addr uint64, n int) []int64 {
 func (pe *PE) GMWriteBlock(addr uint64, words []int64) {
 	pe.legacyCrossing()
 	k := pe.k
+	first := pe.beginBlockWrite(addr, words)
 	pe.vruns = pe.vruns[:0]
 	k.space.HomeRuns(addr, len(words), func(home int, start uint64, count int) {
 		off := int(start - addr)
@@ -627,6 +757,7 @@ func (pe *PE) GMWriteBlock(addr uint64, words []int64) {
 		}
 	})
 	if len(pe.vruns) == 0 {
+		pe.completeBlock(first, len(words))
 		return
 	}
 	pe.groupRunsByHome()
@@ -647,6 +778,7 @@ func (pe *PE) GMWriteBlock(addr uint64, words []int64) {
 		wire.PutMessage(req)
 	}
 	pe.awaitAcks()
+	pe.completeBlock(first, len(words))
 }
 
 // GMGather reads the words at the given (arbitrary, possibly scattered)
@@ -657,6 +789,10 @@ func (pe *PE) GMWriteBlock(addr uint64, words []int64) {
 func (pe *PE) GMGather(addrs []uint64) []int64 {
 	pe.legacyCrossing()
 	k := pe.k
+	var t0 sim.Time
+	if pe.hist != nil {
+		t0 = pe.app.Now()
+	}
 	out := make([]int64, len(addrs))
 	pe.vruns = pe.vruns[:0]
 	for i, addr := range addrs {
@@ -670,6 +806,7 @@ func (pe *PE) GMGather(addrs []uint64) []int64 {
 		out[i] = k.seg.ReadWord(addr)
 	}
 	if len(pe.vruns) == 0 {
+		pe.recordGather(addrs, out, t0)
 		return out
 	}
 	pe.groupRunsByHome()
@@ -689,7 +826,40 @@ func (pe *PE) GMGather(addrs []uint64) []int64 {
 		wire.PutMessage(req)
 	}
 	pe.awaitGather(out)
+	pe.recordGather(addrs, out, t0)
 	return out
+}
+
+// recordGather logs one read event per gathered address.
+func (pe *PE) recordGather(addrs []uint64, out []int64, t0 sim.Time) {
+	if pe.hist == nil {
+		return
+	}
+	resp := pe.app.Now()
+	for i, a := range addrs {
+		pe.hist.Add(check.Event{
+			Kind: check.KindRead, Addr: a, Out: out[i], Inv: t0, Resp: resp,
+		})
+	}
+}
+
+// beginScatter logs one in-flight write event per scattered address and
+// returns the first index (contiguous, like beginBlockWrite).
+func (pe *PE) beginScatter(addrs []uint64, vals []int64) int {
+	if pe.hist == nil {
+		return -1
+	}
+	t0 := pe.app.Now()
+	first := -1
+	for i, a := range addrs {
+		idx := pe.hist.Begin(check.Event{
+			Kind: check.KindWrite, Addr: a, Arg1: vals[i], Inv: t0,
+		})
+		if first < 0 {
+			first = idx
+		}
+	}
+	return first
 }
 
 // GMScatter stores vals[i] at addrs[i] for every i. All addresses homed at
@@ -701,6 +871,7 @@ func (pe *PE) GMScatter(addrs []uint64, vals []int64) {
 	}
 	pe.legacyCrossing()
 	k := pe.k
+	first := pe.beginScatter(addrs, vals)
 	pe.vruns = pe.vruns[:0]
 	for i, addr := range addrs {
 		if home := k.space.HomeOf(addr); home != k.id || k.cache != nil {
@@ -716,6 +887,7 @@ func (pe *PE) GMScatter(addrs []uint64, vals []int64) {
 		k.seg.WriteWord(addr, vals[i])
 	}
 	if len(pe.vruns) == 0 {
+		pe.completeBlock(first, len(addrs))
 		return
 	}
 	pe.groupRunsByHome()
@@ -736,6 +908,7 @@ func (pe *PE) GMScatter(addrs []uint64, vals []int64) {
 		wire.PutMessage(req)
 	}
 	pe.awaitAcks()
+	pe.completeBlock(first, len(addrs))
 }
 
 // --- Global memory: float64 convenience ---
@@ -799,6 +972,11 @@ func (pe *PE) BarrierID(id int32) {
 			Start: start, End: end,
 		})
 	}
+	if pe.hist != nil {
+		pe.hist.Add(check.Event{
+			Kind: check.KindBarrier, Addr: uint64(uint32(id)), Inv: start, Resp: end,
+		})
+	}
 }
 
 // Lock acquires the cluster-wide lock id (FIFO, managed by kernel 0).
@@ -821,11 +999,22 @@ func (pe *PE) Lock(id int32) {
 			Start: start, End: end,
 		})
 	}
+	if pe.hist != nil {
+		pe.hist.Add(check.Event{
+			Kind: check.KindLock, Addr: uint64(uint32(id)), Inv: start, Resp: end,
+		})
+	}
 }
 
 // Unlock releases lock id.
 func (pe *PE) Unlock(id int32) {
 	pe.legacyCrossing()
+	if pe.hist != nil {
+		now := pe.app.Now()
+		pe.hist.Add(check.Event{
+			Kind: check.KindUnlock, Addr: uint64(uint32(id)), Inv: now, Resp: now,
+		})
+	}
 	pe.sendSync(wire.OpLockRelease, id)
 }
 

@@ -1,0 +1,129 @@
+package core_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/check/stress"
+	"repro/internal/sim"
+)
+
+// runStress executes one seeded configuration and fails the test with the
+// replay seed on any consistency violation.
+func runStress(t *testing.T, o stress.Options) *stress.Result {
+	t.Helper()
+	res, err := stress.Run(o)
+	if err != nil {
+		t.Fatalf("stress.Run(%v): %v", o, err)
+	}
+	if res.Err != nil {
+		t.Fatalf("stress (%v): unexpected PE error: %v", o, res.Err)
+	}
+	if !res.Report.OK() {
+		t.Fatalf("stress (%v): consistency violations — replay with `dsebench -stress -seed %d`:\n%s",
+			o, o.Seed, res.Report)
+	}
+	return res
+}
+
+// TestStressMatrix sweeps PEs x loss x caching. The in-PR matrix is kept
+// small; STRESS_FULL=1 (the nightly job) runs the full grid from the
+// EXPERIMENTS.md table, including 8 PEs at 15% loss under caching.
+func TestStressMatrix(t *testing.T) {
+	pes := []int{2, 4}
+	losses := []float64{0, 0.05}
+	ops := 150
+	if os.Getenv("STRESS_FULL") != "" {
+		pes = []int{2, 4, 8}
+		losses = []float64{0, 0.05, 0.15}
+		ops = 500
+	}
+	for _, np := range pes {
+		for _, loss := range losses {
+			for _, caching := range []bool{false, true} {
+				o := stress.Options{
+					Seed:     uint64(np)<<16 | uint64(loss*100),
+					NumPE:    np,
+					OpsPerPE: ops,
+					Caching:  caching,
+					Loss:     loss,
+					Jitter:   200 * sim.Microsecond,
+				}
+				t.Run(fmt.Sprintf("pe%d_loss%02.0f_cache%v", np, loss*100, caching), func(t *testing.T) {
+					runStress(t, o)
+				})
+			}
+		}
+	}
+}
+
+// TestStressLossyCaching pins the harshest protocol corner in tier-1: heavy
+// frame loss with caching on, where lost invalidations meet the retry dedup
+// window. Beyond consistency, it demands that every operation eventually
+// completed: before the invalidation-retransmit fix, a lost OpInvalidate
+// wedged its round forever (the writer's retries were silently absorbed as
+// in-progress duplicates) and ops failed despite 30 retries.
+func TestStressLossyCaching(t *testing.T) {
+	for _, seed := range []uint64{7, 19, 31} {
+		res := runStress(t, stress.Options{
+			Seed: seed, NumPE: 4, OpsPerPE: 300, Caching: true, Loss: 0.25,
+		})
+		for _, e := range res.History.Events {
+			if e.Failed {
+				t.Errorf("seed %d: operation never completed (wedged invalidation round?): %v", seed, e)
+			}
+		}
+	}
+}
+
+// TestStressPeerKill kills PE 2's station mid-run; survivors must detect
+// the dead home, route around it, and the surviving history must check out.
+func TestStressPeerKill(t *testing.T) {
+	runStress(t, stress.Options{
+		Seed: 11, NumPE: 4, OpsPerPE: 200, Loss: 0.02,
+		KillPE: 2, KillAt: 2 * sim.Second,
+	})
+}
+
+// TestStressReplayDeterministic runs the same seed twice and demands
+// bit-identical histories — the property that makes a printed seed a
+// complete, replayable bug report.
+func TestStressReplayDeterministic(t *testing.T) {
+	o := stress.Options{
+		Seed: 42, NumPE: 4, OpsPerPE: 150, Caching: true, Loss: 0.1,
+		Jitter: 300 * sim.Microsecond,
+	}
+	a, err := stress.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := stress.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, db := a.History.Digest(), b.History.Digest()
+	if da != db {
+		t.Fatalf("same seed, different histories: %s vs %s", da, db)
+	}
+	if a.History.Len() == 0 {
+		t.Fatal("empty history")
+	}
+}
+
+// TestStressCatchesBrokenInvalidation turns on the kernel's test-only
+// coherence fault (writes acknowledged without invalidating remote caches)
+// and demands the checker notice: a harness that cannot see a deliberately
+// broken protocol proves nothing about a working one.
+func TestStressCatchesBrokenInvalidation(t *testing.T) {
+	res, err := stress.Run(stress.Options{
+		Seed: 3, NumPE: 4, OpsPerPE: 300, Caching: true,
+		FaultDropInvalidations: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.OK() {
+		t.Fatal("checker passed a run with invalidations disabled — it cannot detect stale reads")
+	}
+}

@@ -29,6 +29,21 @@ type Config struct {
 	// station (injected loss or a closed/killed station), that peer is
 	// declared dead via the SetPeerDown callback. 0 disables detection.
 	LossBudget int
+	// DelayJitter adds a uniform [0, DelayJitter) receive-side delay per
+	// frame, drawn from a per-node rng forked deterministically from the
+	// engine seed. Shakes message orderings loose for the stress runner
+	// without giving up replayability. 0 disables.
+	DelayJitter sim.Duration
+	// Kills schedules station failures: each entry closes one node's NIC at
+	// the given virtual time, silently dropping all frames to and from it
+	// from then on (peers discover the death via LossBudget).
+	Kills []Kill
+}
+
+// Kill is one scheduled node failure in a fault schedule.
+type Kill struct {
+	Node int
+	At   sim.Duration
 }
 
 // Net is a simulated cluster: engine + medium + one Node per DSE kernel.
@@ -78,8 +93,18 @@ func New(cfg Config) *Net {
 			load:       n.layout.LoadFactor(i),
 			lossBudget: cfg.LossBudget,
 			lossRun:    make([]int, cfg.NumPE),
+			jitter:     cfg.DelayJitter,
+		}
+		if nd.jitter > 0 {
+			// Forked in node order at construction, so jitter draws are a
+			// pure function of (seed, node, frame sequence) — replayable.
+			nd.rng = eng.Rand().Fork()
 		}
 		n.nodes = append(n.nodes, nd)
+	}
+	for _, kl := range cfg.Kills {
+		st := n.nodes[kl.Node].station
+		eng.At(sim.Time(kl.At), func() { st.Close() })
 	}
 	medium.Start()
 	return n
@@ -125,6 +150,10 @@ type Node struct {
 	lossBudget int
 	lossRun    []int
 	pd         transport.PeerDownNotifier
+
+	// Receive-side delay jitter (fault schedule); rng is nil when disabled.
+	jitter sim.Duration
+	rng    *sim.Rand
 
 	appProc *sim.Proc
 	svcProc *sim.Proc
@@ -175,6 +204,9 @@ func (nd *Node) Recv() (*wire.Message, bool) {
 		oh := nd.scale(nd.net.pl.RecvOverhead(len(enc)))
 		p.Sleep(oh)
 		nd.stats.RecvOverhead += oh
+		if nd.rng != nil {
+			p.Sleep(sim.Duration(nd.rng.Intn(int(nd.jitter))))
+		}
 		m := wire.GetMessage()
 		if err := wire.DecodeInto(m, enc); err != nil {
 			panic(fmt.Sprintf("simnet: corrupt message from station %d: %v", f.Src, err))

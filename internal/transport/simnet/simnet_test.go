@@ -248,3 +248,149 @@ func TestBigMessageFragmentsButDeliversOnce(t *testing.T) {
 		t.Fatalf("8KB+header should need >=6 MTU frames, got %d", frames)
 	}
 }
+
+func TestLossBudgetDeclaresPeerDown(t *testing.T) {
+	net := New(Config{NumPE: 2, Platform: platform.SparcSunOS, Seed: 1, LossBudget: 4})
+	nd0 := net.SimNode(0)
+	var reports []int
+	nd0.SetPeerDown(func(peer int) { reports = append(reports, peer) })
+	net.Engine().Spawn("app0", func(p *sim.Proc) {
+		nd0.BindApp(p)
+		ping := func() {
+			nd0.App().Send(1, &wire.Message{Op: wire.OpPing, Src: 0, Dst: 1})
+		}
+		// Three consecutive losses stay under the budget of four...
+		net.Medium().SetLossProbability(1.0)
+		for i := 0; i < 3; i++ {
+			ping()
+		}
+		if len(reports) != 0 {
+			t.Errorf("peer declared dead after 3 losses with budget 4: %v", reports)
+		}
+		// ...one delivered frame resets the run...
+		net.Medium().SetLossProbability(0)
+		ping()
+		net.Medium().SetLossProbability(1.0)
+		for i := 0; i < 3; i++ {
+			ping()
+		}
+		if len(reports) != 0 {
+			t.Errorf("loss run not reset by a delivered frame: %v", reports)
+		}
+		// ...and a full budget of consecutive losses trips detection once.
+		for i := 0; i < 6; i++ {
+			ping()
+		}
+		net.Stop()
+	})
+	if err := net.Engine().Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(reports) != 1 || reports[0] != 1 {
+		t.Fatalf("want exactly one report for peer 1, got %v", reports)
+	}
+}
+
+func TestKillScheduleSilencesNodeAndTripsDetection(t *testing.T) {
+	net := New(Config{
+		NumPE: 2, Platform: platform.SparcSunOS, Seed: 1,
+		LossBudget: 3,
+		Kills:      []Kill{{Node: 1, At: 5 * sim.Millisecond}},
+	})
+	nd0, nd1 := net.SimNode(0), net.SimNode(1)
+	var reports []int
+	nd0.SetPeerDown(func(peer int) { reports = append(reports, peer) })
+	var beforeKill, afterKill uint64
+	net.Engine().Spawn("svc1", func(p *sim.Proc) {
+		nd1.BindSvc(p)
+		for {
+			if _, ok := nd1.Recv(); !ok {
+				return // station closed by the kill schedule
+			}
+		}
+	})
+	net.Engine().Spawn("app0", func(p *sim.Proc) {
+		nd0.BindApp(p)
+		for i := 0; i < 4; i++ {
+			nd0.App().Send(1, &wire.Message{Op: wire.OpPing, Src: 0, Dst: 1})
+			p.Sleep(sim.Millisecond)
+		}
+		beforeKill = nd1.Stats().MsgsRecv
+		p.Sleep(5 * sim.Millisecond) // well past the kill at t=5ms
+		for i := 0; i < 8 && len(reports) == 0; i++ {
+			nd0.App().Send(1, &wire.Message{Op: wire.OpPing, Src: 0, Dst: 1})
+			p.Sleep(sim.Millisecond)
+		}
+		afterKill = nd1.Stats().MsgsRecv
+		net.Stop()
+	})
+	if err := net.Engine().Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if beforeKill == 0 {
+		t.Fatal("no messages delivered before the scheduled kill")
+	}
+	if afterKill != beforeKill {
+		t.Fatalf("dead node kept receiving: %d before kill, %d after", beforeKill, afterKill)
+	}
+	if len(reports) != 1 || reports[0] != 1 {
+		t.Fatalf("want exactly one peer-down report for node 1, got %v", reports)
+	}
+}
+
+// jitterArrivals runs a fixed 2-node workload under receive jitter and
+// returns every arrival timestamp at node 1.
+func jitterArrivals(t *testing.T, seed uint64) []sim.Time {
+	t.Helper()
+	const count = 20
+	net := New(Config{
+		NumPE: 2, Platform: platform.SparcSunOS, Seed: seed,
+		DelayJitter: 500 * sim.Microsecond,
+	})
+	nd0, nd1 := net.SimNode(0), net.SimNode(1)
+	var arrivals []sim.Time
+	net.Engine().Spawn("svc1", func(p *sim.Proc) {
+		nd1.BindSvc(p)
+		for len(arrivals) < count {
+			if _, ok := nd1.Recv(); !ok {
+				return
+			}
+			arrivals = append(arrivals, p.Now())
+		}
+		net.Stop()
+	})
+	net.Engine().Spawn("app0", func(p *sim.Proc) {
+		nd0.BindApp(p)
+		for i := 0; i < count; i++ {
+			nd0.App().Send(1, &wire.Message{Op: wire.OpPing, Src: 0, Dst: 1, Seq: uint64(i)})
+		}
+	})
+	if err := net.Engine().Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(arrivals) != count {
+		t.Fatalf("only %d of %d messages arrived", len(arrivals), count)
+	}
+	return arrivals
+}
+
+func TestDelayJitterIsSeedDeterministic(t *testing.T) {
+	a := jitterArrivals(t, 7)
+	b := jitterArrivals(t, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at arrival %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := jitterArrivals(t, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jittered arrival times")
+	}
+}

@@ -40,6 +40,7 @@ func Run(t *testing.T, factory Factory) {
 	t.Run("MailboxOrderAndTimeout", func(t *testing.T) { testMailbox(t, factory) })
 	t.Run("CloseRecvUnblocks", func(t *testing.T) { testClose(t, factory) })
 	t.Run("ConcurrentLoad", func(t *testing.T) { testConcurrent(t, factory) })
+	t.Run("PeerDownNotification", func(t *testing.T) { testPeerDown(t, factory) })
 }
 
 func testIdentity(t *testing.T, factory Factory) {
@@ -240,6 +241,57 @@ func testClose(t *testing.T, factory Factory) {
 		t.Fatal("Recv did not unblock")
 	}
 	net.Stop()
+}
+
+// testPeerDown checks the SetPeerDown contract the reliability layer leans
+// on: a node that keeps sending to a dead peer gets exactly one callback
+// naming that peer, and a callback registered after the death is replayed
+// into immediately.
+func testPeerDown(t *testing.T, factory Factory) {
+	net := factory(t, 3)
+	defer net.Stop()
+	died := make(chan int, 16)
+	net.Node(0).SetPeerDown(func(peer int) { died <- peer })
+	net.Node(2).CloseRecv() // the victim goes dark
+
+	// Keep sending until the transport notices (tcpnet may need a few
+	// writes before the broken connection surfaces).
+	deadline := time.After(10 * time.Second)
+	var reported bool
+	for !reported {
+		net.Node(0).App().Send(2, &wire.Message{Op: wire.OpPing, Src: 0, Dst: 2})
+		select {
+		case p := <-died:
+			if p != 2 {
+				t.Fatalf("peer-down reported peer %d, want 2", p)
+			}
+			reported = true
+		case <-deadline:
+			t.Fatal("peer death never reported")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// At-most-once: further sends to the dead peer must not re-report.
+	for i := 0; i < 5; i++ {
+		net.Node(0).App().Send(2, &wire.Message{Op: wire.OpPing, Src: 0, Dst: 2})
+	}
+	select {
+	case p := <-died:
+		t.Fatalf("duplicate peer-down report for %d", p)
+	case <-time.After(100 * time.Millisecond):
+	}
+	// Late registration: a callback set after the death learns of it now.
+	replay := make(chan int, 1)
+	net.Node(0).SetPeerDown(func(peer int) { replay <- peer })
+	select {
+	case p := <-replay:
+		if p != 2 {
+			t.Fatalf("replayed peer %d, want 2", p)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("already-dead peer not replayed into late callback")
+	}
 }
 
 func testConcurrent(t *testing.T, factory Factory) {

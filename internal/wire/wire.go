@@ -437,7 +437,10 @@ func (m *Message) EachWriteRun(scratch []int64, fn func(addr uint64, words []int
 		addr := binary.LittleEndian.Uint64(m.Data[off:])
 		count := int(binary.LittleEndian.Uint64(m.Data[off+8:]))
 		off += rangeBytes
-		if count < 0 || off+count*8 > len(m.Data) {
+		// count is untrusted: compare against the remaining payload without
+		// computing count*8, which overflows for huge counts and would slip
+		// past the check into a make() panic.
+		if count < 0 || count > (len(m.Data)-off)/8 {
 			return scratch, fmt.Errorf("wire: write run at byte %d overruns payload", off-rangeBytes)
 		}
 		if cap(scratch) < count {
