@@ -13,6 +13,7 @@
 //	                             # ...and fail (exit 1) on >10% regressions
 //	dsebench -trace out.trace.json            # traced gauss run, Chrome trace_event
 //	dsebench -stress -seed 7     # seeded consistency stress matrix (exit 1 on violation)
+//	dsebench -recover -seed 7    # seeded kill-and-recover schedules (exit 1 on failure)
 //
 // Figures print as aligned tables: one row per x value, one column per
 // series, exactly the rows/series the paper plots.
@@ -46,6 +47,7 @@ func main() {
 		baseline = flag.String("baseline", "", "compare the snapshot against this baseline; exit 1 on regression")
 		traceOut = flag.String("trace", "", "run gauss p=4 with span tracing and write Chrome trace_event JSON here")
 		stressF  = flag.Bool("stress", false, "run the seeded consistency stress matrix; -seed selects the schedule")
+		recoverF = flag.Bool("recover", false, "run seeded kill-and-recover schedules (checkpoint/restart); -seed selects the schedule")
 	)
 	flag.Parse()
 	plotFigures = *plot
@@ -63,6 +65,8 @@ func main() {
 	switch {
 	case *stressF:
 		runStress(*seed, *quick)
+	case *recoverF:
+		runRecover(*seed, *quick)
 	case *jsonOut != "":
 		scaleName := "full"
 		if *quick {

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/check/stress"
+	"repro/internal/sim"
+)
+
+// runRecover sweeps seeded kill-and-recover schedules: each configuration
+// checkpoints periodically, loses a PE abruptly mid-run, restarts from the
+// last snapshot through the recovery coordinator, and must COMPLETE with a
+// checker-clean history. It prints the recovery metrics (snapshot size,
+// detection time, rolled-back ops, rerun time) and exits 1 on any
+// violation, PE error, or schedule whose kill failed to trigger a recovery.
+// Like -stress, every configuration replays bit-for-bit from its seed.
+func runRecover(seed uint64, quick bool) {
+	ops, killAt := 1000, 1500*sim.Millisecond
+	if quick {
+		ops, killAt = 300, 500*sim.Millisecond
+	}
+	configs := []stress.Options{
+		{Seed: seed, NumPE: 4, OpsPerPE: ops, Recover: true, CkptEvery: 32,
+			KillPE: 2, KillAt: killAt},
+		{Seed: seed + 1, NumPE: 4, OpsPerPE: ops, Caching: true, Recover: true, CkptEvery: 32,
+			KillPE: 1, KillAt: killAt},
+	}
+	if !quick {
+		// 8 PEs pace slower per op: give the first checkpoint room to
+		// commit before the kill lands.
+		configs = append(configs, stress.Options{
+			Seed: seed + 2, NumPE: 8, OpsPerPE: ops, Recover: true, CkptEvery: 32,
+			KillPE: 5, KillAt: 2 * killAt,
+		})
+	}
+
+	start := time.Now()
+	failures := 0
+	for _, o := range configs {
+		res, err := stress.Run(o)
+		if err != nil {
+			fatalf("recover (%v): %v", o, err)
+		}
+		status := "recovered ok"
+		switch {
+		case res.Err != nil:
+			status = fmt.Sprintf("PE ERROR: %v", res.Err)
+			failures++
+		case !res.Report.OK():
+			status = fmt.Sprintf("%d VIOLATIONS", len(res.Report.Violations))
+			failures++
+		case res.Recovery == nil || !res.Recovery.Recovered():
+			status = "NO RECOVERY (kill never fired?)"
+			failures++
+		}
+		fmt.Printf("%-72s %7d ops  %s\n", o.String(), res.History.Len(), status)
+		if !res.Report.OK() {
+			fmt.Print(res.Report)
+		}
+		if res.Recovery != nil {
+			for _, ev := range res.Recovery.Recoveries {
+				fmt.Printf("    dead=%v coordinator=%d gen=%d epoch=%d detected@%v rollback=%d ops; rerun finished in %v\n",
+					ev.DeadPEs, ev.Coordinator, ev.Gen, ev.Epoch, ev.DetectedAt, ev.RollbackOps, res.Elapsed)
+			}
+			fmt.Printf("    snapshot bytes=%d attempts=%d\n", res.SnapshotBytes, res.Recovery.Attempts)
+		}
+	}
+	fmt.Printf("recovered %d configurations in %v\n", len(configs), time.Since(start).Round(time.Millisecond))
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "dsebench: recover FAILED (%d bad configurations); replay with -recover -seed %d\n", failures, seed)
+		os.Exit(1)
+	}
+}

@@ -113,6 +113,13 @@ type metricsJSON struct {
 	RemoteGM     uint64 `json:"remote_gm,omitempty"`
 	Retries      uint64 `json:"retries,omitempty"`
 	StaleReplies uint64 `json:"stale_replies,omitempty"`
+
+	// Checkpoint/restart counters (zero and omitted unless the run used
+	// the checkpoint subsystem).
+	Checkpoints   uint64 `json:"checkpoints,omitempty"`
+	Restores      uint64 `json:"restores,omitempty"`
+	SnapshotBytes uint64 `json:"snapshot_bytes,omitempty"`
+	RollbackOps   uint64 `json:"rollback_ops,omitempty"`
 }
 
 func (ds *debugServer) serveMetrics(w http.ResponseWriter, r *http.Request) {
@@ -135,6 +142,10 @@ func (ds *debugServer) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		doc.RemoteGM = final.Total.RemoteGM
 		doc.Retries = final.Total.Retries
 		doc.StaleReplies = final.Total.StaleReplies
+		doc.Checkpoints = final.Total.Checkpoints
+		doc.Restores = final.Total.Restores
+		doc.SnapshotBytes = final.Total.SnapshotBytes
+		doc.RollbackOps = final.Total.RollbackOps
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

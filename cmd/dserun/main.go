@@ -8,19 +8,26 @@
 //	dserun -app othello -platform aix -p 8 -depth 6
 //	dserun -app knight -p 6 -jobs 16
 //	dserun -app gauss -transport tcp -p 4 -n 120   # real loopback sockets
+//	dserun -app gauss -p 4 -recover -kill 2@200ms  # survive a mid-run PE death
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/apps/dct"
 	"repro/internal/apps/gauss"
 	"repro/internal/apps/knight"
 	"repro/internal/apps/othello"
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/transport/simnet"
 )
 
 func main() {
@@ -36,6 +43,10 @@ func main() {
 		legacy    = flag.Bool("legacy", false, "model the old two-process DSE organisation")
 		traceFile = flag.String("trace", "", "write a cluster-wide protocol trace to this file")
 		blockW    = flag.Int("gm-block", 0, "DSM block size in words (0 = default)")
+		recoverF  = flag.Bool("recover", false, "run under the checkpoint/restart recovery coordinator (survives -kill)")
+		restarts  = flag.Int("restarts", 1, "recovery budget: maximum cluster restarts under -recover")
+		ckptDir   = flag.String("ckpt-dir", "", "snapshot store directory for -recover (default: a fresh temp dir)")
+		killSpec  = flag.String("kill", "", "fault schedule: kill one PE mid-run, as pe@time (e.g. 2@200ms; simnet only)")
 
 		n     = flag.Int("n", 300, "gauss: system dimension")
 		image = flag.Int("image", 256, "dct: image edge")
@@ -71,6 +82,32 @@ func main() {
 		}
 		defer f.Close()
 		cfg.MessageLog = f
+	}
+	if *killSpec != "" {
+		if cfg.Transport != core.TransportSim {
+			fatalf("-kill needs the simulated transport (scheduled station failures are a simnet facility)")
+		}
+		victim, at, err := parseKill(*killSpec, *pes)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg.Kills = []simnet.Kill{{Node: victim, At: at}}
+	}
+	if *recoverF {
+		dir := *ckptDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "dse-ckpt-")
+			if err != nil {
+				fatalf("creating snapshot dir: %v", err)
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		store, err := ckpt.OpenDir(dir)
+		if err != nil {
+			fatalf("opening snapshot store: %v", err)
+		}
+		cfg.Ckpt = &core.CheckpointConfig{Store: store}
 	}
 
 	var describe func()
@@ -141,7 +178,29 @@ func main() {
 		fatalf("unknown app %q (gauss, dct, othello, knight)", *app)
 	}
 
-	res, err := core.Run(cfg, program)
+	var (
+		res    *core.Result
+		recRep *core.RecoveryReport
+		err    error
+	)
+	if *recoverF {
+		// The reference applications keep their control flow in local
+		// state, so the generic wrapper rolls a killed run back to the
+		// start: one collective snapshot before the application begins
+		// gives the coordinator a generation to restart from, and the
+		// rerun replays the whole application.
+		app := program
+		wrapped := func(pe *core.PE) error {
+			pe.RegisterCheckpoint(nil, nil)
+			if cerr := pe.Checkpoint(); cerr != nil {
+				return cerr
+			}
+			return app(pe)
+		}
+		res, recRep, err = core.RunWithRecovery(cfg, *restarts, wrapped)
+	} else {
+		res, err = core.Run(cfg, program)
+	}
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -149,6 +208,12 @@ func main() {
 		fatalf("program: %v", err)
 	}
 	describe()
+	if recRep != nil && recRep.Recovered() {
+		for _, ev := range recRep.Recoveries {
+			fmt.Printf("recovery: PEs %v died; coordinator %d restored generation %d (epoch %d), detected@%v, %d ops rolled back\n",
+				ev.DeadPEs, ev.Coordinator, ev.Gen, ev.Epoch, ev.DetectedAt, ev.RollbackOps)
+		}
+	}
 	fmt.Printf("cluster: %d PEs on %s via %s, total elapsed %v\n",
 		cfg.NumPE, pl, cfg.Transport, res.Elapsed)
 	fmt.Printf("totals:  %s\n", res.Total.String())
@@ -167,6 +232,23 @@ func main() {
 	if res.RTT.Count > 0 {
 		fmt.Printf("request round trips: %s\n%s", res.RTT.String(), res.RTT.Render(40))
 	}
+}
+
+// parseKill decodes a pe@time fault-schedule entry like "2@200ms".
+func parseKill(spec string, numPE int) (victim int, at sim.Duration, err error) {
+	peStr, atStr, ok := strings.Cut(spec, "@")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad -kill %q: want pe@time, e.g. 2@200ms", spec)
+	}
+	victim, err = strconv.Atoi(peStr)
+	if err != nil || victim < 0 || victim >= numPE {
+		return 0, 0, fmt.Errorf("bad -kill %q: PE must be 0..%d", spec, numPE-1)
+	}
+	d, err := time.ParseDuration(atStr)
+	if err != nil || d <= 0 {
+		return 0, 0, fmt.Errorf("bad -kill %q: bad time %q (e.g. 200ms, 1.5s)", spec, atStr)
+	}
+	return victim, sim.Duration(d), nil
 }
 
 func fatalf(format string, args ...interface{}) {

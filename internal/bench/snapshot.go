@@ -12,6 +12,7 @@ import (
 	"repro/internal/apps/gauss"
 	"repro/internal/apps/knight"
 	"repro/internal/apps/othello"
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/platform"
 	"repro/internal/sim"
@@ -70,6 +71,17 @@ type WorkloadMetrics struct {
 	StrayDrops   uint64 `json:"stray_drops"`
 	CorruptDrops uint64 `json:"corrupt_drops"`
 	DupRequests  uint64 `json:"dup_requests"`
+
+	// Checkpoint/restart cost, measured only for the gauss workload (zero
+	// and omitted elsewhere, and in baselines predating the subsystem —
+	// Compare's old > 0 guard keeps those comparable). CkptOverheadPct is
+	// the relative elapsed-time cost of one coordinated checkpoint of the
+	// full solved system; SnapshotBytes is that snapshot's encoded size
+	// across all PEs. The ElapsedUS above always comes from a
+	// checkpointing-free run: with Config.Ckpt nil the subsystem costs
+	// nothing on the hot path.
+	CkptOverheadPct float64 `json:"ckpt_overhead_pct,omitempty"`
+	SnapshotBytes   uint64  `json:"snapshot_bytes,omitempty"`
 }
 
 // OpMetrics is one op's share of the sent traffic.
@@ -238,6 +250,17 @@ func BuildSnapshot(pl *platform.Platform, sc Scale, scaleName string) (*Snapshot
 		snap.Workloads = append(snap.Workloads, m)
 	}
 
+	// Checkpoint overhead rides on the gauss row: same run plus one
+	// coordinated snapshot of the solved system.
+	if len(snap.Workloads) > 0 {
+		pct, bytes, err := gaussCkptOverhead(pl, sc, snap.Workloads[0].ElapsedUS)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint overhead: %w", err)
+		}
+		snap.Workloads[0].CkptOverheadPct = pct
+		snap.Workloads[0].SnapshotBytes = bytes
+	}
+
 	// Speed-up curve: gauss at p = 1,2,4 (the snapshot's scaling check).
 	gaussN := 120
 	if len(sc.GaussNs) > 1 {
@@ -259,6 +282,60 @@ func BuildSnapshot(pl *platform.Platform, sc Scale, scaleName string) (*Snapshot
 		})
 	}
 	return snap, nil
+}
+
+// RunGaussCkpt runs the snapshot's gauss point (p=4) with checkpointing
+// enabled against a throwaway on-disk store and one coordinated Checkpoint
+// of the fully solved system: the measurement behind the snapshot's
+// checkpoint-overhead field, also surfaced by dsebench -latency and
+// -recover.
+func RunGaussCkpt(pl *platform.Platform, sc Scale) (*core.Result, error) {
+	gaussN := 120
+	if len(sc.GaussNs) > 1 {
+		gaussN = sc.GaussNs[1]
+	}
+	dir, err := os.MkdirTemp("", "dse-ckpt-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := ckpt.OpenDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		NumPE: 4, Platform: pl, Seed: sc.Seed, GMBlockWords: gaussBlockWords,
+		Ckpt: &core.CheckpointConfig{Store: store},
+	}
+	res, err := core.Run(cfg, func(pe *core.PE) error {
+		pe.RegisterCheckpoint(nil, nil)
+		if _, err := gauss.Parallel(pe, gauss.Params{N: gaussN, Seed: sc.Seed}); err != nil {
+			return err
+		}
+		return pe.Checkpoint()
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := res.FirstErr(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// gaussCkptOverhead reports RunGaussCkpt's relative elapsed-time cost
+// against baseUS (the checkpoint-free elapsed) plus the snapshot's encoded
+// size.
+func gaussCkptOverhead(pl *platform.Platform, sc Scale, baseUS int64) (float64, uint64, error) {
+	res, err := RunGaussCkpt(pl, sc)
+	if err != nil {
+		return 0, 0, err
+	}
+	withUS := int64(res.Elapsed / sim.Microsecond)
+	if baseUS <= 0 {
+		return 0, res.Total.SnapshotBytes, nil
+	}
+	return 100 * float64(withUS-baseUS) / float64(baseUS), res.Total.SnapshotBytes, nil
 }
 
 // WriteJSON writes the snapshot, indented, stable.
@@ -318,6 +395,25 @@ func LatencyTables(pl *platform.Platform, sc Scale) ([]*trace.Table, error) {
 			w.name, w.npe, pl.Numeric, res.Elapsed)
 		tables = append(tables, res.Total.LatencyTable(title))
 	}
+
+	// One checkpoint-enabled gauss run rides along: its table carries the
+	// ckpt-mark round trips and the checkpoint counters.
+	res, err := RunGaussCkpt(pl, sc)
+	if err != nil {
+		return nil, fmt.Errorf("gauss+ckpt: %w", err)
+	}
+	title := fmt.Sprintf("latency distribution, gauss+ckpt p=4 on %s (elapsed %v, one coordinated checkpoint)",
+		pl.Numeric, res.Elapsed)
+	tables = append(tables, res.Total.LatencyTable(title))
+	ck := &trace.Table{
+		Title:  "checkpoint counters, gauss+ckpt p=4",
+		Header: []string{"counter", "value"},
+	}
+	ck.AddRow("checkpoints", fmt.Sprintf("%d", res.Total.Checkpoints))
+	ck.AddRow("restores", fmt.Sprintf("%d", res.Total.Restores))
+	ck.AddRow("snapshot_bytes", fmt.Sprintf("%d", res.Total.SnapshotBytes))
+	ck.AddRow("rollback_ops", fmt.Sprintf("%d", res.Total.RollbackOps))
+	tables = append(tables, ck)
 	return tables, nil
 }
 
@@ -358,6 +454,9 @@ func Compare(base, cur *Snapshot) []string {
 		worse(key+" msgs_sent", float64(old.MsgsSent), float64(now.MsgsSent))
 		worse(key+" bytes_sent", float64(old.BytesSent), float64(now.BytesSent))
 		worse(key+" rtt p95", old.RTT.P95, now.RTT.P95)
+		// Baselines predating the checkpoint subsystem carry 0 here and
+		// pass the old > 0 guard.
+		worse(key+" ckpt_overhead_pct", old.CkptOverheadPct, now.CkptOverheadPct)
 		if now.AllocPerRemoteOp > old.AllocPerRemoteOp*(1+regressionTolerance)+allocEpsilon {
 			regressions = append(regressions,
 				fmt.Sprintf("%s alloc/remote-op: %.3g -> %.3g", key, old.AllocPerRemoteOp, now.AllocPerRemoteOp))

@@ -215,11 +215,14 @@ func checkWord(rep *Report, h *History, addr uint64, idxs []int) {
 		idx  int // observer event index
 		wIdx int // writer event index, -1 for the initial zero
 	}
+	// The word's pre-history value: zero, or whatever a checkpoint restore
+	// installed. Reads of it have no writer event and map to wIdx -1.
+	initVal := h.Baseline[addr]
 	var mapped []obs
 	for _, i := range observers {
 		e := &h.Events[i]
 		v, _ := observedValue(e)
-		if v == 0 {
+		if v == initVal {
 			// Initial value: legal only while no successful write has
 			// completed strictly before the read began.
 			for _, j := range idxs {
@@ -339,6 +342,12 @@ func checkFetchAddWord(rep *Report, h *History, addr uint64, idxs []int) {
 	if !uniform {
 		return // mixed deltas: outs may legitimately repeat
 	}
+	// A restored counter starts at its checkpointed value, not zero; the
+	// torn/overrun/lost arithmetic below is relative to that base.
+	base := h.Baseline[addr]
+	if base%delta != 0 || base < 0 {
+		return // restored base not from this delta's chain: skip arithmetic checks
+	}
 	seen := make(map[int64]int, succeeded)
 	for _, i := range idxs {
 		e := &h.Events[i]
@@ -353,17 +362,17 @@ func checkFetchAddWord(rep *Report, h *History, addr uint64, idxs []int) {
 			})
 		}
 		seen[e.Out] = i
-		if e.Out%delta != 0 || e.Out < 0 {
+		if e.Out%delta != 0 || e.Out < base {
 			rep.add(Violation{
 				Kind: "fetchadd-torn", Addr: addr,
-				Msg:    fmt.Sprintf("previous value %d is not a multiple of the uniform delta %d", e.Out, delta),
+				Msg:    fmt.Sprintf("previous value %d is not a multiple of the uniform delta %d at or above the base %d", e.Out, delta, base),
 				Events: []Event{*e},
 			})
 		}
-		if e.Out > delta*int64(succeeded+failed-1) {
+		if e.Out > base+delta*int64(succeeded+failed-1) {
 			rep.add(Violation{
 				Kind: "fetchadd-overrun", Addr: addr,
-				Msg:    fmt.Sprintf("previous value %d exceeds what %d attempts can produce", e.Out, succeeded+failed),
+				Msg:    fmt.Sprintf("previous value %d exceeds what %d attempts from base %d can produce", e.Out, succeeded+failed, base),
 				Events: []Event{*e},
 			})
 		}
@@ -385,12 +394,12 @@ func checkFetchAddWord(rep *Report, h *History, addr uint64, idxs []int) {
 	}
 	if failed == 0 {
 		// Every attempt responded: the counter must read exactly
-		// 0..(n-1)*delta with nothing lost.
+		// base..base+(n-1)*delta with nothing lost.
 		for n := 0; n < succeeded; n++ {
-			if _, ok := seen[delta*int64(n)]; !ok {
+			if _, ok := seen[base+delta*int64(n)]; !ok {
 				rep.add(Violation{
 					Kind: "fetchadd-lost", Addr: addr,
-					Msg: fmt.Sprintf("no fetch-add observed previous value %d although all %d attempts responded", delta*int64(n), succeeded),
+					Msg: fmt.Sprintf("no fetch-add observed previous value %d although all %d attempts responded", base+delta*int64(n), succeeded),
 				})
 				break
 			}

@@ -129,7 +129,22 @@ func (r *PERecorder) Complete(idx int, out int64, ok bool, resp sim.Time) {
 
 // Recorder fans out one PERecorder per PE.
 type Recorder struct {
-	pes []*PERecorder
+	pes      []*PERecorder
+	baseline map[uint64]int64
+}
+
+// SetBaseline records that word addr held val at the start of the run — a
+// value restored from a checkpoint, with no writer event in this history.
+// The checker treats reads of a baseline value like reads of the initial
+// zero: legal until a new write to the word completes.
+func (r *Recorder) SetBaseline(addr uint64, val int64) {
+	if r == nil {
+		return
+	}
+	if r.baseline == nil {
+		r.baseline = make(map[uint64]int64)
+	}
+	r.baseline[addr] = val
 }
 
 // NewRecorder builds a recorder for an n-PE cluster.
@@ -152,7 +167,7 @@ func (r *Recorder) PE(i int) *PERecorder {
 // History merges the per-PE event streams into one globally ordered
 // history. Call only after every PE has quiesced.
 func (r *Recorder) History() *History {
-	h := &History{}
+	h := &History{Baseline: r.baseline}
 	for _, p := range r.pes {
 		h.Events = append(h.Events, p.events...)
 	}
@@ -175,6 +190,10 @@ func (r *Recorder) History() *History {
 // real-time precedence.
 type History struct {
 	Events []Event
+	// Baseline maps words to the value they held at run start when that
+	// value was restored from a checkpoint rather than written by a
+	// recorded operation. Nil for runs that did not restore.
+	Baseline map[uint64]int64
 }
 
 // Len returns the number of recorded operations.
@@ -210,6 +229,20 @@ func (h *History) Digest() string {
 		binary.LittleEndian.PutUint64(b[50:], uint64(e.Resp))
 		binary.LittleEndian.PutUint64(b[58:], uint64(len(h.Events)))
 		hash.Write(b[:])
+	}
+	if len(h.Baseline) > 0 {
+		// Fold the restore baseline in deterministically; histories without
+		// one keep their pre-existing digests.
+		addrs := make([]uint64, 0, len(h.Baseline))
+		for a := range h.Baseline {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		for _, a := range addrs {
+			binary.LittleEndian.PutUint64(b[0:], a)
+			binary.LittleEndian.PutUint64(b[8:], uint64(h.Baseline[a]))
+			hash.Write(b[:16])
+		}
 	}
 	return hex.EncodeToString(hash.Sum(nil))
 }

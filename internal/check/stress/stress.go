@@ -12,10 +12,14 @@
 package stress
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"repro/internal/check"
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/platform"
 	"repro/internal/sim"
@@ -51,11 +55,31 @@ type Options struct {
 	// this set must produce checker violations; the harness tests use it to
 	// prove the checker actually catches broken invalidation.
 	FaultDropInvalidations bool
+	// Recover enables coordinated checkpoint/restart: the workload
+	// checkpoints every CkptEvery ops, the scheduled kill takes the victim
+	// down abruptly (no wind-down — the snapshot, not a graceful exit, is
+	// what survives), and the run goes through core.RunWithRecovery, so it
+	// must complete with a checker-clean history after the restart. Loss is
+	// forced to 0: checkpoint barriers are fire-and-forget arrivals with no
+	// retransmit, so a lossy medium could wedge the collective.
+	Recover bool
+	// CkptEvery is the checkpoint period in ops per PE (0 = 64). Every PE
+	// checkpoints at the same op indices — Checkpoint is collective.
+	CkptEvery int
+	// FaultCorruptSnapshot flips a byte in every stored snapshot object
+	// between the failure and the restart. The store's CRC/content-hash
+	// verification must refuse the snapshot: Run returns an error
+	// mentioning the corruption instead of restoring garbage.
+	FaultCorruptSnapshot bool
 }
 
 func (o Options) String() string {
-	return fmt.Sprintf("seed=%d pe=%d ops=%d caching=%v loss=%g jitter=%v kill=%d@%v",
+	s := fmt.Sprintf("seed=%d pe=%d ops=%d caching=%v loss=%g jitter=%v kill=%d@%v",
 		o.Seed, o.NumPE, o.OpsPerPE, o.Caching, o.Loss, o.Jitter, o.KillPE, o.KillAt)
+	if o.Recover {
+		s += fmt.Sprintf(" recover(every=%d)", o.CkptEvery)
+	}
+	return s
 }
 
 // faulty reports whether the configuration can lose messages, which rules
@@ -69,6 +93,12 @@ type Result struct {
 	History *check.History
 	Elapsed sim.Duration
 	Err     error // first unexpected PE error (nil in a healthy run)
+	// Recovery reports checkpoint/restart activity (nil unless
+	// Options.Recover).
+	Recovery *core.RecoveryReport
+	// SnapshotBytes is the total encoded checkpoint data written across all
+	// PEs and epochs (0 unless Options.Recover).
+	SnapshotBytes uint64
 }
 
 // Run executes one seeded stress run and checks its history.
@@ -78,6 +108,9 @@ func Run(o Options) (*Result, error) {
 	}
 	if o.OpsPerPE <= 0 {
 		o.OpsPerPE = 200
+	}
+	if o.Recover {
+		o.Loss = 0 // see Options.Recover: lossy barrier arrivals could wedge
 	}
 	cfg := core.Config{
 		NumPE:                  o.NumPE,
@@ -97,6 +130,9 @@ func Run(o Options) (*Result, error) {
 		cfg.Kills = []simnet.Kill{{Node: o.KillPE, At: o.KillAt}}
 		cfg.PeerLossBudget = 8
 	}
+	if o.Recover {
+		return runRecover(o, cfg)
+	}
 	res, err := core.Run(cfg, program(o))
 	if err != nil {
 		return nil, err
@@ -107,6 +143,75 @@ func Run(o Options) (*Result, error) {
 		Elapsed: res.Elapsed,
 		Err:     res.FirstErr(),
 	}, nil
+}
+
+// maxRecoveries bounds restart attempts per stress run; the deterministic
+// schedules kill at most one PE, so one recovery should always suffice.
+const maxRecoveries = 3
+
+// runRecover drives the checkpointing workload through core.RunWithRecovery
+// against a throwaway on-disk snapshot store.
+func runRecover(o Options, cfg core.Config) (*Result, error) {
+	if o.CkptEvery <= 0 {
+		o.CkptEvery = 64
+	}
+	// Loss was forced to 0 by Run; the kill (if any) stays scheduled.
+	dir, err := os.MkdirTemp("", "dse-ckpt-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	var store ckpt.Store
+	store, err = ckpt.OpenDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if o.FaultCorruptSnapshot {
+		store = &corruptingStore{Store: store, root: dir}
+	}
+	cfg.Ckpt = &core.CheckpointConfig{Store: store}
+	res, rep, err := core.RunWithRecovery(cfg, maxRecoveries, recoverProgram(o))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Report:        check.Check(res.History),
+		History:       res.History,
+		Elapsed:       res.Elapsed,
+		Err:           res.FirstErr(),
+		Recovery:      rep,
+		SnapshotBytes: res.Total.SnapshotBytes,
+	}, nil
+}
+
+// corruptingStore flips a byte in every stored object the moment recovery
+// first reads the snapshot back, modelling at-rest corruption. The
+// underlying store's integrity checks must catch it.
+type corruptingStore struct {
+	ckpt.Store
+	root string
+	done bool
+}
+
+func (s *corruptingStore) ReadSlice(gen uint64, pe int) ([]byte, error) {
+	if !s.done {
+		s.done = true
+		objs, err := filepath.Glob(filepath.Join(s.root, "objects", "*"))
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range objs {
+			data, err := os.ReadFile(p)
+			if err != nil || len(data) == 0 {
+				return nil, fmt.Errorf("corruptingStore: %s: %v", p, err)
+			}
+			data[len(data)-1] ^= 0xff
+			if err := os.WriteFile(p, data, 0o644); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s.Store.ReadSlice(gen, pe)
 }
 
 // program builds the per-PE workload body.
@@ -144,6 +249,41 @@ func program(o Options) core.Program {
 	}
 }
 
+// recoverProgram is the checkpointing variant of the workload body: the
+// same faulty-mode op mix (retryable scalar ops and atomics only), with a
+// collective checkpoint every CkptEvery ops. The victim runs at full tilt
+// into the scheduled kill — no wind-down — so everything past the last
+// checkpoint is genuinely lost and must be recovered from the snapshot.
+//
+// The checkpoint blob carries each PE's resume index, unique-value counter
+// and CAS guesses: the restarted incarnation continues the op schedule
+// after the checkpoint without ever reusing a value (the checker's value
+// discipline spans the snapshot baseline and the rerun).
+func recoverProgram(o Options) core.Program {
+	return func(pe *core.PE) error {
+		data := pe.Alloc(dataWords)
+		ctrs := pe.Alloc(ctrWords)
+		casb := pe.Alloc(casWords)
+		lckw := pe.Alloc(lockWords)
+
+		rng := sim.NewRand(o.Seed ^ (uint64(pe.ID()+1) * 0x9e3779b97f4a7c15))
+		w := &worker{pe: pe, o: o, rng: rng, data: data, ctrs: ctrs, casb: casb, lckw: lckw}
+		w.casGuess = make([]int64, casWords)
+		pe.RegisterCheckpoint(w.saveBlob, w.restoreBlob)
+
+		for i := w.resume; i < o.OpsPerPE; i++ {
+			w.step(i)
+			if (i+1)%o.CkptEvery == 0 {
+				w.resume = i + 1
+				if err := pe.Checkpoint(); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
 // worker is one PE's workload state.
 type worker struct {
 	pe       *core.PE
@@ -156,6 +296,30 @@ type worker struct {
 	casGuess []int64
 	uniq     int64
 	dead     map[int]bool // homes declared down; their addresses are skipped
+	resume   int          // recover mode: op index the next incarnation starts at
+}
+
+// saveBlob snapshots the workload state a restarted incarnation needs:
+// [resume, uniq, casGuess...], little-endian 64-bit words.
+func (w *worker) saveBlob() []byte {
+	buf := make([]byte, 0, (2+len(w.casGuess))*8)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(w.resume))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(w.uniq))
+	for _, g := range w.casGuess {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(g))
+	}
+	return buf
+}
+
+func (w *worker) restoreBlob(b []byte) {
+	if len(b) != (2+len(w.casGuess))*8 {
+		return // foreign blob: start from scratch rather than corrupt state
+	}
+	w.resume = int(binary.LittleEndian.Uint64(b[0:]))
+	w.uniq = int64(binary.LittleEndian.Uint64(b[8:]))
+	for i := range w.casGuess {
+		w.casGuess[i] = int64(binary.LittleEndian.Uint64(b[16+8*i:]))
+	}
 }
 
 // next returns a cluster-unique non-zero value: the checker's value

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/check"
+	"repro/internal/ckpt"
 	"repro/internal/ethernet"
 	"repro/internal/platform"
 	"repro/internal/sim"
@@ -126,6 +127,13 @@ type Config struct {
 	// Kills schedules mid-run kernel deaths on the simulated transport
 	// (fault-schedule injection; see simnet.Kill).
 	Kills []simnet.Kill
+	// Ckpt enables the coordinated checkpoint/restart subsystem: programs
+	// may call pe.Checkpoint() to take cluster-wide snapshots through the
+	// configured store, and RunWithRecovery restarts a cluster from the last
+	// complete snapshot generation after a PE death. Nil disables
+	// checkpointing entirely (pe.Checkpoint becomes a no-op and the hot path
+	// is untouched).
+	Ckpt *CheckpointConfig
 	// FaultDropInvalidations is a TEST-ONLY fault: home kernels acknowledge
 	// mutating requests without invalidating remote cached copies, leaving
 	// stale data readable. It exists to prove the history checker can fail
@@ -138,6 +146,17 @@ type Config struct {
 	// recorder fans out per-PE history recorders; created by withDefaults
 	// when RecordHistory is set.
 	recorder *check.Recorder
+	// restore carries the decoded snapshot a recovering cluster starts from;
+	// set by RunWithRecovery between attempts.
+	restore *restoreState
+}
+
+// CheckpointConfig configures the checkpoint/restart subsystem.
+type CheckpointConfig struct {
+	// Store receives snapshot generations (e.g. a ckpt.DirStore).
+	Store ckpt.Store
+	// Keep is how many committed generations GC retains (0 = 2).
+	Keep int
 }
 
 func (cfg *Config) withDefaults() (Config, error) {
@@ -162,6 +181,19 @@ func (cfg *Config) withDefaults() (Config, error) {
 	}
 	if c.RecordHistory {
 		c.recorder = check.NewRecorder(c.NumPE)
+	}
+	if c.Ckpt != nil {
+		if c.Ckpt.Store == nil {
+			return c, errors.New("core: CheckpointConfig requires a Store")
+		}
+		if c.Ckpt.Keep == 0 {
+			c.Ckpt.Keep = 2
+		}
+	}
+	if c.recorder != nil && c.restore != nil {
+		// Restored words have no writer event in this run's history; feed
+		// them to the checker as the pre-history baseline.
+		c.restore.feedBaseline(c.recorder, c.GMBlockWords)
 	}
 	return c, nil
 }
@@ -191,6 +223,11 @@ type Result struct {
 	// History is the merged operation history (nil unless
 	// Config.RecordHistory); validate it with check.Check.
 	History *check.History
+	// DeadPeers lists the PEs a majority of kernels declared dead during the
+	// run, sorted ascending. The majority vote matters: a killed node's own
+	// sends all fail, so it falsely accuses every survivor — only a peer a
+	// quorum agrees on is genuinely gone. Unambiguous with NumPE >= 3.
+	DeadPeers []int
 }
 
 // WriteChromeTrace exports the run's spans in Chrome trace_event format
@@ -299,7 +336,13 @@ func runPE(pe *PE, program Program) (err error) {
 	start := pe.app.Now()
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("PE %d panicked: %v", pe.ID(), r)
+			if perr, ok := r.(error); ok {
+				// Keep the error type (e.g. *PeerDownError) visible through
+				// errors.As for callers that classify failures.
+				err = fmt.Errorf("PE %d panicked: %w", pe.ID(), perr)
+			} else {
+				err = fmt.Errorf("PE %d panicked: %v", pe.ID(), r)
+			}
 		}
 		if pe.spans != nil {
 			pe.spans.Record(trace.Span{
@@ -455,4 +498,20 @@ func collectStats(res *Result, kernels []*Kernel, pes []*PE) {
 		}
 		return res.Spans[i].PE < res.Spans[j].PE
 	})
+	// Majority vote over the kernels' dead-peer observations: see
+	// Result.DeadPeers for why a single kernel's word is not enough.
+	votes := make(map[int]int)
+	for _, k := range kernels {
+		k.mu.Lock()
+		for p := range k.deadPeers {
+			votes[p]++
+		}
+		k.mu.Unlock()
+	}
+	for p, v := range votes {
+		if v > len(kernels)/2 {
+			res.DeadPeers = append(res.DeadPeers, p)
+		}
+	}
+	sort.Ints(res.DeadPeers)
 }

@@ -22,6 +22,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/ckpt"
 	"repro/internal/gmem"
 	"repro/internal/procmgmt"
 	"repro/internal/psync"
@@ -180,6 +181,15 @@ func newKernel(id int, node transport.Node, cfg *Config) *Kernel {
 	if cfg.Barrier == BarrierTree {
 		k.tree = psync.NewTreeBarrier(id, cfg.NumPE, treeArity)
 	}
+	if cfg.restore != nil {
+		// Recovery: rebuild this kernel's slice of global memory (and the
+		// coherence directory) from the snapshot before serving. Imported
+		// copyset entries may name kernels whose fresh caches hold nothing;
+		// the resulting spurious invalidations are acknowledged harmlessly.
+		if err := k.seg.Import(cfg.restore.blocks[id]); err != nil {
+			panic(fmt.Sprintf("core: kernel %d: restoring snapshot: %v", id, err))
+		}
+	}
 	return k
 }
 
@@ -242,6 +252,15 @@ func (k *Kernel) peerDown(peer int) {
 		m := wire.GetMessage()
 		m.Op, m.Src, m.Dst, m.Seq = wire.OpPeerDown, int32(peer), int32(k.id), v.seq
 		v.mb.Put(m)
+	}
+	if k.cfg.Ckpt != nil {
+		// Under recovery a PE blocked in a barrier/lock wait sends nothing,
+		// so it would only notice the death via the sync timeout. Wake it
+		// with a peer-down notice instead: any peer death aborts the run
+		// (the whole cluster rolls back), so failing the wait fast is right.
+		wake := wire.GetMessage()
+		wake.Op, wake.Src, wake.Dst = wire.OpPeerDown, int32(peer), int32(k.id)
+		k.syncMb.Put(wake)
 	}
 }
 
@@ -369,7 +388,7 @@ func (k *Kernel) handle(m *wire.Message) bool {
 	switch m.Op {
 	// Responses to this kernel's own outstanding requests.
 	case wire.OpReadResp, wire.OpWriteAck, wire.OpFetchAddResp, wire.OpCASResp,
-		wire.OpReadVResp,
+		wire.OpReadVResp, wire.OpCkptMarkResp,
 		wire.OpProcRegResp, wire.OpProcExitAck, wire.OpProcListResp,
 		wire.OpPong, wire.OpWelcome:
 		if mb, ok := k.takePending(m.Seq); ok {
@@ -456,6 +475,17 @@ func (k *Kernel) handle(m *wire.Message) bool {
 	case wire.OpUserMsg:
 		k.userMb(m.Tag).Put(m)
 		return false
+
+	// Coordinated checkpoint: export this kernel's slice of global memory
+	// plus the coherence directory. The requesting PE is this kernel's own
+	// application context, quiesced at a barrier, so the slice is a
+	// consistent cut — no request of this PE is in flight while we serialise.
+	case wire.OpCkptMark:
+		resp := wire.GetMessage()
+		resp.Op = wire.OpCkptMarkResp
+		resp.Data = ckpt.EncodeKernelState(k.cfg.GMBlockWords, k.seg.Export())
+		resp.Arg1 = int64(k.svc.Now())
+		k.reply(m, resp)
 
 	// Liveness.
 	case wire.OpPing:

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/check"
+	"repro/internal/ckpt"
 	"repro/internal/gmem"
 	"repro/internal/procmgmt"
 	"repro/internal/sim"
@@ -27,6 +28,13 @@ type PE struct {
 	spans *trace.SpanRing   // request span ring (nil unless Config.Tracing)
 	live  *trace.Histogram  // Config.LiveRTT: shared live round-trip histogram
 	hist  *check.PERecorder // operation history (nil unless Config.RecordHistory)
+
+	// Checkpoint/restart state (Config.Ckpt).
+	saveFn      func() []byte // RegisterCheckpoint's save hook
+	restoredApp []byte        // app blob from the snapshot this run restored
+	restored    bool          // this run started from a snapshot
+	ckptEpoch   uint64        // last completed checkpoint epoch
+	viewGen     uint64        // view generation: recoveries this cluster survived
 
 	// replyMb is the persistent reply mailbox: every response to this PE's
 	// requests lands here (the PE is single-threaded, so scalar requests
@@ -56,7 +64,7 @@ type homeReq struct {
 }
 
 func newPE(k *Kernel) *PE {
-	return &PE{
+	pe := &PE{
 		k:       k,
 		app:     k.node.App(),
 		alloc:   gmem.NewAllocator(k.space),
@@ -65,6 +73,15 @@ func newPE(k *Kernel) *PE {
 		live:    k.cfg.LiveRTT,
 		hist:    k.cfg.recorder.PE(k.id),
 	}
+	if rs := k.cfg.restore; rs != nil {
+		pe.ckptEpoch = rs.epoch
+		pe.viewGen = rs.viewGen
+		pe.restoredApp = rs.app[k.id]
+		pe.restored = true
+		pe.extra.Restores++
+		pe.extra.RollbackOps += rs.rollback[k.id]
+	}
+	return pe
 }
 
 // ID returns this PE's kernel id in [0, N).
@@ -1047,21 +1064,149 @@ func (pe *PE) sendSync(op wire.Op, id int32) {
 }
 
 func (pe *PE) takeSync() *wire.Message {
-	if d := pe.k.requestTimeout(); d > 0 {
-		m, ok, timedOut := pe.k.syncMb.TakeTimeout(d)
+	d := pe.k.requestTimeout()
+	if pe.k.cfg.Ckpt != nil {
+		// Under checkpoint/restart the kernels wake blocked sync waits with
+		// OpPeerDown (below), so liveness does not need the lost-message
+		// timeout — which would misfire on legitimately long checkpoint
+		// barrier waits. Recovery runs forbid frame loss for exactly this
+		// reason (DESIGN.md §10): a lost fire-and-forget arrival is the one
+		// wedge the wake cannot break.
+		d = 0
+	}
+	var m *wire.Message
+	if d > 0 {
+		var ok, timedOut bool
+		m, ok, timedOut = pe.k.syncMb.TakeTimeout(d)
 		if timedOut {
 			panic(fmt.Sprintf("core: PE %d: synchronisation wait timed out after %v", pe.k.id, d))
 		}
 		if !ok {
 			panic(fmt.Sprintf("core: PE %d: cluster shut down during synchronisation", pe.k.id))
 		}
-		return m
+	} else {
+		var ok bool
+		m, ok = pe.k.syncMb.Take()
+		if !ok {
+			panic(fmt.Sprintf("core: PE %d: cluster shut down during synchronisation", pe.k.id))
+		}
 	}
-	m, ok := pe.k.syncMb.Take()
-	if !ok {
-		panic(fmt.Sprintf("core: PE %d: cluster shut down during synchronisation", pe.k.id))
+	if m.Op == wire.OpPeerDown {
+		// A peer died while we were blocked (kernels feed this only under
+		// Config.Ckpt). The wait can never be satisfied — under recovery any
+		// peer death rolls the whole cluster back, so fail fast with a typed
+		// error the recovery coordinator can classify through the panic.
+		peer := int(m.Src)
+		wire.PutMessage(m)
+		panic(&PeerDownError{PE: pe.k.id, Peer: peer, Op: "sync-wait"})
 	}
 	return m
+}
+
+// --- Coordinated checkpoint/restart ---
+
+// ckptBarrierBase is the reserved barrier-tag region the checkpoint protocol
+// rendezvouses at. The three phase tags alternate between two disjoint sets
+// by epoch parity, so a straggler's late arrival at the previous epoch's
+// barrier can never be miscounted into the next epoch's round at the central
+// manager. Application code must not use these ids.
+const ckptBarrierBase int32 = -0x7ffe0000
+
+// RegisterCheckpoint installs the application's state hooks: save serialises
+// the PE's progress into the snapshot (called inside every Checkpoint, at
+// the quiesce barrier), restore rebuilds it from a snapshot blob. When this
+// run was itself started from a snapshot, restore is invoked immediately
+// with the restored blob and RegisterCheckpoint reports true — the program
+// resumes from its checkpointed progress instead of from scratch.
+func (pe *PE) RegisterCheckpoint(save func() []byte, restore func([]byte)) (restored bool) {
+	pe.saveFn = save
+	if pe.restored && restore != nil {
+		restore(pe.restoredApp)
+	}
+	return pe.restored
+}
+
+// ViewGeneration reports how many recoveries this cluster has gone through:
+// 0 for a fresh run, N after the N-th restart from a snapshot.
+func (pe *PE) ViewGeneration() uint64 { return pe.viewGen }
+
+// CheckpointEpoch reports the last completed checkpoint epoch (0 = none).
+func (pe *PE) CheckpointEpoch() uint64 { return pe.ckptEpoch }
+
+// Checkpoint takes one coordinated cluster snapshot: a collective every PE
+// must call (like Barrier). The protocol is a Chandy-Lamport marker round
+// degenerated to its quiesced special case — a barrier quiesces all
+// application traffic, so there are no in-flight application sends to
+// record, and each kernel's marker response carries its entire slice of
+// global memory plus the coherence directory:
+//
+//	barrier(quiesce) -> save app blob + OpCkptMark to own kernel ->
+//	Store.WriteSlice -> barrier(durable) -> PE 0 commits the generation and
+//	GCs old ones -> barrier(commit-visible)
+//
+// A nil Config.Ckpt makes Checkpoint a no-op, so programs need no gating.
+// Store errors are returned on the PE that observed them; every PE still
+// passes all three barriers (no wedge), and a generation with a failed
+// slice is never committed. Cluster failures (peer death, shutdown) panic
+// like the rest of the Parallel API.
+func (pe *PE) Checkpoint() error {
+	k := pe.k
+	cc := k.cfg.Ckpt
+	if cc == nil {
+		return nil
+	}
+	start := pe.app.Now()
+	epoch := pe.ckptEpoch + 1
+	tag := func(phase int32) int32 { return ckptBarrierBase - int32(3*(epoch%2)) - phase }
+
+	pe.BarrierID(tag(0)) // quiesce: no application request is in flight past here
+	var blob []byte
+	if pe.saveFn != nil {
+		blob = pe.saveFn()
+	}
+	req := wire.GetMessage()
+	req.Op, req.Tag = wire.OpCkptMark, int32(epoch)
+	resp, err := pe.requestErr(k.id, req)
+	wire.PutMessage(req)
+	var data []byte
+	if err == nil {
+		data = ckpt.EncodeSlice(ckpt.Slice{
+			Epoch:    epoch,
+			MarkTime: sim.Time(resp.Arg1),
+			App:      blob,
+			Kernel:   resp.Data,
+		})
+		wire.PutMessage(resp)
+		err = cc.Store.WriteSlice(epoch, k.id, data)
+	}
+
+	pe.BarrierID(tag(1)) // durable: every slice of the generation is staged
+	if k.id == 0 && err == nil {
+		// Commit refuses a generation with any missing slice, so a peer's
+		// write failure cannot half-commit; its error surfaces on that PE.
+		if cerr := cc.Store.Commit(epoch, k.n); cerr != nil {
+			err = cerr
+		} else if gerr := cc.Store.GC(cc.Keep); gerr != nil {
+			err = gerr
+		}
+	}
+	pe.BarrierID(tag(2)) // commit-visible: recovery may now target this epoch
+
+	// Epochs advance on every PE regardless of local errors, keeping the
+	// collective's tags aligned for the next round.
+	pe.ckptEpoch = epoch
+	if err != nil {
+		return err
+	}
+	pe.extra.Checkpoints++
+	pe.extra.SnapshotBytes += uint64(len(data))
+	if pe.spans != nil {
+		pe.spans.Record(trace.Span{
+			Kind: trace.SpanCkpt, PE: int32(k.id), Seq: epoch,
+			Start: start, End: pe.app.Now(),
+		})
+	}
+	return nil
 }
 
 // --- Collectives (built on the message exchange mechanism) ---

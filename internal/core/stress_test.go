@@ -3,6 +3,7 @@ package core_test
 import (
 	"fmt"
 	"os"
+	"strings"
 	"testing"
 
 	"repro/internal/check/stress"
@@ -125,5 +126,64 @@ func TestStressCatchesBrokenInvalidation(t *testing.T) {
 	}
 	if res.Report.OK() {
 		t.Fatal("checker passed a run with invalidations disabled — it cannot detect stale reads")
+	}
+}
+
+// TestStressKillRecovers is the recover-mode counterpart of
+// TestStressPeerKill: the victim dies abruptly mid-run, and the run must
+// nonetheless COMPLETE — checkpoint/restart rolls the cluster back to the
+// last snapshot, reruns the remaining schedule, and the merged history
+// (snapshot baseline + rerun) must satisfy the checker. Several seeds vary
+// where the kill lands relative to the checkpoint cadence.
+func TestStressKillRecovers(t *testing.T) {
+	for _, seed := range []uint64{1, 11, 23} {
+		o := stress.Options{
+			Seed: seed, NumPE: 4, OpsPerPE: 300, Recover: true, CkptEvery: 32,
+			KillPE: 2, KillAt: 500 * sim.Millisecond,
+		}
+		res := runStress(t, o)
+		if res.Recovery == nil || !res.Recovery.Recovered() {
+			t.Fatalf("seed %d: kill at %v triggered no recovery: %+v", seed, o.KillAt, res.Recovery)
+		}
+		if res.SnapshotBytes == 0 {
+			t.Errorf("seed %d: no snapshot bytes recorded", seed)
+		}
+	}
+}
+
+// TestStressRecoverDeterministic: recover mode must stay a pure function of
+// Options end-to-end — failure point, snapshot, and rerun included.
+func TestStressRecoverDeterministic(t *testing.T) {
+	o := stress.Options{
+		Seed: 11, NumPE: 4, OpsPerPE: 300, Recover: true, CkptEvery: 32,
+		KillPE: 2, KillAt: 500 * sim.Millisecond,
+	}
+	a, err := stress.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := stress.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da, db := a.History.Digest(), b.History.Digest(); da != db {
+		t.Fatalf("same recover seed, different histories: %s vs %s", da, db)
+	}
+}
+
+// TestStressRecoverCorruptSnapshot flips bits in the stored snapshot before
+// the restart reads it: the store's CRC/content-hash check must refuse the
+// generation and the run must fail loudly rather than restore garbage.
+func TestStressRecoverCorruptSnapshot(t *testing.T) {
+	_, err := stress.Run(stress.Options{
+		Seed: 11, NumPE: 4, OpsPerPE: 300, Recover: true, CkptEvery: 32,
+		KillPE: 2, KillAt: 500 * sim.Millisecond,
+		FaultCorruptSnapshot: true,
+	})
+	if err == nil {
+		t.Fatal("corrupted snapshot was accepted")
+	}
+	if !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("error %q does not mention corruption", err)
 	}
 }

@@ -290,6 +290,13 @@ func (s *Station) Send(p *sim.Proc, dst, size int, payload interface{}) bool {
 	delivered := true
 	remaining := size
 	for {
+		if s.bus.reqs.Closed() {
+			// The bus has been stopped (run teardown). A process still
+			// draining queued work — e.g. a kernel releasing a barrier
+			// while the last application process exits — loses the frame,
+			// exactly as if the destination station had closed.
+			return false
+		}
 		chunk := remaining
 		if chunk > s.bus.cfg.MTU {
 			chunk = s.bus.cfg.MTU

@@ -27,6 +27,9 @@ type NIC interface {
 	Inject(f Frame) bool
 	// Close wakes blocked receivers.
 	Close()
+	// Closed reports whether Close has been called (the station was shut
+	// down or killed by a fault schedule).
+	Closed() bool
 }
 
 // Medium is a network that stations attach to.
@@ -217,3 +220,6 @@ func (p *swPort) Inject(f Frame) bool { return p.rx.TrySend(f) }
 
 // Close implements NIC.
 func (p *swPort) Close() { p.rx.Close() }
+
+// Closed implements NIC.
+func (p *swPort) Closed() bool { return p.rx.Closed() }

@@ -14,6 +14,7 @@ package gmem
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 )
 
@@ -327,6 +328,72 @@ func (g *Segment) Copyset(b uint64) []int {
 		}
 	}
 	return out
+}
+
+// BlockSnapshot is one homed block's state for checkpointing: the stored
+// words plus the coherence directory entry (which kernels cache the block).
+type BlockSnapshot struct {
+	Index   uint64  // block index (addr / BlockWords)
+	Words   []int64 // BlockWords values
+	Copyset []int   // caching kernels, sorted
+}
+
+// Export snapshots every materialised block of this segment, sorted by block
+// index — the kernel's slice of the coordinated checkpoint. The returned
+// words are copies; the segment may keep mutating afterwards.
+func (g *Segment) Export() []BlockSnapshot {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]BlockSnapshot, 0, len(g.blocks))
+	for idx, blk := range g.blocks {
+		bs := BlockSnapshot{Index: idx, Words: make([]int64, len(blk))}
+		copy(bs.Words, blk)
+		for k := range g.copyset[idx] {
+			bs.Copyset = append(bs.Copyset, k)
+		}
+		for i := 1; i < len(bs.Copyset); i++ {
+			for j := i; j > 0 && bs.Copyset[j] < bs.Copyset[j-1]; j-- {
+				bs.Copyset[j], bs.Copyset[j-1] = bs.Copyset[j-1], bs.Copyset[j]
+			}
+		}
+		out = append(out, bs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// Import replaces this segment's contents with a snapshot taken by Export —
+// restart-time restore. Blocks not homed here, or whose word count does not
+// match the block size, are rejected so a snapshot from a different cluster
+// geometry cannot be silently misapplied.
+func (g *Segment) Import(blocks []BlockSnapshot) error {
+	bw := uint64(g.space.BlockWords)
+	for _, b := range blocks {
+		if len(b.Words) != g.space.BlockWords {
+			return fmt.Errorf("gmem: import: block %d has %d words, segment block size is %d",
+				b.Index, len(b.Words), g.space.BlockWords)
+		}
+		if home := g.space.HomeOf(b.Index * bw); home != g.self {
+			return fmt.Errorf("gmem: import: block %d homed at %d, not %d", b.Index, home, g.self)
+		}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.blocks = make(map[uint64][]int64, len(blocks))
+	g.copyset = make(map[uint64]map[int]struct{})
+	for _, b := range blocks {
+		words := make([]int64, len(b.Words))
+		copy(words, b.Words)
+		g.blocks[b.Index] = words
+		if len(b.Copyset) > 0 {
+			cs := make(map[int]struct{}, len(b.Copyset))
+			for _, k := range b.Copyset {
+				cs[k] = struct{}{}
+			}
+			g.copyset[b.Index] = cs
+		}
+	}
+	return nil
 }
 
 // F2W and W2F convert float64 values to and from their word representation;

@@ -80,6 +80,25 @@ type PeerStatus struct {
 	Kernel int
 	Alive  bool
 	RTT    sim.Duration // valid only when Alive
+	// Gen is the cluster view generation the answering peer serves under:
+	// 0 for the original incarnation, N after the Nth checkpoint recovery.
+	// Valid only when Alive.
+	Gen uint64
+	// Recovered marks a peer that rejoined through checkpoint/restart
+	// recovery (Gen > 0) rather than surviving uninterrupted.
+	Recovered bool
+}
+
+// String renders one probe result, e.g. "kernel 2: alive rtt=1.2ms
+// recovered(gen=1)" for a peer that rejoined after a recovery.
+func (s PeerStatus) String() string {
+	if !s.Alive {
+		return fmt.Sprintf("kernel %d: down", s.Kernel)
+	}
+	if s.Recovered {
+		return fmt.Sprintf("kernel %d: alive rtt=%v recovered(gen=%d)", s.Kernel, s.RTT, s.Gen)
+	}
+	return fmt.Sprintf("kernel %d: alive rtt=%v", s.Kernel, s.RTT)
 }
 
 // ProbePeers pings every other kernel and reports which answered — a
@@ -88,7 +107,14 @@ type PeerStatus struct {
 // the probe forever. A peer the transport's failure detector has already
 // declared dead fails immediately (core.PeerDownError) without waiting out
 // the timeout.
+//
+// A peer that died and was brought back by checkpoint recovery
+// (core.RunWithRecovery) answers probes again in the restarted incarnation:
+// the probe result carries the new view generation instead of reporting the
+// peer dead forever. Clusters restart as a unit, so an answering peer's
+// generation is the prober's own.
 func (v *View) ProbePeers() []PeerStatus {
+	gen := v.pe.ViewGeneration()
 	out := make([]PeerStatus, 0, v.pe.N()-1)
 	for k := 0; k < v.pe.N(); k++ {
 		if k == v.pe.ID() {
@@ -98,6 +124,8 @@ func (v *View) ProbePeers() []PeerStatus {
 		if rtt, err := v.pe.PingErr(k); err == nil {
 			st.Alive = true
 			st.RTT = rtt
+			st.Gen = gen
+			st.Recovered = gen > 0
 		}
 		out = append(out, st)
 	}
@@ -118,6 +146,10 @@ type HealthReport struct {
 	ProbeRTT trace.Histogram
 	// Failures counts probes that went unanswered across all rounds.
 	Failures int
+	// Generation is the cluster view generation the report was taken
+	// under: 0 for the original incarnation, N after the Nth checkpoint
+	// recovery (see core.RunWithRecovery).
+	Generation uint64
 }
 
 // AllAlive reports whether every peer answered the final probe round.
@@ -137,7 +169,7 @@ func (v *View) Health(rounds int) HealthReport {
 	if rounds < 1 {
 		rounds = 1
 	}
-	rep := HealthReport{Rounds: rounds}
+	rep := HealthReport{Rounds: rounds, Generation: v.pe.ViewGeneration()}
 	for r := 0; r < rounds; r++ {
 		peers := v.ProbePeers()
 		for i := range peers {

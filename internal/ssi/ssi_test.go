@@ -7,9 +7,11 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/platform"
 	"repro/internal/sim"
+	"repro/internal/transport/simnet"
 	"repro/internal/transport/tcpnet"
 )
 
@@ -286,4 +288,70 @@ func TestHealthClampsRounds(t *testing.T) {
 		pe.Barrier()
 		return nil
 	})
+}
+
+// TestHealthReportsRecoveredGeneration kills a PE after a checkpoint and
+// verifies the restarted incarnation's health sweep reports the new view
+// generation instead of a dead peer forever: every peer answers again and
+// renders as recovered(gen=1).
+func TestHealthReportsRecoveredGeneration(t *testing.T) {
+	store, err := ckpt.OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	const killAt = sim.Time(1 * sim.Second)
+	cfg := core.Config{
+		NumPE:          3,
+		Platform:       platform.SparcSunOS,
+		RequestTimeout: 50 * sim.Millisecond,
+		RequestRetries: 2,
+		Kills:          []simnet.Kill{{Node: 2, At: sim.Duration(killAt)}},
+		Ckpt:           &core.CheckpointConfig{Store: store},
+	}
+	res, rep, err := core.RunWithRecovery(cfg, 1, func(pe *core.PE) error {
+		restored := pe.RegisterCheckpoint(func() []byte { return nil }, func([]byte) {})
+		base := pe.AllocBlocks(96)
+		if restored {
+			h := NewView(pe).Health(2)
+			if h.Generation != 1 {
+				return fmt.Errorf("PE %d: Generation = %d after recovery, want 1", pe.ID(), h.Generation)
+			}
+			if !h.AllAlive() {
+				return fmt.Errorf("PE %d: recovered peer still reported dead: %+v", pe.ID(), h.Peers)
+			}
+			for _, st := range h.Peers {
+				if !st.Recovered || st.Gen != 1 {
+					return fmt.Errorf("PE %d: peer %d not marked recovered: %+v", pe.ID(), st.Kernel, st)
+				}
+				if want := fmt.Sprintf("recovered(gen=%d)", st.Gen); !strings.Contains(st.String(), want) {
+					return fmt.Errorf("PE %d: status %q missing %q", pe.ID(), st, want)
+				}
+			}
+			pe.Barrier()
+			return nil
+		}
+		if h := NewView(pe).Health(1); h.Generation != 0 {
+			return fmt.Errorf("PE %d: Generation = %d before any recovery, want 0", pe.ID(), h.Generation)
+		}
+		pe.Barrier()
+		if err := pe.Checkpoint(); err != nil {
+			return err
+		}
+		// March into the scheduled kill (see core's recovery tests).
+		remote := base + uint64(((pe.ID()+1)%3)*32)
+		for pe.Now() < 4*killAt {
+			_ = pe.GMRead(remote)
+		}
+		pe.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RunWithRecovery: %v", err)
+	}
+	if ferr := res.FirstErr(); ferr != nil {
+		t.Fatal(ferr)
+	}
+	if !rep.Recovered() {
+		t.Fatalf("no recovery happened: %+v", rep)
+	}
 }

@@ -25,6 +25,7 @@ const (
 	SpanBarrier                  // blocked in a barrier
 	SpanLock                     // blocked acquiring a cluster lock
 	SpanService                  // kernel handling one incoming message
+	SpanCkpt                     // one coordinated checkpoint, quiesce → commit
 )
 
 func (k SpanKind) String() string {
@@ -41,6 +42,8 @@ func (k SpanKind) String() string {
 		return "lock"
 	case SpanService:
 		return "service"
+	case SpanCkpt:
+		return "ckpt"
 	}
 	return "span?"
 }

@@ -37,6 +37,12 @@ type PEStats struct {
 	CorruptDrops uint64 // malformed messages dropped instead of panicking
 	DupRequests  uint64 // retried requests absorbed by the dedup window
 
+	// Checkpoint/restart counters.
+	Checkpoints   uint64 // coordinated snapshots this PE completed
+	Restores      uint64 // times this PE's state was restored from a snapshot
+	SnapshotBytes uint64 // encoded slice bytes written to the snapshot store
+	RollbackOps   uint64 // recorded ops discarded by rolling back to a snapshot
+
 	// ByOp breaks sent traffic down per message op, so experiments can
 	// watch e.g. scalar reads being displaced by vectored reads.
 	ByOp [wire.NumOps]OpCount
@@ -88,6 +94,10 @@ func (s *PEStats) Add(o *PEStats) {
 	s.StrayDrops += o.StrayDrops
 	s.CorruptDrops += o.CorruptDrops
 	s.DupRequests += o.DupRequests
+	s.Checkpoints += o.Checkpoints
+	s.Restores += o.Restores
+	s.SnapshotBytes += o.SnapshotBytes
+	s.RollbackOps += o.RollbackOps
 	for i := range s.ByOp {
 		s.ByOp[i].Msgs += o.ByOp[i].Msgs
 		s.ByOp[i].Bytes += o.ByOp[i].Bytes

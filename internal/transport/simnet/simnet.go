@@ -104,7 +104,31 @@ func New(cfg Config) *Net {
 	}
 	for _, kl := range cfg.Kills {
 		st := n.nodes[kl.Node].station
-		eng.At(sim.Time(kl.At), func() { st.Close() })
+		victim := kl.Node
+		eng.At(sim.Time(kl.At), func() {
+			st.Close()
+			// Report the death to every other node's failure detector
+			// directly: a node that never sends to the victim would
+			// otherwise not detect it through the loss budget, and the
+			// notifier's replay-on-registration delivers the report even to
+			// nodes that register their callback after the kill fired — so
+			// recovery is not order-dependent.
+			for _, nd := range n.nodes {
+				if nd.id != victim {
+					nd.pd.Report(victim)
+					continue
+				}
+				// The victim's side of the partition: every peer is now
+				// unreachable. Without this, a victim parked in a blocking
+				// wait (sending nothing, so never tripping its loss budget)
+				// would sit in the simulation forever.
+				for _, peer := range n.nodes {
+					if peer.id != victim {
+						nd.pd.Report(peer.id)
+					}
+				}
+			}
+		})
 	}
 	medium.Start()
 	return n
@@ -271,6 +295,11 @@ func (pt *port) Send(dst int, m *wire.Message) {
 		// "response to message to own node"). Protocol cost was charged
 		// above; delivery is immediate.
 		if !nd.station.Inject(ethernet.Frame{Src: nd.id, Dst: nd.id, Size: len(enc), Payload: enc}) {
+			if nd.station.Closed() {
+				// Own station killed mid-op (scheduled fault): the message
+				// dies with the node rather than overflowing a queue.
+				return
+			}
 			panic("simnet: local receive queue overflow")
 		}
 		nd.stats.MsgsSent++

@@ -394,3 +394,32 @@ func TestDelayJitterIsSeedDeterministic(t *testing.T) {
 		t.Fatal("different seeds produced identical jittered arrival times")
 	}
 }
+
+// A scheduled kill must reach every other node's failure detector — even
+// nodes that never send to the victim, and even nodes that register their
+// peer-down callback only after the kill fired (the notifier replays). This
+// is what makes recovery tests independent of registration order.
+func TestKillScheduleBroadcastsToAllNodes(t *testing.T) {
+	net := New(Config{
+		NumPE: 3, Platform: platform.SparcSunOS, Seed: 1,
+		Kills: []Kill{{Node: 2, At: 2 * sim.Millisecond}},
+	})
+	var early, late []int
+	// Node 0 registers before the kill; node 1 only after it fired.
+	net.SimNode(0).SetPeerDown(func(peer int) { early = append(early, peer) })
+	net.Engine().Spawn("app0", func(p *sim.Proc) {
+		net.SimNode(0).BindApp(p)
+		p.Sleep(10 * sim.Millisecond)
+		net.SimNode(1).SetPeerDown(func(peer int) { late = append(late, peer) })
+		net.Stop()
+	})
+	if err := net.Engine().Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(early) != 1 || early[0] != 2 {
+		t.Fatalf("pre-registered node: want report [2], got %v", early)
+	}
+	if len(late) != 1 || late[0] != 2 {
+		t.Fatalf("late-registered node: want replayed report [2], got %v", late)
+	}
+}

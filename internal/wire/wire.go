@@ -102,6 +102,12 @@ const (
 	// peer-down event arrives.
 	OpPeerDown // Src = dead kernel, Seq = failed request
 
+	// Coordinated checkpoint (Chandy-Lamport-style marker round, taken at a
+	// quiesce barrier): a PE asks its own kernel to export its slice of
+	// global memory plus the coherence directory for the snapshot store.
+	OpCkptMark     // Tag = checkpoint epoch
+	OpCkptMarkResp // Data = encoded kernel state, Arg1 = mark virtual time
+
 	numOps // sentinel: one past the highest op
 )
 
@@ -156,6 +162,8 @@ var opNames = [...]string{
 	OpReadVResp:      "read-v-resp",
 	OpWriteV:         "write-v",
 	OpPeerDown:       "peer-down",
+	OpCkptMark:       "ckpt-mark",
+	OpCkptMarkResp:   "ckpt-mark-resp",
 }
 
 func (op Op) String() string {
@@ -172,7 +180,7 @@ func (op Op) IsResponse() bool {
 	case OpReadResp, OpWriteAck, OpFetchAddResp, OpCASResp, OpInvAck,
 		OpLockGrant, OpSemGrant, OpBarrierRelease,
 		OpProcRegResp, OpProcExitAck, OpProcListResp, OpWelcome, OpPong,
-		OpReadVResp:
+		OpReadVResp, OpCkptMarkResp:
 		return true
 	}
 	return false
