@@ -14,6 +14,8 @@
 //	dsebench -trace out.trace.json            # traced gauss run, Chrome trace_event
 //	dsebench -stress -seed 7     # seeded consistency stress matrix (exit 1 on violation)
 //	dsebench -recover -seed 7    # seeded kill-and-recover schedules (exit 1 on failure)
+//	dsebench -saturate           # remote-GM ops/sec into one home kernel vs shard count
+//	dsebench -saturate -quick -json out.json  # ...included in the snapshot
 //
 // Figures print as aligned tables: one row per x value, one column per
 // series, exactly the rows/series the paper plots.
@@ -48,6 +50,7 @@ func main() {
 		traceOut = flag.String("trace", "", "run gauss p=4 with span tracing and write Chrome trace_event JSON here")
 		stressF  = flag.Bool("stress", false, "run the seeded consistency stress matrix; -seed selects the schedule")
 		recoverF = flag.Bool("recover", false, "run seeded kill-and-recover schedules (checkpoint/restart); -seed selects the schedule")
+		saturate = flag.Bool("saturate", false, "measure remote-GM ops/sec into one home kernel across PE and shard counts (wall clock; with -json, adds the sweep to the snapshot)")
 	)
 	flag.Parse()
 	plotFigures = *plot
@@ -72,7 +75,15 @@ func main() {
 		if *quick {
 			scaleName = "quick"
 		}
-		writeSnapshot(*jsonOut, *baseline, sc, scaleName)
+		writeSnapshot(*jsonOut, *baseline, sc, scaleName, *saturate)
+	case *saturate:
+		start := time.Now()
+		pts, err := bench.SaturationSweep(*quick)
+		if err != nil {
+			fatalf("saturation sweep: %v", err)
+		}
+		bench.SaturationTable(pts).Fprint(os.Stdout)
+		fmt.Printf("(wall clock; regenerated in %v)\n", time.Since(start).Round(time.Millisecond))
 	case *traceOut != "":
 		writeTrace(*traceOut, sc)
 	case *table == 1:
@@ -169,11 +180,18 @@ func maybeCSV(f *bench.Figure) {
 
 // writeSnapshot builds the metrics snapshot, saves it, and (when a baseline
 // is given) gates on regressions: the CI benchmark-regression pipeline.
-func writeSnapshot(path, baselinePath string, sc bench.Scale, scaleName string) {
+func writeSnapshot(path, baselinePath string, sc bench.Scale, scaleName string, saturate bool) {
 	start := time.Now()
 	snap, err := bench.BuildSnapshot(platform.SparcSunOS, sc, scaleName)
 	if err != nil {
 		fatalf("building snapshot: %v", err)
+	}
+	if saturate {
+		pts, err := bench.SaturationSweep(scaleName == "quick")
+		if err != nil {
+			fatalf("saturation sweep: %v", err)
+		}
+		snap.Saturation = pts
 	}
 	if err := snap.SaveJSON(path); err != nil {
 		fatalf("saving snapshot: %v", err)

@@ -40,6 +40,22 @@ func runStress(seed uint64, quick bool) {
 		Seed: seed, NumPE: 4, OpsPerPE: ops, Loss: 0.02,
 		KillPE: 2, KillAt: 2 * sim.Second,
 	})
+	// Sharded-kernel legs: the harshest lossy-caching corner and the
+	// peer-kill schedule again at 2 and 8 shards. Under the simulated
+	// transport sharding dispatches inline, so these must match the
+	// unsharded histories op for op — any divergence is a routing bug.
+	for _, shards := range []int{2, 8} {
+		configs = append(configs,
+			stress.Options{
+				Seed: seed, NumPE: 4, OpsPerPE: ops,
+				Caching: true, Loss: 0.15,
+				Jitter: 200 * sim.Microsecond, Shards: shards,
+			},
+			stress.Options{
+				Seed: seed, NumPE: 4, OpsPerPE: ops, Loss: 0.02,
+				KillPE: 2, KillAt: 2 * sim.Second, Shards: shards,
+			})
+	}
 
 	start := time.Now()
 	totalOps, failures := 0, 0

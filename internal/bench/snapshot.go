@@ -38,6 +38,11 @@ type Snapshot struct {
 
 	Workloads []WorkloadMetrics `json:"workloads"`
 	Speedup   []SpeedupPoint    `json:"speedup"`
+
+	// Saturation is the sharded-kernel throughput sweep (dsebench
+	// -saturate), present only when that flag was given. Unlike the fields
+	// above it is wall-clock, so Compare gates it loosely.
+	Saturation []SaturationPoint `json:"saturation,omitempty"`
 }
 
 // WorkloadMetrics captures one reference-application run.
@@ -470,5 +475,33 @@ func Compare(base, cur *Snapshot) []string {
 			worse(fmt.Sprintf("%s msgs[%s]", key, op), float64(old.PerOp[op].Msgs), float64(now.PerOp[op].Msgs))
 		}
 	}
+
+	// Saturation points are wall-clock throughput, so run-to-run noise is
+	// real: only a collapse below saturationFloor of the baseline — the kind
+	// a lost shard or a serialised fast path produces — counts as a
+	// regression. Points absent from either side are skipped (baselines
+	// predate the sweep, or it wasn't requested this run).
+	curSat := map[string]*SaturationPoint{}
+	for i := range cur.Saturation {
+		p := &cur.Saturation[i]
+		curSat[fmt.Sprintf("%s/p%d/s%d", p.Workload, p.NumPE, p.Shards)] = p
+	}
+	for i := range base.Saturation {
+		old := &base.Saturation[i]
+		key := fmt.Sprintf("%s/p%d/s%d", old.Workload, old.NumPE, old.Shards)
+		now, ok := curSat[key]
+		if !ok || old.OpsPerSec <= 0 {
+			continue
+		}
+		if now.OpsPerSec < old.OpsPerSec*saturationFloor {
+			regressions = append(regressions,
+				fmt.Sprintf("saturation %s ops/sec: %.0f -> %.0f (below %.0f%% of baseline)",
+					key, old.OpsPerSec, now.OpsPerSec, 100*saturationFloor))
+		}
+	}
 	return regressions
 }
+
+// saturationFloor is the fraction of baseline wall-clock throughput a
+// saturation point must keep; anything above it is treated as noise.
+const saturationFloor = 0.4

@@ -124,3 +124,49 @@ func TestCompareFlagsRegressions(t *testing.T) {
 		t.Fatalf("missing workload: %v", regs)
 	}
 }
+
+// TestCompareSaturationFloor pins the wide-margin rule for wall-clock
+// saturation points: drops above 40% of baseline are noise, a collapse below
+// it is a regression, and points missing from either side are ignored
+// (pre-sweep baselines, or a run without -saturate).
+func TestCompareSaturationFloor(t *testing.T) {
+	pt := func(ops float64) SaturationPoint {
+		return SaturationPoint{Workload: "read", NumPE: 8, Shards: 4, OpsPerSec: ops}
+	}
+	base := &Snapshot{Saturation: []SaturationPoint{pt(1000000)}}
+
+	if regs := Compare(base, &Snapshot{Saturation: []SaturationPoint{pt(500000)}}); len(regs) != 0 {
+		t.Fatalf("half-speed point flagged despite 40%% floor: %v", regs)
+	}
+	if regs := Compare(base, &Snapshot{Saturation: []SaturationPoint{pt(100000)}}); len(regs) != 1 {
+		t.Fatalf("collapsed point not flagged: %v", regs)
+	}
+	if regs := Compare(base, &Snapshot{}); len(regs) != 0 {
+		t.Fatalf("absent sweep flagged: %v", regs)
+	}
+	if regs := Compare(&Snapshot{}, &Snapshot{Saturation: []SaturationPoint{pt(1)}}); len(regs) != 0 {
+		t.Fatalf("baseline without sweep flagged: %v", regs)
+	}
+}
+
+// TestMeasureSaturationSmoke runs one tiny saturation point end to end and
+// sanity-checks the resulting cell.
+func TestMeasureSaturationSmoke(t *testing.T) {
+	p, err := MeasureSaturation(SaturationOptions{NumPE: 4, Shards: 2, OpsPerPE: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ops != 600 || p.OpsPerSec <= 0 {
+		t.Fatalf("implausible point: %+v", p)
+	}
+	if !p.Direct || p.DirectGM == 0 {
+		t.Fatalf("direct window expected on by default at shards=2: %+v", p)
+	}
+	p2, err := MeasureSaturation(SaturationOptions{NumPE: 4, Shards: 1, OpsPerPE: 200, DirectReads: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Direct || p2.DirectGM != 0 {
+		t.Fatalf("direct window active when forced off: %+v", p2)
+	}
+}

@@ -71,6 +71,14 @@ type Options struct {
 	// verification must refuse the snapshot: Run returns an error
 	// mentioning the corruption instead of restoring garbage.
 	FaultCorruptSnapshot bool
+	// Shards sets core.Config.KernelShards (0 keeps the default — one shard
+	// under the simulated transport). The simulated transport dispatches
+	// shards inline, so any shard count must replay bit-identically to the
+	// same Options with Shards unset: the history digest is the proof.
+	Shards int
+	// DirectReads passes through core.Config.DirectReads (the one-sided read
+	// fast path; <0 forces it off, >0 forces it on where co-located).
+	DirectReads int
 }
 
 func (o Options) String() string {
@@ -78,6 +86,12 @@ func (o Options) String() string {
 		o.Seed, o.NumPE, o.OpsPerPE, o.Caching, o.Loss, o.Jitter, o.KillPE, o.KillAt)
 	if o.Recover {
 		s += fmt.Sprintf(" recover(every=%d)", o.CkptEvery)
+	}
+	if o.Shards != 0 {
+		s += fmt.Sprintf(" shards=%d", o.Shards)
+	}
+	if o.DirectReads != 0 {
+		s += fmt.Sprintf(" direct=%d", o.DirectReads)
 	}
 	return s
 }
@@ -121,6 +135,8 @@ func Run(o Options) (*Result, error) {
 		DelayJitter:            o.Jitter,
 		RecordHistory:          true,
 		FaultDropInvalidations: o.FaultDropInvalidations,
+		KernelShards:           o.Shards,
+		DirectReads:            o.DirectReads,
 	}
 	if o.faulty() {
 		cfg.RequestTimeout = 50 * sim.Millisecond

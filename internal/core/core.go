@@ -4,12 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 
 	"repro/internal/check"
 	"repro/internal/ckpt"
 	"repro/internal/ethernet"
+	"repro/internal/gmem"
 	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -140,7 +142,28 @@ type Config struct {
 	// (a deliberately broken invalidation path must surface as stale-read
 	// violations) and must never be set outside tests.
 	FaultDropInvalidations bool
+	// KernelShards shards each kernel's home-side global-memory service by
+	// address range: requests for different block ranges are serviced by
+	// independent shards, each with its own dedup window and invalidation
+	// state (see kernelShard). On the real transports shards > 1 run as
+	// parallel worker goroutines; the simulated transport always dispatches
+	// inline (per-shard state only), preserving determinism. 0 resolves to
+	// GOMAXPROCS on real transports and to 1 under simulation; values are
+	// clamped to [1, gmem.SegStripes].
+	KernelShards int
+	// DirectReads controls the one-sided read fast path: co-located PEs
+	// (inproc and simulated transports) resolve uncached reads of a remote
+	// home directly from the home's seqlock-protected segment, without a
+	// request/reply message pair. 0 enables it automatically when the
+	// resolved KernelShards > 1; >0 forces it on; <0 forces it off. It is
+	// never active with Caching (reads must reach the directory) or Legacy
+	// (the old organisation has no shared address space), or over TCP.
+	DirectReads int
 
+	// testInspect, when non-nil, is called with the cluster's kernels and
+	// PEs after shutdown but before Run returns — a white-box hook for
+	// package-internal tests (e.g. asserting the user-queue map drained).
+	testInspect func([]*Kernel, []*PE)
 	// logMu serialises MessageLog writes; created by withDefaults.
 	logMu *sync.Mutex
 	// recorder fans out per-PE history recorders; created by withDefaults
@@ -172,6 +195,24 @@ func (cfg *Config) withDefaults() (Config, error) {
 	}
 	if c.GMBlockWords == 0 {
 		c.GMBlockWords = 32
+	}
+	if c.KernelShards == 0 {
+		if c.Transport == TransportSim {
+			// Inline dispatch anyway (no workers under simulation), and one
+			// shard keeps the virtual-time message schedule bit-identical to
+			// the unsharded kernel.
+			c.KernelShards = 1
+		} else {
+			c.KernelShards = runtime.GOMAXPROCS(0)
+		}
+	}
+	if c.KernelShards < 1 {
+		c.KernelShards = 1
+	}
+	if c.KernelShards > gmem.SegStripes {
+		// More shards than segment lock stripes would map two shards onto one
+		// stripe, reintroducing the contention sharding exists to remove.
+		c.KernelShards = gmem.SegStripes
 	}
 	if c.RetryBackoff == 0 && c.RequestTimeout > 0 {
 		c.RetryBackoff = c.RequestTimeout / 4
@@ -276,6 +317,34 @@ func Run(cfg Config, program Program) (*Result, error) {
 		return runReal(&c, net, program)
 	default:
 		return nil, fmt.Errorf("core: unknown transport %q", c.Transport)
+	}
+}
+
+// windowsEnabled decides whether the one-sided direct-read fast path is on
+// for this (fully defaulted) config. Transport co-location is the caller's
+// side of the bargain: only runSim and runReal-over-inproc wire windows at
+// all, because only there does every kernel's segment live in this process.
+func windowsEnabled(c *Config) bool {
+	if c.Caching || c.Legacy {
+		return false
+	}
+	if c.DirectReads > 0 {
+		return true
+	}
+	if c.DirectReads < 0 {
+		return false
+	}
+	return c.KernelShards > 1
+}
+
+// wireWindows gives every kernel a direct read-only view of every segment.
+func wireWindows(kernels []*Kernel) {
+	wins := make([]*gmem.Segment, len(kernels))
+	for i, k := range kernels {
+		wins[i] = k.seg
+	}
+	for _, k := range kernels {
+		k.windows = wins
 	}
 }
 
@@ -396,6 +465,13 @@ func runSim(cfg *Config, program Program) (*Result, error) {
 			nd.BindSvc(p)
 			kernels[i].serve()
 		})
+	}
+	if windowsEnabled(cfg) {
+		wireWindows(kernels)
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		nd := net.SimNode(i)
 		eng.Spawn(fmt.Sprintf("dse-process-%d", i), func(p *sim.Proc) {
 			nd.BindApp(p)
 			errs[i] = runPE(pes[i], program)
@@ -415,6 +491,9 @@ func runSim(cfg *Config, program Program) (*Result, error) {
 	collectStats(res, kernels, pes)
 	if cfg.recorder != nil {
 		res.History = cfg.recorder.History()
+	}
+	if cfg.testInspect != nil {
+		cfg.testInspect(kernels, pes)
 	}
 	return res, nil
 }
@@ -436,6 +515,12 @@ func runReal(cfg *Config, net realNetwork, program Program) (*Result, error) {
 	for i := 0; i < n; i++ {
 		kernels[i] = newKernel(i, net.Node(i), cfg)
 		pes[i] = newPE(kernels[i])
+	}
+	// Direct read windows need every segment in this address space: inproc
+	// qualifies, TCP nodes only happen to be co-located in tests and must
+	// behave like the distributed deployment they model.
+	if cfg.Transport == TransportInproc && windowsEnabled(cfg) {
+		wireWindows(kernels)
 	}
 	var mu sync.Mutex
 	var finish sim.Time
@@ -465,6 +550,9 @@ func runReal(cfg *Config, net realNetwork, program Program) (*Result, error) {
 	if cfg.recorder != nil {
 		res.History = cfg.recorder.History()
 	}
+	if cfg.testInspect != nil {
+		cfg.testInspect(kernels, pes)
+	}
 	return res, nil
 }
 
@@ -482,6 +570,12 @@ func collectStats(res *Result, kernels []*Kernel, pes []*PE) {
 		s := *kernels[i].Stats()
 		s.Add(&pes[i].extra)
 		s.Add(&kernels[i].extra)
+		for _, sh := range kernels[i].shards {
+			s.Add(&sh.extra)
+			if sh.spans != nil {
+				res.Spans = append(res.Spans, sh.spans.Snapshot()...)
+			}
+		}
 		res.PerPE = append(res.PerPE, s)
 		res.Total.Add(&s)
 		res.RTT.Merge(&pes[i].extra.RTT)

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ckpt"
 	"repro/internal/gmem"
@@ -35,7 +36,10 @@ import (
 // Kernel is one DSE kernel: the runtime side of a PE. Its serve loop runs
 // in the node's Svc context and fields every message addressed to this
 // kernel, while the application programs against the PE façade in the App
-// context.
+// context. The home-side global-memory service is sharded by address range
+// (see kernelShard); everything else — synchronisation, process management,
+// user messages, checkpoint marks, peer-down handling — stays on the serial
+// serve loop.
 type Kernel struct {
 	id    int
 	n     int
@@ -59,37 +63,64 @@ type Kernel struct {
 	// (single-threaded) application context.
 	syncMb transport.Mailbox
 
+	// seqCtr allocates this kernel's request ids. Atomic so the requester
+	// hot path numbers a request without taking k.mu.
+	seqCtr atomic.Uint64
+
 	mu        sync.Mutex
-	seq       uint64
 	pending   map[uint64]pendingReq
 	userq     map[int32]transport.Mailbox
 	deadPeers map[int]bool // peers the transport declared dead
 
-	// dedup holds the per-requester exactly-once window for mutating
-	// operations (serve goroutine only, no locking).
-	dedup map[int32]*dedupRing
+	// deadFlags mirrors deadPeers as lock-free per-peer flags, so the
+	// requester fast paths (request numbering, direct reads) check liveness
+	// without k.mu. A flag is set only after the pending sweep for that peer
+	// completed; addPending rechecks deadPeers under k.mu before inserting,
+	// closing the race with a concurrent sweep.
+	deadFlags []atomic.Bool
+
+	// Sharded home-side global-memory service: nshards independent shards,
+	// each owning a disjoint set of homed blocks (gmem.Space.ShardOf). With
+	// workers set (real transports, nshards > 1) each shard runs its own
+	// goroutine fed through its queue; otherwise the serve goroutine calls
+	// into the routed shard inline, which keeps the simulated transport's
+	// cooperative single-context model (and its determinism) intact.
+	nshards int
+	workers bool
+	shards  []*kernelShard
+	shardWG sync.WaitGroup
+	// invCtr issues invalidation-round ids, kernel-global so rounds are
+	// unique across shards and an OpInvAck can never alias a round of
+	// another shard.
+	invCtr atomic.Uint64
+
+	// windows[i] is kernel i's segment when the one-sided direct-read fast
+	// path is enabled (co-located transports, caching off); nil otherwise.
+	// Read-only after cluster construction.
+	windows []*gmem.Segment
+
+	// dispatched is serve-goroutine scratch: set by dispatchGM when the
+	// message was handed to a shard worker, which then owns service-time
+	// accounting and message recycling.
+	dispatched bool
+
+	// dedup holds the per-requester exactly-once window for the mutating
+	// process-management ops the serial loop services (OpProcRegister,
+	// OpProcExit); global-memory mutations dedup inside their shard. Serve
+	// goroutine only.
+	dedup dedupTable
 
 	// extra accumulates reliability counters and service-time histograms the
 	// transport does not track (kernel side; the PE keeps its own in
-	// pe.extra). Serve goroutine only (histograms follow their own
-	// concurrency contract and may additionally be read live).
+	// pe.extra, shards in kernelShard.extra). Serve goroutine only
+	// (histograms follow their own concurrency contract and may additionally
+	// be read live).
 	extra trace.PEStats
 
 	// spans records one service span per handled message (nil unless
-	// Config.Tracing). Serve goroutine only.
+	// Config.Tracing). Serve goroutine only; shard workers record into their
+	// own rings.
 	spans *trace.SpanRing
-
-	// In-flight invalidation rounds at this home (caching protocol).
-	inv     map[uint64]*invRound
-	invNext uint64
-
-	// Handler scratch, reused across requests. Handlers run only on the
-	// serve goroutine, so no locking is needed.
-	wscratch []int64   // payload words
-	vscratch []int64   // per-run words of a vectored write
-	raddrs   []uint64  // decoded vectored-read range starts
-	rcounts  []int     // decoded vectored-read range lengths
-	invSends []invSend // pending invalidations of a vectored write
 }
 
 // invSend is one invalidation a mutating request must issue: drop the
@@ -110,7 +141,9 @@ type pendingReq struct {
 // The dedup window: the home kernel remembers the last dedupWindow mutating
 // requests per requester, so a retried request (same Seq) is absorbed instead
 // of re-applied. A PE issues requests one at a time, so a window this size is
-// far deeper than any retry can reach back.
+// far deeper than any retry can reach back — which also means splitting the
+// window per shard (requests route to the shard that owns their address, and
+// a retry routes identically) cannot change what gets absorbed.
 const dedupWindow = 32
 
 const (
@@ -133,6 +166,50 @@ type dedupEntry struct {
 type dedupRing struct {
 	entries [dedupWindow]dedupEntry
 	next    int
+}
+
+// dedupTable is an exactly-once window keyed by requester. The kernel's
+// serial loop and every shard own one each; a table is single-goroutine.
+type dedupTable struct {
+	rings map[int32]*dedupRing
+}
+
+func newDedupTable() dedupTable { return dedupTable{rings: make(map[int32]*dedupRing)} }
+
+// lookup returns the entry recorded for (src, seq); a first-seen seq is
+// recorded as in-progress and nil is returned.
+func (d *dedupTable) lookup(src int32, seq uint64) *dedupEntry {
+	r := d.rings[src]
+	if r == nil {
+		r = &dedupRing{}
+		d.rings[src] = r
+	}
+	for i := range r.entries {
+		e := &r.entries[i]
+		if e.state != dedupEmpty && e.seq == seq {
+			return e
+		}
+	}
+	r.entries[r.next] = dedupEntry{seq: seq, state: dedupInProgress}
+	r.next = (r.next + 1) % dedupWindow
+	return nil
+}
+
+// complete caches the response of a mutating request so a later retry can be
+// answered by resend.
+func (d *dedupTable) complete(src int32, seq uint64, respOp wire.Op, arg1, arg2 int64) {
+	r := d.rings[src]
+	if r == nil {
+		return
+	}
+	for i := range r.entries {
+		e := &r.entries[i]
+		if e.state != dedupEmpty && e.seq == seq {
+			e.respOp, e.arg1, e.arg2 = respOp, arg1, arg2
+			e.state = dedupDone
+			return
+		}
+	}
 }
 
 // invRound tracks one write/atomic waiting for invalidation acks before the
@@ -164,9 +241,21 @@ func newKernel(id int, node transport.Node, cfg *Config) *Kernel {
 		pending:   make(map[uint64]pendingReq),
 		userq:     make(map[int32]transport.Mailbox),
 		deadPeers: make(map[int]bool),
-		dedup:     make(map[int32]*dedupRing),
-		inv:       make(map[uint64]*invRound),
+		deadFlags: make([]atomic.Bool, cfg.NumPE),
+		dedup:     newDedupTable(),
 		spans:     cfg.Tracing.NewRing(),
+	}
+	k.nshards = cfg.KernelShards
+	if k.nshards < 1 {
+		k.nshards = 1
+	}
+	// Shard workers need a Svc port that is safe for concurrent Send; the
+	// simulated transport's ports are bound to one cooperative process, so
+	// sharding dispatches inline there (still per-shard state, no threads).
+	k.workers = k.nshards > 1 && cfg.Transport != TransportSim
+	k.shards = make([]*kernelShard, k.nshards)
+	for i := range k.shards {
+		k.shards[i] = newKernelShard(k, i)
 	}
 	node.SetPeerDown(k.peerDown)
 	if cfg.Caching {
@@ -199,16 +288,24 @@ const treeArity = 2
 // addPending reserves a request id and registers its reply mailbox. If the
 // transport has already declared dst dead it reports dead=true and registers
 // nothing: the caller fails the request immediately instead of sending into
-// the void.
+// the void. The id comes from the atomic counter — the mutex guards only the
+// pending-map insert, and the dead-peer recheck under it closes the race
+// with a concurrent peer-down sweep (the sweep marks deadPeers before it
+// collects victims, so an insert that slipped past the flag either happens
+// before the sweep and is swept, or sees deadPeers set and backs out).
 func (k *Kernel) addPending(mb transport.Mailbox, dst int) (seq uint64, dead bool) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	k.seq++
-	if k.deadPeers[dst] {
-		return k.seq, true
+	seq = k.seqCtr.Add(1)
+	if k.deadFlags[dst].Load() {
+		return seq, true
 	}
-	k.pending[k.seq] = pendingReq{mb: mb, dst: dst}
-	return k.seq, false
+	k.mu.Lock()
+	if k.deadPeers[dst] {
+		k.mu.Unlock()
+		return seq, true
+	}
+	k.pending[seq] = pendingReq{mb: mb, dst: dst}
+	k.mu.Unlock()
+	return seq, false
 }
 
 func (k *Kernel) takePending(seq uint64) (transport.Mailbox, bool) {
@@ -232,6 +329,11 @@ func (k *Kernel) dropPending(seq uint64) {
 // marks the peer dead, so new requests to it fail fast, and synthesises an
 // OpPeerDown reply for every request outstanding against it, so blocked
 // requesters wake immediately instead of waiting out the timeout.
+//
+// It deliberately does NOT fence the GM shards: a shard worker's own reply
+// Send can be what reports the peer down, and a fence would then wait on a
+// worker that is waiting on this callback. No fence is needed — shard state
+// is keyed by requester/seq and a dead requester's entries are inert.
 func (k *Kernel) peerDown(peer int) {
 	k.mu.Lock()
 	if k.deadPeers[peer] {
@@ -247,6 +349,8 @@ func (k *Kernel) peerDown(peer int) {
 		}
 	}
 	k.mu.Unlock()
+	// Publish the lock-free flag only after the sweep: see addPending.
+	k.deadFlags[peer].Store(true)
 	sort.Slice(victims, func(i, j int) bool { return victims[i].seq < victims[j].seq })
 	for _, v := range victims {
 		m := wire.GetMessage()
@@ -271,7 +375,7 @@ type pendingVictim struct {
 
 // isMutating reports whether op changes state at its destination, i.e.
 // whether a blind retransmission could apply it twice. These are exactly the
-// ops the dedup window tracks.
+// ops the dedup windows track.
 func isMutating(op wire.Op) bool {
 	switch op {
 	case wire.OpWrite, wire.OpWriteV, wire.OpFetchAdd, wire.OpCAS,
@@ -281,56 +385,24 @@ func isMutating(op wire.Op) bool {
 	return false
 }
 
-// dedupCheck consults the requester's dedup window before a mutating request
-// is dispatched. It reports whether the message was absorbed here: a
-// duplicate whose response is cached is answered by resend, a duplicate
-// still in progress is dropped (the eventual response will serve it). A
-// first-seen request is recorded in-progress and dispatched normally.
-// Serve goroutine only.
+// dedupCheck consults the serial loop's dedup window before a mutating
+// process-management request is dispatched. It reports whether the message
+// was absorbed here: a duplicate whose response is cached is answered by
+// resend, a duplicate still in progress is dropped. (Unlike GM writes, proc
+// ops never open an invalidation round, so there is nothing to re-kick for
+// an in-progress duplicate.) Serve goroutine only.
 func (k *Kernel) dedupCheck(m *wire.Message) bool {
-	r := k.dedup[m.Src]
-	if r == nil {
-		r = &dedupRing{}
-		k.dedup[m.Src] = r
+	e := k.dedup.lookup(m.Src, m.Seq)
+	if e == nil {
+		return false
 	}
-	for i := range r.entries {
-		e := &r.entries[i]
-		if e.state == dedupEmpty || e.seq != m.Seq {
-			continue
-		}
-		k.extra.DupRequests++
-		if e.state == dedupDone {
-			resp := wire.GetMessage()
-			resp.Op, resp.Arg1, resp.Arg2 = e.respOp, e.arg1, e.arg2
-			k.reply(m, resp)
-		} else if m.Flags&wire.FlagRetry != 0 {
-			// The writer is retrying while its invalidation round is still
-			// open: a lost OpInvalidate/OpInvAck would wedge the round (and
-			// absorb every further retry right here), so nudge it along.
-			k.resendInvalidations(m.Src, m.Seq)
-		}
-		return true
+	k.extra.DupRequests++
+	if e.state == dedupDone {
+		resp := wire.GetMessage()
+		resp.Op, resp.Arg1, resp.Arg2 = e.respOp, e.arg1, e.arg2
+		k.reply(m, resp)
 	}
-	r.entries[r.next] = dedupEntry{seq: m.Seq, state: dedupInProgress}
-	r.next = (r.next + 1) % dedupWindow
-	return false
-}
-
-// dedupComplete caches the response of a mutating request so a later retry
-// can be answered by resend. Serve goroutine only.
-func (k *Kernel) dedupComplete(src int32, seq uint64, respOp wire.Op, arg1, arg2 int64) {
-	r := k.dedup[src]
-	if r == nil {
-		return
-	}
-	for i := range r.entries {
-		e := &r.entries[i]
-		if e.state != dedupEmpty && e.seq == seq {
-			e.respOp, e.arg1, e.arg2 = respOp, arg1, arg2
-			e.state = dedupDone
-			return
-		}
-	}
+	return true
 }
 
 // userMb returns (creating on demand) the queue for user messages with tag.
@@ -345,12 +417,42 @@ func (k *Kernel) userMb(tag int32) transport.Mailbox {
 	return mb
 }
 
+// releaseUserQueues closes and forgets every user-message mailbox. Called
+// once when the serve loop exits (PE shutdown): tags registered by userMb
+// used to accumulate for the kernel's lifetime — a leak for programs cycling
+// through many tags — and a closed mailbox wakes any straggling RecvMsg.
+func (k *Kernel) releaseUserQueues() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	for tag, mb := range k.userq {
+		mb.Close()
+		delete(k.userq, tag)
+	}
+}
+
 // serve is the DSE kernel main loop (the "parallel processing mechanism"):
 // it receives every message addressed to this kernel and dispatches it,
 // until the node shuts down. Around every dispatch it observes the per-op
 // service time (receive timestamp → handling done) and, when tracing is
-// enabled, records a service span.
+// enabled, records a service span; messages handed to a shard worker are
+// accounted by the worker instead. Shard workers live exactly as long as
+// the loop: started on entry, drained and joined on exit.
 func (k *Kernel) serve() {
+	if k.workers {
+		for _, sh := range k.shards {
+			k.shardWG.Add(1)
+			go sh.run()
+		}
+	}
+	defer func() {
+		if k.workers {
+			for _, sh := range k.shards {
+				close(sh.q)
+			}
+			k.shardWG.Wait()
+		}
+		k.releaseUserQueues()
+	}()
 	for {
 		m, ok := k.node.Recv()
 		if !ok {
@@ -360,6 +462,12 @@ func (k *Kernel) serve() {
 		// moves to another context (a mailbox) the moment handle returns.
 		op, src, seq, rcv := m.Op, m.Src, m.Seq, m.RecvAt
 		consumed := k.handle(m)
+		if k.dispatched {
+			// A shard worker owns this message now, including its
+			// service-time accounting and recycling.
+			k.dispatched = false
+			continue
+		}
 		end := k.svc.Now()
 		if int(op) < wire.NumOps {
 			k.extra.ServiceByOp[op].Observe(end - rcv)
@@ -379,12 +487,10 @@ func (k *Kernel) serve() {
 
 // handle dispatches one incoming message. It reports whether the message
 // was consumed here (true → serve recycles it); false means ownership moved
-// to another context: a reply mailbox, the sync mailbox or a user queue.
+// to another context: a reply mailbox, the sync mailbox, a user queue or a
+// shard worker.
 func (k *Kernel) handle(m *wire.Message) bool {
 	k.logMessage(m)
-	if isMutating(m.Op) && k.dedupCheck(m) {
-		return true // duplicate: absorbed by the dedup window
-	}
 	switch m.Op {
 	// Responses to this kernel's own outstanding requests.
 	case wire.OpReadResp, wire.OpWriteAck, wire.OpFetchAddResp, wire.OpCASResp,
@@ -407,23 +513,11 @@ func (k *Kernel) handle(m *wire.Message) bool {
 		k.syncMb.Put(m)
 		return false
 
-	// Global memory service (this kernel is the home).
-	case wire.OpRead:
-		k.handleRead(m)
-	case wire.OpReadV:
-		k.handleReadV(m)
-	case wire.OpWrite:
-		k.handleWrite(m)
-	case wire.OpWriteV:
-		k.handleWriteV(m)
-	case wire.OpFetchAdd:
-		k.handleFetchAdd(m)
-	case wire.OpCAS:
-		k.handleCAS(m)
-	case wire.OpInvalidate:
-		k.handleInvalidate(m)
-	case wire.OpInvAck:
-		k.handleInvAck(m)
+	// Global memory service (this kernel is the home): route to the shard
+	// owning the address range. GM mutations dedup inside the shard.
+	case wire.OpRead, wire.OpReadV, wire.OpWrite, wire.OpWriteV,
+		wire.OpFetchAdd, wire.OpCAS, wire.OpInvalidate, wire.OpInvAck:
+		return k.dispatchGM(m)
 
 	// Synchronisation service.
 	case wire.OpBarrierArrive:
@@ -451,11 +545,17 @@ func (k *Kernel) handle(m *wire.Message) bool {
 
 	// Parallel process management (kernel 0 hosts the global table).
 	case wire.OpProcRegister:
+		if k.dedupCheck(m) {
+			return true
+		}
 		gpid := k.procs.Register(m.Src, string(m.Data), k.svc.Now())
 		resp := wire.GetMessage()
 		resp.Op, resp.Arg1 = wire.OpProcRegResp, gpid
 		k.reply(m, resp)
 	case wire.OpProcExit:
+		if k.dedupCheck(m) {
+			return true
+		}
 		if err := k.procs.Exit(m.Arg1, m.Arg2, k.svc.Now()); err != nil {
 			// Unknown or already-exited gpid: a duplicate that outlived the
 			// dedup window. Exit is idempotent, so count it and ack anyway.
@@ -479,8 +579,11 @@ func (k *Kernel) handle(m *wire.Message) bool {
 	// Coordinated checkpoint: export this kernel's slice of global memory
 	// plus the coherence directory. The requesting PE is this kernel's own
 	// application context, quiesced at a barrier, so the slice is a
-	// consistent cut — no request of this PE is in flight while we serialise.
+	// consistent cut — no request of this PE is in flight while we
+	// serialise. The shard fence extends that cut across shard workers:
+	// requests already queued to a shard are drained before the export.
 	case wire.OpCkptMark:
+		k.fenceShards()
 		resp := wire.GetMessage()
 		resp.Op = wire.OpCkptMarkResp
 		resp.Data = ckpt.EncodeKernelState(k.cfg.GMBlockWords, k.seg.Export())
@@ -522,246 +625,16 @@ func (k *Kernel) logMessage(m *wire.Message) {
 
 // reply answers request m, echoing its Seq. reply takes ownership of resp:
 // the transport has fully serialised it by the time Send returns, so it is
-// recycled here.
+// recycled here. (Serial-loop requests only; shards use kernelShard.reply,
+// which completes the shard's own dedup window.)
 func (k *Kernel) reply(m *wire.Message, resp *wire.Message) {
 	resp.Src = int32(k.id)
 	resp.Dst = m.Src
 	resp.Seq = m.Seq
 	if isMutating(m.Op) {
-		k.dedupComplete(m.Src, m.Seq, resp.Op, resp.Arg1, resp.Arg2)
+		k.dedup.complete(m.Src, m.Seq, resp.Op, resp.Arg1, resp.Arg2)
 	}
 	k.svc.Send(int(m.Src), resp)
-	wire.PutMessage(resp)
-}
-
-func (k *Kernel) handleRead(m *wire.Message) {
-	resp := wire.GetMessage()
-	resp.Op, resp.Addr = wire.OpReadResp, m.Addr
-	if m.Arg2 == 1 {
-		// Block fetch for the caching protocol: return the whole block and
-		// record the reader in the directory.
-		resp.PutWords(k.seg.ReadBlockFor(m.Addr, int(m.Src)))
-		k.reply(m, resp)
-		return
-	}
-	k.wscratch = k.seg.ReadAppend(k.wscratch[:0], m.Addr, int(m.Arg1))
-	resp.PutWords(k.wscratch)
-	k.reply(m, resp)
-}
-
-// handleReadV serves a vectored read: every requested range, gathered into
-// one response payload.
-func (k *Kernel) handleReadV(m *wire.Message) {
-	k.raddrs = k.raddrs[:0]
-	k.rcounts = k.rcounts[:0]
-	if err := m.EachRange(func(addr uint64, count int) {
-		k.raddrs = append(k.raddrs, addr)
-		k.rcounts = append(k.rcounts, count)
-	}); err != nil {
-		// Corrupt vectored-read payload: drop without replying (the
-		// requester's timeout/retry machinery owns recovery).
-		k.extra.CorruptDrops++
-		return
-	}
-	k.wscratch = k.seg.ReadV(k.wscratch[:0], k.raddrs, k.rcounts)
-	resp := wire.GetMessage()
-	resp.Op, resp.Addr = wire.OpReadVResp, m.Addr
-	resp.PutWords(k.wscratch)
-	k.reply(m, resp)
-}
-
-func (k *Kernel) handleWrite(m *wire.Message) {
-	if len(m.Data)%8 != 0 {
-		// Torn payload (WordsInto would panic): drop and let the requester
-		// retry.
-		k.extra.CorruptDrops++
-		return
-	}
-	k.wscratch = m.WordsInto(k.wscratch)
-	if k.cache == nil {
-		k.seg.Write(m.Addr, k.wscratch)
-		ack := wire.GetMessage()
-		ack.Op = wire.OpWriteAck
-		k.reply(m, ack)
-		return
-	}
-	targets := k.seg.WriteInvalidating(m.Addr, k.wscratch, int(m.Src))
-	k.invSends = k.invSends[:0]
-	for _, t := range targets {
-		k.invSends = append(k.invSends, invSend{addr: m.Addr, dst: t})
-	}
-	k.finishAfterInvalidations(m, k.invSends, wire.OpWriteAck, 0, 0)
-}
-
-// handleWriteV serves a vectored write: every run scattered to its range,
-// one ack. Under caching, the ack is withheld until every invalidation of
-// every touched block has been acknowledged.
-func (k *Kernel) handleWriteV(m *wire.Message) {
-	var err error
-	if k.cache == nil {
-		k.vscratch, err = m.EachWriteRun(k.vscratch, func(addr uint64, words []int64) {
-			k.seg.Write(addr, words)
-		})
-		if err != nil {
-			// Runs decoded before the corruption were already applied; the
-			// request is not acked, so the requester treats it as lost.
-			k.extra.CorruptDrops++
-			return
-		}
-		ack := wire.GetMessage()
-		ack.Op = wire.OpWriteAck
-		k.reply(m, ack)
-		return
-	}
-	k.invSends = k.invSends[:0]
-	k.vscratch, err = m.EachWriteRun(k.vscratch, func(addr uint64, words []int64) {
-		for _, t := range k.seg.WriteInvalidating(addr, words, int(m.Src)) {
-			k.invSends = append(k.invSends, invSend{addr: addr, dst: t})
-		}
-	})
-	if err != nil {
-		k.extra.CorruptDrops++
-		return
-	}
-	k.finishAfterInvalidations(m, k.invSends, wire.OpWriteAck, 0, 0)
-}
-
-func (k *Kernel) handleFetchAdd(m *wire.Message) {
-	old := k.seg.FetchAdd(m.Addr, m.Arg1)
-	if k.cache == nil {
-		resp := wire.GetMessage()
-		resp.Op, resp.Arg1 = wire.OpFetchAddResp, old
-		k.reply(m, resp)
-		return
-	}
-	targets := k.seg.CollectInvalidations(m.Addr, int(m.Src))
-	k.invSends = k.invSends[:0]
-	for _, t := range targets {
-		k.invSends = append(k.invSends, invSend{addr: m.Addr, dst: t})
-	}
-	k.finishAfterInvalidations(m, k.invSends, wire.OpFetchAddResp, old, 0)
-}
-
-func (k *Kernel) handleCAS(m *wire.Message) {
-	prev, swapped := k.seg.CAS(m.Addr, m.Arg1, m.Arg2)
-	var sw int64
-	if swapped {
-		sw = 1
-	}
-	if k.cache == nil || !swapped {
-		resp := wire.GetMessage()
-		resp.Op, resp.Arg1, resp.Arg2 = wire.OpCASResp, prev, sw
-		k.reply(m, resp)
-		return
-	}
-	targets := k.seg.CollectInvalidations(m.Addr, int(m.Src))
-	k.invSends = k.invSends[:0]
-	for _, t := range targets {
-		k.invSends = append(k.invSends, invSend{addr: m.Addr, dst: t})
-	}
-	k.finishAfterInvalidations(m, k.invSends, wire.OpCASResp, prev, sw)
-}
-
-// finishAfterInvalidations acknowledges a mutating request immediately when
-// no remote copies exist, or after every cached copy of every touched block
-// has acknowledged its invalidation (write-invalidate coherence: the writer
-// may not proceed while stale copies are readable).
-func (k *Kernel) finishAfterInvalidations(m *wire.Message, sends []invSend, respOp wire.Op, arg1, arg2 int64) {
-	if k.cfg.FaultDropInvalidations {
-		// TEST-ONLY fault: pretend no copies exist, acknowledging the write
-		// without invalidating remote caches. Readers keep serving stale
-		// values — the consistency checker must flag them.
-		sends = nil
-	}
-	if len(sends) == 0 {
-		resp := wire.GetMessage()
-		resp.Op, resp.Arg1, resp.Arg2 = respOp, arg1, arg2
-		k.reply(m, resp)
-		return
-	}
-	k.invNext++
-	id := k.invNext
-	r := &invRound{
-		requester: m.Src, seq: m.Seq,
-		respOp: respOp, arg1: arg1, arg2: arg2,
-	}
-	// sends aliases the reused k.invSends scratch; the round needs its own
-	// copy to survive until the last ack.
-	r.outstanding = append(r.outstanding, sends...)
-	k.inv[id] = r
-	for _, s := range sends {
-		inv := wire.GetMessage()
-		inv.Op, inv.Src, inv.Dst = wire.OpInvalidate, int32(k.id), int32(s.dst)
-		inv.Seq, inv.Addr = id, s.addr
-		k.svc.Send(s.dst, inv)
-		wire.PutMessage(inv)
-	}
-}
-
-// resendInvalidations retransmits the still-unacked invalidations of the
-// round started by requester's mutating request seq, if one is in flight.
-// Called when a retried duplicate of that request arrives: the retry means
-// the writer never got its response, and under a lossy transport the likely
-// cause is a lost OpInvalidate or OpInvAck that no other timer would ever
-// recover. Serve goroutine only.
-func (k *Kernel) resendInvalidations(requester int32, seq uint64) {
-	for id, r := range k.inv {
-		if r.requester != requester || r.seq != seq {
-			continue
-		}
-		for _, s := range r.outstanding {
-			inv := wire.GetMessage()
-			inv.Op, inv.Src, inv.Dst = wire.OpInvalidate, int32(k.id), int32(s.dst)
-			inv.Seq, inv.Addr = id, s.addr
-			inv.Flags |= wire.FlagRetry
-			k.svc.Send(s.dst, inv)
-			wire.PutMessage(inv)
-		}
-		return
-	}
-}
-
-func (k *Kernel) handleInvalidate(m *wire.Message) {
-	if k.cache != nil {
-		k.cache.Invalidate(m.Addr)
-	}
-	ack := wire.GetMessage()
-	ack.Op, ack.Addr = wire.OpInvAck, m.Addr
-	k.reply(m, ack)
-}
-
-func (k *Kernel) handleInvAck(m *wire.Message) {
-	r, ok := k.inv[m.Seq]
-	if !ok {
-		// A duplicate or late ack for a round already completed: count and
-		// drop instead of taking the kernel down.
-		k.extra.StrayDrops++
-		return
-	}
-	// Match the ack against a specific outstanding invalidation so that a
-	// duplicated ack (original + the answer to a retransmission) cannot
-	// complete the round while other copies are still live.
-	found := -1
-	for i, s := range r.outstanding {
-		if s.dst == int(m.Src) && s.addr == m.Addr {
-			found = i
-			break
-		}
-	}
-	if found < 0 {
-		k.extra.StrayDrops++
-		return
-	}
-	r.outstanding = append(r.outstanding[:found], r.outstanding[found+1:]...)
-	if len(r.outstanding) > 0 {
-		return
-	}
-	delete(k.inv, m.Seq)
-	k.dedupComplete(r.requester, r.seq, r.respOp, r.arg1, r.arg2)
-	resp := wire.GetMessage()
-	resp.Op, resp.Src, resp.Dst, resp.Seq = r.respOp, int32(k.id), r.requester, r.seq
-	resp.Arg1, resp.Arg2 = r.arg1, r.arg2
-	k.svc.Send(int(r.requester), resp)
 	wire.PutMessage(resp)
 }
 

@@ -13,7 +13,9 @@ import (
 // outgoing messages on the peers' receive queues.
 func testKernels(t *testing.T, n int, mutate func(cfg *Config)) (*inproc.Net, []*Kernel) {
 	t.Helper()
-	cfg := Config{NumPE: n, Transport: TransportInproc}
+	// One shard, inline: these tests drive handle() directly with no serve
+	// loop, so shard worker queues would never drain.
+	cfg := Config{NumPE: n, Transport: TransportInproc, KernelShards: 1}
 	if mutate != nil {
 		mutate(&cfg)
 	}
@@ -130,8 +132,8 @@ func TestKernelInvalidationRound(t *testing.T) {
 		t.Fatalf("expected invalidate at kernel 1, got %v", inv)
 	}
 	// The writer must NOT have its ack yet: the round is still open.
-	if len(ks[0].inv) != 1 {
-		t.Fatalf("invalidation round not tracked: %d open", len(ks[0].inv))
+	if len(ks[0].shards[0].inv) != 1 {
+		t.Fatalf("invalidation round not tracked: %d open", len(ks[0].shards[0].inv))
 	}
 	// Ack the invalidation (as kernel 1's handler would).
 	ks[0].handle(&wire.Message{Op: wire.OpInvAck, Src: 1, Dst: 0, Seq: inv.Seq, Addr: inv.Addr})
@@ -143,8 +145,8 @@ func TestKernelInvalidationRound(t *testing.T) {
 func TestKernelStrayInvAckDropped(t *testing.T) {
 	_, ks := testKernels(t, 2, func(cfg *Config) { cfg.Caching = true })
 	ks[0].handle(&wire.Message{Op: wire.OpInvAck, Src: 1, Seq: 123})
-	if ks[0].extra.StrayDrops != 1 {
-		t.Fatalf("StrayDrops = %d, want 1", ks[0].extra.StrayDrops)
+	if ks[0].shards[0].extra.StrayDrops != 1 {
+		t.Fatalf("StrayDrops = %d, want 1", ks[0].shards[0].extra.StrayDrops)
 	}
 }
 
@@ -167,8 +169,8 @@ func TestKernelCorruptPayloadsDropped(t *testing.T) {
 	ks[0].handle(&wire.Message{Op: wire.OpReadV, Src: 1, Seq: 2, Data: []byte{9, 9, 9, 9, 9}})
 	// Truncated vectored write: header promises more runs than present.
 	ks[0].handle(&wire.Message{Op: wire.OpWriteV, Src: 1, Seq: 3, Arg1: 5, Data: []byte{0}})
-	if ks[0].extra.CorruptDrops != 3 {
-		t.Fatalf("CorruptDrops = %d, want 3", ks[0].extra.CorruptDrops)
+	if ks[0].shards[0].extra.CorruptDrops != 3 {
+		t.Fatalf("CorruptDrops = %d, want 3", ks[0].shards[0].extra.CorruptDrops)
 	}
 }
 
@@ -191,8 +193,8 @@ func TestKernelDedupAbsorbsRetriedFetchAdd(t *testing.T) {
 	if v := ks[0].seg.Read(5, 1)[0]; v != 3 {
 		t.Fatalf("value = %d, want 3 (applied exactly once)", v)
 	}
-	if ks[0].extra.DupRequests != 1 {
-		t.Fatalf("DupRequests = %d, want 1", ks[0].extra.DupRequests)
+	if ks[0].shards[0].extra.DupRequests != 1 {
+		t.Fatalf("DupRequests = %d, want 1", ks[0].shards[0].extra.DupRequests)
 	}
 }
 

@@ -48,17 +48,25 @@ type PE struct {
 	reqs  []homeReq // one in-flight request per remote home
 }
 
-// vrun is one single-home run of a block or gather operation.
+// vrun is one single-home run of a block or gather operation. A run never
+// crosses a block boundary (HomeRuns caps runs at the block end), so it also
+// has a single home-side shard.
 type vrun struct {
 	home  int
+	shard int // home-side kernel shard owning this run's block
 	start uint64
 	count int
 	off   int // word offset within the caller's buffer
 }
 
-// homeReq is one coalesced per-home request of a pipelined transfer.
+// homeReq is one coalesced per-home request of a pipelined transfer. When
+// the home kernels run shard workers, transfers coalesce per (home, shard)
+// instead of per home, so a gather spanning k shards becomes k sub-requests
+// serviced in parallel; shard is stamped into the request header for the
+// home's dispatcher.
 type homeReq struct {
 	seq    uint64
+	shard  int
 	lo, hi int // pe.hruns[lo:hi] travelled in this request
 	done   bool
 }
@@ -293,7 +301,8 @@ func (pe *PE) GMReadErr(addr uint64) (int64, error) {
 		pe.recordRead(addr, v, false, t0)
 		return v, nil
 	}
-	if k.space.HomeOf(addr) == k.id {
+	home := k.space.HomeOf(addr)
+	if home == k.id {
 		pe.app.LocalAccess()
 		pe.extra.LocalGM++
 		v := k.seg.ReadWord(addr)
@@ -301,9 +310,21 @@ func (pe *PE) GMReadErr(addr uint64) (int64, error) {
 		return v, nil
 	}
 	pe.extra.RemoteGM++
+	if wins := k.windows; wins != nil && !k.deadFlags[home].Load() {
+		// One-sided fast path: the home's segment is mapped in this address
+		// space, so resolve the read directly through its seqlock instead of
+		// a request/reply pair. Every word has a single home and the seqlock
+		// yields a torn-free value, so this is as consistent as the message
+		// path it replaces (uncached mode only: no directory to update).
+		pe.app.LocalAccess()
+		v := wins[home].DirectRead(addr)
+		pe.extra.DirectGM++
+		pe.recordRead(addr, v, false, t0)
+		return v, nil
+	}
 	req := wire.GetMessage()
 	req.Op, req.Addr, req.Arg1 = wire.OpRead, addr, 1
-	resp, err := pe.requestErr(k.space.HomeOf(addr), req)
+	resp, err := pe.requestErr(home, req)
 	wire.PutMessage(req)
 	if err != nil {
 		pe.recordReadFailed(addr, t0)
@@ -508,21 +529,32 @@ func (pe *PE) sendAsync(dst int, m *wire.Message) uint64 {
 	return seq
 }
 
-// groupRunsByHome regroups pe.vruns into pe.hruns ordered by home and
-// returns nothing; callers then slice pe.hruns per home. Runs keep their
-// relative (ascending-address) order within each home group.
+// groupRunsByHome regroups pe.vruns into pe.hruns ordered by home (and, when
+// the home kernels run shard workers, by shard within each home, so each
+// sub-request lands wholly in one shard and the shards service them in
+// parallel); callers then slice pe.hruns per request. Runs keep their
+// relative (ascending-address) order within each group. Without workers a
+// single per-home request is still stamped with its first run's shard — the
+// handlers don't care, every table the request touches is inline-owned.
 func (pe *PE) groupRunsByHome() {
 	pe.hruns = pe.hruns[:0]
 	pe.reqs = pe.reqs[:0]
+	nsh := 1
+	if pe.k.workers {
+		nsh = pe.k.nshards
+	}
 	for home := 0; home < pe.k.n; home++ {
-		lo := len(pe.hruns)
-		for _, r := range pe.vruns {
-			if r.home == home {
+		for s := 0; s < nsh; s++ {
+			lo := len(pe.hruns)
+			for _, r := range pe.vruns {
+				if r.home != home || (nsh > 1 && r.shard != s) {
+					continue
+				}
 				pe.hruns = append(pe.hruns, r)
 			}
-		}
-		if hi := len(pe.hruns); hi > lo {
-			pe.reqs = append(pe.reqs, homeReq{lo: lo, hi: hi})
+			if hi := len(pe.hruns); hi > lo {
+				pe.reqs = append(pe.reqs, homeReq{lo: lo, hi: hi, shard: pe.hruns[lo].shard})
+			}
 		}
 	}
 }
@@ -679,7 +711,10 @@ func (pe *PE) GMReadBlock(addr uint64, n int) []int64 {
 			return
 		}
 		pe.extra.RemoteGM++
-		pe.vruns = append(pe.vruns, vrun{home: home, start: start, count: count, off: off})
+		pe.vruns = append(pe.vruns, vrun{
+			home: home, shard: k.space.ShardOf(start, k.nshards),
+			start: start, count: count, off: off,
+		})
 	})
 	if len(pe.vruns) == 0 {
 		pe.recordBlockRead(addr, out, t0)
@@ -698,6 +733,7 @@ func (pe *PE) GMReadBlock(addr uint64, n int) []int64 {
 				req.AppendRange(r.start, r.count)
 			}
 		}
+		req.Shard = uint8(g.shard)
 		g.seq = pe.sendAsync(pe.hruns[g.lo].home, req)
 		wire.PutMessage(req)
 	}
@@ -768,7 +804,10 @@ func (pe *PE) GMWriteBlock(addr uint64, words []int64) {
 			return
 		}
 		pe.extra.RemoteGM++
-		pe.vruns = append(pe.vruns, vrun{home: home, start: start, count: count, off: off})
+		pe.vruns = append(pe.vruns, vrun{
+			home: home, shard: k.space.ShardOf(start, k.nshards),
+			start: start, count: count, off: off,
+		})
 		if k.cache != nil {
 			k.cache.Invalidate(start)
 		}
@@ -791,6 +830,7 @@ func (pe *PE) GMWriteBlock(addr uint64, words []int64) {
 				req.AppendWriteRun(r.start, words[r.off:r.off+r.count])
 			}
 		}
+		req.Shard = uint8(g.shard)
 		g.seq = pe.sendAsync(pe.hruns[g.lo].home, req)
 		wire.PutMessage(req)
 	}
@@ -815,7 +855,10 @@ func (pe *PE) GMGather(addrs []uint64) []int64 {
 	for i, addr := range addrs {
 		if home := k.space.HomeOf(addr); home != k.id {
 			pe.extra.RemoteGM++
-			pe.vruns = append(pe.vruns, vrun{home: home, start: addr, count: 1, off: i})
+			pe.vruns = append(pe.vruns, vrun{
+				home: home, shard: k.space.ShardOf(addr, k.nshards),
+				start: addr, count: 1, off: i,
+			})
 			continue
 		}
 		pe.app.LocalAccess()
@@ -839,6 +882,7 @@ func (pe *PE) GMGather(addrs []uint64) []int64 {
 				req.AppendRange(r.start, 1)
 			}
 		}
+		req.Shard = uint8(g.shard)
 		g.seq = pe.sendAsync(pe.hruns[g.lo].home, req)
 		wire.PutMessage(req)
 	}
@@ -893,7 +937,10 @@ func (pe *PE) GMScatter(addrs []uint64, vals []int64) {
 	for i, addr := range addrs {
 		if home := k.space.HomeOf(addr); home != k.id || k.cache != nil {
 			pe.extra.RemoteGM++
-			pe.vruns = append(pe.vruns, vrun{home: home, start: addr, count: 1, off: i})
+			pe.vruns = append(pe.vruns, vrun{
+				home: home, shard: k.space.ShardOf(addr, k.nshards),
+				start: addr, count: 1, off: i,
+			})
 			if k.cache != nil {
 				k.cache.Invalidate(addr)
 			}
@@ -921,6 +968,7 @@ func (pe *PE) GMScatter(addrs []uint64, vals []int64) {
 				req.AppendWriteRun(r.start, vals[r.off:r.off+1])
 			}
 		}
+		req.Shard = uint8(g.shard)
 		g.seq = pe.sendAsync(pe.hruns[g.lo].home, req)
 		wire.PutMessage(req)
 	}

@@ -1,0 +1,476 @@
+package core
+
+import (
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// kernelShard is one address-range shard of a kernel's home-side
+// global-memory service. The homed blocks are partitioned over shards by
+// gmem.Space.ShardOf (block-round-robin, aligned with the segment's lock
+// stripes so shards mutate disjoint stripes), and each shard privately owns
+// everything a GM request touches beyond the segment itself: the dedup
+// window for mutating GM ops, the in-flight invalidation rounds, the
+// decode/encode scratch and the service-side counters.
+//
+// Execution comes in two modes. With Kernel.workers set (real transports,
+// nshards > 1) each shard runs a worker goroutine fed through q, so
+// requests for different address ranges are serviced in parallel; otherwise
+// the serve goroutine calls handleGM inline and the shard is purely a state
+// partition. Either way a given address is always serviced by the same
+// shard, preserving per-word request ordering and exactly-once dedup.
+type kernelShard struct {
+	k   *Kernel
+	idx int
+
+	// q feeds the worker goroutine (nil in inline mode). Items are either a
+	// message to service or a fence token to acknowledge.
+	q chan shardItem
+
+	// dedup is the exactly-once window for mutating GM requests routed to
+	// this shard. A retry routes identically (same address → same shard; the
+	// requester stamps vectored retries with the same shard hint), so the
+	// split window absorbs exactly what the kernel-wide window used to.
+	dedup dedupTable
+
+	// inv holds this shard's in-flight invalidation rounds, keyed by the
+	// kernel-global round id.
+	inv map[uint64]*invRound
+
+	// extra accumulates this shard's service counters and histograms,
+	// merged into the kernel's totals after shutdown.
+	extra trace.PEStats
+
+	// spans is this shard's service-span ring (nil unless Config.Tracing);
+	// per shard because a span ring is single-writer.
+	spans *trace.SpanRing
+
+	// Handler scratch, reused across requests. Only this shard's servicing
+	// goroutine touches it.
+	wscratch []int64   // payload words
+	vscratch []int64   // per-run words of a vectored write
+	raddrs   []uint64  // decoded vectored-read range starts
+	rcounts  []int     // decoded vectored-read range lengths
+	invSends []invSend // pending invalidations of a vectored write
+}
+
+// shardItem is one unit of work on a shard queue: a message, or a fence
+// (m == nil) the worker acknowledges once everything queued before it has
+// been serviced.
+type shardItem struct {
+	m     *wire.Message
+	fence chan<- struct{}
+}
+
+func newKernelShard(k *Kernel, idx int) *kernelShard {
+	sh := &kernelShard{
+		k:     k,
+		idx:   idx,
+		dedup: newDedupTable(),
+		inv:   make(map[uint64]*invRound),
+		spans: k.cfg.Tracing.NewRing(),
+	}
+	if k.workers {
+		sh.q = make(chan shardItem, 1024)
+	}
+	return sh
+}
+
+// shardFor routes message m to a shard index. Scalar ops hash their address;
+// vectored ops carry the requester's shard hint (the requester groups runs
+// per shard, so the hint names every range's shard); invalidation acks carry
+// the shard that opened the round. Out-of-range hints (a stale or hostile
+// byte) clamp to shard 0, where they are serviced safely — the segment is
+// stripe-locked, and an ack for an unknown round counts as stray.
+func (k *Kernel) shardFor(m *wire.Message) int {
+	if k.nshards == 1 {
+		return 0
+	}
+	switch m.Op {
+	case wire.OpReadV, wire.OpWriteV, wire.OpInvAck:
+		if s := int(m.Shard); s < k.nshards {
+			return s
+		}
+		return 0
+	}
+	return k.space.ShardOf(m.Addr, k.nshards)
+}
+
+// dispatchGM hands one GM request to its shard. It reports whether the
+// message was consumed (inline mode: serviced right here); in worker mode it
+// sets k.dispatched so serve leaves accounting and recycling to the worker.
+func (k *Kernel) dispatchGM(m *wire.Message) bool {
+	sh := k.shards[k.shardFor(m)]
+	if sh.q == nil {
+		sh.handleGM(m)
+		return true
+	}
+	sh.q <- shardItem{m: m}
+	k.dispatched = true
+	return false
+}
+
+// fenceShards blocks until every shard worker has serviced everything
+// enqueued before the fence — the cross-shard collective the checkpoint
+// marker uses so seg.Export sees no request in flight on any shard. A no-op
+// in inline mode, where the serve goroutine is the only servicer. Must not
+// be called from shard workers (the serial serve loop only), and peer-down
+// handling deliberately never fences: a worker's own Send may be what
+// reported the peer dead, and the fence would wait on that worker forever.
+func (k *Kernel) fenceShards() {
+	if !k.workers {
+		return
+	}
+	done := make(chan struct{}, len(k.shards))
+	for _, sh := range k.shards {
+		sh.q <- shardItem{fence: done}
+	}
+	for range k.shards {
+		<-done
+	}
+}
+
+// run is the shard worker loop: service queued GM requests until the queue
+// closes at kernel shutdown. The worker owns each message end to end —
+// service-time observation, span recording and recycling — mirroring what
+// serve does for inline-handled messages.
+func (sh *kernelShard) run() {
+	k := sh.k
+	for it := range sh.q {
+		if it.m == nil {
+			it.fence <- struct{}{}
+			continue
+		}
+		m := it.m
+		op, src, seq, rcv := m.Op, m.Src, m.Seq, m.RecvAt
+		sh.handleGM(m)
+		end := k.svc.Now()
+		if int(op) < wire.NumOps {
+			sh.extra.ServiceByOp[op].Observe(end - rcv)
+		}
+		sh.extra.ShardedMsgs++
+		if sh.spans != nil && sh.spans.Sampled() {
+			sh.spans.Record(trace.Span{
+				Kind: trace.SpanService, Op: op,
+				PE: int32(k.id), Peer: src, Seq: seq,
+				Start: rcv, End: end,
+			})
+		}
+		wire.PutMessage(m)
+	}
+	k.shardWG.Done()
+}
+
+// handleGM services one GM request routed to this shard. Every GM handler
+// consumes its message; the caller recycles it.
+func (sh *kernelShard) handleGM(m *wire.Message) {
+	if isMutating(m.Op) && sh.dedupCheck(m) {
+		return // duplicate: absorbed by the shard's dedup window
+	}
+	switch m.Op {
+	case wire.OpRead:
+		sh.handleRead(m)
+	case wire.OpReadV:
+		sh.handleReadV(m)
+	case wire.OpWrite:
+		sh.handleWrite(m)
+	case wire.OpWriteV:
+		sh.handleWriteV(m)
+	case wire.OpFetchAdd:
+		sh.handleFetchAdd(m)
+	case wire.OpCAS:
+		sh.handleCAS(m)
+	case wire.OpInvalidate:
+		sh.handleInvalidate(m)
+	case wire.OpInvAck:
+		sh.handleInvAck(m)
+	}
+}
+
+// dedupCheck consults the shard's dedup window before a mutating request is
+// dispatched. It reports whether the message was absorbed here: a duplicate
+// whose response is cached is answered by resend, a duplicate still in
+// progress is dropped (the eventual response will serve it) — unless the
+// retry flag is set, which re-kicks the request's invalidation round.
+func (sh *kernelShard) dedupCheck(m *wire.Message) bool {
+	e := sh.dedup.lookup(m.Src, m.Seq)
+	if e == nil {
+		return false
+	}
+	sh.extra.DupRequests++
+	if e.state == dedupDone {
+		resp := wire.GetMessage()
+		resp.Op, resp.Arg1, resp.Arg2 = e.respOp, e.arg1, e.arg2
+		sh.reply(m, resp)
+	} else if m.Flags&wire.FlagRetry != 0 {
+		// The writer is retrying while its invalidation round is still
+		// open: a lost OpInvalidate/OpInvAck would wedge the round (and
+		// absorb every further retry right here), so nudge it along.
+		sh.resendInvalidations(m.Src, m.Seq)
+	}
+	return true
+}
+
+// reply answers request m, echoing its Seq, and completes the shard's dedup
+// entry for mutating requests. reply takes ownership of resp.
+func (sh *kernelShard) reply(m *wire.Message, resp *wire.Message) {
+	k := sh.k
+	resp.Src = int32(k.id)
+	resp.Dst = m.Src
+	resp.Seq = m.Seq
+	if isMutating(m.Op) {
+		sh.dedup.complete(m.Src, m.Seq, resp.Op, resp.Arg1, resp.Arg2)
+	}
+	k.svc.Send(int(m.Src), resp)
+	wire.PutMessage(resp)
+}
+
+func (sh *kernelShard) handleRead(m *wire.Message) {
+	k := sh.k
+	resp := wire.GetMessage()
+	resp.Op, resp.Addr = wire.OpReadResp, m.Addr
+	if m.Arg2 == 1 {
+		// Block fetch for the caching protocol: return the whole block and
+		// record the reader in the directory.
+		resp.PutWords(k.seg.ReadBlockFor(m.Addr, int(m.Src)))
+		sh.reply(m, resp)
+		return
+	}
+	sh.wscratch = k.seg.ReadAppend(sh.wscratch[:0], m.Addr, int(m.Arg1))
+	resp.PutWords(sh.wscratch)
+	sh.reply(m, resp)
+}
+
+// handleReadV serves a vectored read: every requested range, gathered into
+// one response payload.
+func (sh *kernelShard) handleReadV(m *wire.Message) {
+	sh.raddrs = sh.raddrs[:0]
+	sh.rcounts = sh.rcounts[:0]
+	if err := m.EachRange(func(addr uint64, count int) {
+		sh.raddrs = append(sh.raddrs, addr)
+		sh.rcounts = append(sh.rcounts, count)
+	}); err != nil {
+		// Corrupt vectored-read payload: drop without replying (the
+		// requester's timeout/retry machinery owns recovery).
+		sh.extra.CorruptDrops++
+		return
+	}
+	sh.wscratch = sh.k.seg.ReadV(sh.wscratch[:0], sh.raddrs, sh.rcounts)
+	resp := wire.GetMessage()
+	resp.Op, resp.Addr = wire.OpReadVResp, m.Addr
+	resp.PutWords(sh.wscratch)
+	sh.reply(m, resp)
+}
+
+func (sh *kernelShard) handleWrite(m *wire.Message) {
+	k := sh.k
+	if len(m.Data)%8 != 0 {
+		// Torn payload (WordsInto would panic): drop and let the requester
+		// retry.
+		sh.extra.CorruptDrops++
+		return
+	}
+	sh.wscratch = m.WordsInto(sh.wscratch)
+	if k.cache == nil {
+		k.seg.Write(m.Addr, sh.wscratch)
+		ack := wire.GetMessage()
+		ack.Op = wire.OpWriteAck
+		sh.reply(m, ack)
+		return
+	}
+	targets := k.seg.WriteInvalidating(m.Addr, sh.wscratch, int(m.Src))
+	sh.invSends = sh.invSends[:0]
+	for _, t := range targets {
+		sh.invSends = append(sh.invSends, invSend{addr: m.Addr, dst: t})
+	}
+	sh.finishAfterInvalidations(m, sh.invSends, wire.OpWriteAck, 0, 0)
+}
+
+// handleWriteV serves a vectored write: every run scattered to its range,
+// one ack. Under caching, the ack is withheld until every invalidation of
+// every touched block has been acknowledged.
+func (sh *kernelShard) handleWriteV(m *wire.Message) {
+	k := sh.k
+	var err error
+	if k.cache == nil {
+		sh.vscratch, err = m.EachWriteRun(sh.vscratch, func(addr uint64, words []int64) {
+			k.seg.Write(addr, words)
+		})
+		if err != nil {
+			// Runs decoded before the corruption were already applied; the
+			// request is not acked, so the requester treats it as lost.
+			sh.extra.CorruptDrops++
+			return
+		}
+		ack := wire.GetMessage()
+		ack.Op = wire.OpWriteAck
+		sh.reply(m, ack)
+		return
+	}
+	sh.invSends = sh.invSends[:0]
+	sh.vscratch, err = m.EachWriteRun(sh.vscratch, func(addr uint64, words []int64) {
+		for _, t := range k.seg.WriteInvalidating(addr, words, int(m.Src)) {
+			sh.invSends = append(sh.invSends, invSend{addr: addr, dst: t})
+		}
+	})
+	if err != nil {
+		sh.extra.CorruptDrops++
+		return
+	}
+	sh.finishAfterInvalidations(m, sh.invSends, wire.OpWriteAck, 0, 0)
+}
+
+func (sh *kernelShard) handleFetchAdd(m *wire.Message) {
+	k := sh.k
+	old := k.seg.FetchAdd(m.Addr, m.Arg1)
+	if k.cache == nil {
+		resp := wire.GetMessage()
+		resp.Op, resp.Arg1 = wire.OpFetchAddResp, old
+		sh.reply(m, resp)
+		return
+	}
+	targets := k.seg.CollectInvalidations(m.Addr, int(m.Src))
+	sh.invSends = sh.invSends[:0]
+	for _, t := range targets {
+		sh.invSends = append(sh.invSends, invSend{addr: m.Addr, dst: t})
+	}
+	sh.finishAfterInvalidations(m, sh.invSends, wire.OpFetchAddResp, old, 0)
+}
+
+func (sh *kernelShard) handleCAS(m *wire.Message) {
+	k := sh.k
+	prev, swapped := k.seg.CAS(m.Addr, m.Arg1, m.Arg2)
+	var sw int64
+	if swapped {
+		sw = 1
+	}
+	if k.cache == nil || !swapped {
+		resp := wire.GetMessage()
+		resp.Op, resp.Arg1, resp.Arg2 = wire.OpCASResp, prev, sw
+		sh.reply(m, resp)
+		return
+	}
+	targets := k.seg.CollectInvalidations(m.Addr, int(m.Src))
+	sh.invSends = sh.invSends[:0]
+	for _, t := range targets {
+		sh.invSends = append(sh.invSends, invSend{addr: m.Addr, dst: t})
+	}
+	sh.finishAfterInvalidations(m, sh.invSends, wire.OpCASResp, prev, sw)
+}
+
+// finishAfterInvalidations acknowledges a mutating request immediately when
+// no remote copies exist, or after every cached copy of every touched block
+// has acknowledged its invalidation (write-invalidate coherence: the writer
+// may not proceed while stale copies are readable). Round ids come from the
+// kernel-global counter, so they are unique across shards; every
+// OpInvalidate carries this shard's index, which the acking kernel echoes,
+// so the ack routes back to the shard holding the round even when the
+// written ranges spanned shards (possible in inline mode, where vectored
+// requests are not split per shard).
+func (sh *kernelShard) finishAfterInvalidations(m *wire.Message, sends []invSend, respOp wire.Op, arg1, arg2 int64) {
+	k := sh.k
+	if k.cfg.FaultDropInvalidations {
+		// TEST-ONLY fault: pretend no copies exist, acknowledging the write
+		// without invalidating remote caches. Readers keep serving stale
+		// values — the consistency checker must flag them.
+		sends = nil
+	}
+	if len(sends) == 0 {
+		resp := wire.GetMessage()
+		resp.Op, resp.Arg1, resp.Arg2 = respOp, arg1, arg2
+		sh.reply(m, resp)
+		return
+	}
+	id := k.invCtr.Add(1)
+	r := &invRound{
+		requester: m.Src, seq: m.Seq,
+		respOp: respOp, arg1: arg1, arg2: arg2,
+	}
+	// sends aliases the reused sh.invSends scratch; the round needs its own
+	// copy to survive until the last ack.
+	r.outstanding = append(r.outstanding, sends...)
+	sh.inv[id] = r
+	for _, s := range sends {
+		inv := wire.GetMessage()
+		inv.Op, inv.Src, inv.Dst = wire.OpInvalidate, int32(k.id), int32(s.dst)
+		inv.Seq, inv.Addr = id, s.addr
+		inv.Shard = uint8(sh.idx)
+		k.svc.Send(s.dst, inv)
+		wire.PutMessage(inv)
+	}
+}
+
+// resendInvalidations retransmits the still-unacked invalidations of the
+// round started by requester's mutating request seq, if one is in flight.
+// Called when a retried duplicate of that request arrives: the retry means
+// the writer never got its response, and under a lossy transport the likely
+// cause is a lost OpInvalidate or OpInvAck that no other timer would ever
+// recover. The round lives in this shard — retries route like the original.
+func (sh *kernelShard) resendInvalidations(requester int32, seq uint64) {
+	k := sh.k
+	for id, r := range sh.inv {
+		if r.requester != requester || r.seq != seq {
+			continue
+		}
+		for _, s := range r.outstanding {
+			inv := wire.GetMessage()
+			inv.Op, inv.Src, inv.Dst = wire.OpInvalidate, int32(k.id), int32(s.dst)
+			inv.Seq, inv.Addr = id, s.addr
+			inv.Shard = uint8(sh.idx)
+			inv.Flags |= wire.FlagRetry
+			k.svc.Send(s.dst, inv)
+			wire.PutMessage(inv)
+		}
+		return
+	}
+}
+
+// handleInvalidate drops the local cached copy and acks. The ack echoes the
+// sender's shard hint so it routes back to the shard holding the round (the
+// invalidated address is homed at the sender, so hashing it locally would
+// name the wrong kernel's partition).
+func (sh *kernelShard) handleInvalidate(m *wire.Message) {
+	if sh.k.cache != nil {
+		sh.k.cache.Invalidate(m.Addr)
+	}
+	ack := wire.GetMessage()
+	ack.Op, ack.Addr = wire.OpInvAck, m.Addr
+	ack.Shard = m.Shard
+	sh.reply(m, ack)
+}
+
+func (sh *kernelShard) handleInvAck(m *wire.Message) {
+	r, ok := sh.inv[m.Seq]
+	if !ok {
+		// A duplicate or late ack for a round already completed (or an ack
+		// with a corrupted shard hint): count and drop instead of taking the
+		// kernel down.
+		sh.extra.StrayDrops++
+		return
+	}
+	// Match the ack against a specific outstanding invalidation so that a
+	// duplicated ack (original + the answer to a retransmission) cannot
+	// complete the round while other copies are still live.
+	found := -1
+	for i, s := range r.outstanding {
+		if s.dst == int(m.Src) && s.addr == m.Addr {
+			found = i
+			break
+		}
+	}
+	if found < 0 {
+		sh.extra.StrayDrops++
+		return
+	}
+	r.outstanding = append(r.outstanding[:found], r.outstanding[found+1:]...)
+	if len(r.outstanding) > 0 {
+		return
+	}
+	delete(sh.inv, m.Seq)
+	sh.dedup.complete(r.requester, r.seq, r.respOp, r.arg1, r.arg2)
+	resp := wire.GetMessage()
+	resp.Op, resp.Src, resp.Dst, resp.Seq = r.respOp, int32(sh.k.id), r.requester, r.seq
+	resp.Arg1, resp.Arg2 = r.arg1, r.arg2
+	sh.k.svc.Send(int(r.requester), resp)
+	wire.PutMessage(resp)
+}

@@ -112,6 +112,66 @@ func TestStressReplayDeterministic(t *testing.T) {
 	}
 }
 
+// TestStressShardDigestMatchesUnsharded is the sharding no-op proof: under
+// the simulated transport shards dispatch inline, so any KernelShards value
+// must produce a history bit-identical to the single-shard (pre-sharding)
+// kernel — same ops, same interleaving, same digest. The direct-read window
+// is pinned off on both sides so only the shard count varies.
+func TestStressShardDigestMatchesUnsharded(t *testing.T) {
+	base := stress.Options{
+		Seed: 42, NumPE: 4, OpsPerPE: 150, Caching: true, Loss: 0.1,
+		Jitter: 300 * sim.Microsecond,
+		Shards: 1, DirectReads: -1,
+	}
+	ref, err := stress.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 8} {
+		o := base
+		o.Shards = shards
+		res, err := stress.Run(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dr, ds := ref.History.Digest(), res.History.Digest(); dr != ds {
+			t.Errorf("shards=%d history diverged from shards=1: %s vs %s", shards, ds, dr)
+		}
+	}
+}
+
+// TestStressShardSweep runs the stress matrix corners across shard counts,
+// with the direct-read window enabled where it defaults on — every
+// configuration must stay checker-clean, including a mid-run kill and a
+// kill-with-recovery.
+func TestStressShardSweep(t *testing.T) {
+	for _, shards := range []int{1, 2, 8} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+			runStress(t, stress.Options{
+				Seed: 5, NumPE: 4, OpsPerPE: 150, Caching: true, Loss: 0.05,
+				Shards: shards,
+			})
+			runStress(t, stress.Options{
+				Seed: 11, NumPE: 4, OpsPerPE: 150, Loss: 0.02,
+				KillPE: 2, KillAt: 2 * sim.Second,
+				Shards: shards,
+			})
+			// Recovery leg: the direct-read window is pinned off so the
+			// virtual-time schedule matches shards=1 and the kill provably
+			// lands mid-run (windows-on runs finish before KillAt).
+			res := runStress(t, stress.Options{
+				Seed: 23, NumPE: 4, OpsPerPE: 200, Recover: true, CkptEvery: 32,
+				KillPE: 2, KillAt: 500 * sim.Millisecond,
+				Shards: shards, DirectReads: -1,
+			})
+			if res.Recovery == nil || !res.Recovery.Recovered() {
+				t.Fatalf("shards=%d: kill triggered no recovery", shards)
+			}
+		})
+	}
+}
+
 // TestStressCatchesBrokenInvalidation turns on the kernel's test-only
 // coherence fault (writes acknowledged without invalidating remote caches)
 // and demands the checker notice: a harness that cannot see a deliberately

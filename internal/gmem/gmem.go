@@ -16,6 +16,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Space describes the distributed global address space.
@@ -43,6 +44,18 @@ func (s Space) BlockOf(addr uint64) uint64 { return addr / uint64(s.BlockWords) 
 
 // HomeOf returns the kernel that homes word address addr.
 func (s Space) HomeOf(addr uint64) int { return int(s.BlockOf(addr) % uint64(s.N)) }
+
+// ShardOf returns the home-side service shard responsible for addr when the
+// home kernel runs nshards shards. The mapping hashes the kernel-local block
+// sequence number (BlockOf/N), so blocks homed at one kernel spread evenly
+// over its shards and every address of one block lands on one shard.
+// nshards <= 1 collapses to shard 0.
+func (s Space) ShardOf(addr uint64, nshards int) int {
+	if nshards <= 1 {
+		return 0
+	}
+	return int((s.BlockOf(addr) / uint64(s.N)) % uint64(nshards))
+}
 
 // HomeRuns splits the word range [addr, addr+n) into maximal sub-ranges
 // with a single home each, calling fn(home, start, count) for every run in
@@ -95,19 +108,40 @@ func (a *Allocator) AllocBlocks(n int) uint64 {
 // Used reports the number of words allocated so far.
 func (a *Allocator) Used() uint64 { return a.next }
 
-// Segment is the slice of global memory homed at one kernel, plus the
-// caching directory. Methods are safe for concurrent use (the real-network
-// transports run the kernel service and the DSE process on separate
-// goroutines; under the simulator the mutex is uncontended).
-type Segment struct {
-	space Space
-	self  int
+// SegStripes is the number of lock stripes per Segment. Stripe choice hashes
+// the kernel-local block sequence number, the same quantity Space.ShardOf
+// hashes, so for any power-of-two shard count up to SegStripes each service
+// shard owns a disjoint set of stripes and shard workers never contend on a
+// stripe mutex.
+const SegStripes = 16
 
-	mu     sync.Mutex
-	blocks map[uint64][]int64
+// stripe is one lock stripe of a Segment: a slice of the homed blocks with
+// its own mutex, a seqlock write generation, and a copy-on-write block map
+// so lock-free direct readers can traverse it while writers publish.
+type stripe struct {
+	mu sync.Mutex
+	// wseq is the stripe's seqlock generation: incremented to odd before a
+	// writer mutates any stored word and back to even after. Direct readers
+	// retry while it is odd or has moved between their two loads.
+	wseq atomic.Uint64
+	// blocks is the published block map. The map pointed to is immutable:
+	// adding a block clones the map and swaps the pointer (word slices are
+	// shared between generations and mutated in place via atomic stores).
+	blocks atomic.Pointer[map[uint64][]int64]
 	// copyset maps a homed block to the kernels caching it (directory for
-	// the invalidation protocol; unused when caching is off).
+	// the invalidation protocol; unused when caching is off). Guarded by mu.
 	copyset map[uint64]map[int]struct{}
+}
+
+// Segment is the slice of global memory homed at one kernel, plus the
+// caching directory. It is striped SegStripes ways so independent service
+// shards of one kernel mutate disjoint stripes, and it supports a lock-free
+// single-word DirectRead for co-located readers (the one-sided read fast
+// path). Methods are safe for concurrent use.
+type Segment struct {
+	space   Space
+	self    int
+	stripes [SegStripes]stripe
 }
 
 // NewSegment creates kernel self's (initially zero-filled) segment.
@@ -115,22 +149,43 @@ func NewSegment(space Space, self int) *Segment {
 	if self < 0 || self >= space.N {
 		panic(fmt.Sprintf("gmem: kernel %d outside space of %d", self, space.N))
 	}
-	return &Segment{
-		space:   space,
-		self:    self,
-		blocks:  make(map[uint64][]int64),
-		copyset: make(map[uint64]map[int]struct{}),
+	g := &Segment{space: space, self: self}
+	for i := range g.stripes {
+		m := make(map[uint64][]int64)
+		g.stripes[i].blocks.Store(&m)
+		g.stripes[i].copyset = make(map[uint64]map[int]struct{})
 	}
+	return g
 }
 
-// block returns the backing storage for block b, allocating lazily.
-// Caller holds mu.
-func (g *Segment) block(b uint64) []int64 {
-	blk := g.blocks[b]
-	if blk == nil {
-		blk = make([]int64, g.space.BlockWords)
-		g.blocks[b] = blk
+// stripeOf returns the stripe owning block b. The divide by N converts the
+// global block index into this kernel's local block sequence number so that
+// consecutive homed blocks round-robin over stripes (and over shards, which
+// use the same mapping).
+func (g *Segment) stripeOf(b uint64) *stripe {
+	return &g.stripes[(b/uint64(g.space.N))%SegStripes]
+}
+
+// lookup returns block b's storage or nil without materialising it. Safe
+// with or without the stripe mutex: the published map is immutable.
+func (st *stripe) lookup(b uint64) []int64 { return (*st.blocks.Load())[b] }
+
+// materialise returns block b's storage, publishing a fresh zero block via
+// map copy-on-write if absent. Caller holds st.mu. Publishing needs no
+// seqlock window: a direct reader sees either the old map (word reads as 0)
+// or the new one (zero block, reads as 0).
+func (st *stripe) materialise(b uint64, blockWords int) []int64 {
+	old := *st.blocks.Load()
+	if blk := old[b]; blk != nil {
+		return blk
 	}
+	blk := make([]int64, blockWords)
+	next := make(map[uint64][]int64, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[b] = blk
+	st.blocks.Store(&next)
 	return blk
 }
 
@@ -149,53 +204,114 @@ func (g *Segment) checkHome(addr uint64, n int) {
 // Read copies n words starting at addr (all homed here, single block).
 func (g *Segment) Read(addr uint64, n int) []int64 {
 	g.checkHome(addr, n)
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	blk := g.block(g.space.BlockOf(addr))
-	off := int(addr % uint64(g.space.BlockWords))
+	b := g.space.BlockOf(addr)
+	st := g.stripeOf(b)
 	out := make([]int64, n)
-	copy(out, blk[off:off+n])
+	st.mu.Lock()
+	if blk := st.lookup(b); blk != nil {
+		off := int(addr % uint64(g.space.BlockWords))
+		copy(out, blk[off:off+n])
+	}
+	st.mu.Unlock()
 	return out
 }
 
 // ReadWord returns the single word at addr without allocating.
 func (g *Segment) ReadWord(addr uint64) int64 {
 	g.checkHome(addr, 1)
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	blk := g.block(g.space.BlockOf(addr))
-	return blk[addr%uint64(g.space.BlockWords)]
+	b := g.space.BlockOf(addr)
+	st := g.stripeOf(b)
+	var v int64
+	st.mu.Lock()
+	if blk := st.lookup(b); blk != nil {
+		v = blk[addr%uint64(g.space.BlockWords)]
+	}
+	st.mu.Unlock()
+	return v
 }
 
-// WriteWord stores a single word at addr without allocating.
+// DirectRead returns the single word at addr without taking the stripe
+// mutex: the one-sided read fast path for co-located PEs. It is seqlock
+// validated — the read retries while a writer's mutation window is open or
+// the stripe generation moved between its two loads — so it never returns a
+// torn or mid-invalidation-round value that a served OpRead could not also
+// have returned. Falls back to the stripe mutex under writer livelock.
+func (g *Segment) DirectRead(addr uint64) int64 {
+	g.checkHome(addr, 1)
+	b := g.space.BlockOf(addr)
+	st := g.stripeOf(b)
+	off := int(addr % uint64(g.space.BlockWords))
+	for spin := 0; spin < 64; spin++ {
+		s1 := st.wseq.Load()
+		if s1&1 != 0 {
+			continue
+		}
+		var v int64
+		if blk := st.lookup(b); blk != nil {
+			v = atomic.LoadInt64(&blk[off])
+		}
+		if st.wseq.Load() == s1 {
+			return v
+		}
+	}
+	var v int64
+	st.mu.Lock()
+	if blk := st.lookup(b); blk != nil {
+		v = blk[off]
+	}
+	st.mu.Unlock()
+	return v
+}
+
+// WriteWord stores a single word at addr without allocating (after the
+// block's first write).
 func (g *Segment) WriteWord(addr uint64, v int64) {
 	g.checkHome(addr, 1)
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	blk := g.block(g.space.BlockOf(addr))
-	blk[addr%uint64(g.space.BlockWords)] = v
+	b := g.space.BlockOf(addr)
+	st := g.stripeOf(b)
+	st.mu.Lock()
+	blk := st.materialise(b, g.space.BlockWords)
+	st.wseq.Add(1)
+	atomic.StoreInt64(&blk[addr%uint64(g.space.BlockWords)], v)
+	st.wseq.Add(1)
+	st.mu.Unlock()
 }
 
 // ReadInto copies len(dst) words starting at addr into dst (all homed here,
 // single block), avoiding the allocation in Read.
 func (g *Segment) ReadInto(dst []int64, addr uint64) {
 	g.checkHome(addr, len(dst))
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	blk := g.block(g.space.BlockOf(addr))
-	off := int(addr % uint64(g.space.BlockWords))
-	copy(dst, blk[off:off+len(dst)])
+	b := g.space.BlockOf(addr)
+	st := g.stripeOf(b)
+	st.mu.Lock()
+	if blk := st.lookup(b); blk != nil {
+		off := int(addr % uint64(g.space.BlockWords))
+		copy(dst, blk[off:off+len(dst)])
+	} else {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	st.mu.Unlock()
 }
 
 // ReadAppend appends n words starting at addr to dst and returns the
 // extended slice (all homed here, single block).
 func (g *Segment) ReadAppend(dst []int64, addr uint64, n int) []int64 {
 	g.checkHome(addr, n)
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	blk := g.block(g.space.BlockOf(addr))
-	off := int(addr % uint64(g.space.BlockWords))
-	return append(dst, blk[off:off+n]...)
+	b := g.space.BlockOf(addr)
+	st := g.stripeOf(b)
+	st.mu.Lock()
+	if blk := st.lookup(b); blk != nil {
+		off := int(addr % uint64(g.space.BlockWords))
+		dst = append(dst, blk[off:off+n]...)
+	} else {
+		for i := 0; i < n; i++ {
+			dst = append(dst, 0)
+		}
+	}
+	st.mu.Unlock()
+	return dst
 }
 
 // ReadV appends the words of every (addrs[i], counts[i]) range to dst in
@@ -222,23 +338,33 @@ func (g *Segment) WriteV(addrs []uint64, counts []int, words []int64) {
 // Write stores words starting at addr (all homed here, single block).
 func (g *Segment) Write(addr uint64, words []int64) {
 	g.checkHome(addr, len(words))
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	blk := g.block(g.space.BlockOf(addr))
+	b := g.space.BlockOf(addr)
+	st := g.stripeOf(b)
+	st.mu.Lock()
+	blk := st.materialise(b, g.space.BlockWords)
 	off := int(addr % uint64(g.space.BlockWords))
-	copy(blk[off:off+len(words)], words)
+	st.wseq.Add(1)
+	for i, v := range words {
+		atomic.StoreInt64(&blk[off+i], v)
+	}
+	st.wseq.Add(1)
+	st.mu.Unlock()
 }
 
 // FetchAdd atomically adds delta to the word at addr, returning the
 // previous value.
 func (g *Segment) FetchAdd(addr uint64, delta int64) int64 {
 	g.checkHome(addr, 1)
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	blk := g.block(g.space.BlockOf(addr))
+	b := g.space.BlockOf(addr)
+	st := g.stripeOf(b)
+	st.mu.Lock()
+	blk := st.materialise(b, g.space.BlockWords)
 	off := int(addr % uint64(g.space.BlockWords))
 	old := blk[off]
-	blk[off] = old + delta
+	st.wseq.Add(1)
+	atomic.StoreInt64(&blk[off], old+delta)
+	st.wseq.Add(1)
+	st.mu.Unlock()
 	return old
 }
 
@@ -246,36 +372,43 @@ func (g *Segment) FetchAdd(addr uint64, delta int64) int64 {
 // previous value and whether the swap happened.
 func (g *Segment) CAS(addr uint64, old, new int64) (prev int64, swapped bool) {
 	g.checkHome(addr, 1)
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	blk := g.block(g.space.BlockOf(addr))
+	b := g.space.BlockOf(addr)
+	st := g.stripeOf(b)
+	st.mu.Lock()
+	blk := st.materialise(b, g.space.BlockWords)
 	off := int(addr % uint64(g.space.BlockWords))
 	prev = blk[off]
 	if prev == old {
-		blk[off] = new
+		st.wseq.Add(1)
+		atomic.StoreInt64(&blk[off], new)
+		st.wseq.Add(1)
+		st.mu.Unlock()
 		return prev, true
 	}
+	st.mu.Unlock()
 	return prev, false
 }
 
 // ReadBlockFor returns a copy of the whole block containing addr and
 // records reader in the block's copyset (the caching protocol's read miss).
+// The block is materialised so the directory entry survives Export.
 func (g *Segment) ReadBlockFor(addr uint64, reader int) []int64 {
 	g.checkHome(addr, 1)
 	b := g.space.BlockOf(addr)
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	blk := g.block(b)
+	st := g.stripeOf(b)
+	st.mu.Lock()
+	blk := st.materialise(b, g.space.BlockWords)
 	out := make([]int64, len(blk))
 	copy(out, blk)
 	if reader != g.self {
-		cs := g.copyset[b]
+		cs := st.copyset[b]
 		if cs == nil {
 			cs = make(map[int]struct{})
-			g.copyset[b] = cs
+			st.copyset[b] = cs
 		}
 		cs[reader] = struct{}{}
 	}
+	st.mu.Unlock()
 	return out
 }
 
@@ -292,9 +425,10 @@ func (g *Segment) WriteInvalidating(addr uint64, words []int64, writer int) []in
 // mutation (write, fetch-add, CAS) under the caching protocol.
 func (g *Segment) CollectInvalidations(addr uint64, writer int) []int {
 	b := g.space.BlockOf(addr)
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	cs := g.copyset[b]
+	st := g.stripeOf(b)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cs := st.copyset[b]
 	if len(cs) == 0 {
 		return nil
 	}
@@ -304,7 +438,7 @@ func (g *Segment) CollectInvalidations(addr uint64, writer int) []int {
 			targets = append(targets, k)
 		}
 	}
-	delete(g.copyset, b)
+	delete(st.copyset, b)
 	// Insertion sort: copysets are tiny and map iteration order is random.
 	for i := 1; i < len(targets); i++ {
 		for j := i; j > 0 && targets[j] < targets[j-1]; j-- {
@@ -316,10 +450,11 @@ func (g *Segment) CollectInvalidations(addr uint64, writer int) []int {
 
 // Copyset reports the kernels currently caching block b (for tests).
 func (g *Segment) Copyset(b uint64) []int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	st := g.stripeOf(b)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	var out []int
-	for k := range g.copyset[b] {
+	for k := range st.copyset[b] {
 		out = append(out, k)
 	}
 	for i := 1; i < len(out); i++ {
@@ -340,23 +475,28 @@ type BlockSnapshot struct {
 
 // Export snapshots every materialised block of this segment, sorted by block
 // index — the kernel's slice of the coordinated checkpoint. The returned
-// words are copies; the segment may keep mutating afterwards.
+// words are copies; the segment may keep mutating afterwards. Each stripe is
+// snapshotted under its own mutex; cross-stripe atomicity is the caller's
+// concern (the kernel fences all service shards before exporting).
 func (g *Segment) Export() []BlockSnapshot {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	out := make([]BlockSnapshot, 0, len(g.blocks))
-	for idx, blk := range g.blocks {
-		bs := BlockSnapshot{Index: idx, Words: make([]int64, len(blk))}
-		copy(bs.Words, blk)
-		for k := range g.copyset[idx] {
-			bs.Copyset = append(bs.Copyset, k)
-		}
-		for i := 1; i < len(bs.Copyset); i++ {
-			for j := i; j > 0 && bs.Copyset[j] < bs.Copyset[j-1]; j-- {
-				bs.Copyset[j], bs.Copyset[j-1] = bs.Copyset[j-1], bs.Copyset[j]
+	var out []BlockSnapshot
+	for i := range g.stripes {
+		st := &g.stripes[i]
+		st.mu.Lock()
+		for idx, blk := range *st.blocks.Load() {
+			bs := BlockSnapshot{Index: idx, Words: make([]int64, len(blk))}
+			copy(bs.Words, blk)
+			for k := range st.copyset[idx] {
+				bs.Copyset = append(bs.Copyset, k)
 			}
+			for i := 1; i < len(bs.Copyset); i++ {
+				for j := i; j > 0 && bs.Copyset[j] < bs.Copyset[j-1]; j-- {
+					bs.Copyset[j], bs.Copyset[j-1] = bs.Copyset[j-1], bs.Copyset[j]
+				}
+			}
+			out = append(out, bs)
 		}
-		out = append(out, bs)
+		st.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
 	return out
@@ -377,21 +517,35 @@ func (g *Segment) Import(blocks []BlockSnapshot) error {
 			return fmt.Errorf("gmem: import: block %d homed at %d, not %d", b.Index, home, g.self)
 		}
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.blocks = make(map[uint64][]int64, len(blocks))
-	g.copyset = make(map[uint64]map[int]struct{})
+	// Build each stripe's replacement maps fully before publishing, so a
+	// concurrent direct reader only ever sees a complete generation.
+	maps := make([]map[uint64][]int64, SegStripes)
+	csets := make([]map[uint64]map[int]struct{}, SegStripes)
+	for i := range maps {
+		maps[i] = make(map[uint64][]int64)
+		csets[i] = make(map[uint64]map[int]struct{})
+	}
 	for _, b := range blocks {
+		si := (b.Index / uint64(g.space.N)) % SegStripes
 		words := make([]int64, len(b.Words))
 		copy(words, b.Words)
-		g.blocks[b.Index] = words
+		maps[si][b.Index] = words
 		if len(b.Copyset) > 0 {
 			cs := make(map[int]struct{}, len(b.Copyset))
 			for _, k := range b.Copyset {
 				cs[k] = struct{}{}
 			}
-			g.copyset[b.Index] = cs
+			csets[si][b.Index] = cs
 		}
+	}
+	for i := range g.stripes {
+		st := &g.stripes[i]
+		st.mu.Lock()
+		st.wseq.Add(1)
+		st.blocks.Store(&maps[i])
+		st.copyset = csets[i]
+		st.wseq.Add(1)
+		st.mu.Unlock()
 	}
 	return nil
 }

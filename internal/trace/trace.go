@@ -27,8 +27,15 @@ type PEStats struct {
 
 	LocalGM  uint64 // global-memory accesses served from the local segment
 	RemoteGM uint64 // global-memory accesses that crossed the network
-	Barriers uint64
-	Locks    uint64
+	// DirectGM counts the RemoteGM accesses that resolved through the
+	// one-sided direct window into a co-located home's segment instead of
+	// a request/reply message pair. Always <= RemoteGM.
+	DirectGM uint64
+	// ShardedMsgs counts incoming GM requests serviced by a kernel shard
+	// worker rather than the serial serve loop.
+	ShardedMsgs uint64
+	Barriers    uint64
+	Locks       uint64
 
 	// Reliability-layer counters.
 	StaleReplies uint64 // mailbox residue discarded by sequence validation
@@ -87,6 +94,8 @@ func (s *PEStats) Add(o *PEStats) {
 	s.BytesRecv += o.BytesRecv
 	s.LocalGM += o.LocalGM
 	s.RemoteGM += o.RemoteGM
+	s.DirectGM += o.DirectGM
+	s.ShardedMsgs += o.ShardedMsgs
 	s.Barriers += o.Barriers
 	s.Locks += o.Locks
 	s.StaleReplies += o.StaleReplies

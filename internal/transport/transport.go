@@ -33,6 +33,13 @@ import (
 type Port interface {
 	// Send transmits m to kernel dst, charging send-side overhead to the
 	// caller and blocking until the message has left the node.
+	//
+	// Concurrency: on the real transports (inproc, tcpnet) Send on the Svc
+	// port is safe from multiple goroutines concurrently — the sharded
+	// kernel's shard workers reply in parallel with the serial serve loop.
+	// On simnet every port call must come from the port's own cooperative
+	// process, so a sharded kernel dispatches inline there instead of
+	// spawning workers.
 	Send(dst int, m *wire.Message)
 	// Compute charges the cost of ops application operations.
 	Compute(ops float64)

@@ -40,6 +40,7 @@ func Run(t *testing.T, factory Factory) {
 	t.Run("MailboxOrderAndTimeout", func(t *testing.T) { testMailbox(t, factory) })
 	t.Run("CloseRecvUnblocks", func(t *testing.T) { testClose(t, factory) })
 	t.Run("ConcurrentLoad", func(t *testing.T) { testConcurrent(t, factory) })
+	t.Run("ConcurrentSvcSend", func(t *testing.T) { testConcurrentSvcSend(t, factory) })
 	t.Run("PeerDownNotification", func(t *testing.T) { testPeerDown(t, factory) })
 }
 
@@ -291,6 +292,66 @@ func testPeerDown(t *testing.T, factory Factory) {
 		}
 	case <-time.After(time.Second):
 		t.Fatal("already-dead peer not replayed into late callback")
+	}
+}
+
+// testConcurrentSvcSend pins the contract the sharded kernel leans on: Send
+// on ONE node's Svc port must be safe and lossless when called from many
+// goroutines at once (shard workers replying in parallel with the serial
+// serve loop). Every message must arrive intact and per-goroutine order
+// need not be global order, but nothing may be lost or duplicated.
+func testConcurrentSvcSend(t *testing.T, factory Factory) {
+	const (
+		workers = 8
+		each    = 200
+	)
+	net := factory(t, 2)
+	defer net.Stop()
+	svc := net.Node(0).Svc()
+	seen := make(map[uint64]int)
+	recvDone := make(chan struct{})
+	go func() {
+		defer close(recvDone)
+		for i := 0; i < workers*each; i++ {
+			m, ok := net.Node(1).Recv()
+			if !ok {
+				t.Errorf("receiver closed after %d messages", i)
+				return
+			}
+			if len(m.Data) != 16 {
+				t.Errorf("message %d: payload %d bytes, want 16", m.Seq, len(m.Data))
+			}
+			seen[m.Seq]++
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			payload := bytes.Repeat([]byte{byte(w)}, 16)
+			for i := 0; i < each; i++ {
+				svc.Send(1, &wire.Message{
+					Op: wire.OpReadResp, Src: 0, Dst: 1,
+					Seq:  uint64(w)<<32 | uint64(i),
+					Data: payload,
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case <-recvDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("concurrent Svc sends: not all messages delivered")
+	}
+	for w := 0; w < workers; w++ {
+		for i := 0; i < each; i++ {
+			if c := seen[uint64(w)<<32|uint64(i)]; c != 1 {
+				t.Fatalf("message w=%d i=%d delivered %d times", w, i, c)
+			}
+		}
 	}
 }
 

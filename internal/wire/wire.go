@@ -196,7 +196,16 @@ const MaxDataLen = 1 << 24
 // Message is one DSE protocol message.
 type Message struct {
 	Op    Op
-	Flags uint8  // Flag* bits (retry marking)
+	Flags uint8 // Flag* bits (retry marking)
+	// Shard is the home-side service-shard hint (header byte 2): the
+	// requester stamps the shard that owns every address the message
+	// touches, so a sharded kernel's dispatch stage can route the message
+	// without decoding the payload. For vectored requests — whose ranges
+	// are grouped per shard by the requester — it names the shard of every
+	// range; for OpInvalidate/OpInvAck it carries the originating shard so
+	// the ack finds the invalidation round. Zero (the default) is always
+	// valid: the dispatcher falls back to hashing Addr.
+	Shard uint8
 	Src   int32  // sending kernel id
 	Dst   int32  // destination kernel id
 	Tag   int32  // barrier/lock/semaphore id, or user message tag
@@ -255,7 +264,8 @@ func (m *Message) Append(buf []byte) []byte {
 	var hdr [HeaderSize]byte
 	hdr[0] = byte(m.Op)
 	hdr[1] = m.Flags
-	// hdr[2:4] reserved
+	hdr[2] = m.Shard
+	// hdr[3] reserved
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(m.Src))
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(m.Dst))
 	binary.LittleEndian.PutUint32(hdr[12:], uint32(m.Tag))
@@ -281,6 +291,7 @@ var ErrShortMessage = errors.New("wire: message shorter than header")
 func decodeHeader(m *Message, buf []byte) {
 	m.Op = Op(buf[0])
 	m.Flags = buf[1]
+	m.Shard = buf[2]
 	m.Src = int32(binary.LittleEndian.Uint32(buf[4:]))
 	m.Dst = int32(binary.LittleEndian.Uint32(buf[8:]))
 	m.Tag = int32(binary.LittleEndian.Uint32(buf[12:]))
