@@ -56,6 +56,21 @@ func runStress(seed uint64, quick bool) {
 				KillPE: 2, KillAt: 2 * sim.Second, Shards: shards,
 			})
 	}
+	// One-sided legs: direct-read window plus write rings forced on, lossy
+	// and with an early kill (rings-on schedules run fast, so the kill must
+	// sit well inside the run to fire).
+	for _, shards := range []int{2, 8} {
+		configs = append(configs,
+			stress.Options{
+				Seed: seed, NumPE: 4, OpsPerPE: ops, Loss: 0.05,
+				Shards: shards, DirectReads: 1, Rings: 1,
+			},
+			stress.Options{
+				Seed: seed, NumPE: 4, OpsPerPE: ops, Loss: 0.02,
+				KillPE: 2, KillAt: 100 * sim.Millisecond,
+				Shards: shards, DirectReads: 1, Rings: 1,
+			})
+	}
 
 	start := time.Now()
 	totalOps, failures := 0, 0

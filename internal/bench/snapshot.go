@@ -484,11 +484,11 @@ func Compare(base, cur *Snapshot) []string {
 	curSat := map[string]*SaturationPoint{}
 	for i := range cur.Saturation {
 		p := &cur.Saturation[i]
-		curSat[fmt.Sprintf("%s/p%d/s%d", p.Workload, p.NumPE, p.Shards)] = p
+		curSat[satKey(p)] = p
 	}
 	for i := range base.Saturation {
 		old := &base.Saturation[i]
-		key := fmt.Sprintf("%s/p%d/s%d", old.Workload, old.NumPE, old.Shards)
+		key := satKey(old)
 		now, ok := curSat[key]
 		if !ok || old.OpsPerSec <= 0 {
 			continue
@@ -505,3 +505,14 @@ func Compare(base, cur *Snapshot) []string {
 // saturationFloor is the fraction of baseline wall-clock throughput a
 // saturation point must keep; anything above it is treated as noise.
 const saturationFloor = 0.4
+
+// satKey names a saturation point for baseline matching. Ring-on legs get a
+// "/r" suffix — a distinct key — so baselines predating the write rings
+// simply skip them instead of comparing a ring run against a message run.
+func satKey(p *SaturationPoint) string {
+	k := fmt.Sprintf("%s/p%d/s%d", p.Workload, p.NumPE, p.Shards)
+	if p.Rings {
+		k += "/r"
+	}
+	return k
+}

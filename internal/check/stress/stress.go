@@ -79,6 +79,12 @@ type Options struct {
 	// DirectReads passes through core.Config.DirectReads (the one-sided read
 	// fast path; <0 forces it off, >0 forces it on where co-located).
 	DirectReads int
+	// Rings passes through core.Config.WriteRings (the one-sided write
+	// submission rings; <0 forces them off, >0 forces them on where the read
+	// window is wired). Under the simulated transport rings drain inline at
+	// the submit point, so ring runs replay deterministically like all
+	// others.
+	Rings int
 }
 
 func (o Options) String() string {
@@ -92,6 +98,9 @@ func (o Options) String() string {
 	}
 	if o.DirectReads != 0 {
 		s += fmt.Sprintf(" direct=%d", o.DirectReads)
+	}
+	if o.Rings != 0 {
+		s += fmt.Sprintf(" rings=%d", o.Rings)
 	}
 	return s
 }
@@ -137,6 +146,7 @@ func Run(o Options) (*Result, error) {
 		FaultDropInvalidations: o.FaultDropInvalidations,
 		KernelShards:           o.Shards,
 		DirectReads:            o.DirectReads,
+		WriteRings:             o.Rings,
 	}
 	if o.faulty() {
 		cfg.RequestTimeout = 50 * sim.Millisecond

@@ -159,6 +159,18 @@ type Config struct {
 	// never active with Caching (reads must reach the directory) or Legacy
 	// (the old organisation has no shared address space), or over TCP.
 	DirectReads int
+	// WriteRings controls the one-sided write fast path: co-located PEs
+	// submit uncached writes into a remote home through a per-shard MPSC
+	// submission ring that the owning service shard drains in batches
+	// between message dispatches, so the write never wakes the serve loop
+	// or allocates a message. Tri-state like DirectReads: 0 enables rings
+	// automatically whenever the direct-read window is enabled; >0 forces
+	// them on (still subject to the window's co-location constraints); <0
+	// forces them off. Rings need a drainer, so on real transports they
+	// additionally require shard workers (resolved KernelShards > 1); under
+	// simulation submissions are drained inline at the submit point, which
+	// keeps virtual-time schedules deterministic.
+	WriteRings int
 
 	// testInspect, when non-nil, is called with the cluster's kernels and
 	// PEs after shutdown but before Run returns — a white-box hook for
@@ -337,14 +349,39 @@ func windowsEnabled(c *Config) bool {
 	return c.KernelShards > 1
 }
 
-// wireWindows gives every kernel a direct read-only view of every segment.
-func wireWindows(kernels []*Kernel) {
+// ringsEnabled decides whether the one-sided write fast path is on for this
+// (fully defaulted) config. Rings ride on the read window's co-location
+// bargain (they submit into the home's address space) and need a drainer:
+// shard workers on real transports, inline submit-point draining under
+// simulation.
+func ringsEnabled(c *Config) bool {
+	if !windowsEnabled(c) || c.WriteRings < 0 {
+		return false
+	}
+	if c.Transport != TransportSim && c.KernelShards <= 1 {
+		return false // no shard workers: nothing would ever drain a ring
+	}
+	return true
+}
+
+// wireWindows gives every kernel a direct read-only view of every segment,
+// and — when the write fast path is on — a reference to every peer kernel
+// so PEs can reach a co-located home's submission rings. Called on every
+// (re)start, so a recovered cluster's fresh segments and rings are rebound
+// before any PE runs.
+func wireWindows(kernels []*Kernel, cfg *Config) {
 	wins := make([]*gmem.Segment, len(kernels))
 	for i, k := range kernels {
 		wins[i] = k.seg
 	}
 	for _, k := range kernels {
 		k.windows = wins
+	}
+	if !ringsEnabled(cfg) {
+		return
+	}
+	for _, k := range kernels {
+		k.ringPeers = kernels
 	}
 }
 
@@ -467,7 +504,7 @@ func runSim(cfg *Config, program Program) (*Result, error) {
 		})
 	}
 	if windowsEnabled(cfg) {
-		wireWindows(kernels)
+		wireWindows(kernels, cfg)
 	}
 	for i := 0; i < n; i++ {
 		i := i
@@ -520,7 +557,7 @@ func runReal(cfg *Config, net realNetwork, program Program) (*Result, error) {
 	// qualifies, TCP nodes only happen to be co-located in tests and must
 	// behave like the distributed deployment they model.
 	if cfg.Transport == TransportInproc && windowsEnabled(cfg) {
-		wireWindows(kernels)
+		wireWindows(kernels, cfg)
 	}
 	var mu sync.Mutex
 	var finish sim.Time

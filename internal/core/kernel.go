@@ -99,6 +99,12 @@ type Kernel struct {
 	// Read-only after cluster construction.
 	windows []*gmem.Segment
 
+	// ringPeers[i] is kernel i itself when the one-sided write fast path is
+	// enabled, so this kernel's PE can reach a co-located home's per-shard
+	// submission rings; nil otherwise. Read-only after cluster construction
+	// (rebound, like windows, on every recovery restart).
+	ringPeers []*Kernel
+
 	// dispatched is serve-goroutine scratch: set by dispatchGM when the
 	// message was handed to a shard worker, which then owns service-time
 	// accounting and message recycling.
@@ -255,7 +261,7 @@ func newKernel(id int, node transport.Node, cfg *Config) *Kernel {
 	k.workers = k.nshards > 1 && cfg.Transport != TransportSim
 	k.shards = make([]*kernelShard, k.nshards)
 	for i := range k.shards {
-		k.shards[i] = newKernelShard(k, i)
+		k.shards[i] = newKernelShard(k, i, ringsEnabled(cfg))
 	}
 	node.SetPeerDown(k.peerDown)
 	if cfg.Caching {

@@ -367,6 +367,44 @@ func (pe *PE) GMWrite(addr uint64, v int64) {
 	}
 }
 
+// ringWrite attempts the one-sided write fast path: publish (addr, v) into
+// the co-located home's per-shard submission ring and wait until the owning
+// shard has applied it. It reports false — without side effects — when the
+// path is unavailable (rings off, home declared dead) or the ring is full,
+// in which case the caller falls back to the message path with a fresh
+// sequence. The ring sequence comes from the same counter as message
+// sequences, so the home's dedup window gives the two paths one
+// exactly-once space.
+func (pe *PE) ringWrite(home int, addr uint64, v int64) bool {
+	k := pe.k
+	if k.ringPeers == nil || k.deadFlags[home].Load() {
+		return false
+	}
+	kp := k.ringPeers[home]
+	sh := kp.shards[k.space.ShardOf(addr, kp.nshards)]
+	if sh.ring == nil {
+		return false
+	}
+	pe.app.LocalAccess()
+	w := gmem.RingWrite{Addr: addr, Val: v, Seq: k.seqCtr.Add(1), Src: int32(k.id)}
+	pos, ok := sh.ring.Push(w)
+	if !ok {
+		return false
+	}
+	pe.extra.RingGM++
+	if kp.workers {
+		sh.nudge()
+		sh.ring.AwaitConsumed(pos)
+	} else {
+		// Simulated transport: drain inline at the submit point. The sim
+		// engine runs one cooperative context at a time, so this is both
+		// race-free and deterministic, and the write is applied before the
+		// submitting PE's virtual time advances again.
+		sh.drainRing()
+	}
+	return true
+}
+
 // GMWriteErr stores v at addr, surfacing request failures as errors.
 func (pe *PE) GMWriteErr(addr uint64, v int64) error {
 	pe.legacyCrossing()
@@ -377,14 +415,24 @@ func (pe *PE) GMWriteErr(addr uint64, v int64) error {
 			Kind: check.KindWrite, Addr: addr, Arg1: v, Inv: pe.app.Now(),
 		})
 	}
-	if k.cache == nil && k.space.HomeOf(addr) == k.id {
-		pe.app.LocalAccess()
-		pe.extra.LocalGM++
-		k.seg.WriteWord(addr, v)
-		if pe.hist != nil {
-			pe.hist.Complete(hidx, 0, true, pe.app.Now())
+	if k.cache == nil {
+		home := k.space.HomeOf(addr)
+		if home == k.id {
+			pe.app.LocalAccess()
+			pe.extra.LocalGM++
+			k.seg.WriteWord(addr, v)
+			if pe.hist != nil {
+				pe.hist.Complete(hidx, 0, true, pe.app.Now())
+			}
+			return nil
 		}
-		return nil
+		if pe.ringWrite(home, addr, v) {
+			pe.extra.RemoteGM++
+			if pe.hist != nil {
+				pe.hist.Complete(hidx, 0, true, pe.app.Now())
+			}
+			return nil
+		}
 	}
 	// Under caching every mutation goes through the home's invalidation
 	// machinery, including our own home (via the own-node message path).

@@ -148,6 +148,76 @@ func TestRunWithRecoveryRestoresSnapshot(t *testing.T) {
 	}
 }
 
+// TestRecoveryRebindsDirectReadAndRings kills a PE with the one-sided paths
+// on and checks the restarted cluster rebinds both to the FRESH segments:
+// post-restore remote reads must resolve through the direct window and
+// post-restore remote writes through the submission rings, against the
+// re-imported memory (stale window/ring bindings would read the corpse
+// segments of the failed attempt or hang on an undrained ring).
+func TestRecoveryRebindsDirectReadAndRings(t *testing.T) {
+	store, err := ckpt.OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	const killAt = sim.Time(1 * sim.Second)
+	cfg := recoverConfig(t, store, []simnet.Kill{{Node: 2, At: sim.Duration(killAt)}})
+	cfg.KernelShards = 2 // windows + rings default on under the simulated transport
+
+	res, rep, err := core.RunWithRecovery(cfg, 3, func(pe *core.PE) error {
+		restored := pe.RegisterCheckpoint(func() []byte { return nil }, func([]byte) {})
+		base := pe.AllocBlocks(96)
+		remote := base + uint64(((pe.ID()+1)%3)*32) // next rank's home
+
+		if restored {
+			// Snapshot state must be visible through the rebound window...
+			if v := pe.GMRead(base + 5); v != 1234 {
+				return fmt.Errorf("PE %d: restored word = %d, want 1234", pe.ID(), v)
+			}
+			// ...and the rebound rings must deliver fresh writes into the
+			// re-imported segments, read back one-sidedly.
+			addr := remote + uint64(pe.ID())
+			pe.GMWrite(addr, int64(100+pe.ID()))
+			if v := pe.GMRead(addr); v != int64(100+pe.ID()) {
+				return fmt.Errorf("PE %d: ring write read back %d, want %d", pe.ID(), v, 100+pe.ID())
+			}
+			pe.Barrier()
+			return nil
+		}
+
+		if pe.ID() == 0 {
+			pe.GMWrite(base+5, 1234) // block 0, home 0
+		}
+		pe.Barrier()
+		if err := pe.Checkpoint(); err != nil {
+			return fmt.Errorf("PE %d: checkpoint: %v", pe.ID(), err)
+		}
+		// March into the kill (see recoverProgram).
+		for pe.Now() < 4*killAt {
+			_ = pe.GMRead(remote)
+		}
+		pe.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RunWithRecovery: %v", err)
+	}
+	if ferr := res.FirstErr(); ferr != nil {
+		t.Fatalf("post-recovery run failed: %v", ferr)
+	}
+	if !rep.Recovered() {
+		t.Fatalf("kill triggered no recovery: %+v", rep)
+	}
+	if res.Total.DirectGM == 0 {
+		t.Error("DirectGM = 0: restored run never used the rebound window")
+	}
+	if res.Total.RingGM == 0 {
+		t.Error("RingGM = 0: restored run never used the rebound rings")
+	}
+	if rpt := check.Check(res.History); !rpt.OK() {
+		t.Fatalf("post-recovery history has violations:\n%s", rpt)
+	}
+}
+
 // TestCheckpointCountersAndStore verifies the failure-free path: checkpoints
 // commit generations, bump counters, and never trigger a recovery.
 func TestCheckpointCountersAndStore(t *testing.T) {

@@ -1,9 +1,16 @@
 package core
 
 import (
+	"repro/internal/gmem"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
+
+// ringSlots is the capacity of each shard's write submission ring. Each
+// producer blocks until its slot is applied, so occupancy is bounded by the
+// co-located PE count; 256 slots keep Push from ever failing in practice
+// while the full-ring fallback to the message path stays covered by tests.
+const ringSlots = 256
 
 // kernelShard is one address-range shard of a kernel's home-side
 // global-memory service. The homed blocks are partitioned over shards by
@@ -26,6 +33,22 @@ type kernelShard struct {
 	// q feeds the worker goroutine (nil in inline mode). Items are either a
 	// message to service or a fence token to acknowledge.
 	q chan shardItem
+
+	// ring is the one-sided write submission ring owned by this shard (nil
+	// when the write fast path is off). Co-located PEs publish uncached
+	// single-word writes into it; the shard drains it in batches between
+	// message dispatches (worker mode) or the submitter drains it inline at
+	// the submit point (simulated transport), so the serve loop never wakes
+	// and no message is allocated.
+	ring *gmem.SubmitRing
+	// ringBuf is the drain batch scratch; owned by whoever services this
+	// shard (worker goroutine, or the cooperative sim context draining
+	// inline — the engine serialises those).
+	ringBuf []gmem.RingWrite
+	// wake nudges an idle worker after a ring publish (worker mode only).
+	// Buffered size 1; producers send non-blocking, so a pending token
+	// coalesces any number of publishes.
+	wake chan struct{}
 
 	// dedup is the exactly-once window for mutating GM requests routed to
 	// this shard. A retry routes identically (same address → same shard; the
@@ -62,7 +85,7 @@ type shardItem struct {
 	fence chan<- struct{}
 }
 
-func newKernelShard(k *Kernel, idx int) *kernelShard {
+func newKernelShard(k *Kernel, idx int, rings bool) *kernelShard {
 	sh := &kernelShard{
 		k:     k,
 		idx:   idx,
@@ -72,6 +95,11 @@ func newKernelShard(k *Kernel, idx int) *kernelShard {
 	}
 	if k.workers {
 		sh.q = make(chan shardItem, 1024)
+		sh.wake = make(chan struct{}, 1)
+	}
+	if rings {
+		sh.ring = gmem.NewSubmitRing(ringSlots)
+		sh.ringBuf = make([]gmem.RingWrite, ringSlots)
 	}
 	return sh
 }
@@ -79,9 +107,11 @@ func newKernelShard(k *Kernel, idx int) *kernelShard {
 // shardFor routes message m to a shard index. Scalar ops hash their address;
 // vectored ops carry the requester's shard hint (the requester groups runs
 // per shard, so the hint names every range's shard); invalidation acks carry
-// the shard that opened the round. Out-of-range hints (a stale or hostile
-// byte) clamp to shard 0, where they are serviced safely — the segment is
-// stripe-locked, and an ack for an unknown round counts as stray.
+// the shard that opened the round. An out-of-range hint (a stale or hostile
+// byte) returns -1 and the message is dropped: clamping it to shard 0, as
+// earlier versions did, routed a retried OpWriteV (or an OpInvAck) past the
+// shard holding its dedup window or invalidation round, so a retry could be
+// applied twice instead of being absorbed.
 func (k *Kernel) shardFor(m *wire.Message) int {
 	if k.nshards == 1 {
 		return 0
@@ -91,7 +121,7 @@ func (k *Kernel) shardFor(m *wire.Message) int {
 		if s := int(m.Shard); s < k.nshards {
 			return s
 		}
-		return 0
+		return -1
 	}
 	return k.space.ShardOf(m.Addr, k.nshards)
 }
@@ -99,8 +129,16 @@ func (k *Kernel) shardFor(m *wire.Message) int {
 // dispatchGM hands one GM request to its shard. It reports whether the
 // message was consumed (inline mode: serviced right here); in worker mode it
 // sets k.dispatched so serve leaves accounting and recycling to the worker.
+// A message whose shard hint does not survive validation is dropped as
+// corrupt — the requester's timeout/retry machinery owns recovery, and a
+// well-formed retry carries a valid hint.
 func (k *Kernel) dispatchGM(m *wire.Message) bool {
-	sh := k.shards[k.shardFor(m)]
+	s := k.shardFor(m)
+	if s < 0 {
+		k.extra.CorruptDrops++
+		return true
+	}
+	sh := k.shards[s]
 	if sh.q == nil {
 		sh.handleGM(m)
 		return true
@@ -112,13 +150,20 @@ func (k *Kernel) dispatchGM(m *wire.Message) bool {
 
 // fenceShards blocks until every shard worker has serviced everything
 // enqueued before the fence — the cross-shard collective the checkpoint
-// marker uses so seg.Export sees no request in flight on any shard. A no-op
-// in inline mode, where the serve goroutine is the only servicer. Must not
-// be called from shard workers (the serial serve loop only), and peer-down
-// handling deliberately never fences: a worker's own Send may be what
-// reported the peer dead, and the fence would wait on that worker forever.
+// marker uses so seg.Export sees no request in flight on any shard. Fencing
+// also drains every shard's submission ring, so a one-sided write published
+// before the checkpoint barrier is in the exported state (worker mode: the
+// worker drains on the fence token; inline mode: drained right here — under
+// simulation rings are drained at the submit point, so this is a backstop).
+// Must not be called from shard workers (the serial serve loop only), and
+// peer-down handling deliberately never fences: a worker's own Send may be
+// what reported the peer dead, and the fence would wait on that worker
+// forever.
 func (k *Kernel) fenceShards() {
 	if !k.workers {
+		for _, sh := range k.shards {
+			sh.drainRing()
+		}
 		return
 	}
 	done := make(chan struct{}, len(k.shards))
@@ -130,14 +175,75 @@ func (k *Kernel) fenceShards() {
 	}
 }
 
+// drainRing applies every write currently published in this shard's
+// submission ring: the home side of the one-sided write path. Writes are
+// deduped against the shard's exactly-once window (ring sequences come from
+// the same per-kernel counter as message sequences, so a ring write that
+// raced a message-path retry is applied once), applied to the segment in
+// one per-block-capped seqlock batch, recorded as completed, and only then
+// released — a producer spinning in AwaitConsumed returns with its write
+// globally visible. Must only run on the context servicing this shard.
+func (sh *kernelShard) drainRing() int {
+	if sh.ring == nil {
+		return 0
+	}
+	n := sh.ring.Drain(sh.ringBuf)
+	if n == 0 {
+		return 0
+	}
+	batch := sh.ringBuf[:n]
+	fresh := batch[:0] // dedup-filter in place: fresh writes only
+	for _, w := range batch {
+		if e := sh.dedup.lookup(w.Src, w.Seq); e != nil {
+			// The message path already applied (or is applying) this seq.
+			sh.extra.DupRequests++
+			continue
+		}
+		fresh = append(fresh, w)
+	}
+	sh.k.seg.ApplyWrites(fresh)
+	for _, w := range fresh {
+		sh.dedup.complete(w.Src, w.Seq, wire.OpWriteAck, 0, 0)
+	}
+	sh.extra.RingDrained += uint64(len(fresh))
+	sh.ring.Release(n)
+	return n
+}
+
+// nudge wakes an idle worker after a ring publish (non-blocking: a pending
+// token coalesces any number of publishes).
+func (sh *kernelShard) nudge() {
+	select {
+	case sh.wake <- struct{}{}:
+	default:
+	}
+}
+
 // run is the shard worker loop: service queued GM requests until the queue
-// closes at kernel shutdown. The worker owns each message end to end —
-// service-time observation, span recording and recycling — mirroring what
-// serve does for inline-handled messages.
+// closes at kernel shutdown, draining the submission ring between message
+// dispatches (and on ring publishes while idle, via wake). The worker owns
+// each message end to end — service-time observation, span recording and
+// recycling — mirroring what serve does for inline-handled messages.
 func (sh *kernelShard) run() {
 	k := sh.k
-	for it := range sh.q {
+	for {
+		sh.drainRing()
+		var it shardItem
+		var ok bool
+		select {
+		case it, ok = <-sh.q:
+		default:
+			select {
+			case it, ok = <-sh.q:
+			case <-sh.wake:
+				continue
+			}
+		}
+		if !ok {
+			break
+		}
 		if it.m == nil {
+			sh.drainRing()
 			it.fence <- struct{}{}
 			continue
 		}
@@ -158,6 +264,7 @@ func (sh *kernelShard) run() {
 		}
 		wire.PutMessage(m)
 	}
+	sh.drainRing()
 	k.shardWG.Done()
 }
 

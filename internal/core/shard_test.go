@@ -49,7 +49,7 @@ func TestUserQueuesReleasedAfterRun(t *testing.T) {
 
 // TestShardForRouting pins the dispatcher's routing rules: scalar ops hash
 // their address, vectored ops and invalidation acks follow the shard hint,
-// and an out-of-range hint clamps to shard 0.
+// and an out-of-range hint is rejected (-1), never clamped to shard 0.
 func TestShardForRouting(t *testing.T) {
 	_, ks := testKernels(t, 2, func(cfg *Config) { cfg.KernelShards = 4 })
 	k := ks[0]
@@ -72,9 +72,41 @@ func TestShardForRouting(t *testing.T) {
 		if got := k.shardFor(&wire.Message{Op: op, Shard: 3}); got != 3 {
 			t.Errorf("%v hint 3 -> shard %d, want 3", op, got)
 		}
-		if got := k.shardFor(&wire.Message{Op: op, Shard: 200}); got != 0 {
-			t.Errorf("%v hint 200 -> shard %d, want clamp to 0", op, got)
+		for _, hint := range []uint8{4, 200, 255} {
+			if got := k.shardFor(&wire.Message{Op: op, Shard: hint}); got != -1 {
+				t.Errorf("%v hint %d -> shard %d, want -1 (reject)", op, hint, got)
+			}
 		}
+	}
+	// With a single shard every hint routes to shard 0: there is no dedup
+	// window to bypass, so legacy senders with garbage hint bytes still work.
+	_, ks1 := testKernels(t, 2, nil)
+	if got := ks1[0].shardFor(&wire.Message{Op: wire.OpWriteV, Shard: 200}); got != 0 {
+		t.Errorf("single shard hint 200 -> %d, want 0", got)
+	}
+}
+
+// TestShardForgedHintDropped drives forged/stale shard hints through the
+// dispatcher itself. Before the fix an out-of-range hint clamped to shard 0,
+// routing a retried OpWriteV past the dedup window of the shard that served
+// the original — so the retry was applied twice. Now the message must be
+// dropped (consumed, counted as corrupt) with no reply and no memory write.
+func TestShardForgedHintDropped(t *testing.T) {
+	_, ks := testKernels(t, 2, func(cfg *Config) { cfg.KernelShards = 4 })
+	k := ks[0]
+	wv := &wire.Message{Op: wire.OpWriteV, Src: 1, Dst: 0, Seq: 1, Arg1: 1, Shard: 200}
+	wv.AppendWriteRun(0, []int64{77})
+	if !k.handle(wv) {
+		t.Fatal("forged OpWriteV not consumed")
+	}
+	if got := k.seg.Read(0, 1)[0]; got != 0 {
+		t.Fatalf("forged write applied: word 0 = %d", got)
+	}
+	if !k.handle(&wire.Message{Op: wire.OpInvAck, Src: 1, Dst: 0, Seq: 9, Shard: 250}) {
+		t.Fatal("forged OpInvAck not consumed")
+	}
+	if k.extra.CorruptDrops != 2 {
+		t.Fatalf("CorruptDrops = %d, want 2", k.extra.CorruptDrops)
 	}
 }
 

@@ -1,0 +1,47 @@
+//go:build ignore
+
+// Generates the committed seed corpus for the submission-ring fuzz target.
+// Run from the repo root:
+//
+//	go run internal/gmem/corpusgen.go
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+func put(dir, name string, data []byte) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		panic(err)
+	}
+	body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		panic(err)
+	}
+}
+
+// schedule encodes one FuzzSubmitRing input: ring-size selector, start
+// position, then one byte per op (mod 3: 0 push, 1 drain-all, 2 drain-head).
+func schedule(sizeSel byte, start uint64, ops ...byte) []byte {
+	data := make([]byte, 9, 9+len(ops))
+	data[0] = sizeSel
+	binary.LittleEndian.PutUint64(data[1:], start)
+	return append(data, ops...)
+}
+
+func main() {
+	dir := "internal/gmem/testdata/fuzz/FuzzSubmitRing"
+	// Plain FIFO traffic on an 8-slot ring.
+	put(dir, "seed-fifo", schedule(2, 0, 0, 0, 0, 1, 0, 2, 1))
+	// Positions wrap uint64 mid-schedule: the slot-state words must keep
+	// their modular discipline across the wrap (the newSubmitRingAt
+	// misinitialisation this corpus pinned hung Push forever).
+	put(dir, "seed-wrap", schedule(2, ^uint64(0)-3, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 2, 2))
+	// Overfill a 2-slot ring: pushes beyond capacity must reject cleanly.
+	put(dir, "seed-full", schedule(0, ^uint64(0)-1, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 1))
+	// Head-at-a-time drains interleaved with pushes, high start bit set.
+	put(dir, "seed-head", schedule(3, 1<<63, 2, 0, 2, 0, 0, 2, 2, 2, 0, 1))
+}

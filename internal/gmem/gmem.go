@@ -142,6 +142,10 @@ type Segment struct {
 	space   Space
 	self    int
 	stripes [SegStripes]stripe
+	// fallbacks counts DirectReads that exhausted their seqlock spins and
+	// took the stripe mutex instead (writer livelock). Observable so tests
+	// can assert the fallback path is actually exercised.
+	fallbacks atomic.Uint64
 }
 
 // NewSegment creates kernel self's (initially zero-filled) segment.
@@ -254,6 +258,7 @@ func (g *Segment) DirectRead(addr uint64) int64 {
 			return v
 		}
 	}
+	g.fallbacks.Add(1)
 	var v int64
 	st.mu.Lock()
 	if blk := st.lookup(b); blk != nil {
@@ -262,6 +267,10 @@ func (g *Segment) DirectRead(addr uint64) int64 {
 	st.mu.Unlock()
 	return v
 }
+
+// DirectReadFallbacks reports how many DirectReads fell back to the stripe
+// mutex after exhausting their seqlock spins.
+func (g *Segment) DirectReadFallbacks() uint64 { return g.fallbacks.Load() }
 
 // WriteWord stores a single word at addr without allocating (after the
 // block's first write).
@@ -326,7 +335,9 @@ func (g *Segment) ReadV(dst []int64, addrs []uint64, counts []int) []int64 {
 
 // WriteV scatters words over the (addrs[i], counts[i]) ranges in order;
 // words is the concatenation of all ranges' data (the vectored write
-// request's server side).
+// request's server side). Each run is applied per-block through Write's
+// capped seqlock windows — never one odd window for the whole vector — so
+// direct readers queued on a stripe mutex get through between runs.
 func (g *Segment) WriteV(addrs []uint64, counts []int, words []int64) {
 	off := 0
 	for i, addr := range addrs {
@@ -335,20 +346,37 @@ func (g *Segment) WriteV(addrs []uint64, counts []int, words []int64) {
 	}
 }
 
-// Write stores words starting at addr (all homed here, single block).
+// writeWindowWords caps the words stored under one stripe mutex hold and
+// one seqlock window. A vectored write used to apply each run under a
+// single odd window; with large block sizes that held the stripe long
+// enough to starve a DirectRead that had already burned its seqlock spins
+// and was queued on the mutex. Chunking bounds every critical section —
+// per-word visibility is the consistency unit (runs span homes anyway), so
+// a reader observing a half-applied run between chunks is no new behaviour.
+const writeWindowWords = 32
+
+// Write stores words starting at addr (all homed here, single block). The
+// stripe is locked and the seqlock window held for at most writeWindowWords
+// stores at a time.
 func (g *Segment) Write(addr uint64, words []int64) {
 	g.checkHome(addr, len(words))
 	b := g.space.BlockOf(addr)
 	st := g.stripeOf(b)
-	st.mu.Lock()
-	blk := st.materialise(b, g.space.BlockWords)
 	off := int(addr % uint64(g.space.BlockWords))
-	st.wseq.Add(1)
-	for i, v := range words {
-		atomic.StoreInt64(&blk[off+i], v)
+	for start := 0; start == 0 || start < len(words); start += writeWindowWords {
+		chunk := words[start:]
+		if len(chunk) > writeWindowWords {
+			chunk = chunk[:writeWindowWords]
+		}
+		st.mu.Lock()
+		blk := st.materialise(b, g.space.BlockWords)
+		st.wseq.Add(1)
+		for i, v := range chunk {
+			atomic.StoreInt64(&blk[off+start+i], v)
+		}
+		st.wseq.Add(1)
+		st.mu.Unlock()
 	}
-	st.wseq.Add(1)
-	st.mu.Unlock()
 }
 
 // FetchAdd atomically adds delta to the word at addr, returning the
@@ -541,6 +569,11 @@ func (g *Segment) Import(blocks []BlockSnapshot) error {
 	for i := range g.stripes {
 		st := &g.stripes[i]
 		st.mu.Lock()
+		// The odd/even bump gives every stripe a fresh generation: a
+		// one-sided window reader (rebound to this segment after a recovery
+		// restart) that raced the swap fails its seqlock validation and
+		// retries against the imported state instead of returning a word
+		// from the discarded generation.
 		st.wseq.Add(1)
 		st.blocks.Store(&maps[i])
 		st.copyset = csets[i]

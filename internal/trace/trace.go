@@ -31,6 +31,13 @@ type PEStats struct {
 	// one-sided direct window into a co-located home's segment instead of
 	// a request/reply message pair. Always <= RemoteGM.
 	DirectGM uint64
+	// RingGM counts the RemoteGM writes that resolved through a per-shard
+	// submission ring into a co-located home instead of a request/reply
+	// message pair. Always <= RemoteGM.
+	RingGM uint64
+	// RingDrained counts ring writes applied on the service side (the
+	// home's view of RingGM; equal totals once all kernels quiesce).
+	RingDrained uint64
 	// ShardedMsgs counts incoming GM requests serviced by a kernel shard
 	// worker rather than the serial serve loop.
 	ShardedMsgs uint64
@@ -95,6 +102,8 @@ func (s *PEStats) Add(o *PEStats) {
 	s.LocalGM += o.LocalGM
 	s.RemoteGM += o.RemoteGM
 	s.DirectGM += o.DirectGM
+	s.RingGM += o.RingGM
+	s.RingDrained += o.RingDrained
 	s.ShardedMsgs += o.ShardedMsgs
 	s.Barriers += o.Barriers
 	s.Locks += o.Locks
