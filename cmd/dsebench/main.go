@@ -50,6 +50,7 @@ func main() {
 		traceOut = flag.String("trace", "", "run gauss p=4 with span tracing and write Chrome trace_event JSON here")
 		stressF  = flag.Bool("stress", false, "run the seeded consistency stress matrix; -seed selects the schedule")
 		recoverF = flag.Bool("recover", false, "run seeded kill-and-recover schedules (checkpoint/restart); -seed selects the schedule")
+		memberF  = flag.Bool("membership", false, "run seeded live join/leave/re-home schedules (elastic membership); -seed selects the schedule")
 		saturate = flag.Bool("saturate", false, "measure remote-GM ops/sec into one home kernel across PE and shard counts (wall clock; with -json, adds the sweep to the snapshot)")
 	)
 	flag.Parse()
@@ -70,6 +71,8 @@ func main() {
 		runStress(*seed, *quick)
 	case *recoverF:
 		runRecover(*seed, *quick)
+	case *memberF:
+		runMembership(*seed, *quick)
 	case *jsonOut != "":
 		scaleName := "full"
 		if *quick {

@@ -17,10 +17,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/check"
 	"repro/internal/ckpt"
 	"repro/internal/core"
+	"repro/internal/gmem"
 	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/transport/simnet"
@@ -85,7 +87,31 @@ type Options struct {
 	// the submit point, so ring runs replay deterministically like all
 	// others.
 	Rings int
+
+	// Membership schedule (requires the uncached protocol; incompatible
+	// with Recover). Latent provisions that many PEs at the tail of the id
+	// range as latent members — clients that own no global memory — and
+	// each joins live at op index JoinAtOp + 32*k (k-th latent PE), taking
+	// over its probe-rule share while the workload keeps running.
+	Latent   int
+	JoinAtOp int // op index the first latent PE joins at (0 = OpsPerPE/4)
+	// LeaveAtOp > 0 schedules PE LeavePE (never 0 — kernel 0 hosts the
+	// grant service and sync managers; 0 = the highest initially-active PE)
+	// to leave voluntarily at that op index, handing its blocks to its
+	// successor and continuing as a pure client.
+	LeavePE   int
+	LeaveAtOp int
+	// MigrateEvery > 0 makes PE 1 re-home a random 1-2 block range of the
+	// data region to a random active peer every MigrateEvery ops, so
+	// migrations overlap the join/leave transitions and — in kill
+	// schedules — the station death.
+	MigrateEvery int
 }
+
+// migratorPE issues the scheduled MigrateRange calls. Never 0 (kernel 0
+// must stay free to serve grants) and never latent (latent PEs sit at the
+// tail of the id range).
+const migratorPE = 1
 
 func (o Options) String() string {
 	s := fmt.Sprintf("seed=%d pe=%d ops=%d caching=%v loss=%g jitter=%v kill=%d@%v",
@@ -102,7 +128,21 @@ func (o Options) String() string {
 	if o.Rings != 0 {
 		s += fmt.Sprintf(" rings=%d", o.Rings)
 	}
+	if o.Latent > 0 {
+		s += fmt.Sprintf(" latent=%d join@%d", o.Latent, o.JoinAtOp)
+	}
+	if o.LeaveAtOp > 0 {
+		s += fmt.Sprintf(" leave=%d@%d", o.LeavePE, o.LeaveAtOp)
+	}
+	if o.MigrateEvery > 0 {
+		s += fmt.Sprintf(" migrate/%d", o.MigrateEvery)
+	}
 	return s
+}
+
+// membership reports whether any live join/leave/re-home event is scheduled.
+func (o Options) membership() bool {
+	return o.Latent > 0 || o.LeaveAtOp > 0 || o.MigrateEvery > 0
 }
 
 // faulty reports whether the configuration can lose messages, which rules
@@ -122,6 +162,10 @@ type Result struct {
 	// SnapshotBytes is the total encoded checkpoint data written across all
 	// PEs and epochs (0 unless Options.Recover).
 	SnapshotBytes uint64
+	// Membership event totals across all PEs (0 unless a membership
+	// schedule was set): joins and leaves completed, migrations initiated
+	// and blocks handed to a new home.
+	Joins, Leaves, Migrations, MigratedBlocks uint64
 }
 
 // Run executes one seeded stress run and checks its history.
@@ -135,6 +179,28 @@ func Run(o Options) (*Result, error) {
 	if o.Recover {
 		o.Loss = 0 // see Options.Recover: lossy barrier arrivals could wedge
 	}
+	if o.membership() {
+		if o.Caching {
+			return nil, fmt.Errorf("stress: membership schedules require the uncached protocol")
+		}
+		if o.Recover {
+			return nil, fmt.Errorf("stress: membership schedules cannot combine with Recover")
+		}
+		if o.Latent >= o.NumPE {
+			return nil, fmt.Errorf("stress: %d latent of %d PEs leaves no active member", o.Latent, o.NumPE)
+		}
+		if o.Latent > 0 && o.JoinAtOp <= 0 {
+			o.JoinAtOp = o.OpsPerPE / 4
+		}
+		if o.LeaveAtOp > 0 {
+			if o.LeavePE <= 0 {
+				o.LeavePE = o.NumPE - o.Latent - 1
+			}
+			if o.LeavePE <= 0 {
+				return nil, fmt.Errorf("stress: no PE besides kernel 0 can leave (pe=%d latent=%d)", o.NumPE, o.Latent)
+			}
+		}
+	}
 	cfg := core.Config{
 		NumPE:                  o.NumPE,
 		Platform:               platform.SparcSunOS,
@@ -147,6 +213,7 @@ func Run(o Options) (*Result, error) {
 		KernelShards:           o.Shards,
 		DirectReads:            o.DirectReads,
 		WriteRings:             o.Rings,
+		LatentPEs:              o.Latent,
 	}
 	if o.faulty() {
 		cfg.RequestTimeout = 50 * sim.Millisecond
@@ -164,10 +231,14 @@ func Run(o Options) (*Result, error) {
 		return nil, err
 	}
 	return &Result{
-		Report:  check.Check(res.History),
-		History: res.History,
-		Elapsed: res.Elapsed,
-		Err:     res.FirstErr(),
+		Report:         check.Check(res.History),
+		History:        res.History,
+		Elapsed:        res.Elapsed,
+		Err:            res.FirstErr(),
+		Joins:          res.Total.Joins,
+		Leaves:         res.Total.Leaves,
+		Migrations:     res.Total.Migrations,
+		MigratedBlocks: res.Total.MigratedBlocks,
 	}, nil
 }
 
@@ -253,6 +324,15 @@ func program(o Options) core.Program {
 		rng := sim.NewRand(o.Seed ^ (uint64(pe.ID()+1) * 0x9e3779b97f4a7c15))
 		w := &worker{pe: pe, o: o, rng: rng, data: data, ctrs: ctrs, casb: casb, lckw: lckw}
 		w.casGuess = make([]int64, casWords)
+		w.joinAt, w.leaveAt = -1, -1
+		if base := o.NumPE - o.Latent; o.Latent > 0 && pe.ID() >= base {
+			// Stagger the latent PEs' joins so the grant service serialises
+			// overlapping transition requests rather than a fixed order.
+			w.joinAt = o.JoinAtOp + 32*(pe.ID()-base)
+		}
+		if o.LeaveAtOp > 0 && pe.ID() == o.LeavePE {
+			w.leaveAt = o.LeaveAtOp
+		}
 
 		victim := o.KillPE > 0 && pe.ID() == o.KillPE
 		// Leave a quarter of the schedule as margin so the victim's exit
@@ -262,6 +342,9 @@ func program(o Options) core.Program {
 		for i := 0; i < o.OpsPerPE; i++ {
 			if victim && pe.Now() >= stopAt {
 				return nil
+			}
+			if err := w.membershipStep(i); err != nil {
+				return err
 			}
 			w.step(i)
 			// Fault-free runs rendezvous periodically: barriers are
@@ -323,6 +406,72 @@ type worker struct {
 	uniq     int64
 	dead     map[int]bool // homes declared down; their addresses are skipped
 	resume   int          // recover mode: op index the next incarnation starts at
+	joinAt   int          // op index this (latent) PE joins at; -1 = never
+	leaveAt  int          // op index this PE leaves at; -1 = never
+}
+
+// membershipStep fires any membership event scheduled at op index i: this
+// PE's join or leave, or — on the migrator — a periodic block re-homing.
+// With a kill scheduled the in-flight handoffs can die mid-protocol; those
+// errors are tolerated (the checker still validates every surviving
+// operation), but in a fault-free run a failed transition fails the PE.
+func (w *worker) membershipStep(i int) error {
+	pe := w.pe
+	if i == w.joinAt {
+		if err := pe.Join(); err != nil {
+			w.note(err)
+			if !w.o.faulty() {
+				return fmt.Errorf("join at op %d: %w", i, err)
+			}
+		}
+	}
+	if i == w.leaveAt {
+		if err := pe.Leave(); err != nil {
+			w.note(err)
+			if !w.o.faulty() {
+				return fmt.Errorf("leave at op %d: %w", i, err)
+			}
+		}
+	}
+	if w.o.MigrateEvery > 0 && pe.ID() == migratorPE && i > 0 && i%w.o.MigrateEvery == 0 {
+		return w.migrateOnce(i)
+	}
+	return nil
+}
+
+// migrateOnce re-homes a random 1-2 block range of the data region to a
+// random active member. A destination that concurrently left the membership
+// between the snapshot and the call is a benign race, not a failure.
+func (w *worker) migrateOnce(i int) error {
+	pe := w.pe
+	bw := pe.Space().BlockWords
+	blocks := dataWords / bw
+	if blocks < 1 {
+		return nil
+	}
+	nblocks := 1
+	if blocks > 1 && w.rng.Intn(2) == 0 {
+		nblocks = 2
+	}
+	off := w.rng.Intn(blocks - nblocks + 1)
+	addr := w.data + uint64(off*bw)
+	var cands []int
+	for id, m := range pe.Members() {
+		if m.State == gmem.MemberActive && (w.dead == nil || !w.dead[id]) {
+			cands = append(cands, id)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	dst := cands[w.rng.Intn(len(cands))]
+	if err := pe.MigrateRange(addr, nblocks, dst); err != nil {
+		w.note(err)
+		if !w.o.faulty() && !strings.Contains(err.Error(), "non-active") {
+			return fmt.Errorf("migrate %d blocks to %d at op %d: %w", nblocks, dst, i, err)
+		}
+	}
+	return nil
 }
 
 // saveBlob snapshots the workload state a restarted incarnation needs:
@@ -356,8 +505,10 @@ func (w *worker) next() int64 {
 }
 
 // skip reports whether addr is homed at a kernel already declared down.
+// The lookup is directory-aware so re-homed blocks track their current
+// owner, not the probe rule's static assignment.
 func (w *worker) skip(addr uint64) bool {
-	return w.dead != nil && w.dead[w.pe.Space().HomeOf(addr)]
+	return w.dead != nil && w.dead[w.pe.HomeOf(addr)]
 }
 
 // note tracks peer-down errors so later operations stop hammering the dead

@@ -151,8 +151,16 @@ func EncodeKernelState(blockWords int, blocks []gmem.BlockSnapshot) []byte {
 	return buf
 }
 
-// DecodeKernelState parses an EncodeKernelState payload.
+// DecodeKernelState parses an EncodeKernelState payload, ignoring any V2
+// membership trailer (see DecodeKernelStateDir).
 func DecodeKernelState(data []byte) (blockWords int, blocks []gmem.BlockSnapshot, err error) {
+	blockWords, blocks, _, err = decodeKernelBlocks(data)
+	return blockWords, blocks, err
+}
+
+// decodeKernelBlocks parses the V1 block list and returns the offset one
+// past it, where a V2 trailer (if any) begins.
+func decodeKernelBlocks(data []byte) (blockWords int, blocks []gmem.BlockSnapshot, end int, err error) {
 	off := 0
 	get := func() (uint64, error) {
 		if off+8 > len(data) {
@@ -164,46 +172,213 @@ func DecodeKernelState(data []byte) (blockWords int, blocks []gmem.BlockSnapshot
 	}
 	bw, err := get()
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, 0, err
 	}
 	nb, err := get()
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, 0, err
 	}
 	if bw == 0 || bw > 1<<20 || nb > uint64(len(data)) {
-		return 0, nil, fmt.Errorf("ckpt: implausible kernel state (blockWords=%d, blocks=%d)", bw, nb)
+		return 0, nil, 0, fmt.Errorf("ckpt: implausible kernel state (blockWords=%d, blocks=%d)", bw, nb)
 	}
 	blocks = make([]gmem.BlockSnapshot, 0, nb)
 	for i := uint64(0); i < nb; i++ {
 		var b gmem.BlockSnapshot
 		if b.Index, err = get(); err != nil {
-			return 0, nil, err
+			return 0, nil, 0, err
 		}
 		b.Words = make([]int64, bw)
 		for w := range b.Words {
 			var v uint64
 			if v, err = get(); err != nil {
-				return 0, nil, err
+				return 0, nil, 0, err
 			}
 			b.Words[w] = int64(v)
 		}
 		var nc uint64
 		if nc, err = get(); err != nil {
-			return 0, nil, err
+			return 0, nil, 0, err
 		}
 		if nc > uint64(len(data)) {
-			return 0, nil, fmt.Errorf("ckpt: implausible copyset size %d", nc)
+			return 0, nil, 0, fmt.Errorf("ckpt: implausible copyset size %d", nc)
 		}
 		for c := uint64(0); c < nc; c++ {
 			var v uint64
 			if v, err = get(); err != nil {
-				return 0, nil, err
+				return 0, nil, 0, err
 			}
 			b.Copyset = append(b.Copyset, int(v))
 		}
 		blocks = append(blocks, b)
 	}
-	return int(bw), blocks, nil
+	return int(bw), blocks, off, nil
+}
+
+// --- Directory (elastic membership) snapshot: kernel-state V2 trailer ---
+
+// dirMagic introduces the optional V2 trailer appended after the block list
+// by EncodeKernelStateDir. A V1 payload ends exactly at the last block, so
+// presence of the trailer is unambiguous.
+var dirMagic = [8]byte{'D', 'S', 'E', 'D', 'I', 'R', '2', 0}
+
+// MemberSnapshot is one member's state in a directory snapshot.
+type MemberSnapshot struct {
+	State uint64 // gmem.MemberState
+	Gen   uint64 // membership generation of the last transition
+}
+
+// EscrowSnapshot is a block the kernel had extracted for a migration whose
+// commit had not yet arrived at mark time: the data plus its destination,
+// so a restored cluster can re-offer it instead of losing the handoff.
+type EscrowSnapshot struct {
+	Dst   int
+	Block gmem.BlockSnapshot
+}
+
+// DirectorySnapshot captures a kernel's membership directory for the
+// manifest: epoch, per-member states, explicit overrides and in-flight
+// escrow. Nil means the snapshot predates elastic membership (V1).
+type DirectorySnapshot struct {
+	Epoch     uint64
+	Members   []MemberSnapshot
+	Overrides [][2]uint64 // (block index, home)
+	Escrow    []EscrowSnapshot
+}
+
+// EncodeKernelStateDir is EncodeKernelState plus the V2 membership trailer.
+// A nil dir encodes the V1 payload unchanged.
+func EncodeKernelStateDir(blockWords int, blocks []gmem.BlockSnapshot, dir *DirectorySnapshot) []byte {
+	buf := EncodeKernelState(blockWords, blocks)
+	if dir == nil {
+		return buf
+	}
+	buf = append(buf, dirMagic[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, dir.Epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(dir.Members)))
+	for _, m := range dir.Members {
+		buf = binary.LittleEndian.AppendUint64(buf, m.State)
+		buf = binary.LittleEndian.AppendUint64(buf, m.Gen)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(dir.Overrides)))
+	for _, ov := range dir.Overrides {
+		buf = binary.LittleEndian.AppendUint64(buf, ov[0])
+		buf = binary.LittleEndian.AppendUint64(buf, ov[1])
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(dir.Escrow)))
+	for _, e := range dir.Escrow {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.Dst))
+		buf = binary.LittleEndian.AppendUint64(buf, e.Block.Index)
+		for _, w := range e.Block.Words {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(w))
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(len(e.Block.Copyset)))
+		for _, k := range e.Block.Copyset {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(k))
+		}
+	}
+	return buf
+}
+
+// DecodeKernelStateDir parses an EncodeKernelStateDir payload. dir is nil
+// for a V1 payload (no trailer).
+func DecodeKernelStateDir(data []byte) (blockWords int, blocks []gmem.BlockSnapshot, dir *DirectorySnapshot, err error) {
+	blockWords, blocks, off, err := decodeKernelBlocks(data)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if off == len(data) {
+		return blockWords, blocks, nil, nil // V1
+	}
+	if off+8 > len(data) || string(data[off:off+8]) != string(dirMagic[:]) {
+		return 0, nil, nil, errors.New("ckpt: kernel state has trailing bytes that are not a directory trailer")
+	}
+	off += 8
+	get := func() (uint64, error) {
+		if off+8 > len(data) {
+			return 0, fmt.Errorf("ckpt: truncated directory trailer at byte %d", off)
+		}
+		v := binary.LittleEndian.Uint64(data[off:])
+		off += 8
+		return v, nil
+	}
+	d := &DirectorySnapshot{}
+	if d.Epoch, err = get(); err != nil {
+		return 0, nil, nil, err
+	}
+	nm, err := get()
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if nm > uint64(len(data)) {
+		return 0, nil, nil, fmt.Errorf("ckpt: implausible member count %d", nm)
+	}
+	for i := uint64(0); i < nm; i++ {
+		var m MemberSnapshot
+		if m.State, err = get(); err != nil {
+			return 0, nil, nil, err
+		}
+		if m.Gen, err = get(); err != nil {
+			return 0, nil, nil, err
+		}
+		d.Members = append(d.Members, m)
+	}
+	nov, err := get()
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if nov > uint64(len(data)) {
+		return 0, nil, nil, fmt.Errorf("ckpt: implausible override count %d", nov)
+	}
+	for i := uint64(0); i < nov; i++ {
+		var b, h uint64
+		if b, err = get(); err != nil {
+			return 0, nil, nil, err
+		}
+		if h, err = get(); err != nil {
+			return 0, nil, nil, err
+		}
+		d.Overrides = append(d.Overrides, [2]uint64{b, h})
+	}
+	ne, err := get()
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if ne > uint64(len(data)) {
+		return 0, nil, nil, fmt.Errorf("ckpt: implausible escrow count %d", ne)
+	}
+	for i := uint64(0); i < ne; i++ {
+		var e EscrowSnapshot
+		var v uint64
+		if v, err = get(); err != nil {
+			return 0, nil, nil, err
+		}
+		e.Dst = int(v)
+		if e.Block.Index, err = get(); err != nil {
+			return 0, nil, nil, err
+		}
+		e.Block.Words = make([]int64, blockWords)
+		for w := range e.Block.Words {
+			if v, err = get(); err != nil {
+				return 0, nil, nil, err
+			}
+			e.Block.Words[w] = int64(v)
+		}
+		var nc uint64
+		if nc, err = get(); err != nil {
+			return 0, nil, nil, err
+		}
+		if nc > uint64(len(data)) {
+			return 0, nil, nil, fmt.Errorf("ckpt: implausible escrow copyset size %d", nc)
+		}
+		for c := uint64(0); c < nc; c++ {
+			if v, err = get(); err != nil {
+				return 0, nil, nil, err
+			}
+			e.Block.Copyset = append(e.Block.Copyset, int(v))
+		}
+		d.Escrow = append(d.Escrow, e)
+	}
+	return blockWords, blocks, d, nil
 }
 
 // --- DirStore ---

@@ -171,6 +171,14 @@ type Config struct {
 	// simulation submissions are drained inline at the submit point, which
 	// keeps virtual-time schedules deterministic.
 	WriteRings int
+	// LatentPEs starts the highest LatentPEs ranks outside the active
+	// membership: their kernels home no global-memory blocks (the probe rule
+	// skips latent members) and their PEs act as pure clients until they call
+	// pe.Join(), which hands them their directory slice live — the elastic
+	// membership extension. Latent PEs still run the program and participate
+	// in barriers. Must leave at least one active rank and is incompatible
+	// with Caching (the coherence directory assumes the static layout).
+	LatentPEs int
 
 	// testInspect, when non-nil, is called with the cluster's kernels and
 	// PEs after shutdown but before Run returns — a white-box hook for
@@ -225,6 +233,12 @@ func (cfg *Config) withDefaults() (Config, error) {
 		// More shards than segment lock stripes would map two shards onto one
 		// stripe, reintroducing the contention sharding exists to remove.
 		c.KernelShards = gmem.SegStripes
+	}
+	if c.LatentPEs < 0 || c.LatentPEs >= c.NumPE {
+		return c, errors.New("core: LatentPEs must leave at least one active PE")
+	}
+	if c.LatentPEs > 0 && c.Caching {
+		return c, errors.New("core: LatentPEs is incompatible with Caching (the coherence directory assumes the static home layout)")
 	}
 	if c.RetryBackoff == 0 && c.RequestTimeout > 0 {
 		c.RetryBackoff = c.RequestTimeout / 4

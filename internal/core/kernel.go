@@ -50,6 +50,36 @@ type Kernel struct {
 	seg   *gmem.Segment
 	cache *gmem.Cache // non-nil only when cfg.Caching
 
+	// dir is this kernel's view of the elastic membership directory, shared
+	// with its PE. Lookups are lock-free; a static directory (all members
+	// active, no overrides) keeps every hot path on the pure block-cyclic
+	// layout.
+	dir *gmem.Directory
+
+	// migGen counts home-migration transitions this kernel has applied.
+	// Ring producers read it before publishing and recheck after their write
+	// is consumed: an unchanged value proves the drain ran under the same
+	// ownership view, a changed one makes the write ambiguous (it may have
+	// been filtered) and the producer falls back to the message path with the
+	// same sequence, where the dedup window keeps it exactly-once.
+	migGen atomic.Uint64
+
+	// escrow holds blocks this kernel extracted for a migration whose commit
+	// has not yet arrived: the snapshot plus its destination. Any GM request
+	// hitting an escrowed block re-offers the block to its destination
+	// (fire-and-forget install) before NACKing, so a migration whose
+	// initiator died mid-flight heals through normal request traffic.
+	// Guarded by escrowMu: written by the serial loop, read by shard workers.
+	escrowMu sync.Mutex
+	escrow   map[uint64]escrowEntry
+
+	// Membership grant state (kernel 0, serial loop only): at most one
+	// join/leave transition is in flight cluster-wide. grantBusyMember is the
+	// member holding the open grant (-1 = none); the grant clears when that
+	// member's OpEpochUpdate arrives or the member is found dead.
+	grantBusyMember int
+	grantBusyGen    uint64
+
 	// Central managers, present at kernel 0 only.
 	barrier *psync.BarrierManager
 	locks   *psync.LockManager
@@ -159,12 +189,22 @@ const (
 )
 
 // dedupEntry records one mutating request and, once known, its response.
+// data caches a payload-carrying response (OpMigrateStartResp: a retried
+// migrate-start must resend the extracted blocks, which no longer exist in
+// the segment); nil for the scalar responses of ordinary GM mutations.
 type dedupEntry struct {
 	seq    uint64
 	respOp wire.Op
 	arg1   int64
 	arg2   int64
+	data   []byte
 	state  uint8
+}
+
+// escrowEntry is one block awaiting its migration commit at the old home.
+type escrowEntry struct {
+	dst   int
+	block gmem.BlockSnapshot
 }
 
 // dedupRing is a fixed ring of the most recent mutating requests from one
@@ -202,8 +242,9 @@ func (d *dedupTable) lookup(src int32, seq uint64) *dedupEntry {
 }
 
 // complete caches the response of a mutating request so a later retry can be
-// answered by resend.
-func (d *dedupTable) complete(src int32, seq uint64, respOp wire.Op, arg1, arg2 int64) {
+// answered by resend. data is copied (the response message is recycled after
+// Send); pass nil for responses without a payload.
+func (d *dedupTable) complete(src int32, seq uint64, respOp wire.Op, arg1, arg2 int64, data []byte) {
 	r := d.rings[src]
 	if r == nil {
 		return
@@ -212,7 +253,31 @@ func (d *dedupTable) complete(src int32, seq uint64, respOp wire.Op, arg1, arg2 
 		e := &r.entries[i]
 		if e.state != dedupEmpty && e.seq == seq {
 			e.respOp, e.arg1, e.arg2 = respOp, arg1, arg2
+			e.data = nil
+			if len(data) > 0 {
+				e.data = append([]byte(nil), data...)
+			}
 			e.state = dedupDone
+			return
+		}
+	}
+}
+
+// forget erases the entry recorded for (src, seq), returning the slot to
+// the window. Used when a request is answered with a migrate NACK: the NACK
+// is side-effect-free and is simply recomputed if the request is retried
+// here, while a cached copy would keep answering the sequence number after
+// the block lands at this kernel — a requester whose early redirect raced
+// the install would have its legitimate retry masked forever.
+func (d *dedupTable) forget(src int32, seq uint64) {
+	r := d.rings[src]
+	if r == nil {
+		return
+	}
+	for i := range r.entries {
+		e := &r.entries[i]
+		if e.state != dedupEmpty && e.seq == seq {
+			*e = dedupEntry{}
 			return
 		}
 	}
@@ -250,7 +315,12 @@ func newKernel(id int, node transport.Node, cfg *Config) *Kernel {
 		deadFlags: make([]atomic.Bool, cfg.NumPE),
 		dedup:     newDedupTable(),
 		spans:     cfg.Tracing.NewRing(),
+
+		dir:             gmem.NewDirectory(cfg.NumPE, cfg.LatentPEs),
+		escrow:          make(map[uint64]escrowEntry),
+		grantBusyMember: -1,
 	}
+	k.seg.SetDirectory(k.dir)
 	k.nshards = cfg.KernelShards
 	if k.nshards < 1 {
 		k.nshards = 1
@@ -281,6 +351,22 @@ func newKernel(id int, node transport.Node, cfg *Config) *Kernel {
 		// coherence directory) from the snapshot before serving. Imported
 		// copyset entries may name kernels whose fresh caches hold nothing;
 		// the resulting spurious invalidations are acknowledged harmlessly.
+		// The membership directory is restored first so ownership checks on
+		// Import (and every later request) see the snapshotted view; escrowed
+		// blocks resume their pending handoff via the re-offer path.
+		if ds := cfg.restore.dirs[id]; ds != nil {
+			for i, ms := range ds.Members {
+				if i < cfg.NumPE {
+					k.dir.SetMember(i, gmem.MemberState(ms.State), ms.Gen)
+				}
+			}
+			for _, ov := range ds.Overrides {
+				k.dir.SetOverride(ov[0], int(ov[1]))
+			}
+			for _, es := range ds.Escrow {
+				k.escrow[es.Block.Index] = escrowEntry{dst: es.Dst, block: es.Block}
+			}
+		}
 		if err := k.seg.Import(cfg.restore.blocks[id]); err != nil {
 			panic(fmt.Sprintf("core: kernel %d: restoring snapshot: %v", id, err))
 		}
@@ -312,6 +398,25 @@ func (k *Kernel) addPending(mb transport.Mailbox, dst int) (seq uint64, dead boo
 	k.pending[seq] = pendingReq{mb: mb, dst: dst}
 	k.mu.Unlock()
 	return seq, false
+}
+
+// addPendingSeq re-registers an existing request id against a (possibly new)
+// destination: the migration-NACK redirect and the ambiguous one-sided write
+// fallback keep their original sequence number so the home's dedup window
+// recognises the operation, but need the reply routed again after the first
+// response consumed the pending entry.
+func (k *Kernel) addPendingSeq(mb transport.Mailbox, dst int, seq uint64) (dead bool) {
+	if k.deadFlags[dst].Load() {
+		return true
+	}
+	k.mu.Lock()
+	if k.deadPeers[dst] {
+		k.mu.Unlock()
+		return true
+	}
+	k.pending[seq] = pendingReq{mb: mb, dst: dst}
+	k.mu.Unlock()
+	return false
 }
 
 func (k *Kernel) takePending(seq uint64) (transport.Mailbox, bool) {
@@ -385,7 +490,12 @@ type pendingVictim struct {
 func isMutating(op wire.Op) bool {
 	switch op {
 	case wire.OpWrite, wire.OpWriteV, wire.OpFetchAdd, wire.OpCAS,
-		wire.OpProcRegister, wire.OpProcExit:
+		wire.OpProcRegister, wire.OpProcExit,
+		wire.OpMigrateStart, wire.OpMigrateInstall, wire.OpJoin, wire.OpLeave:
+		// Migrate-start extracts blocks (a retry must resend the cached
+		// payload, not re-extract nothing); install adopts them; join/leave
+		// allocate a membership generation (a retry must get the same one).
+		// Commit and epoch updates are idempotent and stay un-deduped.
 		return true
 	}
 	return false
@@ -406,6 +516,9 @@ func (k *Kernel) dedupCheck(m *wire.Message) bool {
 	if e.state == dedupDone {
 		resp := wire.GetMessage()
 		resp.Op, resp.Arg1, resp.Arg2 = e.respOp, e.arg1, e.arg2
+		if len(e.data) > 0 {
+			resp.Data = append([]byte(nil), e.data...)
+		}
 		k.reply(m, resp)
 	}
 	return true
@@ -502,7 +615,9 @@ func (k *Kernel) handle(m *wire.Message) bool {
 	case wire.OpReadResp, wire.OpWriteAck, wire.OpFetchAddResp, wire.OpCASResp,
 		wire.OpReadVResp, wire.OpCkptMarkResp,
 		wire.OpProcRegResp, wire.OpProcExitAck, wire.OpProcListResp,
-		wire.OpPong, wire.OpWelcome:
+		wire.OpPong, wire.OpWelcome,
+		wire.OpMigrateStartResp, wire.OpMigrateInstallResp, wire.OpMigrateCommitResp,
+		wire.OpMigrateNack, wire.OpJoinResp, wire.OpLeaveResp, wire.OpEpochUpdateResp:
 		if mb, ok := k.takePending(m.Seq); ok {
 			mb.Put(m)
 			return false
@@ -592,9 +707,28 @@ func (k *Kernel) handle(m *wire.Message) bool {
 		k.fenceShards()
 		resp := wire.GetMessage()
 		resp.Op = wire.OpCkptMarkResp
-		resp.Data = ckpt.EncodeKernelState(k.cfg.GMBlockWords, k.seg.Export())
+		resp.Data = ckpt.EncodeKernelStateDir(k.cfg.GMBlockWords, k.seg.Export(), k.dirSnapshot())
 		resp.Arg1 = int64(k.svc.Now())
 		k.reply(m, resp)
+
+	// Elastic membership: home migration, join/leave grants, epoch updates.
+	// All serviced on the serial loop (they fence the shards themselves).
+	case wire.OpMigrateStart, wire.OpMigrateInstall, wire.OpJoin, wire.OpLeave:
+		if k.dedupCheck(m) {
+			return true
+		}
+		switch m.Op {
+		case wire.OpMigrateStart:
+			k.handleMigrateStart(m)
+		case wire.OpMigrateInstall:
+			k.handleMigrateInstall(m)
+		default:
+			k.handleGrant(m)
+		}
+	case wire.OpMigrateCommit:
+		k.handleMigrateCommit(m)
+	case wire.OpEpochUpdate:
+		k.handleEpochUpdate(m)
 
 	// Liveness.
 	case wire.OpPing:
@@ -638,7 +772,7 @@ func (k *Kernel) reply(m *wire.Message, resp *wire.Message) {
 	resp.Dst = m.Src
 	resp.Seq = m.Seq
 	if isMutating(m.Op) {
-		k.dedup.complete(m.Src, m.Seq, resp.Op, resp.Arg1, resp.Arg2)
+		k.dedup.complete(m.Src, m.Seq, resp.Op, resp.Arg1, resp.Arg2, resp.Data)
 	}
 	k.svc.Send(int(m.Src), resp)
 	wire.PutMessage(resp)

@@ -1,0 +1,388 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gmem"
+	"repro/internal/wire"
+)
+
+// TestJoinLatentPE brings a latent PE into a running cluster and checks the
+// re-homed global memory stays intact: every word written before the join —
+// including by the latent client itself — reads back correctly afterwards,
+// and the joiner ends up homing a share of the blocks.
+func TestJoinLatentPE(t *testing.T) {
+	res, err := Run(Config{NumPE: 3, Transport: TransportInproc, LatentPEs: 1}, func(pe *PE) error {
+		n := pe.N()
+		bw := pe.Space().BlockWords
+		words := 4 * n * bw
+		base := pe.AllocBlocks(words)
+		pe.Barrier()
+		for i := pe.ID(); i < words; i += n {
+			pe.GMWrite(base+uint64(i), int64(i+1))
+		}
+		pe.Barrier()
+		if pe.ID() == n-1 {
+			if st := pe.Members()[pe.ID()].State; st != gmem.MemberLatent {
+				return fmt.Errorf("latent PE starts as %v", st)
+			}
+			if err := pe.Join(); err != nil {
+				return err
+			}
+			if st := pe.Members()[pe.ID()].State; st != gmem.MemberActive {
+				return fmt.Errorf("joined PE is %v", st)
+			}
+		}
+		pe.Barrier()
+		for i := 0; i < words; i++ {
+			if v := pe.GMRead(base + uint64(i)); v != int64(i+1) {
+				return fmt.Errorf("PE %d after join: word %d = %d, want %d", pe.ID(), i, v, i+1)
+			}
+		}
+		if pe.ID() == n-1 {
+			owned := 0
+			for b := 0; b < words/bw; b++ {
+				if pe.HomeOf(base+uint64(b*bw)) == pe.ID() {
+					owned++
+				}
+			}
+			if owned == 0 {
+				return fmt.Errorf("joiner homes no blocks")
+			}
+		}
+		pe.Barrier()
+		// Post-join writes land at the new homes and stay exactly-once.
+		for i := pe.ID(); i < words; i += n {
+			pe.GMWrite(base+uint64(i), int64(2*i+1))
+		}
+		pe.Barrier()
+		for i := 0; i < words; i++ {
+			if v := pe.GMRead(base + uint64(i)); v != int64(2*i+1) {
+				return fmt.Errorf("PE %d post-join write: word %d = %d, want %d", pe.ID(), i, v, 2*i+1)
+			}
+		}
+		pe.Barrier()
+		return nil
+	})
+	if err != nil || res.FirstErr() != nil {
+		t.Fatal(err, res.FirstErr())
+	}
+	if res.Total.Joins != 1 {
+		t.Errorf("Joins = %d, want 1", res.Total.Joins)
+	}
+	if res.Total.MigratedBlocks == 0 {
+		t.Error("join migrated no blocks")
+	}
+}
+
+// TestLeaveRehomesBlocks gracefully retires a PE and checks its entire GM
+// slice lands at the successor with no lost writes; the left PE keeps
+// operating as a pure client.
+func TestLeaveRehomesBlocks(t *testing.T) {
+	res, err := Run(Config{NumPE: 3, Transport: TransportInproc}, func(pe *PE) error {
+		n := pe.N()
+		bw := pe.Space().BlockWords
+		words := 4 * n * bw
+		base := pe.AllocBlocks(words)
+		pe.Barrier()
+		for i := pe.ID(); i < words; i += n {
+			pe.GMWrite(base+uint64(i), int64(i+1))
+		}
+		pe.Barrier()
+		if pe.ID() == n-1 {
+			if err := pe.Leave(); err != nil {
+				return err
+			}
+		}
+		pe.Barrier()
+		for i := 0; i < words; i++ {
+			if v := pe.GMRead(base + uint64(i)); v != int64(i+1) {
+				return fmt.Errorf("PE %d after leave: word %d = %d, want %d", pe.ID(), i, v, i+1)
+			}
+		}
+		for b := 0; b < words/bw; b++ {
+			if h := pe.HomeOf(base + uint64(b*bw)); h == n-1 {
+				return fmt.Errorf("PE %d: block %d still homed at the left PE", pe.ID(), b)
+			}
+		}
+		pe.Barrier()
+		// The left PE keeps writing as a client.
+		for i := pe.ID(); i < words; i += n {
+			pe.GMWrite(base+uint64(i), int64(3*i+2))
+		}
+		pe.Barrier()
+		for i := 0; i < words; i++ {
+			if v := pe.GMRead(base + uint64(i)); v != int64(3*i+2) {
+				return fmt.Errorf("PE %d post-leave write: word %d = %d, want %d", pe.ID(), i, v, 3*i+2)
+			}
+		}
+		pe.Barrier()
+		return nil
+	})
+	if err != nil || res.FirstErr() != nil {
+		t.Fatal(err, res.FirstErr())
+	}
+	if res.Total.Leaves != 1 {
+		t.Errorf("Leaves = %d, want 1", res.Total.Leaves)
+	}
+}
+
+// TestMigrateRangeMovesBlocks re-homes an explicit block range on a cluster
+// that started static and checks ownership and data both move.
+func TestMigrateRangeMovesBlocks(t *testing.T) {
+	res, err := Run(Config{NumPE: 2, Transport: TransportInproc}, func(pe *PE) error {
+		bw := pe.Space().BlockWords
+		words := 4 * bw
+		base := pe.AllocBlocks(words)
+		pe.Barrier()
+		if pe.ID() == 0 {
+			for i := 0; i < words; i++ {
+				pe.GMWrite(base+uint64(i), int64(100+i))
+			}
+			if err := pe.MigrateRange(base, 2, 1); err != nil {
+				return err
+			}
+		}
+		pe.Barrier()
+		for b := 0; b < 2; b++ {
+			if h := pe.HomeOf(base + uint64(b*bw)); h != 1 {
+				return fmt.Errorf("PE %d: migrated block %d homed at %d, want 1", pe.ID(), b, h)
+			}
+		}
+		for i := 0; i < words; i++ {
+			if v := pe.GMRead(base + uint64(i)); v != int64(100+i) {
+				return fmt.Errorf("PE %d: word %d = %d, want %d", pe.ID(), i, v, 100+i)
+			}
+		}
+		pe.Barrier()
+		return nil
+	})
+	if err != nil || res.FirstErr() != nil {
+		t.Fatal(err, res.FirstErr())
+	}
+	if res.Total.Migrations == 0 || res.Total.MigratedBlocks == 0 {
+		t.Errorf("Migrations = %d, MigratedBlocks = %d, want both > 0",
+			res.Total.Migrations, res.Total.MigratedBlocks)
+	}
+}
+
+// TestLatentConfigValidation pins the LatentPEs gating rules.
+func TestLatentConfigValidation(t *testing.T) {
+	if _, err := (&Config{NumPE: 2, Transport: TransportInproc, LatentPEs: 2}).withDefaults(); err == nil {
+		t.Error("LatentPEs == NumPE accepted")
+	}
+	if _, err := (&Config{NumPE: 3, Transport: TransportInproc, LatentPEs: 1, Caching: true}).withDefaults(); err == nil {
+		t.Error("LatentPEs with Caching accepted")
+	}
+}
+
+// TestMigrateHandoffRaceExactlyOnce pins the write-vs-migration races in both
+// orders, sentinel-overwrite style (see TestRingWriteDedupExactlyOnce):
+//
+//   - A write applied at the old home BEFORE the handoff, retried AFTER it,
+//     must be absorbed by the old home's dedup window (cached ack resent) —
+//     never forwarded and re-applied at the new home.
+//   - A write arriving at the old home AFTER the handoff must be NACKed
+//     untouched, apply exactly once at the hinted new home, and a further
+//     retry there must be absorbed.
+func TestMigrateHandoffRaceExactlyOnce(t *testing.T) {
+	net, ks := testKernels(t, 2, nil)
+	addr := uint64(0) // block 0, homed at kernel 0
+
+	// Order 1: write, then migrate, then retry the write at the old home.
+	w := &wire.Message{Op: wire.OpWrite, Src: 1, Dst: 0, Seq: 101, Addr: addr}
+	w.PutWord(7)
+	ks[0].handle(w)
+	if ack := recvFrom(t, net, 1); ack.Op != wire.OpWriteAck {
+		t.Fatalf("initial write ack = %v", ack)
+	}
+
+	ks[0].handle(&wire.Message{Op: wire.OpMigrateStart, Src: 1, Dst: 0, Seq: 102, Arg1: migModeBlock, Arg2: 1, Addr: addr})
+	start := recvFrom(t, net, 1)
+	if start.Op != wire.OpMigrateStartResp || start.Arg1 != 1 {
+		t.Fatalf("migrate start resp = %v", start)
+	}
+	inst := &wire.Message{Op: wire.OpMigrateInstall, Src: 1, Dst: 1, Seq: 103, Arg1: migModeBlock, Addr: addr}
+	inst.Data = append([]byte(nil), start.Data...)
+	ks[1].handle(inst)
+	if r := recvFrom(t, net, 1); r.Op != wire.OpMigrateInstallResp {
+		t.Fatalf("install resp = %v", r)
+	}
+	if v := ks[1].seg.Read(addr, 1)[0]; v != 7 {
+		t.Fatalf("migrated value = %d, want 7", v)
+	}
+	if !ks[1].dir.Owns(1, 0) || ks[0].dir.Owns(0, 0) {
+		t.Fatal("ownership did not flip on both sides")
+	}
+
+	// Commit so the old home's escrow clears (re-offer traffic would
+	// otherwise interleave with the replies asserted below).
+	for i := range ks {
+		ks[i].handle(&wire.Message{Op: wire.OpMigrateCommit, Src: 1, Dst: int32(i), Seq: uint64(104 + i), Addr: addr, Arg1: 1, Arg2: 1})
+		if r := recvFrom(t, net, 1); r.Op != wire.OpMigrateCommitResp {
+			t.Fatalf("commit resp = %v", r)
+		}
+	}
+
+	ks[1].seg.WriteWord(addr, 1000) // sentinel: a re-apply would clobber this
+	retry := &wire.Message{Op: wire.OpWrite, Src: 1, Dst: 0, Seq: 101, Addr: addr, Flags: wire.FlagRetry}
+	retry.PutWord(7)
+	ks[0].handle(retry)
+	if ack := recvFrom(t, net, 1); ack.Op != wire.OpWriteAck {
+		t.Fatalf("retried write after handoff: got %v, want the cached OpWriteAck", ack)
+	}
+	if v := ks[1].seg.Read(addr, 1)[0]; v != 1000 {
+		t.Fatalf("retry re-applied across the handoff: %d, want sentinel 1000", v)
+	}
+
+	// Order 2: write arrives at the old home after the handoff — NACK with
+	// the new home hinted, exactly-once at the new home, retry absorbed.
+	w2 := &wire.Message{Op: wire.OpWrite, Src: 1, Dst: 0, Seq: 110, Addr: addr}
+	w2.PutWord(8)
+	ks[0].handle(w2)
+	nack := recvFrom(t, net, 1)
+	if nack.Op != wire.OpMigrateNack || nack.Arg1 != 1 {
+		t.Fatalf("stale-home write: got %v, want OpMigrateNack hinting kernel 1", nack)
+	}
+	redirected := &wire.Message{Op: wire.OpWrite, Src: 1, Dst: 1, Seq: 110, Addr: addr, Flags: wire.FlagRetry}
+	redirected.PutWord(8)
+	ks[1].handle(redirected)
+	if ack := recvFrom(t, net, 1); ack.Op != wire.OpWriteAck {
+		t.Fatalf("redirected write ack = %v", ack)
+	}
+	if v := ks[1].seg.Read(addr, 1)[0]; v != 8 {
+		t.Fatalf("redirected write not applied: %d", v)
+	}
+	ks[1].seg.WriteWord(addr, 2000)
+	retry2 := &wire.Message{Op: wire.OpWrite, Src: 1, Dst: 1, Seq: 110, Addr: addr, Flags: wire.FlagRetry}
+	retry2.PutWord(8)
+	ks[1].handle(retry2)
+	if ack := recvFrom(t, net, 1); ack.Op != wire.OpWriteAck {
+		t.Fatalf("retried redirected write ack = %v", ack)
+	}
+	if v := ks[1].seg.Read(addr, 1)[0]; v != 2000 {
+		t.Fatalf("redirected retry re-applied: %d, want sentinel 2000", v)
+	}
+	// A lost NACK is also covered: NACKs are not cached in the dedup window
+	// (that would mask the seq at a home the block later lands on), so a
+	// retry at the old home simply recomputes the same NACK.
+	w3 := &wire.Message{Op: wire.OpWrite, Src: 1, Dst: 0, Seq: 110, Addr: addr, Flags: wire.FlagRetry}
+	w3.PutWord(8)
+	ks[0].handle(w3)
+	if n2 := recvFrom(t, net, 1); n2.Op != wire.OpMigrateNack {
+		t.Fatalf("retry after lost NACK: got %v, want a recomputed OpMigrateNack", n2)
+	}
+}
+
+// TestEscrowReofferHealsDeadInitiator kills the migration between the
+// extract and the install (by simply never sending the install): the first
+// request that bounces off the old home must push the escrowed block to the
+// new home, and the re-offered payload must not clobber writes the new home
+// applied in the meantime.
+func TestEscrowReofferHealsDeadInitiator(t *testing.T) {
+	net, ks := testKernels(t, 2, nil)
+	addr := uint64(0)
+	w := &wire.Message{Op: wire.OpWrite, Src: 1, Dst: 0, Seq: 201, Addr: addr}
+	w.PutWord(7)
+	ks[0].handle(w)
+	recvFrom(t, net, 1) // ack
+
+	// Extract toward kernel 1 — and then the initiator "dies": no install.
+	ks[0].handle(&wire.Message{Op: wire.OpMigrateStart, Src: 1, Dst: 0, Seq: 202, Arg1: migModeBlock, Arg2: 1, Addr: addr})
+	recvFrom(t, net, 1) // start resp, dropped on the floor
+	if _, ok := ks[0].escrowLookup(0); !ok {
+		t.Fatal("extracted block not escrowed")
+	}
+
+	// A later write bounces off the old home: the NACK must be preceded by a
+	// fire-and-forget re-offer of the escrowed block to kernel 1.
+	w2 := &wire.Message{Op: wire.OpWrite, Src: 1, Dst: 0, Seq: 203, Addr: addr}
+	w2.PutWord(9)
+	ks[0].handle(w2)
+	offer := recvFrom(t, net, 1)
+	if offer.Op != wire.OpMigrateInstall || offer.Arg1 != migModeBlock {
+		t.Fatalf("expected the escrow re-offer install, got %v", offer)
+	}
+	if nack := recvFrom(t, net, 1); nack.Op != wire.OpMigrateNack || nack.Arg1 != 1 {
+		t.Fatalf("expected OpMigrateNack hinting kernel 1, got %v", nack)
+	}
+
+	// The redirected write reaches kernel 1 BEFORE the re-offer install:
+	// kernel 1's directory (still static) does not own the block yet, so the
+	// write must bounce — applying it into a lazily-created block would lose
+	// it when the install adopts over it.
+	red := &wire.Message{Op: wire.OpWrite, Src: 1, Dst: 1, Seq: 203, Addr: addr, Flags: wire.FlagRetry}
+	red.PutWord(9)
+	ks[1].handle(red)
+	if b := recvFrom(t, net, 1); b.Op != wire.OpMigrateNack || b.Arg1 != 0 {
+		t.Fatalf("early redirect: got %v, want a bounce back to kernel 0", b)
+	}
+	// The install lands; the bounced write's retry now applies.
+	ks[1].handle(offer)
+	if r := recvFrom(t, net, 0); r.Op != wire.OpMigrateInstallResp {
+		t.Fatalf("re-offer install resp = %v", r)
+	}
+	red2 := &wire.Message{Op: wire.OpWrite, Src: 1, Dst: 1, Seq: 203, Addr: addr, Flags: wire.FlagRetry}
+	red2.PutWord(9)
+	ks[1].handle(red2)
+	if ack := recvFrom(t, net, 1); ack.Op != wire.OpWriteAck {
+		t.Fatalf("retry after install: got %v, want OpWriteAck", ack)
+	}
+	if v := ks[1].seg.Read(addr, 1)[0]; v != 9 {
+		t.Fatalf("redirected write = %d, want 9", v)
+	}
+	// A second re-offer (fresh seq — each re-offer allocates one) must not
+	// clobber the newer write: the block is now owned and materialised, so
+	// the install's clobber guard skips it.
+	offer2 := &wire.Message{Op: wire.OpMigrateInstall, Src: 0, Dst: 1, Seq: 999, Arg1: migModeBlock, Addr: offer.Addr}
+	offer2.Data = append([]byte(nil), offer.Data...)
+	ks[1].handle(offer2)
+	if r := recvFrom(t, net, 0); r.Op != wire.OpMigrateInstallResp || r.Arg1 != 0 {
+		t.Fatalf("duplicate re-offer resp = %v, want 0 blocks adopted", r)
+	}
+	if v := ks[1].seg.Read(addr, 1)[0]; v != 9 {
+		t.Fatalf("late re-offer clobbered a newer write: %d, want 9", v)
+	}
+
+	// An epoch update that shows the destination owning the block clears the
+	// old home's escrow.
+	ks[0].handle(&wire.Message{Op: wire.OpMigrateCommit, Src: 1, Dst: 0, Seq: 204, Addr: addr, Arg1: 1, Arg2: 1})
+	recvFrom(t, net, 1)
+	if _, ok := ks[0].escrowLookup(0); ok {
+		t.Fatal("escrow not cleared by the commit")
+	}
+}
+
+// TestGrantServiceSerialisesTransitions pins kernel 0's membership grant
+// protocol: one open grant at a time, busy signalled as Arg1 = 0, the same
+// member re-requesting gets its generation back, and the grantee's epoch
+// update releases the slot.
+func TestGrantServiceSerialisesTransitions(t *testing.T) {
+	net, ks := testKernels(t, 3, func(cfg *Config) { cfg.LatentPEs = 2 })
+	ks[0].handle(&wire.Message{Op: wire.OpJoin, Src: 1, Dst: 0, Seq: 301})
+	g1 := recvFrom(t, net, 1)
+	if g1.Op != wire.OpJoinResp || g1.Arg1 == 0 {
+		t.Fatalf("first grant = %v", g1)
+	}
+	// A competing transition is refused while the grant is open...
+	ks[0].handle(&wire.Message{Op: wire.OpJoin, Src: 2, Dst: 0, Seq: 302})
+	if busy := recvFrom(t, net, 2); busy.Op != wire.OpJoinResp || busy.Arg1 != 0 {
+		t.Fatalf("competing grant = %v, want busy (Arg1 = 0)", busy)
+	}
+	// ...the holder re-requesting (lost response) gets the same generation...
+	ks[0].handle(&wire.Message{Op: wire.OpJoin, Src: 1, Dst: 0, Seq: 303})
+	if again := recvFrom(t, net, 1); again.Op != wire.OpJoinResp || again.Arg1 != g1.Arg1 {
+		t.Fatalf("re-request = %v, want the open generation %d", again, g1.Arg1)
+	}
+	// ...and the holder's epoch update releases the slot for the next member.
+	ks[0].handle(&wire.Message{Op: wire.OpEpochUpdate, Src: 1, Dst: 0, Seq: 304, Arg1: 1, Arg2: int64(gmem.MemberActive), Addr: uint64(g1.Arg1)})
+	if r := recvFrom(t, net, 1); r.Op != wire.OpEpochUpdateResp {
+		t.Fatalf("epoch update resp = %v", r)
+	}
+	ks[0].handle(&wire.Message{Op: wire.OpJoin, Src: 2, Dst: 0, Seq: 305})
+	g2 := recvFrom(t, net, 2)
+	if g2.Op != wire.OpJoinResp || g2.Arg1 == 0 || g2.Arg1 == g1.Arg1 {
+		t.Fatalf("next grant = %v, want a fresh non-busy generation", g2)
+	}
+}

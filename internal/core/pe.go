@@ -153,10 +153,31 @@ func (pe *PE) request(dst int, m *wire.Message) *wire.Message {
 // applied exactly once. The pending registration survives across attempts so
 // a late first reply still routes to us (and is then matched by Seq).
 func (pe *PE) requestErr(dst int, m *wire.Message) (*wire.Message, error) {
+	return pe.requestSeqErr(dst, m, 0)
+}
+
+// requestSeqErr is requestErr with an optional caller-provided sequence
+// number (0 allocates a fresh one). The ambiguous one-sided write fallback
+// passes the ring sequence it already published, so the home's dedup window
+// recognises the operation whichever path applied it first.
+//
+// A wire.OpMigrateNack response means the addressed kernel no longer homes
+// (one of) the request's blocks: the requester learns the hinted new home,
+// re-registers the SAME sequence number and retries there — exactly-once
+// carries across the redirect because the old home never applied the
+// operation (NACKs are issued before any mutation) and the new home's window
+// absorbs duplicates like any other.
+func (pe *PE) requestSeqErr(dst int, m *wire.Message, seq uint64) (*wire.Message, error) {
 	k := pe.k
 	m.Src = int32(k.id)
 	m.Dst = int32(dst)
-	seq, dead := k.addPending(pe.replyMb, dst)
+	var dead bool
+	if seq == 0 {
+		seq, dead = k.addPending(pe.replyMb, dst)
+	} else {
+		dead = k.addPendingSeq(pe.replyMb, dst, seq)
+		m.Flags |= wire.FlagRetry
+	}
 	if dead {
 		return nil, &PeerDownError{PE: k.id, Peer: dst, Op: m.Op.String()}
 	}
@@ -164,12 +185,56 @@ func (pe *PE) requestErr(dst int, m *wire.Message) (*wire.Message, error) {
 	start := pe.app.Now()
 	var sent sim.Time
 	backoff := k.cfg.RetryBackoff
+	bounces := 0
 	for attempts := 1; ; attempts++ {
 		pe.app.Send(dst, m)
 		if pe.spans != nil && sent == 0 {
 			sent = pe.app.Now()
 		}
 		resp, err := pe.takeReply(seq, m.Op, dst, attempts)
+		if err == nil && resp.Op == wire.OpMigrateNack {
+			hint := int(resp.Arg1)
+			wire.PutMessage(resp)
+			if bounces++; bounces > maxMigrateBounces || hint < 0 || hint >= k.n {
+				pe.extra.WaitTime += pe.app.Now() - start
+				return nil, fmt.Errorf("core: PE %d: %v to kernel %d bounced %d times chasing a migrating home", k.id, m.Op, dst, bounces)
+			}
+			pe.extra.MigrateNacks++
+			if bounces > 2 {
+				// A redirect can outrun the handoff itself: the hinted new
+				// home NACKs back toward the probe rule until its install
+				// lands. Give the migration a beat instead of burning the
+				// bounce budget on a tight ping-pong.
+				boff := backoff
+				if boff == 0 {
+					boff = 1 << 16
+				}
+				pe.app.Sleep(boff)
+			}
+			switch m.Op {
+			case wire.OpRead, wire.OpWrite, wire.OpFetchAdd, wire.OpCAS:
+				// Cache the new home so later requests skip the bounce. Gated
+				// to the scalar GM ops: only there is Addr a data address.
+				// Never cache a hint naming our OWN kernel: the requester's
+				// hint cache is the kernel's shared directory, which is
+				// authoritative about what this kernel homes. A stale peer's
+				// probe-rule hint would overwrite the override the kernel
+				// installed when it handed the block away, resurrecting
+				// phantom self-ownership — the kernel would lazily recreate
+				// the extracted block and swallow writes into it.
+				if hint != k.id {
+					k.dir.SetOverride(k.space.BlockOf(m.Addr), hint)
+				}
+			}
+			if k.addPendingSeq(pe.replyMb, hint, seq) {
+				pe.extra.WaitTime += pe.app.Now() - start
+				return nil, &PeerDownError{PE: k.id, Peer: hint, Op: m.Op.String()}
+			}
+			dst = hint
+			m.Dst = int32(dst)
+			m.Flags |= wire.FlagRetry
+			continue
+		}
 		if err == nil {
 			now := pe.app.Now()
 			rtt := now - start
@@ -278,7 +343,7 @@ func (pe *PE) GMReadErr(addr uint64) (int64, error) {
 			pe.recordRead(addr, v, true, t0)
 			return v, nil
 		}
-		if k.space.HomeOf(addr) == k.id {
+		if k.homeOf(addr) == k.id {
 			pe.app.LocalAccess()
 			pe.extra.LocalGM++
 			v := k.seg.ReadWord(addr)
@@ -288,7 +353,7 @@ func (pe *PE) GMReadErr(addr uint64) (int64, error) {
 		pe.extra.RemoteGM++
 		req := wire.GetMessage()
 		req.Op, req.Addr, req.Arg2 = wire.OpRead, addr, 1
-		resp, err := pe.requestErr(k.space.HomeOf(addr), req)
+		resp, err := pe.requestErr(k.homeOf(addr), req)
 		wire.PutMessage(req)
 		if err != nil {
 			pe.recordReadFailed(addr, t0)
@@ -301,7 +366,7 @@ func (pe *PE) GMReadErr(addr uint64) (int64, error) {
 		pe.recordRead(addr, v, false, t0)
 		return v, nil
 	}
-	home := k.space.HomeOf(addr)
+	home := k.homeOf(addr)
 	if home == k.id {
 		pe.app.LocalAccess()
 		pe.extra.LocalGM++
@@ -315,12 +380,17 @@ func (pe *PE) GMReadErr(addr uint64) (int64, error) {
 		// space, so resolve the read directly through its seqlock instead of
 		// a request/reply pair. Every word has a single home and the seqlock
 		// yields a torn-free value, so this is as consistent as the message
-		// path it replaces (uncached mode only: no directory to update).
+		// path it replaces (uncached mode only: no directory to update). The
+		// ownership check inside the home's seqlock critical section makes
+		// the window migration-safe: a block mid-handoff fails the check
+		// (the extract bumped the write sequence) and the read falls through
+		// to the message path, which follows the NACK redirect.
 		pe.app.LocalAccess()
-		v := wins[home].DirectRead(addr)
-		pe.extra.DirectGM++
-		pe.recordRead(addr, v, false, t0)
-		return v, nil
+		if v, ok := wins[home].DirectReadOwned(addr); ok {
+			pe.extra.DirectGM++
+			pe.recordRead(addr, v, false, t0)
+			return v, nil
+		}
 	}
 	req := wire.GetMessage()
 	req.Op, req.Addr, req.Arg1 = wire.OpRead, addr, 1
@@ -367,32 +437,60 @@ func (pe *PE) GMWrite(addr uint64, v int64) {
 	}
 }
 
+// ringStatus is the outcome of a one-sided write submission attempt.
+type ringStatus int
+
+const (
+	// ringUnavailable: nothing was published (path off, home dead, home no
+	// longer owns the block, or ring full) — fall back to the message path
+	// with a fresh sequence.
+	ringUnavailable ringStatus = iota
+	// ringApplied: the write was consumed with no migration in flight — it
+	// is applied and globally visible.
+	ringApplied
+	// ringAmbiguous: the write was consumed, but the home's migration
+	// generation moved while it was in flight, so the drain may have
+	// discarded it as disowned. The caller must confirm through the message
+	// path REUSING the ring sequence: if the drain did apply it, the home's
+	// dedup window absorbs the message as a duplicate; if it was discarded,
+	// the message applies it (or chases the NACK redirect to the new home).
+	// Either way the write lands exactly once.
+	ringAmbiguous
+)
+
 // ringWrite attempts the one-sided write fast path: publish (addr, v) into
 // the co-located home's per-shard submission ring and wait until the owning
-// shard has applied it. It reports false — without side effects — when the
-// path is unavailable (rings off, home declared dead) or the ring is full,
-// in which case the caller falls back to the message path with a fresh
-// sequence. The ring sequence comes from the same counter as message
-// sequences, so the home's dedup window gives the two paths one
-// exactly-once space.
-func (pe *PE) ringWrite(home int, addr uint64, v int64) bool {
+// shard has consumed it. The ring sequence comes from the same counter as
+// message sequences, so the home's dedup window gives the two paths one
+// exactly-once space. Under a live membership directory the home's migration
+// generation is sampled before the push and rechecked after consumption —
+// see ringAmbiguous for the race this closes.
+func (pe *PE) ringWrite(home int, addr uint64, v int64) (ringStatus, uint64) {
 	k := pe.k
 	if k.ringPeers == nil || k.deadFlags[home].Load() {
-		return false
+		return ringUnavailable, 0
 	}
-	kp := k.ringPeers[home]
-	sh := kp.shards[k.space.ShardOf(addr, kp.nshards)]
+	hk := k.ringPeers[home]
+	sh := hk.shards[k.space.ShardOf(addr, hk.nshards)]
 	if sh.ring == nil {
-		return false
+		return ringUnavailable, 0
+	}
+	liveDir := !hk.dir.Static()
+	var gen uint64
+	if liveDir {
+		gen = hk.migGen.Load()
+		if !hk.dir.Owns(home, k.space.BlockOf(addr)) {
+			return ringUnavailable, 0 // block already migrated away
+		}
 	}
 	pe.app.LocalAccess()
 	w := gmem.RingWrite{Addr: addr, Val: v, Seq: k.seqCtr.Add(1), Src: int32(k.id)}
 	pos, ok := sh.ring.Push(w)
 	if !ok {
-		return false
+		return ringUnavailable, 0
 	}
 	pe.extra.RingGM++
-	if kp.workers {
+	if hk.workers {
 		sh.nudge()
 		sh.ring.AwaitConsumed(pos)
 	} else {
@@ -402,7 +500,10 @@ func (pe *PE) ringWrite(home int, addr uint64, v int64) bool {
 		// submitting PE's virtual time advances again.
 		sh.drainRing()
 	}
-	return true
+	if liveDir && hk.migGen.Load() != gen {
+		return ringAmbiguous, w.Seq
+	}
+	return ringApplied, w.Seq
 }
 
 // GMWriteErr stores v at addr, surfacing request failures as errors.
@@ -416,7 +517,7 @@ func (pe *PE) GMWriteErr(addr uint64, v int64) error {
 		})
 	}
 	if k.cache == nil {
-		home := k.space.HomeOf(addr)
+		home := k.homeOf(addr)
 		if home == k.id {
 			pe.app.LocalAccess()
 			pe.extra.LocalGM++
@@ -426,8 +527,27 @@ func (pe *PE) GMWriteErr(addr uint64, v int64) error {
 			}
 			return nil
 		}
-		if pe.ringWrite(home, addr, v) {
+		st, ringSeq := pe.ringWrite(home, addr, v)
+		if st == ringApplied {
 			pe.extra.RemoteGM++
+			if pe.hist != nil {
+				pe.hist.Complete(hidx, 0, true, pe.app.Now())
+			}
+			return nil
+		}
+		if st == ringAmbiguous {
+			// A migration raced the ring submission: confirm through the
+			// message path with the SAME sequence number (see ringAmbiguous).
+			pe.extra.RemoteGM++
+			req := wire.GetMessage()
+			req.Op, req.Addr = wire.OpWrite, addr
+			req.PutWord(v)
+			resp, err := pe.requestSeqErr(home, req, ringSeq)
+			wire.PutMessage(req)
+			if err != nil {
+				return err
+			}
+			wire.PutMessage(resp)
 			if pe.hist != nil {
 				pe.hist.Complete(hidx, 0, true, pe.app.Now())
 			}
@@ -443,7 +563,7 @@ func (pe *PE) GMWriteErr(addr uint64, v int64) error {
 	req := wire.GetMessage()
 	req.Op, req.Addr = wire.OpWrite, addr
 	req.PutWord(v)
-	resp, err := pe.requestErr(k.space.HomeOf(addr), req)
+	resp, err := pe.requestErr(k.homeOf(addr), req)
 	wire.PutMessage(req)
 	if err != nil {
 		return err
@@ -480,7 +600,7 @@ func (pe *PE) FetchAddErr(addr uint64, delta int64) (int64, error) {
 			Kind: check.KindFetchAdd, Addr: addr, Arg1: delta, Inv: pe.app.Now(),
 		})
 	}
-	if k.cache == nil && k.space.HomeOf(addr) == k.id {
+	if k.cache == nil && k.homeOf(addr) == k.id {
 		pe.app.LocalAccess()
 		pe.extra.LocalGM++
 		old := k.seg.FetchAdd(addr, delta)
@@ -492,7 +612,7 @@ func (pe *PE) FetchAddErr(addr uint64, delta int64) (int64, error) {
 	pe.extra.RemoteGM++
 	req := wire.GetMessage()
 	req.Op, req.Addr, req.Arg1 = wire.OpFetchAdd, addr, delta
-	resp, err := pe.requestErr(k.space.HomeOf(addr), req)
+	resp, err := pe.requestErr(k.homeOf(addr), req)
 	wire.PutMessage(req)
 	if err != nil {
 		return 0, err
@@ -529,7 +649,7 @@ func (pe *PE) CASErr(addr uint64, old, new int64) (int64, bool, error) {
 			Kind: check.KindCAS, Addr: addr, Arg1: old, Arg2: new, Inv: pe.app.Now(),
 		})
 	}
-	if k.cache == nil && k.space.HomeOf(addr) == k.id {
+	if k.cache == nil && k.homeOf(addr) == k.id {
 		pe.app.LocalAccess()
 		pe.extra.LocalGM++
 		prev, sw := k.seg.CAS(addr, old, new)
@@ -541,7 +661,7 @@ func (pe *PE) CASErr(addr uint64, old, new int64) (int64, bool, error) {
 	pe.extra.RemoteGM++
 	req := wire.GetMessage()
 	req.Op, req.Addr, req.Arg1, req.Arg2 = wire.OpCAS, addr, old, new
-	resp, err := pe.requestErr(k.space.HomeOf(addr), req)
+	resp, err := pe.requestErr(k.homeOf(addr), req)
 	wire.PutMessage(req)
 	if err != nil {
 		return 0, false, err
@@ -613,6 +733,7 @@ func (pe *PE) groupRunsByHome() {
 // residue is discarded rather than corrupting the transfer.
 func (pe *PE) awaitGather(out []int64) {
 	start := pe.app.Now()
+	var nacked []*homeReq
 	for remaining := len(pe.reqs); remaining > 0; {
 		resp := pe.takeTransfer(wire.OpReadV)
 		g := pe.findReq(resp.Seq)
@@ -622,6 +743,17 @@ func (pe *PE) awaitGather(out []int64) {
 			continue
 		}
 		remaining--
+		if resp.Op == wire.OpMigrateNack {
+			// One of the sub-request's blocks migrated away; the home NACKed
+			// the whole message before touching anything. Park the group until
+			// every other sub-response has drained: the synchronous replay
+			// shares the reply mailbox, and its stale-reply filter would
+			// destroy any still-outstanding sibling response it raced.
+			wire.PutMessage(resp)
+			pe.extra.MigrateNacks++
+			nacked = append(nacked, g)
+			continue
+		}
 		pe.words = resp.WordsInto(pe.words)
 		wire.PutMessage(resp)
 		woff := 0
@@ -630,7 +762,33 @@ func (pe *PE) awaitGather(out []int64) {
 			woff += r.count
 		}
 	}
+	for _, g := range nacked {
+		// Re-issue each run synchronously — requestSeqErr follows the
+		// redirect chain and learns the new homes along the way.
+		pe.regatherRuns(g, out)
+	}
 	pe.finishTransfer(wire.OpReadV, start)
+}
+
+// regatherRuns re-reads every run of a NACKed gather sub-request through the
+// scalar request path (one request per run, routed by the live directory).
+// Rare — at most once per sub-request per overlapping migration — so the
+// lost pipelining doesn't matter.
+func (pe *PE) regatherRuns(g *homeReq, out []int64) {
+	k := pe.k
+	for _, r := range pe.hruns[g.lo:g.hi] {
+		req := wire.GetMessage()
+		req.Op, req.Addr, req.Arg1 = wire.OpRead, r.start, int64(r.count)
+		resp, err := pe.requestErr(k.homeOf(r.start), req)
+		wire.PutMessage(req)
+		if err != nil {
+			pe.dropTransferPending()
+			panic(fmt.Sprintf("core: PE %d: re-reading run at %d after a home migration: %v", k.id, r.start, err))
+		}
+		pe.words = resp.WordsInto(pe.words)
+		wire.PutMessage(resp)
+		copy(out[r.off:r.off+r.count], pe.words[:r.count])
+	}
 }
 
 // finishTransfer charges a pipelined transfer's wait phase and records its
@@ -651,20 +809,56 @@ func (pe *PE) finishTransfer(op wire.Op, start sim.Time) {
 	}
 }
 
-// awaitAcks drains one ack per outstanding per-home request.
-func (pe *PE) awaitAcks() {
+// awaitAcks drains one ack per outstanding per-home request. src is the
+// buffer the transfer's runs index into with their off/count fields (the
+// caller's words for a block write, vals for a scatter): a sub-request
+// NACKed by a migrating home is replayed from it run by run.
+func (pe *PE) awaitAcks(src []int64) {
 	start := pe.app.Now()
+	var nacked []*homeReq
 	for remaining := len(pe.reqs); remaining > 0; {
 		resp := pe.takeTransfer(wire.OpWriteV)
 		g := pe.findReq(resp.Seq)
+		op := resp.Op
 		wire.PutMessage(resp)
 		if g == nil {
 			pe.extra.StaleReplies++
 			continue
 		}
 		remaining--
+		if op == wire.OpMigrateNack {
+			// The home NACKed the whole sub-request before applying any run
+			// (all-or-nothing), so replaying every run with fresh sequences
+			// cannot double-apply. The replay is parked until every other
+			// sub-response has drained: it shares the reply mailbox, and its
+			// stale-reply filter would destroy a sibling response it raced.
+			pe.extra.MigrateNacks++
+			nacked = append(nacked, g)
+		}
+	}
+	for _, g := range nacked {
+		// Each replay routes by the live directory and follows redirects.
+		pe.rewriteRuns(g, src)
 	}
 	pe.finishTransfer(wire.OpWriteV, start)
+}
+
+// rewriteRuns replays every run of a NACKed write sub-request through the
+// scalar request path.
+func (pe *PE) rewriteRuns(g *homeReq, src []int64) {
+	k := pe.k
+	for _, r := range pe.hruns[g.lo:g.hi] {
+		req := wire.GetMessage()
+		req.Op, req.Addr = wire.OpWrite, r.start
+		req.PutWords(src[r.off : r.off+r.count])
+		resp, err := pe.requestErr(k.homeOf(r.start), req)
+		wire.PutMessage(req)
+		if err != nil {
+			pe.dropTransferPending()
+			panic(fmt.Sprintf("core: PE %d: re-writing run at %d after a home migration: %v", k.id, r.start, err))
+		}
+		wire.PutMessage(resp)
+	}
 }
 
 // takeTransfer blocks on the reply mailbox for the next transfer reply,
@@ -750,7 +944,7 @@ func (pe *PE) GMReadBlock(addr uint64, n int) []int64 {
 	}
 	out := make([]int64, n)
 	pe.vruns = pe.vruns[:0]
-	k.space.HomeRuns(addr, n, func(home int, start uint64, count int) {
+	k.homeRuns(addr, n, func(home int, start uint64, count int) {
 		off := int(start - addr)
 		if home == k.id {
 			pe.app.LocalAccess()
@@ -843,7 +1037,7 @@ func (pe *PE) GMWriteBlock(addr uint64, words []int64) {
 	k := pe.k
 	first := pe.beginBlockWrite(addr, words)
 	pe.vruns = pe.vruns[:0]
-	k.space.HomeRuns(addr, len(words), func(home int, start uint64, count int) {
+	k.homeRuns(addr, len(words), func(home int, start uint64, count int) {
 		off := int(start - addr)
 		if k.cache == nil && home == k.id {
 			pe.app.LocalAccess()
@@ -882,7 +1076,7 @@ func (pe *PE) GMWriteBlock(addr uint64, words []int64) {
 		g.seq = pe.sendAsync(pe.hruns[g.lo].home, req)
 		wire.PutMessage(req)
 	}
-	pe.awaitAcks()
+	pe.awaitAcks(words)
 	pe.completeBlock(first, len(words))
 }
 
@@ -901,7 +1095,7 @@ func (pe *PE) GMGather(addrs []uint64) []int64 {
 	out := make([]int64, len(addrs))
 	pe.vruns = pe.vruns[:0]
 	for i, addr := range addrs {
-		if home := k.space.HomeOf(addr); home != k.id {
+		if home := k.homeOf(addr); home != k.id {
 			pe.extra.RemoteGM++
 			pe.vruns = append(pe.vruns, vrun{
 				home: home, shard: k.space.ShardOf(addr, k.nshards),
@@ -983,7 +1177,7 @@ func (pe *PE) GMScatter(addrs []uint64, vals []int64) {
 	first := pe.beginScatter(addrs, vals)
 	pe.vruns = pe.vruns[:0]
 	for i, addr := range addrs {
-		if home := k.space.HomeOf(addr); home != k.id || k.cache != nil {
+		if home := k.homeOf(addr); home != k.id || k.cache != nil {
 			pe.extra.RemoteGM++
 			pe.vruns = append(pe.vruns, vrun{
 				home: home, shard: k.space.ShardOf(addr, k.nshards),
@@ -1020,7 +1214,7 @@ func (pe *PE) GMScatter(addrs []uint64, vals []int64) {
 		g.seq = pe.sendAsync(pe.hruns[g.lo].home, req)
 		wire.PutMessage(req)
 	}
-	pe.awaitAcks()
+	pe.awaitAcks(vals)
 	pe.completeBlock(first, len(addrs))
 }
 

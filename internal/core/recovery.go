@@ -13,12 +13,13 @@ import (
 // restoreState is the decoded snapshot a recovering cluster starts from,
 // plumbed through the private Config.restore field (the recorder pattern).
 type restoreState struct {
-	gen      uint64                 // committed store generation restored
-	epoch    uint64                 // checkpoint epoch of the snapshot
-	viewGen  uint64                 // view generation the restarted cluster runs as
-	app      [][]byte               // per-PE application blobs
-	blocks   [][]gmem.BlockSnapshot // per-kernel GM slices + coherence directory
-	rollback []uint64               // per-PE ops discarded by the rollback
+	gen      uint64                    // committed store generation restored
+	epoch    uint64                    // checkpoint epoch of the snapshot
+	viewGen  uint64                    // view generation the restarted cluster runs as
+	app      [][]byte                  // per-PE application blobs
+	blocks   [][]gmem.BlockSnapshot    // per-kernel GM slices + coherence directory
+	dirs     []*ckpt.DirectorySnapshot // per-kernel membership directory (nil entries = static)
+	rollback []uint64                  // per-PE ops discarded by the rollback
 }
 
 // feedBaseline seeds the history checker with every non-zero restored word:
@@ -174,6 +175,7 @@ func loadSnapshot(st ckpt.Store, numPE, blockWords int) (*restoreState, []sim.Ti
 		gen:      gen,
 		app:      make([][]byte, numPE),
 		blocks:   make([][]gmem.BlockSnapshot, numPE),
+		dirs:     make([]*ckpt.DirectorySnapshot, numPE),
 		rollback: make([]uint64, numPE),
 	}
 	markTimes := make([]sim.Time, numPE)
@@ -186,10 +188,11 @@ func loadSnapshot(st ckpt.Store, numPE, blockWords int) (*restoreState, []sim.Ti
 		if err != nil {
 			return nil, nil, fmt.Errorf("snapshot generation %d, PE %d: %w", gen, pe, err)
 		}
-		bw, blocks, err := ckpt.DecodeKernelState(s.Kernel)
+		bw, blocks, dir, err := ckpt.DecodeKernelStateDir(s.Kernel)
 		if err != nil {
 			return nil, nil, fmt.Errorf("snapshot generation %d, PE %d: %w", gen, pe, err)
 		}
+		rs.dirs[pe] = dir
 		if bw != blockWords {
 			return nil, nil, fmt.Errorf("snapshot generation %d, PE %d: block size %d, cluster uses %d", gen, pe, bw, blockWords)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/ckpt"
 	"repro/internal/gmem"
 	"repro/internal/trace"
 	"repro/internal/wire"
@@ -192,8 +193,19 @@ func (sh *kernelShard) drainRing() int {
 		return 0
 	}
 	batch := sh.ringBuf[:n]
+	k := sh.k
+	liveDir := !k.dir.Static()
 	fresh := batch[:0] // dedup-filter in place: fresh writes only
 	for _, w := range batch {
+		// The ownership filter must run BEFORE the dedup lookup: a write
+		// whose block migrated away after the producer's precheck is simply
+		// not applied, and crucially leaves no dedup record — the producer
+		// detects the migration-generation change and falls back to the
+		// message path with the same sequence number, which must not be
+		// absorbed here as an in-progress duplicate.
+		if liveDir && !k.dir.Owns(k.id, k.space.BlockOf(w.Addr)) {
+			continue
+		}
 		if e := sh.dedup.lookup(w.Src, w.Seq); e != nil {
 			// The message path already applied (or is applying) this seq.
 			sh.extra.DupRequests++
@@ -203,7 +215,7 @@ func (sh *kernelShard) drainRing() int {
 	}
 	sh.k.seg.ApplyWrites(fresh)
 	for _, w := range fresh {
-		sh.dedup.complete(w.Src, w.Seq, wire.OpWriteAck, 0, 0)
+		sh.dedup.complete(w.Src, w.Seq, wire.OpWriteAck, 0, 0, nil)
 	}
 	sh.extra.RingDrained += uint64(len(fresh))
 	sh.ring.Release(n)
@@ -272,7 +284,15 @@ func (sh *kernelShard) run() {
 // consumes its message; the caller recycles it.
 func (sh *kernelShard) handleGM(m *wire.Message) {
 	if isMutating(m.Op) && sh.dedupCheck(m) {
-		return // duplicate: absorbed by the shard's dedup window
+		// Duplicate: absorbed by the shard's dedup window. The dedup check
+		// deliberately runs BEFORE the ownership check, so the retry of a
+		// mutation this kernel applied just before handing the block away is
+		// answered from the cached response instead of being NACKed toward
+		// the new home and applied a second time there.
+		return
+	}
+	if sh.nackIfForeign(m) {
+		return // block migrated away: requester redirects to the hinted home
 	}
 	switch m.Op {
 	case wire.OpRead:
@@ -294,6 +314,104 @@ func (sh *kernelShard) handleGM(m *wire.Message) {
 	}
 }
 
+// nackIfForeign pre-scans every block a GM request touches against the live
+// membership directory and, if any is not homed here, NACKs the whole
+// message with the first foreign block's new home as the redirect hint —
+// before any mutation, so a multi-block request is all-or-nothing (a partial
+// apply followed by a whole-message retry at the new home would double-apply
+// the runs that had already landed here). Escrowed foreign blocks are
+// re-offered to their destination on the way, which is how a migration whose
+// initiator died heals through normal traffic.
+//
+// The scan runs even while this kernel's own directory is still static: a
+// requester that learned a new-home hint can redirect a request here BEFORE
+// our install arrives, and applying it into a lazily-created block would
+// lose the write when the install's payload adopts over it. Bouncing it
+// (hint: the probe-rule home) until the data lands keeps it exactly-once.
+// The cost on the static hot path is one directory lookup per touched block
+// for scalar ops and an O(runs) header walk for vectored ones.
+func (sh *kernelShard) nackIfForeign(m *wire.Message) bool {
+	k := sh.k
+	foreign := -1
+	bw := uint64(k.space.BlockWords)
+	scan := func(addr uint64, count int) {
+		if count < 1 {
+			count = 1
+		}
+		last := (addr + uint64(count) - 1) / bw
+		for b := addr / bw; b <= last; b++ {
+			if !k.dir.Owns(k.id, b) {
+				if foreign < 0 {
+					foreign = k.dir.HomeOfBlock(b)
+				}
+				sh.reOffer(b)
+			}
+		}
+	}
+	switch m.Op {
+	case wire.OpRead:
+		n := int(m.Arg1)
+		if m.Arg2 == 1 {
+			n = 1 // block fetch: caching protocol, one block
+		}
+		scan(m.Addr, n)
+	case wire.OpWrite:
+		scan(m.Addr, len(m.Data)/8)
+	case wire.OpFetchAdd, wire.OpCAS:
+		scan(m.Addr, 1)
+	case wire.OpReadV:
+		if m.EachRange(func(addr uint64, count int) { scan(addr, count) }) != nil {
+			return false // corrupt payload: the op handler counts and drops it
+		}
+	case wire.OpWriteV:
+		if m.EachRunHeader(func(addr uint64, count int) { scan(addr, count) }) != nil {
+			return false
+		}
+	default:
+		return false // invalidation traffic is not home-routed
+	}
+	if foreign < 0 {
+		return false
+	}
+	// The NACK is deliberately NOT cached in the dedup window: forgetting
+	// the in-progress entry the lookup just registered means a retry is
+	// re-evaluated — and applied — once the block lands here, instead of
+	// being answered from a stale cached NACK forever. A retry after a LOST
+	// NACK simply recomputes it (side-effect-free; re-offers are
+	// idempotent).
+	if isMutating(m.Op) {
+		sh.dedup.forget(m.Src, m.Seq)
+	}
+	resp := wire.GetMessage()
+	resp.Op, resp.Arg1 = wire.OpMigrateNack, int64(foreign)
+	resp.Src, resp.Dst, resp.Seq = int32(k.id), m.Src, m.Seq
+	k.svc.Send(int(m.Src), resp)
+	wire.PutMessage(resp)
+	return true
+}
+
+// reOffer fire-and-forgets an escrowed block to its migration destination.
+// Traffic-driven healing for a handoff whose initiator died between the
+// extract and the install: any request that bounces off this stale home
+// pushes the parked payload toward the new home again. The install is
+// idempotent there (blocks already owned and materialised are skipped), and
+// its response is dropped by our serve loop as a stray.
+func (sh *kernelShard) reOffer(b uint64) {
+	k := sh.k
+	e, ok := k.escrowLookup(b)
+	if !ok {
+		return
+	}
+	inst := wire.GetMessage()
+	inst.Op, inst.Src, inst.Dst = wire.OpMigrateInstall, int32(k.id), int32(e.dst)
+	inst.Seq = k.seqCtr.Add(1)
+	inst.Arg1 = migModeBlock
+	inst.Addr = e.block.Index * uint64(k.space.BlockWords)
+	inst.Data = ckpt.EncodeKernelState(k.cfg.GMBlockWords, []gmem.BlockSnapshot{e.block})
+	k.svc.Send(e.dst, inst)
+	wire.PutMessage(inst)
+}
+
 // dedupCheck consults the shard's dedup window before a mutating request is
 // dispatched. It reports whether the message was absorbed here: a duplicate
 // whose response is cached is answered by resend, a duplicate still in
@@ -308,6 +426,9 @@ func (sh *kernelShard) dedupCheck(m *wire.Message) bool {
 	if e.state == dedupDone {
 		resp := wire.GetMessage()
 		resp.Op, resp.Arg1, resp.Arg2 = e.respOp, e.arg1, e.arg2
+		if len(e.data) > 0 {
+			resp.Data = append(resp.Data[:0], e.data...)
+		}
 		sh.reply(m, resp)
 	} else if m.Flags&wire.FlagRetry != 0 {
 		// The writer is retrying while its invalidation round is still
@@ -326,7 +447,7 @@ func (sh *kernelShard) reply(m *wire.Message, resp *wire.Message) {
 	resp.Dst = m.Src
 	resp.Seq = m.Seq
 	if isMutating(m.Op) {
-		sh.dedup.complete(m.Src, m.Seq, resp.Op, resp.Arg1, resp.Arg2)
+		sh.dedup.complete(m.Src, m.Seq, resp.Op, resp.Arg1, resp.Arg2, resp.Data)
 	}
 	k.svc.Send(int(m.Src), resp)
 	wire.PutMessage(resp)
@@ -574,7 +695,7 @@ func (sh *kernelShard) handleInvAck(m *wire.Message) {
 		return
 	}
 	delete(sh.inv, m.Seq)
-	sh.dedup.complete(r.requester, r.seq, r.respOp, r.arg1, r.arg2)
+	sh.dedup.complete(r.requester, r.seq, r.respOp, r.arg1, r.arg2, nil)
 	resp := wire.GetMessage()
 	resp.Op, resp.Src, resp.Dst, resp.Seq = r.respOp, int32(sh.k.id), r.requester, r.seq
 	resp.Arg1, resp.Arg2 = r.arg1, r.arg2

@@ -331,3 +331,95 @@ func TestStressRecoverCorruptSnapshot(t *testing.T) {
 		t.Fatalf("error %q does not mention corruption", err)
 	}
 }
+
+// TestStressMembershipChurn runs the full fault-free op mix while the
+// membership churns live: a latent PE joins a quarter of the way in, an
+// active PE leaves halfway through, and PE 1 keeps re-homing random block
+// ranges throughout — every handoff overlapping application traffic. The
+// history must check out with zero violations and, since nothing is lossy,
+// every operation must complete.
+func TestStressMembershipChurn(t *testing.T) {
+	for _, seed := range []uint64{3, 17} {
+		o := stress.Options{
+			Seed: seed, NumPE: 5, OpsPerPE: 200,
+			Latent: 1, JoinAtOp: 50,
+			LeavePE: 2, LeaveAtOp: 100,
+			MigrateEvery: 30,
+		}
+		res := runStress(t, o)
+		if res.Joins < 1 || res.Leaves != 1 {
+			t.Errorf("seed %d: joins=%d leaves=%d, want >=1 and 1", seed, res.Joins, res.Leaves)
+		}
+		if ev := res.Joins + res.Leaves + res.Migrations; ev < 3 {
+			t.Errorf("seed %d: only %d membership events, want >= 3", seed, ev)
+		}
+		if res.MigratedBlocks == 0 {
+			t.Errorf("seed %d: no blocks changed home", seed)
+		}
+		for _, e := range res.History.Events {
+			if e.Failed {
+				t.Errorf("seed %d: operation never completed during churn: %v", seed, e)
+			}
+		}
+	}
+}
+
+// TestStressMembershipReplayDeterministic demands the same membership
+// schedule replays to a bit-identical history: joins, leaves and migrations
+// are as replayable as any other stress event.
+func TestStressMembershipReplayDeterministic(t *testing.T) {
+	o := stress.Options{
+		Seed: 29, NumPE: 4, OpsPerPE: 150,
+		Latent: 1, JoinAtOp: 40, MigrateEvery: 25,
+	}
+	a, err := stress.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := stress.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da, db := a.History.Digest(), b.History.Digest(); da != db {
+		t.Fatalf("same membership schedule, different histories: %s vs %s", da, db)
+	}
+}
+
+// TestStressMembershipKillOverlapsMigration overlaps a station kill with
+// live migrations and a join: PE 1 re-homes ranges every 20 ops (sometimes
+// toward the doomed PE), PE 3's station dies mid-run, and the latent PE 4
+// joins through it all. Survivor operations that completed must form a
+// consistent history — a handoff stranded by the kill may fail ops, but it
+// must never lose or duplicate an acknowledged write.
+func TestStressMembershipKillOverlapsMigration(t *testing.T) {
+	res := runStress(t, stress.Options{
+		Seed: 23, NumPE: 5, OpsPerPE: 200, Loss: 0.02,
+		KillPE: 3, KillAt: 2 * sim.Second,
+		Latent: 1, JoinAtOp: 30, MigrateEvery: 20,
+	})
+	if ev := res.Joins + res.Leaves + res.Migrations; ev < 3 {
+		t.Errorf("only %d membership events overlapped the kill, want >= 3", ev)
+	}
+}
+
+// TestStressEscrowReofferChainedHandoff replays a schedule where a block is
+// handed off twice in quick succession (a leave re-homes it to the successor,
+// then a migrate range immediately moves it on) while the first home's escrow
+// re-offer is still in flight. The stale re-offer lands at the intermediate
+// home after it has already extracted the block toward the final destination;
+// adopting it used to resurrect both the stale data and a local ownership
+// claim that the commit broadcast's staleness guard then refused to correct —
+// a permanent split brain with one-sided reads and ring writes split across
+// two live copies. The install handler must refuse payloads for blocks it
+// currently holds in escrow.
+func TestStressEscrowReofferChainedHandoff(t *testing.T) {
+	res := runStress(t, stress.Options{
+		Seed: 9, NumPE: 4, OpsPerPE: 800, Shards: 2,
+		DirectReads: 1, Rings: 1,
+		Latent: 1, JoinAtOp: 200,
+		LeavePE: 2, LeaveAtOp: 400, MigrateEvery: 100,
+	})
+	if ev := res.Joins + res.Leaves + res.Migrations; ev < 3 {
+		t.Errorf("only %d membership events, want >= 3", ev)
+	}
+}

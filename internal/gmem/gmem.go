@@ -142,10 +142,27 @@ type Segment struct {
 	space   Space
 	self    int
 	stripes [SegStripes]stripe
+	// dir, when set, replaces the static block-cyclic ownership rule with
+	// the elastic membership directory: checkHome and Import validate
+	// against it, and Extract/Adopt move blocks between segments as homes
+	// migrate. Nil keeps the static Space.HomeOf rule.
+	dir *Directory
 	// fallbacks counts DirectReads that exhausted their seqlock spins and
 	// took the stripe mutex instead (writer livelock). Observable so tests
 	// can assert the fallback path is actually exercised.
 	fallbacks atomic.Uint64
+}
+
+// SetDirectory installs the elastic membership directory ownership rule.
+// Call before the segment serves traffic.
+func (g *Segment) SetDirectory(d *Directory) { g.dir = d }
+
+// owns reports whether this segment currently homes block b.
+func (g *Segment) owns(b uint64) bool {
+	if g.dir != nil {
+		return g.dir.Owns(g.self, b)
+	}
+	return g.space.HomeOf(b*uint64(g.space.BlockWords)) == g.self
 }
 
 // NewSegment creates kernel self's (initially zero-filled) segment.
@@ -200,8 +217,8 @@ func (g *Segment) checkHome(addr uint64, n int) {
 	if b0 != b1 {
 		panic(fmt.Sprintf("gmem: range [%d,+%d) spans blocks; split by HomeRuns first", addr, n))
 	}
-	if g.space.HomeOf(addr) != g.self {
-		panic(fmt.Sprintf("gmem: address %d homed at %d, not %d", addr, g.space.HomeOf(addr), g.self))
+	if !g.owns(b0) {
+		panic(fmt.Sprintf("gmem: address %d not homed at %d", addr, g.self))
 	}
 }
 
@@ -271,6 +288,139 @@ func (g *Segment) DirectRead(addr uint64) int64 {
 // DirectReadFallbacks reports how many DirectReads fell back to the stripe
 // mutex after exhausting their seqlock spins.
 func (g *Segment) DirectReadFallbacks() uint64 { return g.fallbacks.Load() }
+
+// DirectReadOwned is DirectRead for elastic clusters: instead of panicking
+// on a non-owned address it reports ok=false, telling the caller to fall
+// back to the message path (which the current owner will serve, or NACK
+// with a fresh hint). Ownership is validated inside the seqlock window:
+// Extract bumps the stripe generation when it removes migrated blocks, so a
+// reader racing a migration either returns the pre-migration value while it
+// is still globally current, or fails validation, rechecks ownership and
+// falls back — it can never return a stale zero from a dropped block.
+func (g *Segment) DirectReadOwned(addr uint64) (int64, bool) {
+	b := g.space.BlockOf(addr)
+	st := g.stripeOf(b)
+	off := int(addr % uint64(g.space.BlockWords))
+	for spin := 0; spin < 64; spin++ {
+		s1 := st.wseq.Load()
+		if s1&1 != 0 {
+			continue
+		}
+		if !g.owns(b) {
+			return 0, false
+		}
+		var v int64
+		if blk := st.lookup(b); blk != nil {
+			v = atomic.LoadInt64(&blk[off])
+		}
+		if st.wseq.Load() == s1 {
+			return v, true
+		}
+	}
+	g.fallbacks.Add(1)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !g.owns(b) {
+		return 0, false
+	}
+	var v int64
+	if blk := st.lookup(b); blk != nil {
+		v = blk[off]
+	}
+	return v, true
+}
+
+// Extract atomically snapshots and removes every materialised block for
+// which flips returns true — the holder's side of a home migration. Each
+// stripe is mutated under its mutex with a seqlock generation bump, so
+// one-sided readers racing the removal retry instead of reading a dropped
+// block. The caller must already have repointed ownership (directory
+// update) and fenced in-flight service before extracting, so no writer can
+// materialise a removed block afterwards.
+func (g *Segment) Extract(flips func(b uint64) bool) []BlockSnapshot {
+	var out []BlockSnapshot
+	for i := range g.stripes {
+		st := &g.stripes[i]
+		st.mu.Lock()
+		old := *st.blocks.Load()
+		var victims []uint64
+		for idx := range old {
+			if flips(idx) {
+				victims = append(victims, idx)
+			}
+		}
+		if len(victims) > 0 {
+			next := make(map[uint64][]int64, len(old))
+			for k, v := range old {
+				next[k] = v
+			}
+			for _, idx := range victims {
+				blk := next[idx]
+				bs := BlockSnapshot{Index: idx, Words: make([]int64, len(blk))}
+				copy(bs.Words, blk)
+				for k := range st.copyset[idx] {
+					bs.Copyset = append(bs.Copyset, k)
+				}
+				sort.Ints(bs.Copyset)
+				out = append(out, bs)
+				delete(next, idx)
+				delete(st.copyset, idx)
+			}
+			st.wseq.Add(1)
+			st.blocks.Store(&next)
+			st.wseq.Add(1)
+		}
+		st.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// Has reports whether block b is materialised in this segment. Used by the
+// migration installer to skip blocks already adopted (a late escrow re-offer
+// must not clobber writes applied since the first install).
+func (g *Segment) Has(b uint64) bool { return g.stripeOf(b).lookup(b) != nil }
+
+// Adopt installs migrated blocks into this segment, overwriting any prior
+// storage for them — the new home's side of a migration. It deliberately
+// does not validate ownership: the adopter installs the data BEFORE
+// flipping its directory (so no redirected write can land on a zero block
+// and then be clobbered by the adopted payload), at which point its
+// directory still names the old home.
+func (g *Segment) Adopt(blocks []BlockSnapshot) error {
+	for _, b := range blocks {
+		if len(b.Words) != g.space.BlockWords {
+			return fmt.Errorf("gmem: adopt: block %d has %d words, segment block size is %d",
+				b.Index, len(b.Words), g.space.BlockWords)
+		}
+	}
+	for _, b := range blocks {
+		st := g.stripeOf(b.Index)
+		words := make([]int64, len(b.Words))
+		copy(words, b.Words)
+		st.mu.Lock()
+		old := *st.blocks.Load()
+		next := make(map[uint64][]int64, len(old)+1)
+		for k, v := range old {
+			next[k] = v
+		}
+		next[b.Index] = words
+		if len(b.Copyset) > 0 {
+			cs := make(map[int]struct{}, len(b.Copyset))
+			for _, k := range b.Copyset {
+				cs[k] = struct{}{}
+			}
+			st.copyset[b.Index] = cs
+		} else {
+			delete(st.copyset, b.Index)
+		}
+		st.wseq.Add(1)
+		st.blocks.Store(&next)
+		st.wseq.Add(1)
+		st.mu.Unlock()
+	}
+	return nil
+}
 
 // WriteWord stores a single word at addr without allocating (after the
 // block's first write).
@@ -535,14 +685,13 @@ func (g *Segment) Export() []BlockSnapshot {
 // match the block size, are rejected so a snapshot from a different cluster
 // geometry cannot be silently misapplied.
 func (g *Segment) Import(blocks []BlockSnapshot) error {
-	bw := uint64(g.space.BlockWords)
 	for _, b := range blocks {
 		if len(b.Words) != g.space.BlockWords {
 			return fmt.Errorf("gmem: import: block %d has %d words, segment block size is %d",
 				b.Index, len(b.Words), g.space.BlockWords)
 		}
-		if home := g.space.HomeOf(b.Index * bw); home != g.self {
-			return fmt.Errorf("gmem: import: block %d homed at %d, not %d", b.Index, home, g.self)
+		if !g.owns(b.Index) {
+			return fmt.Errorf("gmem: import: block %d not homed at %d", b.Index, g.self)
 		}
 	}
 	// Build each stripe's replacement maps fully before publishing, so a

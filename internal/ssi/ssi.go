@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/gmem"
 	"repro/internal/procmgmt"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -87,11 +88,23 @@ type PeerStatus struct {
 	// Recovered marks a peer that rejoined through checkpoint/restart
 	// recovery (Gen > 0) rather than surviving uninterrupted.
 	Recovered bool
+	// Left marks a peer that voluntarily left the membership (PE.Leave):
+	// its blocks were re-homed and it serves no global memory, but the
+	// kernel is still running — a planned departure, not a failure.
+	Left bool
+	// LeftGen is the membership generation of the leave transition.
+	// Valid only when Left.
+	LeftGen uint64
 }
 
 // String renders one probe result, e.g. "kernel 2: alive rtt=1.2ms
-// recovered(gen=1)" for a peer that rejoined after a recovery.
+// recovered(gen=1)" for a peer that rejoined after a recovery, or
+// "kernel 2: left(gen=3)" for one that departed voluntarily — rendered
+// distinctly from "down" so operators can tell planned shrink from failure.
 func (s PeerStatus) String() string {
+	if s.Left {
+		return fmt.Sprintf("kernel %d: left(gen=%d)", s.Kernel, s.LeftGen)
+	}
 	if !s.Alive {
 		return fmt.Sprintf("kernel %d: down", s.Kernel)
 	}
@@ -113,14 +126,23 @@ func (s PeerStatus) String() string {
 // the probe result carries the new view generation instead of reporting the
 // peer dead forever. Clusters restart as a unit, so an answering peer's
 // generation is the prober's own.
+// A peer that voluntarily left the membership (PE.Leave) is reported with
+// Left set and the generation of its departure; it typically still answers
+// probes (left kernels keep running as clients) but no longer serves global
+// memory.
 func (v *View) ProbePeers() []PeerStatus {
 	gen := v.pe.ViewGeneration()
+	members := v.pe.Members()
 	out := make([]PeerStatus, 0, v.pe.N()-1)
 	for k := 0; k < v.pe.N(); k++ {
 		if k == v.pe.ID() {
 			continue
 		}
 		st := PeerStatus{Kernel: k}
+		if k < len(members) && members[k].State == gmem.MemberLeft {
+			st.Left = true
+			st.LeftGen = members[k].Gen
+		}
 		if rtt, err := v.pe.PingErr(k); err == nil {
 			st.Alive = true
 			st.RTT = rtt
@@ -145,7 +167,12 @@ type HealthReport struct {
 	// rounds and peers.
 	ProbeRTT trace.Histogram
 	// Failures counts probes that went unanswered across all rounds.
+	// Peers that voluntarily left the membership are never counted here:
+	// a planned departure is not an availability failure.
 	Failures int
+	// LeftPeers counts peers in the final round that had voluntarily left
+	// the membership (see PeerStatus.Left).
+	LeftPeers int
 	// Generation is the cluster view generation the report was taken
 	// under: 0 for the original incarnation, N after the Nth checkpoint
 	// recovery (see core.RunWithRecovery).
@@ -153,9 +180,11 @@ type HealthReport struct {
 }
 
 // AllAlive reports whether every peer answered the final probe round.
+// Peers that voluntarily left the membership are skipped: a planned
+// departure does not make the cluster unhealthy.
 func (r *HealthReport) AllAlive() bool {
 	for i := range r.Peers {
-		if !r.Peers[i].Alive {
+		if !r.Peers[i].Alive && !r.Peers[i].Left {
 			return false
 		}
 	}
@@ -173,14 +202,22 @@ func (v *View) Health(rounds int) HealthReport {
 	for r := 0; r < rounds; r++ {
 		peers := v.ProbePeers()
 		for i := range peers {
-			if peers[i].Alive {
+			switch {
+			case peers[i].Alive:
 				rep.ProbeRTT.Observe(peers[i].RTT)
-			} else {
+			case peers[i].Left:
+				// Voluntary leave: not an availability failure.
+			default:
 				rep.Failures++
 			}
 		}
 		if r == rounds-1 {
 			rep.Peers = peers
+		}
+	}
+	for i := range rep.Peers {
+		if rep.Peers[i].Left {
+			rep.LeftPeers++
 		}
 	}
 	return rep

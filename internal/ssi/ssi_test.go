@@ -355,3 +355,58 @@ func TestHealthReportsRecoveredGeneration(t *testing.T) {
 		t.Fatalf("no recovery happened: %+v", rep)
 	}
 }
+
+// TestHealthReportsVoluntaryLeave has one PE leave the membership and
+// verifies the SSI health view tells a planned departure apart from a
+// failure: the left peer renders as left(gen=N), AllAlive still holds, and
+// the leave contributes to LeftPeers rather than Failures.
+func TestHealthReportsVoluntaryLeave(t *testing.T) {
+	const n = 3
+	run(t, n, func(pe *core.PE) error {
+		base := pe.AllocBlocks(n * pe.Space().BlockWords)
+		pe.Barrier()
+		pe.GMWrite(base+uint64(pe.ID()), int64(pe.ID()+1))
+		pe.Barrier()
+		if pe.ID() == n-1 {
+			if err := pe.Leave(); err != nil {
+				return err
+			}
+		}
+		pe.Barrier()
+		if pe.ID() == 0 {
+			rep := NewView(pe).Health(2)
+			if !rep.AllAlive() {
+				return fmt.Errorf("voluntary leave broke AllAlive: %+v", rep.Peers)
+			}
+			if rep.Failures != 0 {
+				return fmt.Errorf("voluntary leave counted as %d failures", rep.Failures)
+			}
+			if rep.LeftPeers != 1 {
+				return fmt.Errorf("LeftPeers = %d, want 1", rep.LeftPeers)
+			}
+			var left *PeerStatus
+			for i := range rep.Peers {
+				if rep.Peers[i].Kernel == n-1 {
+					left = &rep.Peers[i]
+				} else if rep.Peers[i].Left {
+					return fmt.Errorf("peer %d wrongly marked left", rep.Peers[i].Kernel)
+				}
+			}
+			if left == nil || !left.Left {
+				return fmt.Errorf("left peer not reported: %+v", rep.Peers)
+			}
+			if left.LeftGen == 0 {
+				return fmt.Errorf("left peer has zero generation: %+v", *left)
+			}
+			s := left.String()
+			if !strings.Contains(s, fmt.Sprintf("left(gen=%d)", left.LeftGen)) {
+				return fmt.Errorf("String() = %q, want left(gen=%d)", s, left.LeftGen)
+			}
+			if strings.Contains(s, "down") {
+				return fmt.Errorf("left peer rendered as down: %q", s)
+			}
+		}
+		pe.Barrier()
+		return nil
+	})
+}

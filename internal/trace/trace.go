@@ -57,6 +57,13 @@ type PEStats struct {
 	SnapshotBytes uint64 // encoded slice bytes written to the snapshot store
 	RollbackOps   uint64 // recorded ops discarded by rolling back to a snapshot
 
+	// Elastic membership counters.
+	Migrations     uint64 // home migrations this PE initiated (ranges, joins, leaves)
+	MigratedBlocks uint64 // blocks this kernel extracted and handed to a new home
+	MigrateNacks   uint64 // requests bounced off a stale home and retried at the hint
+	Joins          uint64 // membership joins completed by this PE
+	Leaves         uint64 // graceful leaves completed by this PE
+
 	// ByOp breaks sent traffic down per message op, so experiments can
 	// watch e.g. scalar reads being displaced by vectored reads.
 	ByOp [wire.NumOps]OpCount
@@ -116,6 +123,11 @@ func (s *PEStats) Add(o *PEStats) {
 	s.Restores += o.Restores
 	s.SnapshotBytes += o.SnapshotBytes
 	s.RollbackOps += o.RollbackOps
+	s.Migrations += o.Migrations
+	s.MigratedBlocks += o.MigratedBlocks
+	s.MigrateNacks += o.MigrateNacks
+	s.Joins += o.Joins
+	s.Leaves += o.Leaves
 	for i := range s.ByOp {
 		s.ByOp[i].Msgs += o.ByOp[i].Msgs
 		s.ByOp[i].Bytes += o.ByOp[i].Bytes

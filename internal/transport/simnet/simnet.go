@@ -38,10 +38,22 @@ type Config struct {
 	// the given virtual time, silently dropping all frames to and from it
 	// from then on (peers discover the death via LossBudget).
 	Kills []Kill
+	// Joins schedules late station arrivals: the node is deaf and mute —
+	// frames to it vanish, frames from it are never sent — until the given
+	// virtual time, modelling a machine powered on mid-run. Pair with
+	// core.Config.LatentPEs so the parked node owns no global memory while
+	// unreachable.
+	Joins []Join
 }
 
 // Kill is one scheduled node failure in a fault schedule.
 type Kill struct {
+	Node int
+	At   sim.Duration
+}
+
+// Join is one scheduled late arrival in a membership schedule.
+type Join struct {
 	Node int
 	At   sim.Duration
 }
@@ -99,6 +111,11 @@ func New(cfg Config) *Net {
 			// Forked in node order at construction, so jitter draws are a
 			// pure function of (seed, node, frame sequence) — replayable.
 			nd.rng = eng.Rand().Fork()
+		}
+		for _, j := range cfg.Joins {
+			if j.Node == i {
+				nd.joinAt = sim.Time(j.At)
+			}
 		}
 		n.nodes = append(n.nodes, nd)
 	}
@@ -179,6 +196,11 @@ type Node struct {
 	jitter sim.Duration
 	rng    *sim.Rand
 
+	// joinAt parks the station until this virtual instant (Config.Joins):
+	// frames arriving earlier are discarded on receipt and frames sent
+	// earlier are dropped at the source. Zero means attached from the start.
+	joinAt sim.Time
+
 	appProc *sim.Proc
 	svcProc *sim.Proc
 }
@@ -223,6 +245,9 @@ func (nd *Node) Recv() (*wire.Message, bool) {
 		}
 		if f.Payload == nil {
 			continue // MTU continuation fragment; timing already charged on the bus
+		}
+		if p.Now() < nd.joinAt {
+			continue // parked pre-join (Config.Joins): the station is deaf
 		}
 		enc := f.Payload.([]byte)
 		oh := nd.scale(nd.net.pl.RecvOverhead(len(enc)))
@@ -283,6 +308,9 @@ func (pt *port) proc() *sim.Proc {
 func (pt *port) Send(dst int, m *wire.Message) {
 	nd := pt.nd
 	p := pt.proc()
+	if p.Now() < nd.joinAt {
+		return // parked pre-join (Config.Joins): the station is mute
+	}
 	// The encoded frame payload is held by the Ethernet simulation until
 	// delivery, so it must be a fresh allocation here (never pooled).
 	enc := m.Encode()

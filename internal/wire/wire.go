@@ -108,6 +108,26 @@ const (
 	OpCkptMark     // Tag = checkpoint epoch
 	OpCkptMarkResp // Data = encoded kernel state, Arg1 = mark virtual time
 
+	// Elastic membership and online GM re-homing. Migrations move a block's
+	// (or a member's whole) home while requests are in flight; requests that
+	// reach a kernel that no longer owns the address are answered with
+	// OpMigrateNack carrying a new-home hint, and the requester retries the
+	// SAME Seq at the hinted home so the dedup window keeps every mutation
+	// exactly-once across the handoff.
+	OpMigrateStart     // Arg1 = mode (block/join/leave), Arg2 = member or dst, Addr = block addr or membership gen
+	OpMigrateStartResp // Data = extracted blocks (ckpt kernel-state encoding)
+	OpMigrateInstall   // Arg1 = mode, Arg2 = member, Data = blocks to adopt
+	OpMigrateInstallResp
+	OpMigrateCommit // Addr = first block addr, Arg1 = block count, Arg2 = new home (lazy hint + escrow release)
+	OpMigrateCommitResp
+	OpMigrateNack // response: request reached a non-owner; Arg1 = new-home hint
+	OpJoin        // Src asks kernel 0 to open a membership transition; Arg1 = 1 granted / 0 busy (resp reuses op pair)
+	OpJoinResp    // Arg1 = granted membership generation (0 = busy, retry)
+	OpLeave       // graceful leave of Src; same grant protocol as OpJoin
+	OpLeaveResp   // Arg1 = granted membership generation (0 = busy, retry)
+	OpEpochUpdate // broadcast: member Arg1 transitioned to state Arg2 at gen Addr
+	OpEpochUpdateResp
+
 	numOps // sentinel: one past the highest op
 )
 
@@ -126,44 +146,57 @@ const NumOps = int(numOps)
 // opNames is a dense name table: Op.String sits on hot trace/debug paths,
 // where the previous map lookup cost a hash per call.
 var opNames = [...]string{
-	OpInvalid:        "invalid",
-	OpRead:           "read",
-	OpReadResp:       "read-resp",
-	OpWrite:          "write",
-	OpWriteAck:       "write-ack",
-	OpFetchAdd:       "fetch-add",
-	OpFetchAddResp:   "fetch-add-resp",
-	OpCAS:            "cas",
-	OpCASResp:        "cas-resp",
-	OpInvalidate:     "invalidate",
-	OpInvAck:         "inv-ack",
-	OpBarrierArrive:  "barrier-arrive",
-	OpBarrierRelease: "barrier-release",
-	OpLockAcquire:    "lock-acquire",
-	OpLockGrant:      "lock-grant",
-	OpLockRelease:    "lock-release",
-	OpSemPost:        "sem-post",
-	OpSemWait:        "sem-wait",
-	OpSemGrant:       "sem-grant",
-	OpProcRegister:   "proc-register",
-	OpProcRegResp:    "proc-reg-resp",
-	OpProcExit:       "proc-exit",
-	OpProcExitAck:    "proc-exit-ack",
-	OpProcList:       "proc-list",
-	OpProcListResp:   "proc-list-resp",
-	OpLoadReport:     "load-report",
-	OpUserMsg:        "user-msg",
-	OpHello:          "hello",
-	OpWelcome:        "welcome",
-	OpPing:           "ping",
-	OpPong:           "pong",
-	OpShutdown:       "shutdown",
-	OpReadV:          "read-v",
-	OpReadVResp:      "read-v-resp",
-	OpWriteV:         "write-v",
-	OpPeerDown:       "peer-down",
-	OpCkptMark:       "ckpt-mark",
-	OpCkptMarkResp:   "ckpt-mark-resp",
+	OpInvalid:            "invalid",
+	OpRead:               "read",
+	OpReadResp:           "read-resp",
+	OpWrite:              "write",
+	OpWriteAck:           "write-ack",
+	OpFetchAdd:           "fetch-add",
+	OpFetchAddResp:       "fetch-add-resp",
+	OpCAS:                "cas",
+	OpCASResp:            "cas-resp",
+	OpInvalidate:         "invalidate",
+	OpInvAck:             "inv-ack",
+	OpBarrierArrive:      "barrier-arrive",
+	OpBarrierRelease:     "barrier-release",
+	OpLockAcquire:        "lock-acquire",
+	OpLockGrant:          "lock-grant",
+	OpLockRelease:        "lock-release",
+	OpSemPost:            "sem-post",
+	OpSemWait:            "sem-wait",
+	OpSemGrant:           "sem-grant",
+	OpProcRegister:       "proc-register",
+	OpProcRegResp:        "proc-reg-resp",
+	OpProcExit:           "proc-exit",
+	OpProcExitAck:        "proc-exit-ack",
+	OpProcList:           "proc-list",
+	OpProcListResp:       "proc-list-resp",
+	OpLoadReport:         "load-report",
+	OpUserMsg:            "user-msg",
+	OpHello:              "hello",
+	OpWelcome:            "welcome",
+	OpPing:               "ping",
+	OpPong:               "pong",
+	OpShutdown:           "shutdown",
+	OpReadV:              "read-v",
+	OpReadVResp:          "read-v-resp",
+	OpWriteV:             "write-v",
+	OpPeerDown:           "peer-down",
+	OpCkptMark:           "ckpt-mark",
+	OpCkptMarkResp:       "ckpt-mark-resp",
+	OpMigrateStart:       "migrate-start",
+	OpMigrateStartResp:   "migrate-start-resp",
+	OpMigrateInstall:     "migrate-install",
+	OpMigrateInstallResp: "migrate-install-resp",
+	OpMigrateCommit:      "migrate-commit",
+	OpMigrateCommitResp:  "migrate-commit-resp",
+	OpMigrateNack:        "migrate-nack",
+	OpJoin:               "join",
+	OpJoinResp:           "join-resp",
+	OpLeave:              "leave",
+	OpLeaveResp:          "leave-resp",
+	OpEpochUpdate:        "epoch-update",
+	OpEpochUpdateResp:    "epoch-update-resp",
 }
 
 func (op Op) String() string {
@@ -180,7 +213,9 @@ func (op Op) IsResponse() bool {
 	case OpReadResp, OpWriteAck, OpFetchAddResp, OpCASResp, OpInvAck,
 		OpLockGrant, OpSemGrant, OpBarrierRelease,
 		OpProcRegResp, OpProcExitAck, OpProcListResp, OpWelcome, OpPong,
-		OpReadVResp, OpCkptMarkResp:
+		OpReadVResp, OpCkptMarkResp,
+		OpMigrateStartResp, OpMigrateInstallResp, OpMigrateCommitResp,
+		OpMigrateNack, OpJoinResp, OpLeaveResp, OpEpochUpdateResp:
 		return true
 	}
 	return false
@@ -206,6 +241,12 @@ type Message struct {
 	// the ack finds the invalidation round. Zero (the default) is always
 	// valid: the dispatcher falls back to hashing Addr.
 	Shard uint8
+	// Epoch is the sender's membership epoch, truncated to 8 bits (header
+	// byte 3, previously reserved). It is advisory — the receiver's own
+	// directory stays authoritative for routing — but it lets traces and
+	// operators correlate a message with the membership view it was sent
+	// under, and a wildly stale epoch on a NACKed request explains the NACK.
+	Epoch uint8
 	Src   int32  // sending kernel id
 	Dst   int32  // destination kernel id
 	Tag   int32  // barrier/lock/semaphore id, or user message tag
@@ -265,7 +306,7 @@ func (m *Message) Append(buf []byte) []byte {
 	hdr[0] = byte(m.Op)
 	hdr[1] = m.Flags
 	hdr[2] = m.Shard
-	// hdr[3] reserved
+	hdr[3] = m.Epoch
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(m.Src))
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(m.Dst))
 	binary.LittleEndian.PutUint32(hdr[12:], uint32(m.Tag))
@@ -292,6 +333,7 @@ func decodeHeader(m *Message, buf []byte) {
 	m.Op = Op(buf[0])
 	m.Flags = buf[1]
 	m.Shard = buf[2]
+	m.Epoch = buf[3]
 	m.Src = int32(binary.LittleEndian.Uint32(buf[4:]))
 	m.Dst = int32(binary.LittleEndian.Uint32(buf[8:]))
 	m.Tag = int32(binary.LittleEndian.Uint32(buf[12:]))
@@ -441,6 +483,27 @@ func (m *Message) AppendWriteRun(addr uint64, words []int64) {
 	m.buf = AppendWords(m.buf, words)
 	m.Data = m.buf
 	m.Arg1++
+}
+
+// EachRunHeader walks an OpWriteV payload's run headers without decoding
+// any words — O(runs), not O(words) — for pre-scans that only need each
+// run's placement (the home-side foreign-block check).
+func (m *Message) EachRunHeader(fn func(addr uint64, count int)) error {
+	off := 0
+	for off < len(m.Data) {
+		if off+rangeBytes > len(m.Data) {
+			return fmt.Errorf("wire: truncated write run header at byte %d", off)
+		}
+		addr := binary.LittleEndian.Uint64(m.Data[off:])
+		count := int(binary.LittleEndian.Uint64(m.Data[off+8:]))
+		off += rangeBytes
+		if count < 0 || count > (len(m.Data)-off)/8 {
+			return fmt.Errorf("wire: write run at byte %d overruns payload", off-rangeBytes)
+		}
+		off += count * 8
+		fn(addr, count)
+	}
+	return nil
 }
 
 // EachWriteRun decodes an OpWriteV payload, calling fn once per run in
