@@ -147,6 +147,17 @@ func (k *Kernel) sendNack(m *wire.Message, home int) {
 	wire.PutMessage(resp)
 }
 
+// dropCorrupt counts a malformed membership request and releases the
+// in-progress dedup entry its lookup registered. Dropping without the forget
+// would make the silence permanent: the initiator's retry — which resends the
+// payload precisely so a truncated one can be re-evaluated — would be
+// absorbed by dedupCheck as an in-progress duplicate, and the Join/Leave/
+// MigrateRange driving it would hang forever.
+func (k *Kernel) dropCorrupt(m *wire.Message) {
+	k.extra.CorruptDrops++
+	k.dedup.forget(m.Src, m.Seq)
+}
+
 // handleMigrateStart is the old-home half of a handoff. The order is the
 // protocol's safety core: (1) the directory flips first, so ownership checks
 // start NACKing fresh requests toward the new home; (2) the shard fence
@@ -160,7 +171,7 @@ func (k *Kernel) handleMigrateStart(m *wire.Message) {
 		b := k.space.BlockOf(m.Addr)
 		dst := int(m.Arg2)
 		if dst < 0 || dst >= k.n {
-			k.extra.CorruptDrops++
+			k.dropCorrupt(m)
 			return
 		}
 		if !k.dir.Owns(k.id, b) {
@@ -184,7 +195,7 @@ func (k *Kernel) handleMigrateStart(m *wire.Message) {
 	case migModeJoin:
 		j := int(m.Arg2)
 		if j < 0 || j >= k.n {
-			k.extra.CorruptDrops++
+			k.dropCorrupt(m)
 			return
 		}
 		// Mark the joiner active in our view: every block whose probe now
@@ -203,7 +214,7 @@ func (k *Kernel) handleMigrateStart(m *wire.Message) {
 		k.dir.SetMember(k.id, gmem.MemberLeft, m.Addr)
 		flips = func(b uint64) bool { return !k.dir.Owns(k.id, b) }
 	default:
-		k.extra.CorruptDrops++
+		k.dropCorrupt(m)
 		return
 	}
 	k.migGen.Add(1)
@@ -255,7 +266,7 @@ func (k *Kernel) dirTrailer() *ckpt.DirectorySnapshot {
 func (k *Kernel) handleMigrateInstall(m *wire.Message) {
 	_, blocks, dirSnap, err := ckpt.DecodeKernelStateDir(m.Data)
 	if err != nil {
-		k.extra.CorruptDrops++
+		k.dropCorrupt(m)
 		return // no reply; the initiator's retry resends the payload
 	}
 	var payload []uint64
@@ -288,7 +299,7 @@ func (k *Kernel) handleMigrateInstall(m *wire.Message) {
 	}
 	k.fenceShards()
 	if err := k.seg.Adopt(fresh); err != nil {
-		k.extra.CorruptDrops++
+		k.dropCorrupt(m)
 		return
 	}
 	if dirSnap != nil {
@@ -313,7 +324,7 @@ func (k *Kernel) handleMigrateInstall(m *wire.Message) {
 	case migModeLeave:
 		k.dir.SetMember(int(m.Arg2), gmem.MemberLeft, m.Addr)
 	default:
-		k.extra.CorruptDrops++
+		k.dropCorrupt(m)
 		return
 	}
 	k.migGen.Add(1)
@@ -405,7 +416,7 @@ func (k *Kernel) handleMigrateCommit(m *wire.Message) {
 // arrives or the member is found dead.
 func (k *Kernel) handleGrant(m *wire.Message) {
 	if k.id != 0 {
-		k.extra.CorruptDrops++
+		k.dropCorrupt(m) // misrouted grant: same hang risk as a corrupt start
 		return
 	}
 	if k.grantBusyMember >= 0 && k.deadFlags[k.grantBusyMember].Load() {
@@ -445,7 +456,12 @@ func (k *Kernel) handleEpochUpdate(m *wire.Message) {
 		k.migGen.Add(1)
 	}
 	k.escrowSweep()
-	if k.id == 0 && member == k.grantBusyMember {
+	// Close the membership grant only when the update's generation covers
+	// it: epoch updates are idempotent and retransmitted, so a delayed
+	// duplicate of the member's PREVIOUS transition can arrive after the
+	// same member acquired a fresh grant — clearing the slot on the stale
+	// broadcast would let two transitions run concurrently.
+	if k.id == 0 && member == k.grantBusyMember && m.Addr >= k.grantBusyGen {
 		k.grantBusyMember = -1
 	}
 	resp := wire.GetMessage()

@@ -386,3 +386,77 @@ func TestGrantServiceSerialisesTransitions(t *testing.T) {
 		t.Fatalf("next grant = %v, want a fresh non-busy generation", g2)
 	}
 }
+
+// TestStaleEpochUpdateKeepsGrantOpen pins the grant-release generation guard:
+// epoch updates are idempotent and retransmitted, so a delayed duplicate of a
+// member's PREVIOUS transition broadcast arriving after the same member opened
+// a fresh grant must NOT free the slot — that would let two membership
+// transitions run concurrently.
+func TestStaleEpochUpdateKeepsGrantOpen(t *testing.T) {
+	net, ks := testKernels(t, 3, func(cfg *Config) { cfg.LatentPEs = 2 })
+	// Member 1 completes a join under generation g1.
+	ks[0].handle(&wire.Message{Op: wire.OpJoin, Src: 1, Dst: 0, Seq: 401})
+	g1 := recvFrom(t, net, 1)
+	if g1.Op != wire.OpJoinResp || g1.Arg1 == 0 {
+		t.Fatalf("first grant = %v", g1)
+	}
+	ks[0].handle(&wire.Message{Op: wire.OpEpochUpdate, Src: 1, Dst: 0, Seq: 402, Arg1: 1, Arg2: int64(gmem.MemberActive), Addr: uint64(g1.Arg1)})
+	recvFrom(t, net, 1)
+	// The same member opens a fresh grant (a leave this time).
+	ks[0].handle(&wire.Message{Op: wire.OpLeave, Src: 1, Dst: 0, Seq: 403})
+	g2 := recvFrom(t, net, 1)
+	if g2.Op != wire.OpLeaveResp || g2.Arg1 == 0 || g2.Arg1 <= g1.Arg1 {
+		t.Fatalf("second grant = %v, want a fresh generation above %d", g2, g1.Arg1)
+	}
+	// A delayed duplicate of the join's epoch update must not close it...
+	ks[0].handle(&wire.Message{Op: wire.OpEpochUpdate, Src: 1, Dst: 0, Seq: 404, Arg1: 1, Arg2: int64(gmem.MemberActive), Addr: uint64(g1.Arg1)})
+	recvFrom(t, net, 1)
+	ks[0].handle(&wire.Message{Op: wire.OpJoin, Src: 2, Dst: 0, Seq: 405})
+	if busy := recvFrom(t, net, 2); busy.Op != wire.OpJoinResp || busy.Arg1 != 0 {
+		t.Fatalf("grant after stale epoch update = %v, want busy (Arg1 = 0)", busy)
+	}
+	// ...while the leave's own epoch update (generation g2) does.
+	ks[0].handle(&wire.Message{Op: wire.OpEpochUpdate, Src: 1, Dst: 0, Seq: 406, Arg1: 1, Arg2: int64(gmem.MemberLeft), Addr: uint64(g2.Arg1)})
+	recvFrom(t, net, 1)
+	ks[0].handle(&wire.Message{Op: wire.OpJoin, Src: 2, Dst: 0, Seq: 407})
+	g3 := recvFrom(t, net, 2)
+	if g3.Op != wire.OpJoinResp || g3.Arg1 == 0 {
+		t.Fatalf("grant after fresh epoch update = %v, want a real generation", g3)
+	}
+}
+
+// TestCorruptInstallRetryNotAbsorbed pins the drop-path dedup release: a
+// MigrateInstall whose payload arrives truncated is dropped without a reply,
+// and the initiator retransmits the payload under the SAME sequence number —
+// the retry must be re-evaluated and installed, not absorbed by the dedup
+// window as an in-progress duplicate (which would hang the initiator forever).
+func TestCorruptInstallRetryNotAbsorbed(t *testing.T) {
+	net, ks := testKernels(t, 2, nil)
+	addr := uint64(0) // block 0, homed at kernel 0
+	w := &wire.Message{Op: wire.OpWrite, Src: 1, Dst: 0, Seq: 501, Addr: addr}
+	w.PutWord(7)
+	ks[0].handle(w)
+	recvFrom(t, net, 1) // ack
+	ks[0].handle(&wire.Message{Op: wire.OpMigrateStart, Src: 1, Dst: 0, Seq: 502, Arg1: migModeBlock, Arg2: 1, Addr: addr})
+	start := recvFrom(t, net, 1)
+	if start.Op != wire.OpMigrateStartResp {
+		t.Fatalf("migrate start resp = %v", start)
+	}
+	// First install attempt: truncated payload, dropped without a reply.
+	bad := &wire.Message{Op: wire.OpMigrateInstall, Src: 1, Dst: 1, Seq: 503, Arg1: migModeBlock, Addr: addr}
+	bad.Data = append([]byte(nil), start.Data[:3]...)
+	ks[1].handle(bad)
+	if ks[1].extra.CorruptDrops == 0 {
+		t.Fatal("corrupt install not counted")
+	}
+	// The retry resends the full payload under the same sequence number.
+	retry := &wire.Message{Op: wire.OpMigrateInstall, Src: 1, Dst: 1, Seq: 503, Arg1: migModeBlock, Addr: addr, Flags: wire.FlagRetry}
+	retry.Data = append([]byte(nil), start.Data...)
+	ks[1].handle(retry)
+	if r := recvFrom(t, net, 1); r.Op != wire.OpMigrateInstallResp || r.Arg1 != 1 {
+		t.Fatalf("retried install resp = %v, want 1 block adopted", r)
+	}
+	if v := ks[1].seg.Read(addr, 1)[0]; v != 7 {
+		t.Fatalf("migrated value = %d, want 7", v)
+	}
+}

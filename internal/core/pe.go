@@ -462,9 +462,9 @@ const (
 // the co-located home's per-shard submission ring and wait until the owning
 // shard has consumed it. The ring sequence comes from the same counter as
 // message sequences, so the home's dedup window gives the two paths one
-// exactly-once space. Under a live membership directory the home's migration
-// generation is sampled before the push and rechecked after consumption —
-// see ringAmbiguous for the race this closes.
+// exactly-once space. The home's migration generation is sampled before the
+// push and rechecked after consumption — see ringAmbiguous for the race this
+// closes.
 func (pe *PE) ringWrite(home int, addr uint64, v int64) (ringStatus, uint64) {
 	k := pe.k
 	if k.ringPeers == nil || k.deadFlags[home].Load() {
@@ -475,13 +475,15 @@ func (pe *PE) ringWrite(home int, addr uint64, v int64) (ringStatus, uint64) {
 	if sh.ring == nil {
 		return ringUnavailable, 0
 	}
-	liveDir := !hk.dir.Static()
-	var gen uint64
-	if liveDir {
-		gen = hk.migGen.Load()
-		if !hk.dir.Owns(home, k.space.BlockOf(addr)) {
-			return ringUnavailable, 0 // block already migrated away
-		}
+	// The generation is sampled UNCONDITIONALLY, not gated on the directory
+	// being live: the FIRST migration can flip the directory between this
+	// point and the shard drain, and a producer that skipped the sample
+	// because the directory looked static would also skip the recheck below
+	// and report ringApplied for a write the drain filtered as disowned. A
+	// static directory never bumps migGen, so the cost is one atomic load.
+	gen := hk.migGen.Load()
+	if !hk.dir.Static() && !hk.dir.Owns(home, k.space.BlockOf(addr)) {
+		return ringUnavailable, 0 // block already migrated away
 	}
 	pe.app.LocalAccess()
 	w := gmem.RingWrite{Addr: addr, Val: v, Seq: k.seqCtr.Add(1), Src: int32(k.id)}
@@ -500,7 +502,7 @@ func (pe *PE) ringWrite(home int, addr uint64, v int64) (ringStatus, uint64) {
 		// submitting PE's virtual time advances again.
 		sh.drainRing()
 	}
-	if liveDir && hk.migGen.Load() != gen {
+	if hk.migGen.Load() != gen {
 		return ringAmbiguous, w.Seq
 	}
 	return ringApplied, w.Seq

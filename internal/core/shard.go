@@ -338,6 +338,16 @@ func (sh *kernelShard) nackIfForeign(m *wire.Message) bool {
 		if count < 1 {
 			count = 1
 		}
+		// Clamp to one block's worth of words: every legitimate range fits
+		// inside a single block (the PE-side run splitters never cross a
+		// block boundary, and gmem's checkHome enforces it server-side), so
+		// the clamp is a no-op for valid traffic. Without it a corrupt
+		// count — this scan runs BEFORE the op handler's own bounds checks —
+		// would spin this shard worker through up to count/BlockWords
+		// directory lookups.
+		if count > int(bw) {
+			count = int(bw)
+		}
 		last := (addr + uint64(count) - 1) / bw
 		for b := addr / bw; b <= last; b++ {
 			if !k.dir.Owns(k.id, b) {
