@@ -15,6 +15,7 @@
 //	dsebench -stress -seed 7     # seeded consistency stress matrix (exit 1 on violation)
 //	dsebench -recover -seed 7    # seeded kill-and-recover schedules (exit 1 on failure)
 //	dsebench -saturate           # remote-GM ops/sec into one home kernel vs shard count
+//	dsebench -modes              # consistency-tier ablation: gauss msgs under strong/release/lease
 //	dsebench -saturate -quick -json out.json  # ...included in the snapshot
 //
 // Figures print as aligned tables: one row per x value, one column per
@@ -52,6 +53,7 @@ func main() {
 		recoverF = flag.Bool("recover", false, "run seeded kill-and-recover schedules (checkpoint/restart); -seed selects the schedule")
 		memberF  = flag.Bool("membership", false, "run seeded live join/leave/re-home schedules (elastic membership); -seed selects the schedule")
 		saturate = flag.Bool("saturate", false, "measure remote-GM ops/sec into one home kernel across PE and shard counts (wall clock; with -json, adds the sweep to the snapshot)")
+		modesF   = flag.Bool("modes", false, "print the consistency-tier ablation: gauss message counts under strong, release and lease modes")
 	)
 	flag.Parse()
 	plotFigures = *plot
@@ -87,6 +89,14 @@ func main() {
 		}
 		bench.SaturationTable(pts).Fprint(os.Stdout)
 		fmt.Printf("(wall clock; regenerated in %v)\n", time.Since(start).Round(time.Millisecond))
+	case *modesF:
+		start := time.Now()
+		rows, err := bench.ConsistencyTierProfile(platform.SparcSunOS, sc.Seed)
+		if err != nil {
+			fatalf("consistency tiers: %v", err)
+		}
+		bench.TierTable(rows).Fprint(os.Stdout)
+		fmt.Printf("(regenerated in %v)\n", time.Since(start).Round(time.Millisecond))
 	case *traceOut != "":
 		writeTrace(*traceOut, sc)
 	case *table == 1:

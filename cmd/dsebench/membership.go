@@ -48,6 +48,15 @@ func runMembership(seed uint64, quick bool) {
 		{Seed: seed, NumPE: 5, OpsPerPE: ops, Loss: 0.02,
 			KillPE: 3, KillAt: 2 * sim.Second,
 			Latent: 1, JoinAtOp: join, MigrateEvery: mig},
+		// Mixed consistency tiers through the full churn: half the re-homings
+		// target the release region, so handoffs overlap unflushed WC buffers
+		// (the membership fence must publish them before escrow) and joins
+		// and leaves drop held leases cluster-wide.
+		{Seed: seed, NumPE: 5, OpsPerPE: ops, Modes: true,
+			Latent: 1, JoinAtOp: join, LeavePE: 2, LeaveAtOp: leave, MigrateEvery: mig},
+		// The same mixed-tier churn over the one-sided window/ring paths.
+		{Seed: seed, NumPE: 5, OpsPerPE: ops, Modes: true, Shards: 2, DirectReads: 1, Rings: 1,
+			Latent: 1, JoinAtOp: join, LeavePE: 2, LeaveAtOp: leave, MigrateEvery: mig},
 	}
 
 	start := time.Now()

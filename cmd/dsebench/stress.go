@@ -71,6 +71,27 @@ func runStress(seed uint64, quick bool) {
 				Shards: shards, DirectReads: 1, Rings: 1,
 			})
 	}
+	// Mixed consistency-tier legs: strong, release and lease allocations in
+	// one run, checked by the per-mode rules — fault-free, through the lossy
+	// caching corner, over the one-sided window/ring paths, and with a
+	// mid-run station kill discarding unflushed WC words and stranding held
+	// leases.
+	configs = append(configs,
+		stress.Options{
+			Seed: seed, NumPE: 4, OpsPerPE: ops, Modes: true,
+		},
+		stress.Options{
+			Seed: seed, NumPE: 4, OpsPerPE: ops, Modes: true,
+			Caching: true, Loss: 0.15, Jitter: 200 * sim.Microsecond,
+		},
+		stress.Options{
+			Seed: seed, NumPE: 4, OpsPerPE: ops, Modes: true,
+			Shards: 2, DirectReads: 1, Rings: 1, Loss: 0.05,
+		},
+		stress.Options{
+			Seed: seed, NumPE: 4, OpsPerPE: ops, Modes: true, Loss: 0.02,
+			KillPE: 2, KillAt: 2 * sim.Second,
+		})
 
 	start := time.Now()
 	totalOps, failures := 0, 0

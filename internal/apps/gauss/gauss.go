@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/gmem"
 	"repro/internal/sim"
 )
 
@@ -233,6 +234,69 @@ func Parallel(pe *core.PE, p Params) (*Result, error) {
 	}
 	res.Elapsed = pe.Now() - start
 	res.X = pe.GMReadBlockF(xAddr, p.N)
+	res.Residual = residual(a, b, res.X)
+	return res, nil
+}
+
+// ParallelFine is the fine-grained variant of Parallel behind the
+// consistency-tier ablation (DESIGN.md §14): the same numerics, but the
+// shared vector is allocated under the given consistency mode, read word by
+// word, and each updated row is published with a scalar write — the
+// textbook access pattern the weaker tiers exist for. Under release the
+// write-combining buffer coalesces the per-row publishes into one flush per
+// home per sweep; under lease the per-word reads collapse into one grant
+// per block per sweep; strong pays one round trip per remote word both
+// ways. The sweep count is fixed (no convergence reduction) so the message
+// count is a closed-form function of the mode, and the double barrier keeps
+// read and write epochs disjoint: every mode computes bit-identical
+// iterates, because release writes flush at the second barrier's entry —
+// before any PE starts the next read epoch — and lease caches drop at each
+// barrier crossing.
+func ParallelFine(pe *core.PE, p Params, mode gmem.Mode, sweeps int) (*Result, error) {
+	p = p.withDefaults()
+	if p.N < pe.N() {
+		return nil, fmt.Errorf("gauss: N=%d smaller than %d PEs", p.N, pe.N())
+	}
+	a, b := BuildSystem(p)
+	xAddr := pe.AllocBlocksMode(p.N, mode)
+	lo, hi := rowRange(p.N, pe.N(), pe.ID())
+	if pe.ID() == 0 {
+		for i := 0; i < p.N; i++ {
+			pe.GMWriteF(xAddr+uint64(i), 0)
+		}
+	}
+	pe.Barrier()
+	start := pe.Now()
+
+	res := &Result{}
+	x := make([]float64, p.N)
+	for sweep := 0; sweep < sweeps; sweep++ {
+		for i := 0; i < p.N; i++ {
+			x[i] = pe.GMReadF(xAddr + uint64(i))
+		}
+		delta := 0.0
+		for i := lo; i < hi; i++ {
+			old := x[i]
+			x[i] = rowUpdate(a, b, x, i, p.Omega)
+			if d := math.Abs(x[i] - old); d > delta {
+				delta = d
+			}
+		}
+		pe.Compute(float64(hi-lo) * opsPerRow(p.N))
+		res.Ops += float64(hi-lo) * opsPerRow(p.N)
+		pe.Barrier() // end of read epoch
+		for i := lo; i < hi; i++ {
+			pe.GMWriteF(xAddr+uint64(i), x[i])
+		}
+		pe.Barrier() // publication fence: release flushes, leases drop
+		res.Sweeps++
+		res.Delta = delta
+	}
+	res.Elapsed = pe.Now() - start
+	res.X = make([]float64, p.N)
+	for i := 0; i < p.N; i++ {
+		res.X[i] = pe.GMReadF(xAddr + uint64(i))
+	}
 	res.Residual = residual(a, b, res.X)
 	return res, nil
 }

@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/apps/gauss"
+	"repro/internal/core"
+	"repro/internal/gmem"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// This file holds the consistency-tier ablation (DESIGN.md §14,
+// EXPERIMENTS.md): the gauss sweep measured under each per-allocation
+// consistency mode, in two variants.
+//
+// The hand-vectored gauss.Parallel publishes each sweep's rows with one
+// block write — it is already write-combined at the application level, so
+// its message count is expected to be mode-invariant (the tiers must not
+// ADD traffic). The fine-grained variant below publishes row by row and
+// reads the vector word by word — the textbook structure release
+// consistency and read leases exist for: the WC buffer coalesces the
+// per-row writes into one flush per home per sweep, and leases collapse
+// the per-word reads into one grant per block per sweep.
+
+// tierGaussN and tierGaussPE pin the ablation point from the experiment
+// plan: gauss N=300 at p=4.
+const (
+	tierGaussN  = 300
+	tierGaussPE = 4
+)
+
+// tierGaussSweeps fixes the fine-grained variant's sweep count so message
+// counts are a closed-form function of the mode, not of convergence noise.
+const tierGaussSweeps = 6
+
+// gaussFine runs the fine-grained gauss sweep (gauss.ParallelFine) with the
+// shared vector allocated under mode.
+func gaussFine(pe *core.PE, mode gmem.Mode, seed uint64) error {
+	_, err := gauss.ParallelFine(pe, gauss.Params{N: tierGaussN, Seed: seed}, mode, tierGaussSweeps)
+	return err
+}
+
+// TierMetrics is one row of the consistency-tier ablation: one gauss
+// variant under one mode.
+type TierMetrics struct {
+	Workload string `json:"workload"`
+	Mode     string `json:"mode"` // "strong", "release" or "lease"
+	NumPE    int    `json:"num_pe"`
+
+	ElapsedUS int64  `json:"elapsed_us"`
+	MsgsSent  uint64 `json:"msgs_sent"`
+	BytesSent uint64 `json:"bytes_sent"`
+	LocalGM   uint64 `json:"local_gm"`
+	RemoteGM  uint64 `json:"remote_gm"`
+
+	// MsgsPerOp normalises sent messages by global-memory operations — the
+	// per-tier cost figure the regression gate tracks.
+	MsgsPerOp float64 `json:"msgs_per_op"`
+
+	// Tier machinery counters (zero under strong).
+	WCFlushes     uint64 `json:"wc_flushes,omitempty"`
+	LeaseGrants   uint64 `json:"lease_grants,omitempty"`
+	LeaseExpiries uint64 `json:"lease_expiries,omitempty"`
+}
+
+func tierKey(t *TierMetrics) string {
+	return fmt.Sprintf("%s/%s/p%d", t.Workload, t.Mode, t.NumPE)
+}
+
+var tierModes = []struct {
+	name string
+	mode gmem.Mode
+}{
+	{"strong", gmem.ModeStrong},
+	{"release", gmem.ModeRelease},
+	{"lease", gmem.ModeLease},
+}
+
+// measureTier runs one gauss variant under one mode and fills a row.
+func measureTier(pl *platform.Platform, seed uint64, workload string, mode int,
+	cfg core.Config, body core.Program) (TierMetrics, error) {
+	res, err := core.Run(cfg, body)
+	if err != nil {
+		return TierMetrics{}, fmt.Errorf("%s/%s: %w", workload, tierModes[mode].name, err)
+	}
+	if err := res.FirstErr(); err != nil {
+		return TierMetrics{}, fmt.Errorf("%s/%s: %w", workload, tierModes[mode].name, err)
+	}
+	m := TierMetrics{
+		Workload:  workload,
+		Mode:      tierModes[mode].name,
+		NumPE:     cfg.NumPE,
+		ElapsedUS: int64(res.Elapsed / sim.Microsecond),
+		MsgsSent:  res.Total.MsgsSent,
+		BytesSent: res.Total.BytesSent,
+		LocalGM:   res.Total.LocalGM,
+		RemoteGM:  res.Total.RemoteGM,
+
+		WCFlushes:     res.Total.WCFlushes,
+		LeaseGrants:   res.Total.LeaseGrants,
+		LeaseExpiries: res.Total.LeaseExpiries,
+	}
+	if ops := res.Total.LocalGM + res.Total.RemoteGM; ops > 0 {
+		m.MsgsPerOp = float64(res.Total.MsgsSent) / float64(ops)
+	}
+	return m, nil
+}
+
+// ConsistencyTierProfile measures the gauss N=300 p=4 point under every
+// consistency mode, for both the hand-vectored solver and the fine-grained
+// variant: the data behind the EXPERIMENTS.md per-tier ablation table and
+// the snapshot's regression-gated tier rows.
+func ConsistencyTierProfile(pl *platform.Platform, seed uint64) ([]TierMetrics, error) {
+	var rows []TierMetrics
+	for mi, tm := range tierModes {
+		// Vectored gauss.Parallel allocates with the default mode, so the
+		// tier is selected via Config.GMDefaultMode.
+		cfg := core.Config{
+			NumPE: tierGaussPE, Platform: pl, Seed: seed,
+			GMBlockWords: gaussBlockWords, GMDefaultMode: tm.mode,
+		}
+		row, err := measureTier(pl, seed, fmt.Sprintf("gauss N=%d", tierGaussN), mi, cfg,
+			func(pe *core.PE) error {
+				_, err := gauss.Parallel(pe, gauss.Params{N: tierGaussN, Seed: seed})
+				return err
+			})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+
+		// Fine-grained variant: the mode rides on the allocation itself.
+		mode := tm.mode
+		cfg = core.Config{
+			NumPE: tierGaussPE, Platform: pl, Seed: seed,
+			GMBlockWords: gaussBlockWords,
+		}
+		row, err = measureTier(pl, seed, fmt.Sprintf("gauss-fine N=%d", tierGaussN), mi, cfg,
+			func(pe *core.PE) error { return gaussFine(pe, mode, seed) })
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// TierTable renders the ablation rows as the EXPERIMENTS.md table.
+func TierTable(rows []TierMetrics) *trace.Table {
+	t := &trace.Table{
+		Title: fmt.Sprintf("consistency-tier ablation, gauss N=%d p=%d (vectored and fine-grained)",
+			tierGaussN, tierGaussPE),
+		Header: []string{"workload", "mode", "msgs", "bytes", "msgs/op", "elapsed", "wc-flushes", "lease-grants", "lease-expiries"},
+	}
+	for i := range rows {
+		r := &rows[i]
+		t.AddRow(r.Workload, r.Mode,
+			fmt.Sprintf("%d", r.MsgsSent),
+			fmt.Sprintf("%d", r.BytesSent),
+			fmt.Sprintf("%.3f", r.MsgsPerOp),
+			(sim.Duration(r.ElapsedUS) * sim.Microsecond).String(),
+			fmt.Sprintf("%d", r.WCFlushes),
+			fmt.Sprintf("%d", r.LeaseGrants),
+			fmt.Sprintf("%d", r.LeaseExpiries))
+	}
+	return t
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/apps/othello"
 	"repro/internal/ckpt"
 	"repro/internal/core"
+	"repro/internal/gmem"
 	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -43,6 +44,12 @@ type Snapshot struct {
 	// -saturate), present only when that flag was given. Unlike the fields
 	// above it is wall-clock, so Compare gates it loosely.
 	Saturation []SaturationPoint `json:"saturation,omitempty"`
+
+	// ConsistencyTiers is the per-mode gauss ablation (DESIGN.md §14):
+	// message counts and tier-machinery counters for each consistency mode,
+	// deterministic on the simulated transport and gated by Compare like
+	// the workload metrics. Absent from baselines predating the tiers.
+	ConsistencyTiers []TierMetrics `json:"consistency_tiers,omitempty"`
 }
 
 // WorkloadMetrics captures one reference-application run.
@@ -266,6 +273,14 @@ func BuildSnapshot(pl *platform.Platform, sc Scale, scaleName string) (*Snapshot
 		snap.Workloads[0].SnapshotBytes = bytes
 	}
 
+	// Per-mode consistency-tier rows: gauss under strong, release and
+	// lease, vectored and fine-grained.
+	tiers, err := ConsistencyTierProfile(pl, sc.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("consistency tiers: %w", err)
+	}
+	snap.ConsistencyTiers = tiers
+
 	// Speed-up curve: gauss at p = 1,2,4 (the snapshot's scaling check).
 	gaussN := 120
 	if len(sc.GaussNs) > 1 {
@@ -419,6 +434,24 @@ func LatencyTables(pl *platform.Platform, sc Scale) ([]*trace.Table, error) {
 	ck.AddRow("snapshot_bytes", fmt.Sprintf("%d", res.Total.SnapshotBytes))
 	ck.AddRow("rollback_ops", fmt.Sprintf("%d", res.Total.RollbackOps))
 	tables = append(tables, ck)
+
+	// One release-mode fine-grained gauss run rides along: its table's
+	// flush-stall row is the WC-buffer drain latency at sync edges, which
+	// every strong workload above leaves empty.
+	rel, err := core.Run(core.Config{
+		NumPE: tierGaussPE, Platform: pl, Seed: sc.Seed, GMBlockWords: gaussBlockWords,
+	}, func(pe *core.PE) error {
+		return gaussFine(pe, gmem.ModeRelease, sc.Seed)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("gauss-fine release: %w", err)
+	}
+	if err := rel.FirstErr(); err != nil {
+		return nil, fmt.Errorf("gauss-fine release: %w", err)
+	}
+	title = fmt.Sprintf("latency distribution, gauss-fine N=%d release p=%d on %s (elapsed %v, %d WC flushes)",
+		tierGaussN, tierGaussPE, pl.Numeric, rel.Elapsed, rel.Total.WCFlushes)
+	tables = append(tables, rel.Total.LatencyTable(title))
 	return tables, nil
 }
 
@@ -474,6 +507,33 @@ func Compare(base, cur *Snapshot) []string {
 		for _, op := range ops {
 			worse(fmt.Sprintf("%s msgs[%s]", key, op), float64(old.PerOp[op].Msgs), float64(now.PerOp[op].Msgs))
 		}
+	}
+
+	// Consistency-tier rows are deterministic like the workload metrics:
+	// the >10% rule on messages, bytes, msgs/op and the tier-machinery
+	// counters (a jump in flushes or lease churn means a fence or expiry
+	// started firing where it didn't). Baselines predating the tiers carry
+	// no rows and are skipped; rows missing from the current snapshot are
+	// reported like missing workloads.
+	curTiers := map[string]*TierMetrics{}
+	for i := range cur.ConsistencyTiers {
+		t := &cur.ConsistencyTiers[i]
+		curTiers[tierKey(t)] = t
+	}
+	for i := range base.ConsistencyTiers {
+		old := &base.ConsistencyTiers[i]
+		key := tierKey(old)
+		now, ok := curTiers[key]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: tier row missing from current snapshot", key))
+			continue
+		}
+		worse(key+" msgs_sent", float64(old.MsgsSent), float64(now.MsgsSent))
+		worse(key+" bytes_sent", float64(old.BytesSent), float64(now.BytesSent))
+		worse(key+" msgs/op", old.MsgsPerOp, now.MsgsPerOp)
+		worse(key+" wc_flushes", float64(old.WCFlushes), float64(now.WCFlushes))
+		worse(key+" lease_grants", float64(old.LeaseGrants), float64(now.LeaseGrants))
+		worse(key+" lease_expiries", float64(old.LeaseExpiries), float64(now.LeaseExpiries))
 	}
 
 	// Saturation points are wall-clock throughput, so run-to-run noise is

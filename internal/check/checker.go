@@ -23,10 +23,26 @@ import (
 // legally be observed any time after invocation, and they never make an
 // older value stale.
 //
+// Weaker tiers (DESIGN.md §14) relax the per-word rules, selected by the
+// events' Mode tags (modeRules):
+//
+//   - Release: a write is published not by its own response but by its PE's
+//     next flush fence (barrier, unlock, or standalone flush event). The
+//     apply instant lies inside the fence's [Inv, Resp] bracket, so
+//     staleness is judged fence-to-fence; an own buffered write must be
+//     visible to its PE until a fence flushes it (read-your-writes), and a
+//     never-flushed write must not be visible to any other PE.
+//   - Lease: a lease-served read carries its grant window in Arg1/Arg2. It
+//     may not be served after expiry (Inv ≤ Arg2), and its staleness bound
+//     moves from the read's start to the lease's grant: only writes that
+//     completed before the grant make the observation a violation.
+//
 // The workload discipline the checker relies on: every written value is
 // globally unique and non-zero (so a read maps to exactly one writer);
 // fetch-add words receive only fetch-adds of one uniform positive delta;
-// CAS words receive only CASes whose new values are unique.
+// CAS words receive only CASes whose new values are unique. Atomics must
+// not share words with release-mode buffered writes: they serialise at the
+// home and would not observe another op's write-combining overlay.
 
 // Violation is one detected memory-model breach.
 type Violation struct {
@@ -72,6 +88,70 @@ const maxViolations = 16
 // infTime stands in for "never responded" when ordering failed ops.
 const infTime = math.MaxInt64
 
+// Event.Mode values, mirroring gmem.Mode so the checker stays free of
+// runtime dependencies (check/stress asserts the two stay in sync).
+const (
+	modeStrong  uint8 = 0
+	modeRelease uint8 = 1
+	modeLease   uint8 = 2
+	numModes          = 3
+)
+
+// syncFence is one flush fence of a PE: the interval inside which that PE's
+// write-combining buffer drained to the homes. resp is effResp — ∞ for a
+// fence whose flush may not have finished (failed barriers, flushes with
+// lost acks), which keeps every bound conservative: a write covered only by
+// such a fence is never provably applied, so it can't convict a reader.
+type syncFence struct {
+	inv, resp int64
+}
+
+// syncIndex holds each PE's flush fences in Inv order.
+type syncIndex map[int32][]syncFence
+
+// buildSyncIndex collects barrier, unlock, and standalone flush events —
+// every point a release-mode write-combining buffer drains. The history is
+// globally Inv-sorted, so each PE's list comes out sorted for free.
+func buildSyncIndex(h *History) syncIndex {
+	sx := make(syncIndex)
+	for i := range h.Events {
+		e := &h.Events[i]
+		switch e.Kind {
+		case KindBarrier, KindUnlock, KindFlush:
+			sx[e.PE] = append(sx[e.PE], syncFence{inv: int64(e.Inv), resp: effResp(e)})
+		}
+	}
+	return sx
+}
+
+// flushBound returns the fence that published w: the first fence of w's PE
+// starting at or after w's buffering completed. ok=false means w was never
+// flushed inside the history (its PE recorded no later fence).
+func (sx syncIndex) flushBound(w *Event) (syncFence, bool) {
+	fences := sx[w.PE]
+	wResp := effResp(w)
+	i := sort.Search(len(fences), func(i int) bool { return fences[i].inv >= wResp })
+	if i == len(fences) {
+		return syncFence{}, false
+	}
+	return fences[i], true
+}
+
+// publishWindow brackets when w's value can have reached the word's home: a
+// buffered release write publishes inside its flush fence; anything else (an
+// atomic, a strong write mixed onto the word, a failed op) publishes inside
+// its own effect window.
+func publishWindow(sx syncIndex, w *Event) (inv, resp int64, published bool) {
+	if w.Kind == KindWrite && w.Mode == modeRelease && !w.Failed {
+		f, ok := sx.flushBound(w)
+		if !ok {
+			return 0, 0, false
+		}
+		return f.inv, f.resp, true
+	}
+	return int64(w.Inv), effResp(w), true
+}
+
 // Check validates a merged history against the memory model and returns
 // everything it found (empty Violations = consistent). The history's
 // timestamps must come from one global clock.
@@ -80,8 +160,12 @@ func Check(h *History) *Report {
 	perWord := make(map[uint64][]int) // GM word -> event indices
 	locks := make(map[uint64][]int)   // lock id -> Lock/Unlock indices
 	barriers := make(map[uint64][]int)
+	tagged := false // any non-strong mode tag in the history?
 	for i := range h.Events {
 		e := &h.Events[i]
+		if e.Mode != 0 {
+			tagged = true
+		}
 		switch e.Kind {
 		case KindRead, KindWrite, KindFetchAdd, KindCAS:
 			perWord[e.Addr] = append(perWord[e.Addr], i)
@@ -91,9 +175,13 @@ func Check(h *History) *Report {
 			barriers[e.Addr] = append(barriers[e.Addr], i)
 		}
 	}
+	var sx syncIndex
+	if tagged {
+		sx = buildSyncIndex(h)
+	}
 	rep.Words = len(perWord)
 	for _, addr := range sortedKeys(perWord) {
-		checkWord(rep, h, addr, perWord[addr])
+		checkWord(rep, h, sx, addr, perWord[addr])
 		if len(rep.Violations) >= maxViolations {
 			return rep
 		}
@@ -168,8 +256,26 @@ func observedValue(e *Event) (int64, bool) {
 	return 0, false
 }
 
-// checkWord validates the per-word linearizability/coherence conditions.
-func checkWord(rep *Report, h *History, addr uint64, idxs []int) {
+// wordRules is one consistency tier's per-word observer discipline. The
+// fetch-add/CAS chain checks are mode-independent (atomics always execute
+// strongly at the home) and run before the dispatch; only the read rules
+// differ per tier.
+type wordRules struct {
+	name      string
+	observers func(rep *Report, h *History, sx syncIndex, addr uint64, idxs []int, writers map[int64]int, observers []int)
+}
+
+// modeRules dispatches a word to its tier's observer rules, selected by the
+// strongest (weakest-consistency) Mode tag among the word's events.
+// Allocations are mode-uniform, so in practice every event at a word agrees.
+var modeRules = [numModes]wordRules{
+	modeStrong:  {name: "strong", observers: checkObserversStrong},
+	modeRelease: {name: "release", observers: checkObserversRelease},
+	modeLease:   {name: "lease", observers: checkObserversLease},
+}
+
+// checkWord validates the per-word conditions of the word's consistency tier.
+func checkWord(rep *Report, h *History, sx syncIndex, addr uint64, idxs []int) {
 	// Partition into writers (by installed value) and observers.
 	writers := make(map[int64]int, len(idxs)) // value -> event index
 	var fetchAdds, casOps, observers []int
@@ -210,6 +316,19 @@ func checkWord(rep *Report, h *History, addr uint64, idxs []int) {
 		return
 	}
 
+	mode := modeStrong
+	for _, i := range idxs {
+		if m := h.Events[i].Mode; m > mode && m < numModes {
+			mode = m
+		}
+	}
+	modeRules[mode].observers(rep, h, sx, addr, idxs, writers, observers)
+}
+
+// checkObserversStrong is the original strong-coherence read discipline:
+// linearizable per-word reads bounded by completed writes, plus the
+// read-inversion (per-word total write order) condition.
+func checkObserversStrong(rep *Report, h *History, _ syncIndex, addr uint64, idxs []int, writers map[int64]int, observers []int) {
 	// Map every observed value to its writer and check the read conditions.
 	type obs struct {
 		idx  int // observer event index
@@ -311,6 +430,231 @@ func checkWord(rep *Report, h *History, addr uint64, idxs []int) {
 					Events: []Event{h.Events[mapped[b].wIdx], h.Events[mapped[a].wIdx], *ra, *rb},
 				})
 				return
+			}
+		}
+	}
+}
+
+// checkObserversRelease is the release-consistency read discipline: writes
+// are ordered only by flush fences. A read may observe any value whose
+// publish window is not provably ordered against a newer one — staleness is
+// judged fence-to-fence via publishWindow — but three things stay absolute:
+// a PE reads its own buffered writes until a fence flushes them, a
+// never-flushed write is invisible to every other PE, and values still come
+// only from real writers.
+func checkObserversRelease(rep *Report, h *History, sx syncIndex, addr uint64, idxs []int, writers map[int64]int, observers []int) {
+	initVal := h.Baseline[addr]
+	for _, i := range observers {
+		e := &h.Events[i]
+		v, _ := observedValue(e)
+
+		// The observer's latest own successful write before it, in program
+		// order: the value its write-combining overlay must serve while
+		// unflushed.
+		ownLatest := -1
+		for _, j := range idxs {
+			w := &h.Events[j]
+			if w.PE != e.PE || w.Seq >= e.Seq || w.Failed {
+				continue
+			}
+			if _, isW := writtenValue(w); !isW {
+				continue
+			}
+			if ownLatest < 0 || w.Seq > h.Events[ownLatest].Seq {
+				ownLatest = j
+			}
+		}
+
+		if v == initVal {
+			if ownLatest >= 0 {
+				rep.add(Violation{
+					Kind: "release-lost-write", Addr: addr,
+					Msg:    "read the initial value after writing the word itself",
+					Events: []Event{h.Events[ownLatest], *e},
+				})
+				continue
+			}
+			// The initial value is stale once any writer's flush completed
+			// before the read began.
+			for _, j := range idxs {
+				w := &h.Events[j]
+				if _, isW := writtenValue(w); !isW || w.Failed {
+					continue
+				}
+				if _, fresp, ok := publishWindow(sx, w); ok && fresp < int64(e.Inv) {
+					rep.add(Violation{
+						Kind: "release-stale-read", Addr: addr,
+						Msg:    "read the initial value after a flushed write had completed",
+						Events: []Event{h.Events[j], *e},
+					})
+					break
+				}
+			}
+			continue
+		}
+		j, ok := writers[v]
+		if !ok {
+			rep.add(Violation{
+				Kind: "thin-air-read", Addr: addr,
+				Msg:    fmt.Sprintf("observed value %d that no operation wrote", v),
+				Events: []Event{*e},
+			})
+			continue
+		}
+		w := &h.Events[j]
+		if int64(w.Inv) > int64(e.Resp) {
+			rep.add(Violation{
+				Kind: "future-read", Addr: addr,
+				Msg:    "read completed before its writer was invoked",
+				Events: []Event{*w, *e},
+			})
+			continue
+		}
+		if ownLatest >= 0 && j != ownLatest {
+			own := &h.Events[ownLatest]
+			if w.PE == e.PE {
+				// Observed an own older write: the buffer coalesces per word
+				// last-writer-wins, so a superseded own value can never
+				// resurface for its writer.
+				rep.add(Violation{
+					Kind: "release-lost-write", Addr: addr,
+					Msg:    fmt.Sprintf("read own superseded value %d instead of the latest own write", v),
+					Events: []Event{*w, *own, *e},
+				})
+				continue
+			}
+			finv, _, flushed := publishWindow(sx, own)
+			if !flushed || finv >= int64(e.Resp) {
+				// The own latest write was still buffered for the whole read
+				// (its flush, if any, began only after the read completed):
+				// the overlay must have served it, not another PE's value.
+				rep.add(Violation{
+					Kind: "release-lost-write", Addr: addr,
+					Msg:    fmt.Sprintf("read another PE's value %d while an own write was still buffered", v),
+					Events: []Event{*own, *e},
+				})
+				continue
+			}
+		}
+		if w.PE != e.PE {
+			if _, _, ok := publishWindow(sx, w); !ok {
+				rep.add(Violation{
+					Kind: "release-unflushed-read", Addr: addr,
+					Msg:    fmt.Sprintf("observed value %d from another PE's never-flushed buffered write", v),
+					Events: []Event{*w, *e},
+				})
+				continue
+			}
+		}
+		// Fence-to-fence staleness: w is provably overwritten before e began
+		// when some other write's publish completed before e, and w's own
+		// publish completed before that publish began.
+		_, wResp, wPub := publishWindow(sx, w)
+		if !wPub {
+			continue
+		}
+		for _, j2 := range idxs {
+			w2 := &h.Events[j2]
+			if j2 == j || w2.Failed {
+				continue
+			}
+			if _, isW := writtenValue(w2); !isW {
+				continue
+			}
+			w2inv, w2resp, ok := publishWindow(sx, w2)
+			if !ok {
+				continue
+			}
+			if wResp < w2inv && w2resp < int64(e.Inv) {
+				rep.add(Violation{
+					Kind: "release-stale-read", Addr: addr,
+					Msg:    fmt.Sprintf("read value %d after a later flushed write had completed", v),
+					Events: []Event{*w, *w2, *e},
+				})
+				break
+			}
+		}
+	}
+	// No read-inversion condition: release gives up the per-word total order
+	// between sync edges, so opposite-order observations inside one fence
+	// interval are legal.
+}
+
+// checkObserversLease is the lease read discipline. A lease-served read
+// (Cached, Mode=lease) carries its grant window in Arg1/Arg2: it must start
+// before the lease expires, and it may observe any value that was current at
+// the grant — the staleness bound moves from the read's start back to
+// Arg1. Home-served observations on lease words (misses recorded the same
+// way, plus atomics) keep the strong bound. No read-inversion condition:
+// two PEs' leases legitimately expose writes in opposite orders inside
+// their windows.
+func checkObserversLease(rep *Report, h *History, _ syncIndex, addr uint64, idxs []int, writers map[int64]int, observers []int) {
+	initVal := h.Baseline[addr]
+	for _, i := range observers {
+		e := &h.Events[i]
+		v, _ := observedValue(e)
+		leased := e.Kind == KindRead && e.Cached && e.Mode == modeLease
+		// bound: a write completing before this instant makes e's value stale.
+		bound := int64(e.Inv)
+		staleKind := "stale-read"
+		if leased {
+			bound = e.Arg1 // the lease's grant time
+			staleKind = "lease-stale-read"
+			if int64(e.Inv) > e.Arg2 {
+				rep.add(Violation{
+					Kind: "lease-overstay", Addr: addr,
+					Msg:    fmt.Sprintf("read served from a lease %d ticks after its expiry", int64(e.Inv)-e.Arg2),
+					Events: []Event{*e},
+				})
+			}
+		}
+		if v == initVal {
+			for _, j := range idxs {
+				w := &h.Events[j]
+				if _, isW := writtenValue(w); isW && !w.Failed && int64(w.Resp) < bound {
+					rep.add(Violation{
+						Kind: staleKind, Addr: addr,
+						Msg:    "read the initial value after a write had completed",
+						Events: []Event{h.Events[j], *e},
+					})
+					break
+				}
+			}
+			continue
+		}
+		j, ok := writers[v]
+		if !ok {
+			rep.add(Violation{
+				Kind: "thin-air-read", Addr: addr,
+				Msg:    fmt.Sprintf("observed value %d that no operation wrote", v),
+				Events: []Event{*e},
+			})
+			continue
+		}
+		w := &h.Events[j]
+		if int64(w.Inv) > int64(e.Resp) {
+			rep.add(Violation{
+				Kind: "future-read", Addr: addr,
+				Msg:    "read completed before its writer was invoked",
+				Events: []Event{*w, *e},
+			})
+			continue
+		}
+		for _, j2 := range idxs {
+			w2 := &h.Events[j2]
+			if j2 == j || w2.Failed {
+				continue
+			}
+			if _, isW := writtenValue(w2); !isW {
+				continue
+			}
+			if effResp(w) < int64(w2.Inv) && int64(w2.Resp) < bound {
+				rep.add(Violation{
+					Kind: staleKind, Addr: addr,
+					Msg:    fmt.Sprintf("read value %d after a later write had completed", v),
+					Events: []Event{*w, *w2, *e},
+				})
+				break
 			}
 		}
 	}

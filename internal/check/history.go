@@ -32,9 +32,20 @@ const (
 	KindLock                 // Addr = lock id; Inv..Resp spans acquire
 	KindUnlock               // Addr = lock id; Inv = release request time
 	KindBarrier              // Addr = barrier id; Inv = arrival, Resp = release
+	// KindFlush is a release-consistency write-combining-buffer flush: one is
+	// recorded at EVERY sync edge whose buffer was non-empty (barrier entry,
+	// lock release, semaphore post, membership fence), with Inv stamped to
+	// the enclosing sync operation's own invocation instant and a lower Seq,
+	// so the flush sorts ahead of that sync event at equal Inv. Inv..Resp
+	// brackets drain-to-ack — the window inside which every buffered write
+	// reached its home — and a flush that failed anywhere is left Failed
+	// (open-ended), shielding its writes from convicting readers. Arg1 =
+	// words flushed. Never recorded when the buffer was empty, which keeps
+	// strong-mode histories free of them.
+	KindFlush
 )
 
-var kindNames = [...]string{"read", "write", "fetch-add", "cas", "lock", "unlock", "barrier"}
+var kindNames = [...]string{"read", "write", "fetch-add", "cas", "lock", "unlock", "barrier", "flush"}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
@@ -58,8 +69,14 @@ type Event struct {
 	Ok     bool // CAS: swap happened
 	Failed bool // op errored; effect unknown
 	Cached bool // read served from the local block cache
-	Inv    sim.Time
-	Resp   sim.Time
+	// Mode tags the consistency tier of the operation's allocation
+	// (gmem.Mode values: 0 strong, 1 release, 2 lease). Release-mode writes
+	// record their buffering interval, not a home round trip; lease-mode
+	// reads are Cached with Arg1 = the lease's grant time and Arg2 = its
+	// expiry, the window that bounds their permitted staleness.
+	Mode uint8
+	Inv  sim.Time
+	Resp sim.Time
 }
 
 func (e Event) String() string {
@@ -204,6 +221,13 @@ func (h *History) Len() int { return len(h.Events) }
 // when their digests match — the replayability check.
 func (h *History) Digest() string {
 	hash := sha256.New()
+	tagged := false
+	for i := range h.Events {
+		if h.Events[i].Mode != 0 {
+			tagged = true
+			break
+		}
+	}
 	var b [66]byte
 	for i := range h.Events {
 		e := &h.Events[i]
@@ -229,6 +253,13 @@ func (h *History) Digest() string {
 		binary.LittleEndian.PutUint64(b[50:], uint64(e.Resp))
 		binary.LittleEndian.PutUint64(b[58:], uint64(len(h.Events)))
 		hash.Write(b[:])
+		if tagged {
+			// One trailing mode byte per event, folded in only when some
+			// event carries a non-strong mode: all-strong histories keep
+			// their pre-existing digests (same conditional scheme as the
+			// baseline below).
+			hash.Write([]byte{e.Mode})
+		}
 	}
 	if len(h.Baseline) > 0 {
 		// Fold the restore baseline in deterministically; histories without

@@ -1,0 +1,72 @@
+package stress_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/check/stress"
+	"repro/internal/gmem"
+	"repro/internal/sim"
+)
+
+// The golden digests below were captured from the checker as it stood before
+// the consistency-tier rules landed. Strong-mode histories must keep
+// producing bit-identical reports through any checker refactor: the history
+// digest pins the recorded events (no new event kinds or mode tags may leak
+// into strong runs) and the report digest pins the checker's verdict,
+// violation kinds, messages, and evidence ordering.
+func reportDigest(rep *check.Report) string {
+	sum := sha256.Sum256([]byte(rep.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestCheckerStrongGoldenClean(t *testing.T) {
+	res, err := stress.Run(stress.Options{
+		Seed: 42, NumPE: 4, OpsPerPE: 150,
+		Caching: true, Loss: 0.1, Jitter: 300 * sim.Microsecond,
+	})
+	if err != nil {
+		t.Fatalf("stress run: %v", err)
+	}
+	if got, want := res.History.Digest(), "d53a7adb6f5b3f8fe1f4f9a10ffa584d80ddfd33d5dd0937b14408469c2a3673"; got != want {
+		t.Errorf("history digest drifted from seed recorder:\n got %s\nwant %s", got, want)
+	}
+	if !res.Report.OK() {
+		t.Fatalf("expected consistent history, got:\n%s", res.Report)
+	}
+	if got, want := reportDigest(res.Report), "6c2503a31b786adaaa6fdcdd08fd4ac064aef7a6254fff38d36f33222f8eae58"; got != want {
+		t.Errorf("report digest drifted from seed checker:\n got %s\nwant %s\nreport:\n%s", got, want, res.Report)
+	}
+}
+
+func TestCheckerStrongGoldenViolations(t *testing.T) {
+	res, err := stress.Run(stress.Options{
+		Seed: 3, NumPE: 4, OpsPerPE: 300,
+		Caching: true, FaultDropInvalidations: true,
+	})
+	if err != nil {
+		t.Fatalf("stress run: %v", err)
+	}
+	if got, want := res.History.Digest(), "ab1270739a92b5bc24afb0c7f053555888fb08937c5460d479d1224523cc01f3"; got != want {
+		t.Errorf("history digest drifted from seed recorder:\n got %s\nwant %s", got, want)
+	}
+	if res.Report.OK() {
+		t.Fatal("expected violations from dropped invalidations")
+	}
+	if got, want := len(res.Report.Violations), 5; got != want {
+		t.Errorf("violation count drifted: got %d want %d", got, want)
+	}
+	if got, want := reportDigest(res.Report), "104c9f111291969d10d6d9819d3b519d54dade3440e580a95ad2eff80082e254"; got != want {
+		t.Errorf("report digest drifted from seed checker:\n got %s\nwant %s\nreport:\n%s", got, want, res.Report)
+	}
+}
+
+// The checker mirrors gmem.Mode as untyped byte tags to stay free of runtime
+// imports; this pins the two enumerations together.
+func TestModeTagsMirrorGmem(t *testing.T) {
+	if gmem.ModeStrong != 0 || gmem.ModeRelease != 1 || gmem.ModeLease != 2 || gmem.NumModes != 3 {
+		t.Fatalf("gmem.Mode values moved; update the check package's mode tags to match")
+	}
+}

@@ -34,6 +34,12 @@ const (
 	ctrWords  = 16  // FetchAdd counters, uniform +1 deltas
 	casWords  = 16  // CAS chains, unique non-zero values
 	lockWords = 4   // one word per lock id, mutated only under its lock
+
+	// Modes runs add two more data regions under the weaker consistency
+	// tiers (DESIGN.md §14); scalar and block traffic mixes across all three
+	// tiers while atomics stay on the strong regions.
+	relWords   = 128 // ModeRelease: writes buffered, flushed at sync edges
+	leaseWords = 128 // ModeLease: reads served from time-bounded block leases
 )
 
 // Options selects one stress configuration. Every field participates in
@@ -104,8 +110,27 @@ type Options struct {
 	// MigrateEvery > 0 makes PE 1 re-home a random 1-2 block range of the
 	// data region to a random active peer every MigrateEvery ops, so
 	// migrations overlap the join/leave transitions and — in kill
-	// schedules — the station death.
+	// schedules — the station death. Modes runs re-home the release region
+	// half the time instead, so handoffs overlap unflushed WC buffers.
 	MigrateEvery int
+
+	// Modes mixes the three consistency tiers in one run: two extra data
+	// regions are allocated under ModeRelease and ModeLease and a third of
+	// the scalar/block/gather/scatter traffic lands on each tier. Atomics
+	// stay on the strong regions (they always run the strong protocol, and
+	// the release rules forbid atomics sharing words with buffered writes).
+	Modes bool
+	// LeaseDuration passes through core.Config.LeaseDuration. 0 in a Modes
+	// run picks a short 300µs lease so expiries actually occur mid-run.
+	LeaseDuration sim.Duration
+	// FaultSkipReleaseFlush passes through the kernel's TEST-ONLY release
+	// fault (sync edges discard the WC buffer instead of publishing it). A
+	// Modes run with this set must produce checker violations.
+	FaultSkipReleaseFlush bool
+	// FaultIgnoreLeaseExpiry passes through the kernel's TEST-ONLY lease
+	// fault (expired leases keep serving reads). A Modes run with this set
+	// must produce checker violations.
+	FaultIgnoreLeaseExpiry bool
 }
 
 // migratorPE issues the scheduled MigrateRange calls. Never 0 (kernel 0
@@ -137,6 +162,18 @@ func (o Options) String() string {
 	if o.MigrateEvery > 0 {
 		s += fmt.Sprintf(" migrate/%d", o.MigrateEvery)
 	}
+	if o.Modes {
+		s += " modes"
+		if o.LeaseDuration > 0 {
+			s += fmt.Sprintf("(lease=%v)", o.LeaseDuration)
+		}
+	}
+	if o.FaultSkipReleaseFlush {
+		s += " fault=skip-release-flush"
+	}
+	if o.FaultIgnoreLeaseExpiry {
+		s += " fault=ignore-lease-expiry"
+	}
 	return s
 }
 
@@ -166,6 +203,9 @@ type Result struct {
 	// schedule was set): joins and leaves completed, migrations initiated
 	// and blocks handed to a new home.
 	Joins, Leaves, Migrations, MigratedBlocks uint64
+	// Consistency-tier totals (0 unless Options.Modes): WC buffer drains at
+	// sync edges, leases fetched, leases dropped by expiry.
+	WCFlushes, LeaseGrants, LeaseExpiries uint64
 }
 
 // Run executes one seeded stress run and checks its history.
@@ -201,6 +241,12 @@ func Run(o Options) (*Result, error) {
 			}
 		}
 	}
+	if o.Modes && o.Recover {
+		return nil, fmt.Errorf("stress: Modes cannot combine with Recover (the recovery workload is scalar-strong)")
+	}
+	if o.Modes && o.LeaseDuration == 0 {
+		o.LeaseDuration = 300 * sim.Microsecond
+	}
 	cfg := core.Config{
 		NumPE:                  o.NumPE,
 		Platform:               platform.SparcSunOS,
@@ -214,6 +260,9 @@ func Run(o Options) (*Result, error) {
 		DirectReads:            o.DirectReads,
 		WriteRings:             o.Rings,
 		LatentPEs:              o.Latent,
+		LeaseDuration:          o.LeaseDuration,
+		FaultSkipReleaseFlush:  o.FaultSkipReleaseFlush,
+		FaultIgnoreLeaseExpiry: o.FaultIgnoreLeaseExpiry,
 	}
 	if o.faulty() {
 		cfg.RequestTimeout = 50 * sim.Millisecond
@@ -239,6 +288,9 @@ func Run(o Options) (*Result, error) {
 		Leaves:         res.Total.Leaves,
 		Migrations:     res.Total.Migrations,
 		MigratedBlocks: res.Total.MigratedBlocks,
+		WCFlushes:      res.Total.WCFlushes,
+		LeaseGrants:    res.Total.LeaseGrants,
+		LeaseExpiries:  res.Total.LeaseExpiries,
 	}, nil
 }
 
@@ -323,6 +375,11 @@ func program(o Options) core.Program {
 
 		rng := sim.NewRand(o.Seed ^ (uint64(pe.ID()+1) * 0x9e3779b97f4a7c15))
 		w := &worker{pe: pe, o: o, rng: rng, data: data, ctrs: ctrs, casb: casb, lckw: lckw}
+		if o.Modes {
+			// Same SPMD discipline: the mode tables agree cluster-wide.
+			w.rel = pe.AllocMode(relWords, gmem.ModeRelease)
+			w.lea = pe.AllocMode(leaseWords, gmem.ModeLease)
+		}
 		w.casGuess = make([]int64, casWords)
 		w.joinAt, w.leaveAt = -1, -1
 		if base := o.NumPE - o.Latent; o.Latent > 0 && pe.ID() >= base {
@@ -402,6 +459,8 @@ type worker struct {
 	ctrs     uint64
 	casb     uint64
 	lckw     uint64
+	rel      uint64 // Modes: ModeRelease region base
+	lea      uint64 // Modes: ModeLease region base
 	casGuess []int64
 	uniq     int64
 	dead     map[int]bool // homes declared down; their addresses are skipped
@@ -439,13 +498,19 @@ func (w *worker) membershipStep(i int) error {
 	return nil
 }
 
-// migrateOnce re-homes a random 1-2 block range of the data region to a
-// random active member. A destination that concurrently left the membership
-// between the snapshot and the call is a benign race, not a failure.
+// migrateOnce re-homes a random 1-2 block range of the data region — or, in
+// Modes runs, of the release region half the time, so handoffs overlap other
+// PEs' unflushed WC buffers — to a random active member. A destination that
+// concurrently left the membership between the snapshot and the call is a
+// benign race, not a failure.
 func (w *worker) migrateOnce(i int) error {
 	pe := w.pe
 	bw := pe.Space().BlockWords
-	blocks := dataWords / bw
+	base, words := w.data, dataWords
+	if w.o.Modes && w.rng.Intn(2) == 0 {
+		base, words = w.rel, relWords
+	}
+	blocks := words / bw
 	if blocks < 1 {
 		return nil
 	}
@@ -454,7 +519,7 @@ func (w *worker) migrateOnce(i int) error {
 		nblocks = 2
 	}
 	off := w.rng.Intn(blocks - nblocks + 1)
-	addr := w.data + uint64(off*bw)
+	addr := base + uint64(off*bw)
 	var cands []int
 	for id, m := range pe.Members() {
 		if m.State == gmem.MemberActive && (w.dead == nil || !w.dead[id]) {
@@ -497,6 +562,23 @@ func (w *worker) restoreBlob(b []byte) {
 	}
 }
 
+// region picks the data region of a non-atomic access: always the strong
+// region outside Modes runs (no extra rng draws, so pinned non-Modes
+// histories replay unchanged), a third per tier inside them.
+func (w *worker) region() (uint64, int) {
+	if !w.o.Modes {
+		return w.data, dataWords
+	}
+	switch w.rng.Intn(3) {
+	case 0:
+		return w.data, dataWords
+	case 1:
+		return w.rel, relWords
+	default:
+		return w.lea, leaseWords
+	}
+}
+
 // next returns a cluster-unique non-zero value: the checker's value
 // discipline maps every read back to the one write that produced it.
 func (w *worker) next() int64 {
@@ -527,7 +609,8 @@ func (w *worker) step(i int) {
 	pe, rng := w.pe, w.rng
 	switch p := rng.Intn(100); {
 	case p < 25: // scalar read
-		a := w.data + uint64(rng.Intn(dataWords))
+		base, nw := w.region()
+		a := base + uint64(rng.Intn(nw))
 		if w.skip(a) {
 			return
 		}
@@ -535,7 +618,8 @@ func (w *worker) step(i int) {
 			w.note(err)
 		}
 	case p < 50: // scalar write
-		a := w.data + uint64(rng.Intn(dataWords))
+		base, nw := w.region()
+		a := base + uint64(rng.Intn(nw))
 		if w.skip(a) {
 			return
 		}
@@ -569,7 +653,8 @@ func (w *worker) step(i int) {
 		}
 	case p < 85: // block/gather read (no-retry transfers: fault-free only)
 		if w.o.faulty() {
-			a := w.data + uint64(rng.Intn(dataWords))
+			base, nw := w.region()
+			a := base + uint64(rng.Intn(nw))
 			if w.skip(a) {
 				return
 			}
@@ -579,19 +664,24 @@ func (w *worker) step(i int) {
 			return
 		}
 		if rng.Intn(2) == 0 {
+			base, nw := w.region()
 			n := 2 + rng.Intn(15)
-			off := rng.Intn(dataWords - n)
-			pe.GMReadBlock(w.data+uint64(off), n)
+			off := rng.Intn(nw - n)
+			pe.GMReadBlock(base+uint64(off), n)
 		} else {
+			// Modes runs mix tiers per element, exercising the vectored
+			// paths' mixed-mode scalar fallback.
 			addrs := make([]uint64, 2+rng.Intn(7))
 			for j := range addrs {
-				addrs[j] = w.data + uint64(rng.Intn(dataWords))
+				base, nw := w.region()
+				addrs[j] = base + uint64(rng.Intn(nw))
 			}
 			pe.GMGather(addrs)
 		}
 	case p < 95: // block/scatter write (fault-free only)
 		if w.o.faulty() {
-			a := w.data + uint64(rng.Intn(dataWords))
+			base, nw := w.region()
+			a := base + uint64(rng.Intn(nw))
 			if w.skip(a) {
 				return
 			}
@@ -601,19 +691,21 @@ func (w *worker) step(i int) {
 			return
 		}
 		if rng.Intn(2) == 0 {
+			base, nw := w.region()
 			n := 2 + rng.Intn(15)
-			off := rng.Intn(dataWords - n)
+			off := rng.Intn(nw - n)
 			words := make([]int64, n)
 			for j := range words {
 				words[j] = w.next()
 			}
-			pe.GMWriteBlock(w.data+uint64(off), words)
+			pe.GMWriteBlock(base+uint64(off), words)
 		} else {
 			n := 2 + rng.Intn(7)
 			addrs := make([]uint64, n)
 			vals := make([]int64, n)
 			for j := range addrs {
-				addrs[j] = w.data + uint64(rng.Intn(dataWords))
+				base, nw := w.region()
+				addrs[j] = base + uint64(rng.Intn(nw))
 				vals[j] = w.next()
 			}
 			pe.GMScatter(addrs, vals)

@@ -179,6 +179,29 @@ type Config struct {
 	// in barriers. Must leave at least one active rank and is incompatible
 	// with Caching (the coherence directory assumes the static layout).
 	LatentPEs int
+	// GMDefaultMode is the consistency tier of allocations that do not pick
+	// one explicitly (pe.Alloc/AllocBlocks); pe.AllocMode selects a tier per
+	// allocation. The zero value is gmem.ModeStrong — the paper's home-based
+	// strong coherence — so existing programs are unaffected. See DESIGN.md
+	// §14 for the mode lattice.
+	GMDefaultMode gmem.Mode
+	// LeaseDuration is the validity window granted with every lease-mode
+	// block fetch (0 = 1ms). Longer leases skip more invalidation rounds and
+	// admit proportionally more staleness; the checker bounds each read by
+	// its lease's grant-to-expiry window.
+	LeaseDuration sim.Duration
+	// FaultSkipReleaseFlush is a TEST-ONLY fault: synchronisation edges
+	// discard the write-combining buffer instead of flushing it, so
+	// release-mode writes never reach their homes. A run with release-mode
+	// traffic and this set must produce release violations; the harness
+	// tests use it to prove the checker's release rules catch a broken
+	// flush. Must never be set outside tests.
+	FaultSkipReleaseFlush bool
+	// FaultIgnoreLeaseExpiry is a TEST-ONLY fault: PEs keep serving reads
+	// from leases past their expiry. A run with lease-mode traffic and this
+	// set must produce lease-overstay violations. Must never be set outside
+	// tests.
+	FaultIgnoreLeaseExpiry bool
 
 	// testInspect, when non-nil, is called with the cluster's kernels and
 	// PEs after shutdown but before Run returns — a white-box hook for
@@ -239,6 +262,9 @@ func (cfg *Config) withDefaults() (Config, error) {
 	}
 	if c.LatentPEs > 0 && c.Caching {
 		return c, errors.New("core: LatentPEs is incompatible with Caching (the coherence directory assumes the static home layout)")
+	}
+	if c.LeaseDuration == 0 {
+		c.LeaseDuration = sim.Millisecond
 	}
 	if c.RetryBackoff == 0 && c.RequestTimeout > 0 {
 		c.RetryBackoff = c.RequestTimeout / 4

@@ -489,7 +489,7 @@ type pendingVictim struct {
 // ops the dedup windows track.
 func isMutating(op wire.Op) bool {
 	switch op {
-	case wire.OpWrite, wire.OpWriteV, wire.OpFetchAdd, wire.OpCAS,
+	case wire.OpWrite, wire.OpWriteV, wire.OpFlushV, wire.OpFetchAdd, wire.OpCAS,
 		wire.OpProcRegister, wire.OpProcExit,
 		wire.OpMigrateStart, wire.OpMigrateInstall, wire.OpJoin, wire.OpLeave:
 		// Migrate-start extracts blocks (a retry must resend the cached
@@ -617,7 +617,8 @@ func (k *Kernel) handle(m *wire.Message) bool {
 		wire.OpProcRegResp, wire.OpProcExitAck, wire.OpProcListResp,
 		wire.OpPong, wire.OpWelcome,
 		wire.OpMigrateStartResp, wire.OpMigrateInstallResp, wire.OpMigrateCommitResp,
-		wire.OpMigrateNack, wire.OpJoinResp, wire.OpLeaveResp, wire.OpEpochUpdateResp:
+		wire.OpMigrateNack, wire.OpJoinResp, wire.OpLeaveResp, wire.OpEpochUpdateResp,
+		wire.OpReadLeaseResp:
 		if mb, ok := k.takePending(m.Seq); ok {
 			mb.Put(m)
 			return false
@@ -637,7 +638,8 @@ func (k *Kernel) handle(m *wire.Message) bool {
 	// Global memory service (this kernel is the home): route to the shard
 	// owning the address range. GM mutations dedup inside the shard.
 	case wire.OpRead, wire.OpReadV, wire.OpWrite, wire.OpWriteV,
-		wire.OpFetchAdd, wire.OpCAS, wire.OpInvalidate, wire.OpInvAck:
+		wire.OpFetchAdd, wire.OpCAS, wire.OpInvalidate, wire.OpInvAck,
+		wire.OpFlushV, wire.OpReadLease:
 		return k.dispatchGM(m)
 
 	// Synchronisation service.

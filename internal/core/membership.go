@@ -520,6 +520,9 @@ func (pe *PE) Join() error {
 	if k.dir.Member(k.id).State == gmem.MemberActive {
 		return nil
 	}
+	// Membership fence: nothing this PE buffered or leased may straddle a
+	// re-homing (the flushed homes are about to change).
+	pe.syncFence()
 	gen, err := pe.grant(wire.OpJoin)
 	if err != nil {
 		return err
@@ -571,6 +574,9 @@ func (pe *PE) Leave() error {
 	if k.dir.Member(k.id).State != gmem.MemberActive {
 		return nil
 	}
+	// Membership fence, as in Join: escrowed blocks must not carry unflushed
+	// release-mode writes or stale lease snapshots across the handoff.
+	pe.syncFence()
 	gen, err := pe.grant(wire.OpLeave)
 	if err != nil {
 		return err
@@ -624,6 +630,8 @@ func (pe *PE) MigrateRange(addr uint64, nblocks, dst int) error {
 	if k.dir.Member(dst).State != gmem.MemberActive {
 		return fmt.Errorf("core: PE %d: migrate to non-active kernel %d", k.id, dst)
 	}
+	// Membership fence, as in Join/Leave.
+	pe.syncFence()
 	bw := uint64(k.space.BlockWords)
 	b0 := k.space.BlockOf(addr)
 	for i := 0; i < nblocks; i++ {

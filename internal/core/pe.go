@@ -41,11 +41,30 @@ type PE struct {
 	// never overlap; pipelined block transfers match replies by Seq).
 	replyMb transport.Mailbox
 
+	// Consistency-tier state (DESIGN.md §14). modes maps allocations to
+	// their tier; wc buffers release-mode writes between sync edges; leases
+	// caches lease-mode blocks until their grants expire.
+	modes  *gmem.ModeTable
+	wc     *gmem.WCBuf
+	leases map[uint64]*leaseEntry // keyed by block base address
+
 	// Scratch reused across calls by the hot-path operations.
 	words []int64   // decoded response payloads
 	vruns []vrun    // home-runs of the block/gather being assembled
 	hruns []vrun    // the same runs, grouped by home
 	reqs  []homeReq // one in-flight request per remote home
+	fl    []uint64  // drained WC addresses (ascending) of the current flush
+	flv   []int64   // drained WC values, parallel to fl
+}
+
+// leaseEntry is one cached block under a read lease: words is the block
+// snapshot fetched from the home, grant the fetch request's start instant
+// (the staleness bound the checker holds lease-served reads to) and until
+// the expiry instant after which the snapshot must not be served.
+type leaseEntry struct {
+	words []int64
+	grant sim.Time
+	until sim.Time
 }
 
 // vrun is one single-home run of a block or gather operation. A run never
@@ -80,6 +99,9 @@ func newPE(k *Kernel) *PE {
 		spans:   k.cfg.Tracing.NewRing(),
 		live:    k.cfg.LiveRTT,
 		hist:    k.cfg.recorder.PE(k.id),
+		modes:   gmem.NewModeTable(k.cfg.GMDefaultMode),
+		wc:      gmem.NewWCBuf(),
+		leases:  make(map[uint64]*leaseEntry),
 	}
 	if rs := k.cfg.restore; rs != nil {
 		pe.ckptEpoch = rs.epoch
@@ -119,6 +141,22 @@ func (pe *PE) Alloc(n int) uint64 { return pe.alloc.Alloc(n) }
 
 // AllocBlocks reserves n words starting on a block boundary.
 func (pe *PE) AllocBlocks(n int) uint64 { return pe.alloc.AllocBlocks(n) }
+
+// AllocMode reserves n words under the given consistency mode (DESIGN.md
+// §14). Deterministic like Alloc: every PE performs the same AllocMode
+// sequence, so the per-PE mode tables agree without communicating.
+func (pe *PE) AllocMode(n int, m gmem.Mode) uint64 {
+	addr := pe.alloc.Alloc(n)
+	pe.modes.Set(addr, n, m)
+	return addr
+}
+
+// AllocBlocksMode is AllocBlocks under the given consistency mode.
+func (pe *PE) AllocBlocksMode(n int, m gmem.Mode) uint64 {
+	addr := pe.alloc.AllocBlocks(n)
+	pe.modes.Set(addr, n, m)
+	return addr
+}
 
 // Space exposes the global address-space geometry.
 func (pe *PE) Space() gmem.Space { return pe.k.space }
@@ -212,9 +250,9 @@ func (pe *PE) requestSeqErr(dst int, m *wire.Message, seq uint64) (*wire.Message
 				pe.app.Sleep(boff)
 			}
 			switch m.Op {
-			case wire.OpRead, wire.OpWrite, wire.OpFetchAdd, wire.OpCAS:
+			case wire.OpRead, wire.OpWrite, wire.OpFetchAdd, wire.OpCAS, wire.OpReadLease:
 				// Cache the new home so later requests skip the bounce. Gated
-				// to the scalar GM ops: only there is Addr a data address.
+				// to the ops whose Addr is a data address.
 				// Never cache a hint naming our OWN kernel: the requester's
 				// hint cache is the kernel's shared directory, which is
 				// authoritative about what this kernel homes. A stale peer's
@@ -329,8 +367,34 @@ func (pe *PE) GMRead(addr uint64) int64 {
 
 // GMReadErr reads the global-memory word at addr, surfacing request
 // failures (timeout, peer down, shutdown) as errors instead of panicking.
+// The word's consistency mode picks the protocol: strong words take the
+// home-served path, release words consult the PE's own write-combining
+// buffer first (read-your-writes between sync edges), lease words are
+// served from time-bounded block leases.
 func (pe *PE) GMReadErr(addr uint64) (int64, error) {
 	pe.legacyCrossing()
+	switch pe.modes.Lookup(addr) {
+	case gmem.ModeRelease:
+		if v, ok := pe.wc.Lookup(addr); ok {
+			var t0 sim.Time
+			if pe.hist != nil {
+				t0 = pe.app.Now()
+			}
+			pe.app.LocalAccess()
+			pe.extra.LocalGM++
+			pe.recordRead(addr, v, false, t0, uint8(gmem.ModeRelease))
+			return v, nil
+		}
+		return pe.readWord(addr, uint8(gmem.ModeRelease))
+	case gmem.ModeLease:
+		return pe.readLease(addr)
+	}
+	return pe.readWord(addr, 0)
+}
+
+// readWord is the home-served scalar read shared by the strong and release
+// tiers (mode only tags the recorded events; the protocol is identical).
+func (pe *PE) readWord(addr uint64, mode uint8) (int64, error) {
 	k := pe.k
 	var t0 sim.Time
 	if pe.hist != nil {
@@ -340,14 +404,14 @@ func (pe *PE) GMReadErr(addr uint64) (int64, error) {
 		if v, ok := k.cache.Lookup(addr); ok {
 			pe.app.LocalAccess()
 			pe.extra.LocalGM++
-			pe.recordRead(addr, v, true, t0)
+			pe.recordRead(addr, v, true, t0, mode)
 			return v, nil
 		}
 		if k.homeOf(addr) == k.id {
 			pe.app.LocalAccess()
 			pe.extra.LocalGM++
 			v := k.seg.ReadWord(addr)
-			pe.recordRead(addr, v, false, t0)
+			pe.recordRead(addr, v, false, t0, mode)
 			return v, nil
 		}
 		pe.extra.RemoteGM++
@@ -356,14 +420,14 @@ func (pe *PE) GMReadErr(addr uint64) (int64, error) {
 		resp, err := pe.requestErr(k.homeOf(addr), req)
 		wire.PutMessage(req)
 		if err != nil {
-			pe.recordReadFailed(addr, t0)
+			pe.recordReadFailed(addr, t0, mode)
 			return 0, err
 		}
 		pe.words = resp.WordsInto(pe.words)
 		wire.PutMessage(resp)
 		k.cache.Insert(addr, pe.words)
 		v := pe.words[addr%uint64(k.space.BlockWords)]
-		pe.recordRead(addr, v, false, t0)
+		pe.recordRead(addr, v, false, t0, mode)
 		return v, nil
 	}
 	home := k.homeOf(addr)
@@ -371,7 +435,7 @@ func (pe *PE) GMReadErr(addr uint64) (int64, error) {
 		pe.app.LocalAccess()
 		pe.extra.LocalGM++
 		v := k.seg.ReadWord(addr)
-		pe.recordRead(addr, v, false, t0)
+		pe.recordRead(addr, v, false, t0, mode)
 		return v, nil
 	}
 	pe.extra.RemoteGM++
@@ -388,7 +452,7 @@ func (pe *PE) GMReadErr(addr uint64) (int64, error) {
 		pe.app.LocalAccess()
 		if v, ok := wins[home].DirectReadOwned(addr); ok {
 			pe.extra.DirectGM++
-			pe.recordRead(addr, v, false, t0)
+			pe.recordRead(addr, v, false, t0, mode)
 			return v, nil
 		}
 	}
@@ -397,37 +461,148 @@ func (pe *PE) GMReadErr(addr uint64) (int64, error) {
 	resp, err := pe.requestErr(home, req)
 	wire.PutMessage(req)
 	if err != nil {
-		pe.recordReadFailed(addr, t0)
+		pe.recordReadFailed(addr, t0, mode)
 		return 0, err
 	}
 	v := resp.Word(0)
 	wire.PutMessage(resp)
-	pe.recordRead(addr, v, false, t0)
+	pe.recordRead(addr, v, false, t0, mode)
 	return v, nil
 }
 
 // recordRead logs one successful word read into the operation history
 // (no-op unless Config.RecordHistory).
-func (pe *PE) recordRead(addr uint64, v int64, cached bool, t0 sim.Time) {
+func (pe *PE) recordRead(addr uint64, v int64, cached bool, t0 sim.Time, mode uint8) {
 	if pe.hist == nil {
 		return
 	}
 	pe.hist.Add(check.Event{
-		Kind: check.KindRead, Addr: addr, Out: v, Cached: cached,
+		Kind: check.KindRead, Addr: addr, Out: v, Cached: cached, Mode: mode,
 		Inv: t0, Resp: pe.app.Now(),
 	})
 }
 
 // recordReadFailed logs a read that errored (no effect on memory; the
 // checker ignores it beyond counting).
-func (pe *PE) recordReadFailed(addr uint64, t0 sim.Time) {
+func (pe *PE) recordReadFailed(addr uint64, t0 sim.Time, mode uint8) {
 	if pe.hist == nil {
 		return
 	}
 	pe.hist.Add(check.Event{
-		Kind: check.KindRead, Addr: addr, Failed: true,
+		Kind: check.KindRead, Addr: addr, Failed: true, Mode: mode,
 		Inv: t0, Resp: pe.app.Now(),
 	})
+}
+
+// --- Lease-mode reads (ModeLease, DESIGN.md §14) ---
+
+// readLease serves a lease-mode scalar read: a live lease covering the
+// word's block answers locally with no messages, a miss fetches the block
+// under a fresh time-bounded lease. Own-home words read the segment
+// directly — always fresh, so they carry a strong staleness bound.
+func (pe *PE) readLease(addr uint64) (int64, error) {
+	k := pe.k
+	var t0 sim.Time
+	if pe.hist != nil {
+		t0 = pe.app.Now()
+	}
+	bw := uint64(k.space.BlockWords)
+	base := addr - addr%bw
+	if le := pe.leaseHit(base); le != nil {
+		pe.app.LocalAccess()
+		pe.extra.LocalGM++
+		v := le.words[addr-base]
+		pe.recordLeaseRead(addr, v, t0, le)
+		return v, nil
+	}
+	if k.homeOf(addr) == k.id {
+		pe.app.LocalAccess()
+		pe.extra.LocalGM++
+		v := k.seg.ReadWord(addr)
+		pe.recordRead(addr, v, false, t0, uint8(gmem.ModeLease))
+		return v, nil
+	}
+	le, err := pe.fetchLease(base)
+	if err != nil {
+		pe.recordReadFailed(addr, t0, uint8(gmem.ModeLease))
+		return 0, err
+	}
+	v := le.words[addr-base]
+	pe.recordLeaseRead(addr, v, t0, le)
+	return v, nil
+}
+
+// leaseHit returns the live lease covering the block at base, dropping an
+// expired one. The TEST-ONLY FaultIgnoreLeaseExpiry keeps serving expired
+// leases — the checker's lease-overstay rule must flag those reads.
+func (pe *PE) leaseHit(base uint64) *leaseEntry {
+	le, ok := pe.leases[base]
+	if !ok {
+		return nil
+	}
+	if pe.app.Now() > le.until && !pe.k.cfg.FaultIgnoreLeaseExpiry {
+		delete(pe.leases, base)
+		pe.extra.LeaseExpiries++
+		return nil
+	}
+	return le
+}
+
+// fetchLease fetches the block at base from its home under a read lease and
+// caches it until the home-granted duration elapses (measured from receipt).
+// The recorded staleness bound is the REQUEST start: the home serves the
+// block no earlier than that, so every write completed before the grant
+// instant is already reflected in the snapshot.
+func (pe *PE) fetchLease(base uint64) (*leaseEntry, error) {
+	k := pe.k
+	grant := pe.app.Now()
+	pe.extra.RemoteGM++
+	req := wire.GetMessage()
+	req.Op, req.Addr = wire.OpReadLease, base
+	resp, err := pe.requestErr(k.homeOf(base), req)
+	wire.PutMessage(req)
+	if err != nil {
+		return nil, err
+	}
+	le := &leaseEntry{grant: grant, until: pe.app.Now() + sim.Duration(resp.Arg2)}
+	le.words = resp.WordsInto(le.words)
+	wire.PutMessage(resp)
+	pe.leases[base] = le
+	pe.extra.LeaseGrants++
+	return le, nil
+}
+
+// recordLeaseRead logs a read served under a lease: Cached marks it
+// lease-served, Arg1/Arg2 carry the grant and expiry instants the checker's
+// lease rules bound staleness with.
+func (pe *PE) recordLeaseRead(addr uint64, v int64, t0 sim.Time, le *leaseEntry) {
+	if pe.hist == nil {
+		return
+	}
+	pe.hist.Add(check.Event{
+		Kind: check.KindRead, Addr: addr, Out: v, Cached: true,
+		Mode: uint8(gmem.ModeLease), Arg1: int64(le.grant), Arg2: int64(le.until),
+		Inv: t0, Resp: pe.app.Now(),
+	})
+}
+
+// dropLeases discards this PE's leases covering [addr, addr+n): its own
+// writes must not keep being answered from a snapshot that predates them.
+func (pe *PE) dropLeases(addr uint64, n int) {
+	if len(pe.leases) == 0 {
+		return
+	}
+	bw := uint64(pe.k.space.BlockWords)
+	for base := addr - addr%bw; base < addr+uint64(n); base += bw {
+		delete(pe.leases, base)
+	}
+}
+
+// clearLeases drops every cached lease: crossing an acquire edge (barrier,
+// lock or semaphore grant, membership transition) must re-observe the
+// cluster instead of extending pre-edge snapshots past it.
+func (pe *PE) clearLeases() {
+	clear(pe.leases)
 }
 
 // GMWrite stores v at addr, panicking on failure.
@@ -508,14 +683,50 @@ func (pe *PE) ringWrite(home int, addr uint64, v int64) (ringStatus, uint64) {
 	return ringApplied, w.Seq
 }
 
-// GMWriteErr stores v at addr, surfacing request failures as errors.
+// GMWriteErr stores v at addr, surfacing request failures as errors. The
+// word's consistency mode picks the protocol: release-mode stores land in
+// the PE's write-combining buffer (published at the next sync edge), every
+// other mode runs the home-served strong protocol.
 func (pe *PE) GMWriteErr(addr uint64, v int64) error {
 	pe.legacyCrossing()
+	switch pe.modes.Lookup(addr) {
+	case gmem.ModeRelease:
+		pe.bufferWrite(addr, v)
+		return nil
+	case gmem.ModeLease:
+		pe.dropLeases(addr, 1)
+		return pe.writeWord(addr, v, uint8(gmem.ModeLease))
+	}
+	return pe.writeWord(addr, v, 0)
+}
+
+// bufferWrite absorbs a release-mode store into the write-combining buffer:
+// purely local, same-word stores coalesce last-writer-wins, and the next
+// sync edge publishes the buffer. The recorded event's instantaneous
+// interval is the buffering instant; the checker derives the store's effect
+// window from the first sync fence at or after it.
+func (pe *PE) bufferWrite(addr uint64, v int64) {
+	pe.app.LocalAccess()
+	pe.extra.LocalGM++
+	if pe.hist != nil {
+		now := pe.app.Now()
+		idx := pe.hist.Begin(check.Event{
+			Kind: check.KindWrite, Addr: addr, Arg1: v,
+			Mode: uint8(gmem.ModeRelease), Inv: now,
+		})
+		pe.hist.Complete(idx, 0, true, now)
+	}
+	pe.wc.Put(addr, v)
+}
+
+// writeWord is the home-served scalar store shared by the strong and lease
+// tiers (mode only tags the recorded event).
+func (pe *PE) writeWord(addr uint64, v int64, mode uint8) error {
 	k := pe.k
 	hidx := -1
 	if pe.hist != nil {
 		hidx = pe.hist.Begin(check.Event{
-			Kind: check.KindWrite, Addr: addr, Arg1: v, Inv: pe.app.Now(),
+			Kind: check.KindWrite, Addr: addr, Arg1: v, Mode: mode, Inv: pe.app.Now(),
 		})
 	}
 	if k.cache == nil {
@@ -596,10 +807,17 @@ func (pe *PE) FetchAdd(addr uint64, delta int64) int64 {
 func (pe *PE) FetchAddErr(addr uint64, delta int64) (int64, error) {
 	pe.legacyCrossing()
 	k := pe.k
+	// Atomics always run the strong protocol at the home; the tag only marks
+	// which per-word rule set judges them. A lease over the word is dropped
+	// so later lease reads re-observe the mutation.
+	mode := uint8(pe.modes.Lookup(addr))
+	if mode == uint8(gmem.ModeLease) {
+		pe.dropLeases(addr, 1)
+	}
 	hidx := -1
 	if pe.hist != nil {
 		hidx = pe.hist.Begin(check.Event{
-			Kind: check.KindFetchAdd, Addr: addr, Arg1: delta, Inv: pe.app.Now(),
+			Kind: check.KindFetchAdd, Addr: addr, Arg1: delta, Mode: mode, Inv: pe.app.Now(),
 		})
 	}
 	if k.cache == nil && k.homeOf(addr) == k.id {
@@ -645,10 +863,15 @@ func (pe *PE) CAS(addr uint64, old, new int64) (int64, bool) {
 func (pe *PE) CASErr(addr uint64, old, new int64) (int64, bool, error) {
 	pe.legacyCrossing()
 	k := pe.k
+	// Strong protocol regardless of mode, like FetchAddErr.
+	mode := uint8(pe.modes.Lookup(addr))
+	if mode == uint8(gmem.ModeLease) {
+		pe.dropLeases(addr, 1)
+	}
 	hidx := -1
 	if pe.hist != nil {
 		hidx = pe.hist.Begin(check.Event{
-			Kind: check.KindCAS, Addr: addr, Arg1: old, Arg2: new, Inv: pe.app.Now(),
+			Kind: check.KindCAS, Addr: addr, Arg1: old, Arg2: new, Mode: mode, Inv: pe.app.Now(),
 		})
 	}
 	if k.cache == nil && k.homeOf(addr) == k.id {
@@ -939,12 +1162,33 @@ func (pe *PE) findReq(seq uint64) *homeReq {
 // fresh by the homes).
 func (pe *PE) GMReadBlock(addr uint64, n int) []int64 {
 	pe.legacyCrossing()
+	out := make([]int64, n)
+	if m, uni := pe.modes.Uniform(addr, n); uni {
+		pe.readBlockInto(out, addr, uint8(m))
+	} else {
+		pe.modes.ModeRuns(addr, n, func(m gmem.Mode, start uint64, count int) {
+			off := start - addr
+			pe.readBlockInto(out[off:off+uint64(count)], start, uint8(m))
+		})
+	}
+	return out
+}
+
+// readBlockInto reads len(out) words starting at addr through the protocol
+// of the given mode: strong and release share the home-served vectored path
+// (release overlays the PE's own buffered writes afterwards), lease serves
+// whole blocks from the lease cache.
+func (pe *PE) readBlockInto(out []int64, addr uint64, mode uint8) {
+	if mode == uint8(gmem.ModeLease) {
+		pe.readLeaseRange(out, addr)
+		return
+	}
 	k := pe.k
+	n := len(out)
 	var t0 sim.Time
 	if pe.hist != nil {
 		t0 = pe.app.Now()
 	}
-	out := make([]int64, n)
 	pe.vruns = pe.vruns[:0]
 	k.homeRuns(addr, n, func(home int, start uint64, count int) {
 		off := int(start - addr)
@@ -961,8 +1205,9 @@ func (pe *PE) GMReadBlock(addr uint64, n int) []int64 {
 		})
 	})
 	if len(pe.vruns) == 0 {
-		pe.recordBlockRead(addr, out, t0)
-		return out
+		pe.overlayWC(out, addr, mode)
+		pe.recordBlockRead(addr, out, t0, mode)
+		return
 	}
 	pe.groupRunsByHome()
 	for i := range pe.reqs {
@@ -982,20 +1227,84 @@ func (pe *PE) GMReadBlock(addr uint64, n int) []int64 {
 		wire.PutMessage(req)
 	}
 	pe.awaitGather(out)
-	pe.recordBlockRead(addr, out, t0)
-	return out
+	pe.overlayWC(out, addr, mode)
+	pe.recordBlockRead(addr, out, t0, mode)
+}
+
+// overlayWC merges the PE's own buffered release-mode writes over a fetched
+// range — the block-read half of read-your-writes between sync edges. The
+// history records the overlaid values: they are what the application saw.
+func (pe *PE) overlayWC(out []int64, addr uint64, mode uint8) {
+	if mode != uint8(gmem.ModeRelease) || pe.wc.Len() == 0 {
+		return
+	}
+	for i := range out {
+		if v, ok := pe.wc.Lookup(addr + uint64(i)); ok {
+			out[i] = v
+		}
+	}
+}
+
+// readLeaseRange serves a lease-mode range read block by block from the
+// lease cache, fetching leases on misses; own-home blocks read the segment
+// directly (fresh, so strong-bounded, like readLease).
+func (pe *PE) readLeaseRange(out []int64, addr uint64) {
+	k := pe.k
+	var t0 sim.Time
+	if pe.hist != nil {
+		t0 = pe.app.Now()
+	}
+	bw := uint64(k.space.BlockWords)
+	end := addr + uint64(len(out))
+	for base := addr - addr%bw; base < end; base += bw {
+		lo, hi := base, base+bw
+		if lo < addr {
+			lo = addr
+		}
+		if hi > end {
+			hi = end
+		}
+		if k.homeOf(base) == k.id {
+			pe.app.LocalAccess()
+			pe.extra.LocalGM++
+			k.seg.ReadInto(out[lo-addr:hi-addr], lo)
+			pe.recordBlockRead(lo, out[lo-addr:hi-addr], t0, uint8(gmem.ModeLease))
+			continue
+		}
+		le := pe.leaseHit(base)
+		if le == nil {
+			var err error
+			if le, err = pe.fetchLease(base); err != nil {
+				panic(err.Error())
+			}
+		} else {
+			pe.app.LocalAccess()
+			pe.extra.LocalGM++
+		}
+		copy(out[lo-addr:hi-addr], le.words[lo-base:hi-base])
+		if pe.hist != nil {
+			resp := pe.app.Now()
+			for a := lo; a < hi; a++ {
+				pe.hist.Add(check.Event{
+					Kind: check.KindRead, Addr: a, Out: out[a-addr], Cached: true,
+					Mode: uint8(gmem.ModeLease), Arg1: int64(le.grant), Arg2: int64(le.until),
+					Inv: t0, Resp: resp,
+				})
+			}
+		}
+	}
 }
 
 // recordBlockRead logs one read event per word of a completed block read;
 // the words share the block operation's invocation/response interval.
-func (pe *PE) recordBlockRead(addr uint64, out []int64, t0 sim.Time) {
+func (pe *PE) recordBlockRead(addr uint64, out []int64, t0 sim.Time, mode uint8) {
 	if pe.hist == nil {
 		return
 	}
 	resp := pe.app.Now()
 	for i, v := range out {
 		pe.hist.Add(check.Event{
-			Kind: check.KindRead, Addr: addr + uint64(i), Out: v, Inv: t0, Resp: resp,
+			Kind: check.KindRead, Addr: addr + uint64(i), Out: v, Mode: mode, Inv: t0, Resp: resp,
 		})
 	}
 }
@@ -1003,7 +1312,7 @@ func (pe *PE) recordBlockRead(addr uint64, out []int64, t0 sim.Time) {
 // beginBlockWrite logs one in-flight write event per word of a block write
 // and returns the index of the first; the indices are contiguous, so
 // completeBlock(first, len(words)) closes them all.
-func (pe *PE) beginBlockWrite(addr uint64, words []int64) int {
+func (pe *PE) beginBlockWrite(addr uint64, words []int64, mode uint8) int {
 	if pe.hist == nil {
 		return -1
 	}
@@ -1011,7 +1320,7 @@ func (pe *PE) beginBlockWrite(addr uint64, words []int64) int {
 	first := -1
 	for i, v := range words {
 		idx := pe.hist.Begin(check.Event{
-			Kind: check.KindWrite, Addr: addr + uint64(i), Arg1: v, Inv: t0,
+			Kind: check.KindWrite, Addr: addr + uint64(i), Arg1: v, Mode: mode, Inv: t0,
 		})
 		if first < 0 {
 			first = idx
@@ -1036,8 +1345,44 @@ func (pe *PE) completeBlock(first, n int) {
 // run) request, and the per-home requests are pipelined.
 func (pe *PE) GMWriteBlock(addr uint64, words []int64) {
 	pe.legacyCrossing()
+	if m, uni := pe.modes.Uniform(addr, len(words)); uni {
+		pe.writeBlockRange(addr, words, uint8(m))
+	} else {
+		pe.modes.ModeRuns(addr, len(words), func(m gmem.Mode, start uint64, count int) {
+			off := start - addr
+			pe.writeBlockRange(start, words[off:off+uint64(count)], uint8(m))
+		})
+	}
+}
+
+// writeBlockRange stores words starting at addr through the given mode's
+// write protocol: release buffers every word locally (the next sync edge
+// publishes them coalesced), the other modes run the home-served vectored
+// path.
+func (pe *PE) writeBlockRange(addr uint64, words []int64, mode uint8) {
 	k := pe.k
-	first := pe.beginBlockWrite(addr, words)
+	if mode == uint8(gmem.ModeRelease) {
+		pe.app.LocalAccess()
+		pe.extra.LocalGM++
+		if pe.hist != nil {
+			now := pe.app.Now()
+			for i, v := range words {
+				idx := pe.hist.Begin(check.Event{
+					Kind: check.KindWrite, Addr: addr + uint64(i), Arg1: v,
+					Mode: mode, Inv: now,
+				})
+				pe.hist.Complete(idx, 0, true, now)
+			}
+		}
+		for i, v := range words {
+			pe.wc.Put(addr+uint64(i), v)
+		}
+		return
+	}
+	if mode == uint8(gmem.ModeLease) {
+		pe.dropLeases(addr, len(words))
+	}
+	first := pe.beginBlockWrite(addr, words, mode)
 	pe.vruns = pe.vruns[:0]
 	k.homeRuns(addr, len(words), func(home int, start uint64, count int) {
 		off := int(start - addr)
@@ -1088,6 +1433,15 @@ func (pe *PE) GMWriteBlock(addr uint64, words []int64) {
 // cache. The fine-grained-access aggregation standard in user-level DSMs:
 // one message per home instead of one per word.
 func (pe *PE) GMGather(addrs []uint64) []int64 {
+	if pe.nonStrongMode(addrs) {
+		// Rare mixed-mode gather: serve each address through its mode's
+		// scalar path (WC overlay, leases) at the cost of aggregation.
+		out := make([]int64, len(addrs))
+		for i, a := range addrs {
+			out[i] = pe.GMRead(a)
+		}
+		return out
+	}
 	pe.legacyCrossing()
 	k := pe.k
 	var t0 sim.Time
@@ -1135,6 +1489,20 @@ func (pe *PE) GMGather(addrs []uint64) []int64 {
 	return out
 }
 
+// nonStrongMode reports whether any of addrs is in a non-strong mode — the
+// vectored gather/scatter paths aggregate strong accesses only.
+func (pe *PE) nonStrongMode(addrs []uint64) bool {
+	if pe.modes.AllStrong() {
+		return false
+	}
+	for _, a := range addrs {
+		if pe.modes.Lookup(a) != gmem.ModeStrong {
+			return true
+		}
+	}
+	return false
+}
+
 // recordGather logs one read event per gathered address.
 func (pe *PE) recordGather(addrs []uint64, out []int64, t0 sim.Time) {
 	if pe.hist == nil {
@@ -1173,6 +1541,13 @@ func (pe *PE) beginScatter(addrs []uint64, vals []int64) int {
 func (pe *PE) GMScatter(addrs []uint64, vals []int64) {
 	if len(addrs) != len(vals) {
 		panic("core: GMScatter length mismatch")
+	}
+	if pe.nonStrongMode(addrs) {
+		// Mixed-mode scatter: each element through its mode's scalar path.
+		for i, a := range addrs {
+			pe.GMWrite(a, vals[i])
+		}
+		return
 	}
 	pe.legacyCrossing()
 	k := pe.k
@@ -1249,6 +1624,111 @@ func (pe *PE) GMWriteBlockF(addr uint64, vs []float64) {
 
 // --- Synchronisation ---
 
+// flushWC publishes the write-combining buffer: one coalesced vectored
+// OpFlushV per (home, shard), own-home words applied directly when uncached.
+// fenceInv is the enclosing sync operation's invocation instant — the
+// KindFlush event is recorded FIRST with that same Inv, so it sorts ahead of
+// the sync event, and a flush that fails anywhere is left open (Failed ⇒
+// unbounded effect window in the checker), shielding the buffered writes
+// from wrongly convicting readers. Failures degrade softly instead of
+// failing the sync operation itself: words homed at a dead peer are
+// discarded for good (their blocks died with it), words that timed out
+// re-enter the buffer and retry at the next sync edge.
+func (pe *PE) flushWC(fenceInv sim.Time) {
+	if pe.wc.Len() == 0 {
+		return
+	}
+	k := pe.k
+	if k.cfg.FaultSkipReleaseFlush {
+		// TEST-ONLY fault (see Config): drop the buffered writes on the floor
+		// and record nothing, so the enclosing sync edge claims a publication
+		// that never happened — the checker's release rules must catch it.
+		pe.wc.Discard()
+		return
+	}
+	start := pe.app.Now()
+	hidx := -1
+	if pe.hist != nil {
+		hidx = pe.hist.Begin(check.Event{
+			Kind: check.KindFlush, Arg1: int64(pe.wc.Len()), Inv: fenceInv,
+		})
+	}
+	pe.fl, pe.flv = pe.fl[:0], pe.flv[:0]
+	pe.wc.Drain(func(addr uint64, v int64) {
+		pe.fl = append(pe.fl, addr)
+		pe.flv = append(pe.flv, v)
+	})
+	pe.extra.WCFlushes++
+	pe.vruns = pe.vruns[:0]
+	bw := uint64(k.space.BlockWords)
+	for i := 0; i < len(pe.fl); {
+		addr := pe.fl[i]
+		blockEnd := addr - addr%bw + bw
+		j := i + 1
+		for j < len(pe.fl) && pe.fl[j] == pe.fl[j-1]+1 && pe.fl[j] < blockEnd {
+			j++
+		}
+		home := k.homeOf(addr)
+		if k.cache == nil && home == k.id {
+			pe.app.LocalAccess()
+			pe.extra.LocalGM++
+			k.seg.Write(addr, pe.flv[i:j])
+		} else {
+			pe.extra.RemoteGM++
+			pe.vruns = append(pe.vruns, vrun{
+				home: home, shard: k.space.ShardOf(addr, k.nshards),
+				start: addr, count: j - i, off: i,
+			})
+			if k.cache != nil {
+				k.cache.Invalidate(addr)
+			}
+		}
+		i = j
+	}
+	ok := true
+	if len(pe.vruns) > 0 {
+		pe.groupRunsByHome()
+		for gi := range pe.reqs {
+			g := &pe.reqs[gi]
+			req := wire.GetMessage()
+			req.Op = wire.OpFlushV
+			for _, r := range pe.hruns[g.lo:g.hi] {
+				req.AppendWriteRun(r.start, pe.flv[r.off:r.off+r.count])
+			}
+			req.Shard = uint8(g.shard)
+			resp, err := pe.requestErr(pe.hruns[g.lo].home, req)
+			wire.PutMessage(req)
+			if err != nil {
+				ok = false
+				if _, down := err.(*PeerDownError); !down {
+					// The home may still be alive: keep its words buffered and
+					// retry this part of the flush at the next sync edge.
+					for _, r := range pe.hruns[g.lo:g.hi] {
+						for w := 0; w < r.count; w++ {
+							pe.wc.Put(r.start+uint64(w), pe.flv[r.off+w])
+						}
+					}
+				}
+				continue
+			}
+			wire.PutMessage(resp)
+		}
+	}
+	if pe.hist != nil && ok {
+		pe.hist.Complete(hidx, 0, true, pe.app.Now())
+	}
+	pe.extra.FlushStall.Observe(pe.app.Now() - start)
+}
+
+// syncFence is the release/acquire edge of an operation with no sync event
+// of its own (membership transitions, escrow points): publish the WC buffer
+// — the KindFlush event doubles as the fence the checker orders by — and
+// drop the lease cache.
+func (pe *PE) syncFence() {
+	pe.flushWC(pe.app.Now())
+	pe.clearLeases()
+}
+
 // Barrier blocks until every PE has reached it (barrier id 0).
 func (pe *PE) Barrier() { pe.BarrierID(0) }
 
@@ -1263,6 +1743,9 @@ func (pe *PE) BarrierID(id int32) {
 		dst = k.id // tree arrivals start at the local kernel
 	}
 	start := pe.app.Now()
+	// Release edge: publish buffered release-mode writes before arriving, so
+	// every PE released by this barrier observes them.
+	pe.flushWC(start)
 	arrive := wire.GetMessage()
 	arrive.Op, arrive.Src, arrive.Dst, arrive.Tag = wire.OpBarrierArrive, int32(k.id), int32(dst), id
 	pe.app.Send(dst, arrive)
@@ -1286,6 +1769,8 @@ func (pe *PE) BarrierID(id int32) {
 			Kind: check.KindBarrier, Addr: uint64(uint32(id)), Inv: start, Resp: end,
 		})
 	}
+	// Acquire edge: pre-barrier lease snapshots must not outlive the crossing.
+	pe.clearLeases()
 }
 
 // Lock acquires the cluster-wide lock id (FIFO, managed by kernel 0).
@@ -1313,15 +1798,20 @@ func (pe *PE) Lock(id int32) {
 			Kind: check.KindLock, Addr: uint64(uint32(id)), Inv: start, Resp: end,
 		})
 	}
+	// Acquire edge: drop lease snapshots taken before the grant.
+	pe.clearLeases()
 }
 
-// Unlock releases lock id.
+// Unlock releases lock id. This is release consistency's namesake release
+// edge: buffered release-mode writes are published while the lock is still
+// held, so the next holder observes them.
 func (pe *PE) Unlock(id int32) {
 	pe.legacyCrossing()
+	t0 := pe.app.Now()
+	pe.flushWC(t0)
 	if pe.hist != nil {
-		now := pe.app.Now()
 		pe.hist.Add(check.Event{
-			Kind: check.KindUnlock, Addr: uint64(uint32(id)), Inv: now, Resp: now,
+			Kind: check.KindUnlock, Addr: uint64(uint32(id)), Inv: t0, Resp: pe.app.Now(),
 		})
 	}
 	pe.sendSync(wire.OpLockRelease, id)
@@ -1338,11 +1828,15 @@ func (pe *PE) SemWait(id int32) {
 	}
 	wire.PutMessage(m)
 	pe.extra.WaitTime += pe.app.Now() - start
+	// Acquire edge, like a lock grant.
+	pe.clearLeases()
 }
 
-// SemPost ups semaphore id.
+// SemPost ups semaphore id. A release edge: the flush's own KindFlush event
+// is the fence the checker orders the published writes by.
 func (pe *PE) SemPost(id int32) {
 	pe.legacyCrossing()
+	pe.flushWC(pe.app.Now())
 	pe.sendSync(wire.OpSemPost, id)
 }
 
@@ -1514,8 +2008,11 @@ const (
 // value on all of them: a gather to PE 0 and a broadcast back, 2(N-1)
 // messages. It also acts as a synchronisation point: every PE's preceding
 // global-memory writes are completed (acknowledged) before any PE receives
-// the result.
+// the result — under release consistency that contract is kept by flushing
+// the write-combining buffer before the contribution is sent, and lease-mode
+// read caches are dropped so post-reduce reads observe post-reduce state.
 func (pe *PE) AllReduceF(x float64, op func(a, b float64) float64) float64 {
+	pe.syncFence()
 	n := pe.N()
 	if n == 1 {
 		return x

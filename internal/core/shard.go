@@ -118,7 +118,7 @@ func (k *Kernel) shardFor(m *wire.Message) int {
 		return 0
 	}
 	switch m.Op {
-	case wire.OpReadV, wire.OpWriteV, wire.OpInvAck:
+	case wire.OpReadV, wire.OpWriteV, wire.OpFlushV, wire.OpInvAck:
 		if s := int(m.Shard); s < k.nshards {
 			return s
 		}
@@ -303,6 +303,10 @@ func (sh *kernelShard) handleGM(m *wire.Message) {
 		sh.handleWrite(m)
 	case wire.OpWriteV:
 		sh.handleWriteV(m)
+	case wire.OpFlushV:
+		sh.handleFlushV(m)
+	case wire.OpReadLease:
+		sh.handleReadLease(m)
 	case wire.OpFetchAdd:
 		sh.handleFetchAdd(m)
 	case wire.OpCAS:
@@ -373,10 +377,12 @@ func (sh *kernelShard) nackIfForeign(m *wire.Message) bool {
 		if m.EachRange(func(addr uint64, count int) { scan(addr, count) }) != nil {
 			return false // corrupt payload: the op handler counts and drops it
 		}
-	case wire.OpWriteV:
+	case wire.OpWriteV, wire.OpFlushV:
 		if m.EachRunHeader(func(addr uint64, count int) { scan(addr, count) }) != nil {
 			return false
 		}
+	case wire.OpReadLease:
+		scan(m.Addr, 1)
 	default:
 		return false // invalidation traffic is not home-routed
 	}
@@ -556,6 +562,57 @@ func (sh *kernelShard) handleWriteV(m *wire.Message) {
 		return
 	}
 	sh.finishAfterInvalidations(m, sh.invSends, wire.OpWriteAck, 0, 0)
+}
+
+// handleFlushV applies one PE's coalesced write-combining-buffer drain: the
+// release-consistency publish at a synchronisation edge. The payload is
+// encoded exactly like a vectored write, and the handler mirrors
+// handleWriteV in full — including the invalidating branch, so release-mode
+// words that share cache blocks with strong words keep the write-invalidate
+// protocol coherent.
+func (sh *kernelShard) handleFlushV(m *wire.Message) {
+	k := sh.k
+	var err error
+	if k.cache == nil {
+		sh.vscratch, err = m.EachWriteRun(sh.vscratch, func(addr uint64, words []int64) {
+			k.seg.Write(addr, words)
+		})
+		if err != nil {
+			sh.extra.CorruptDrops++
+			return
+		}
+		ack := wire.GetMessage()
+		ack.Op = wire.OpWriteAck
+		sh.reply(m, ack)
+		return
+	}
+	sh.invSends = sh.invSends[:0]
+	sh.vscratch, err = m.EachWriteRun(sh.vscratch, func(addr uint64, words []int64) {
+		for _, t := range k.seg.WriteInvalidating(addr, words, int(m.Src)) {
+			sh.invSends = append(sh.invSends, invSend{addr: addr, dst: t})
+		}
+	})
+	if err != nil {
+		sh.extra.CorruptDrops++
+		return
+	}
+	sh.finishAfterInvalidations(m, sh.invSends, wire.OpWriteAck, 0, 0)
+}
+
+// handleReadLease serves a lease-mode block fetch: the whole block containing
+// m.Addr plus the home's lease duration, WITHOUT registering the reader in
+// the coherence directory — a leaseholder is never invalidated; its staleness
+// is bounded by the expiry it got here.
+func (sh *kernelShard) handleReadLease(m *wire.Message) {
+	k := sh.k
+	bw := uint64(k.space.BlockWords)
+	base := m.Addr / bw * bw
+	sh.wscratch = k.seg.ReadAppend(sh.wscratch[:0], base, k.space.BlockWords)
+	resp := wire.GetMessage()
+	resp.Op, resp.Addr = wire.OpReadLeaseResp, base
+	resp.Arg2 = int64(k.cfg.LeaseDuration)
+	resp.PutWords(sh.wscratch)
+	sh.reply(m, resp)
 }
 
 func (sh *kernelShard) handleFetchAdd(m *wire.Message) {

@@ -256,6 +256,181 @@ func TestStressRingSweep(t *testing.T) {
 	}
 }
 
+// TestStressModesMatrix mixes all three consistency tiers (strong, release,
+// lease) in one run and sweeps the fault axes — clean, caching, loss — over
+// them. Every configuration must stay checker-clean under the per-mode rules,
+// and every fault-free run must actually exercise the new machinery: WC
+// buffer flushes at sync edges and lease grants on the lease region.
+func TestStressModesMatrix(t *testing.T) {
+	ops := 200
+	losses := []float64{0, 0.05}
+	if os.Getenv("STRESS_FULL") != "" {
+		ops = 500
+		losses = []float64{0, 0.05, 0.15}
+	}
+	for _, loss := range losses {
+		for _, caching := range []bool{false, true} {
+			o := stress.Options{
+				Seed:     41 + uint64(loss*100),
+				NumPE:    4,
+				OpsPerPE: ops,
+				Caching:  caching,
+				Loss:     loss,
+				Modes:    true,
+			}
+			t.Run(fmt.Sprintf("loss%02.0f_cache%v", loss*100, caching), func(t *testing.T) {
+				res := runStress(t, o)
+				if loss == 0 {
+					if res.WCFlushes == 0 {
+						t.Error("fault-free modes run recorded no WC buffer flushes")
+					}
+					if res.LeaseGrants == 0 {
+						t.Error("fault-free modes run granted no read leases")
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestStressModesLeaseExpiry pins that leases actually expire and re-fetch
+// under a short lease window: a run long enough to outlive many lease
+// durations must record expiries, not just grants — otherwise the expiry
+// path (and the staleness bound it enforces) is dead code in every test.
+func TestStressModesLeaseExpiry(t *testing.T) {
+	res := runStress(t, stress.Options{
+		Seed: 7, NumPE: 4, OpsPerPE: 400, Modes: true,
+		LeaseDuration: 100 * sim.Microsecond,
+	})
+	if res.LeaseGrants == 0 {
+		t.Fatal("no leases granted")
+	}
+	if res.LeaseExpiries == 0 {
+		t.Error("no lease ever expired despite a 100µs window — expiry path untested")
+	}
+}
+
+// TestStressModesReplayDeterministic: a mixed-mode run must stay a pure
+// function of Options — WC buffering, flush coalescing and lease
+// grant/expiry included — so a printed seed still replays any tier bug.
+func TestStressModesReplayDeterministic(t *testing.T) {
+	o := stress.Options{
+		Seed: 42, NumPE: 4, OpsPerPE: 200, Caching: true, Loss: 0.1,
+		Jitter: 300 * sim.Microsecond,
+		Modes:  true,
+	}
+	a, err := stress.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := stress.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da, db := a.History.Digest(), b.History.Digest(); da != db {
+		t.Fatalf("same modes seed, different histories: %s vs %s", da, db)
+	}
+	if a.History.Len() == 0 {
+		t.Fatal("empty history")
+	}
+}
+
+// TestStressModesPeerKill overlaps the tiers with a mid-run station death:
+// unflushed WC writes homed at the victim are discarded at the next fence
+// (peer-down words may never be re-sent) and held leases on its blocks go
+// stale — the surviving history must still satisfy every per-mode rule.
+func TestStressModesPeerKill(t *testing.T) {
+	runStress(t, stress.Options{
+		Seed: 11, NumPE: 4, OpsPerPE: 200, Loss: 0.02, Modes: true,
+		KillPE: 2, KillAt: 2 * sim.Second,
+	})
+}
+
+// TestStressModesMembershipChurn runs the mixed-tier workload through live
+// membership churn: a latent PE joins, an active PE leaves, and PE 1 keeps
+// re-homing ranges — half the time the release region itself, so handoffs
+// overlap unflushed WC buffers. Join/leave/migrate grants fence every PE
+// (flush + lease drop), so the history must check out cleanly.
+func TestStressModesMembershipChurn(t *testing.T) {
+	for _, seed := range []uint64{3, 17} {
+		o := stress.Options{
+			Seed: seed, NumPE: 5, OpsPerPE: 200, Modes: true,
+			Latent: 1, JoinAtOp: 50,
+			LeavePE: 2, LeaveAtOp: 100,
+			MigrateEvery: 30,
+		}
+		res := runStress(t, o)
+		if res.Joins < 1 || res.Leaves != 1 {
+			t.Errorf("seed %d: joins=%d leaves=%d, want >=1 and 1", seed, res.Joins, res.Leaves)
+		}
+		if res.MigratedBlocks == 0 {
+			t.Errorf("seed %d: no blocks changed home", seed)
+		}
+		if res.WCFlushes == 0 {
+			t.Errorf("seed %d: churn run never flushed a WC buffer", seed)
+		}
+	}
+}
+
+// TestStressCatchesSkippedReleaseFlush turns on the kernel's test-only
+// release fault — sync edges silently discard the WC buffer instead of
+// flushing it, while the fence still claims publication — and demands the
+// checker convict: readers after the fence see values the writes never
+// delivered, or never see writes the fence promised were published.
+func TestStressCatchesSkippedReleaseFlush(t *testing.T) {
+	res, err := stress.Run(stress.Options{
+		Seed: 5, NumPE: 4, OpsPerPE: 400, Modes: true,
+		FaultSkipReleaseFlush: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.OK() {
+		t.Fatal("checker passed a run whose release flushes were silently dropped — it cannot see broken publication")
+	}
+	found := false
+	for _, v := range res.Report.Violations {
+		if strings.HasPrefix(v.Kind, "release-") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("no release-* violation among %d; the conviction came from the wrong rule set:\n%s",
+			len(res.Report.Violations), res.Report)
+	}
+}
+
+// TestStressCatchesIgnoredLeaseExpiry turns on the kernel's test-only lease
+// fault — expired leases keep serving cached reads forever — and demands the
+// checker flag the overstay: a lease-mode read observing a value older than
+// its recorded grant-to-expiry window is exactly the staleness the lease
+// clock exists to bound.
+func TestStressCatchesIgnoredLeaseExpiry(t *testing.T) {
+	res, err := stress.Run(stress.Options{
+		Seed: 19, NumPE: 4, OpsPerPE: 400, Modes: true,
+		LeaseDuration:          100 * sim.Microsecond,
+		FaultIgnoreLeaseExpiry: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.OK() {
+		t.Fatal("checker passed a run whose leases never expired — it cannot see stale lease reads")
+	}
+	found := false
+	for _, v := range res.Report.Violations {
+		if v.Kind == "lease-overstay" || strings.HasPrefix(v.Kind, "lease-") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("no lease-* violation among %d; the conviction came from the wrong rule set:\n%s",
+			len(res.Report.Violations), res.Report)
+	}
+}
+
 // TestStressCatchesBrokenInvalidation turns on the kernel's test-only
 // coherence fault (writes acknowledged without invalidating remote caches)
 // and demands the checker notice: a harness that cannot see a deliberately

@@ -1,7 +1,7 @@
 //go:build ignore
 
-// Generates the committed seed corpus for the submission-ring fuzz target.
-// Run from the repo root:
+// Generates the committed seed corpora for the gmem fuzz targets (the
+// submission ring and the write-combining buffer). Run from the repo root:
 //
 //	go run internal/gmem/corpusgen.go
 package main
@@ -44,4 +44,16 @@ func main() {
 	put(dir, "seed-full", schedule(0, ^uint64(0)-1, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 1))
 	// Head-at-a-time drains interleaved with pushes, high start bit set.
 	put(dir, "seed-head", schedule(3, 1<<63, 2, 0, 2, 0, 0, 2, 2, 2, 0, 1))
+
+	// FuzzWCBuf schedules: one byte per op (mod 8: 0-4 write, consuming an
+	// addr byte (%64) and a value byte; 5-6 drain; 7 discard).
+	wdir := "internal/gmem/testdata/fuzz/FuzzWCBuf"
+	// Plain writes then one flush.
+	put(wdir, "seed-flush", []byte{0, 1, 2, 0, 1, 3, 5})
+	// Same-word overwrites across two flush epochs: the LWW seed.
+	put(wdir, "seed-lww", []byte{0, 7, 1, 0, 7, 2, 0, 7, 3, 5, 0, 7, 4, 6})
+	// Discard mid-stream (the peer-down / skipped-flush fault path).
+	put(wdir, "seed-discard", []byte{1, 9, 1, 2, 9, 2, 7, 3, 9, 3, 5})
+	// Dense same-block collisions spanning a flush boundary.
+	put(wdir, "seed-dense", []byte{0, 0, 1, 1, 0, 2, 2, 0, 3, 3, 0, 4, 5, 4, 0, 5, 0, 0, 6, 6})
 }

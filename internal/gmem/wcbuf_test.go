@@ -1,0 +1,194 @@
+package gmem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// WCBuf last-writer-wins per word, checked against a model map over an
+// arbitrary write sequence confined to a small address range (so words
+// collide often): Lookup and the drained set must both agree with the model,
+// and the drain must empty the buffer.
+func TestWCBufLastWriterWinsProperty(t *testing.T) {
+	f := func(addrs []uint8, vals []int16) bool {
+		b := NewWCBuf()
+		model := map[uint64]int64{}
+		for i, a := range addrs {
+			var v int64 = int64(i)
+			if i < len(vals) {
+				v = int64(vals[i])
+			}
+			addr := uint64(a % 32) // force same-word collisions
+			b.Put(addr, v)
+			model[addr] = v
+			if got, ok := b.Lookup(addr); !ok || got != v {
+				return false
+			}
+		}
+		if b.Len() != len(model) {
+			return false
+		}
+		drained := map[uint64]int64{}
+		b.Drain(func(addr uint64, val int64) { drained[addr] = val })
+		if b.Len() != 0 {
+			return false
+		}
+		if len(drained) != len(model) {
+			return false
+		}
+		for a, v := range model {
+			if drained[a] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Drain order is a deterministic function of the buffered SET, independent
+// of write order: two buffers filled with the same words in different orders
+// must drain identical (addr, val) sequences, strictly address-ascending —
+// the property that makes a flush replayable and run-coalescible.
+func TestWCBufDrainOrderDeterministicProperty(t *testing.T) {
+	f := func(addrs []uint16, perm []uint8) bool {
+		a, b := NewWCBuf(), NewWCBuf()
+		// Fill a in given order, b in a permuted order; same final set
+		// because Put is LWW and the value is a function of the address.
+		for _, ad := range addrs {
+			a.Put(uint64(ad), int64(ad)*3)
+		}
+		idx := make([]int, len(addrs))
+		for i := range idx {
+			idx[i] = i
+		}
+		for i, p := range perm {
+			if i >= len(idx) {
+				break
+			}
+			j := int(p) % len(idx)
+			idx[i], idx[j] = idx[j], idx[i]
+		}
+		for _, i := range idx {
+			b.Put(uint64(addrs[i]), int64(addrs[i])*3)
+		}
+		type wv struct {
+			a uint64
+			v int64
+		}
+		var da, db []wv
+		a.Drain(func(addr uint64, val int64) { da = append(da, wv{addr, val}) })
+		b.Drain(func(addr uint64, val int64) { db = append(db, wv{addr, val}) })
+		if len(da) != len(db) {
+			return false
+		}
+		for i := range da {
+			if da[i] != db[i] {
+				return false
+			}
+			if i > 0 && da[i].a <= da[i-1].a {
+				return false // not strictly ascending
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWCBufDiscardEmptiesWithoutDraining(t *testing.T) {
+	b := NewWCBuf()
+	b.Put(1, 10)
+	b.Put(2, 20)
+	b.Discard()
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d after Discard", b.Len())
+	}
+	if _, ok := b.Lookup(1); ok {
+		t.Fatal("Lookup hit after Discard")
+	}
+	b.Drain(func(addr uint64, val int64) {
+		t.Fatalf("Drain delivered (%d,%d) after Discard", addr, val)
+	})
+}
+
+// FuzzWCBuf drives the write-combining buffer through an arbitrary
+// single-threaded (write, flush, barrier-discard) interleaving — the op mix
+// a release-mode PE generates between and at sync edges — and checks every
+// observable against a model map: Lookup is the read-your-writes overlay,
+// Len tracks distinct words, Drain delivers the model's exact contents in
+// strictly ascending address order and empties the buffer, and Discard
+// forgets everything. Ops decode one byte each (mod 8): 0-4 write word
+// (next byte % 64 = addr, following byte = value), 5-6 drain/flush, 7
+// discard.
+func FuzzWCBuf(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0, 1, 3, 5})
+	// Same-word overwrites then a flush: the LWW corpus.
+	f.Add([]byte{0, 7, 1, 0, 7, 2, 0, 7, 3, 5, 0, 7, 4, 6})
+	// Discard mid-stream: buffered words must vanish without draining.
+	f.Add([]byte{1, 9, 1, 2, 9, 2, 7, 3, 9, 3, 5})
+	// Dense collisions across two flush epochs.
+	f.Add([]byte{0, 0, 1, 1, 0, 2, 2, 0, 3, 3, 0, 4, 5, 4, 0, 5, 0, 0, 6, 6})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			return
+		}
+		b := NewWCBuf()
+		model := map[uint64]int64{}
+		for i := 0; i < len(data); i++ {
+			switch data[i] % 8 {
+			case 5, 6: // flush: drain everything
+				var prev uint64
+				first := true
+				n := 0
+				b.Drain(func(addr uint64, val int64) {
+					if !first && addr <= prev {
+						t.Fatalf("op %d: drain out of order: %d after %d", i, addr, prev)
+					}
+					prev, first = addr, false
+					want, ok := model[addr]
+					if !ok {
+						t.Fatalf("op %d: drained unknown word %d", i, addr)
+					}
+					if val != want {
+						t.Fatalf("op %d: drained (%d,%d), model holds %d", i, addr, val, want)
+					}
+					n++
+				})
+				if n != len(model) {
+					t.Fatalf("op %d: drained %d words, model holds %d", i, n, len(model))
+				}
+				if b.Len() != 0 {
+					t.Fatalf("op %d: Len = %d after Drain", i, b.Len())
+				}
+				clear(model)
+			case 7: // discard (peer-down / skipped-flush fault path)
+				b.Discard()
+				clear(model)
+			default: // write
+				if i+2 >= len(data) {
+					i = len(data)
+					break
+				}
+				addr := uint64(data[i+1] % 64)
+				val := int64(int8(data[i+2]))
+				b.Put(addr, val)
+				model[addr] = val
+				i += 2
+			}
+			if b.Len() != len(model) {
+				t.Fatalf("op %d: Len = %d, model holds %d", i, b.Len(), len(model))
+			}
+			for a, v := range model {
+				got, ok := b.Lookup(a)
+				if !ok || got != v {
+					t.Fatalf("op %d: Lookup(%d) = (%d,%v), model holds %d", i, a, got, ok, v)
+				}
+			}
+		}
+	})
+}

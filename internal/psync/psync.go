@@ -4,6 +4,14 @@
 // ablation. The state machines are pure — they consume "PE x arrived/asked"
 // events and emit lists of PEs to notify — so the same code drives every
 // transport and is unit-testable without a cluster.
+//
+// These sync operations are also release consistency's ordering edges
+// (DESIGN.md §14): a PE publishes its write-combining buffer before a
+// barrier arrival, a lock release or a semaphore post, and drops its lease
+// cache after a barrier crossing, a lock grant or a semaphore grant. The
+// managers themselves need no changes for that — the PE-side core plumbs
+// the flush/drop around the messages they already exchange — but any new
+// sync primitive added here must get the same treatment in internal/core.
 package psync
 
 import "fmt"

@@ -64,6 +64,11 @@ type PEStats struct {
 	Joins          uint64 // membership joins completed by this PE
 	Leaves         uint64 // graceful leaves completed by this PE
 
+	// Consistency-tier counters (release consistency and lease caching).
+	WCFlushes     uint64 // non-empty write-combining buffer drains at sync edges
+	LeaseGrants   uint64 // read leases this PE fetched from a home
+	LeaseExpiries uint64 // lease-cache entries dropped because their lease expired
+
 	// ByOp breaks sent traffic down per message op, so experiments can
 	// watch e.g. scalar reads being displaced by vectored reads.
 	ByOp [wire.NumOps]OpCount
@@ -79,6 +84,7 @@ type PEStats struct {
 	ServiceByOp [wire.NumOps]Histogram // kernel time handling each incoming op
 	BarrierWait Histogram              // time blocked per barrier crossing
 	LockWait    Histogram              // time blocked per lock acquisition
+	FlushStall  Histogram              // time a sync edge stalled draining the WC buffer
 }
 
 // OpCount tallies sent traffic for one message op.
@@ -128,6 +134,9 @@ func (s *PEStats) Add(o *PEStats) {
 	s.MigrateNacks += o.MigrateNacks
 	s.Joins += o.Joins
 	s.Leaves += o.Leaves
+	s.WCFlushes += o.WCFlushes
+	s.LeaseGrants += o.LeaseGrants
+	s.LeaseExpiries += o.LeaseExpiries
 	for i := range s.ByOp {
 		s.ByOp[i].Msgs += o.ByOp[i].Msgs
 		s.ByOp[i].Bytes += o.ByOp[i].Bytes
@@ -139,6 +148,7 @@ func (s *PEStats) Add(o *PEStats) {
 	}
 	s.BarrierWait.Merge(&o.BarrierWait)
 	s.LockWait.Merge(&o.LockWait)
+	s.FlushStall.Merge(&o.FlushStall)
 }
 
 // OpTable renders the non-zero per-op send counters as a table.
@@ -181,6 +191,7 @@ func (s *PEStats) LatencyTable(title string) *Table {
 	}
 	row("barrier-wait", &s.BarrierWait)
 	row("lock-wait", &s.LockWait)
+	row("flush-stall", &s.FlushStall)
 	return t
 }
 

@@ -128,6 +128,18 @@ const (
 	OpEpochUpdate // broadcast: member Arg1 transitioned to state Arg2 at gen Addr
 	OpEpochUpdateResp
 
+	// Tunable consistency tiers. OpFlushV publishes a release-consistency
+	// write-combining buffer: same payload encoding as OpWriteV (runs via
+	// AppendWriteRun), acked by OpWriteAck, but kept a distinct op so traces
+	// and per-op counters can watch buffered writes trade against eager ones.
+	// OpReadLease fetches the whole block containing Addr without joining the
+	// coherence copyset; the response carries the block words plus the
+	// granted lease term, bounding how long the requester may serve cached
+	// reads from it.
+	OpFlushV        // Data = runs (AppendWriteRun); Arg1 = run count; acked by OpWriteAck
+	OpReadLease     // Addr = any word of the wanted block
+	OpReadLeaseResp // Data = the block's words, Arg2 = lease duration (ns of the home's clock)
+
 	numOps // sentinel: one past the highest op
 )
 
@@ -197,6 +209,9 @@ var opNames = [...]string{
 	OpLeaveResp:          "leave-resp",
 	OpEpochUpdate:        "epoch-update",
 	OpEpochUpdateResp:    "epoch-update-resp",
+	OpFlushV:             "flush-v",
+	OpReadLease:          "read-lease",
+	OpReadLeaseResp:      "read-lease-resp",
 }
 
 func (op Op) String() string {
@@ -215,7 +230,8 @@ func (op Op) IsResponse() bool {
 		OpProcRegResp, OpProcExitAck, OpProcListResp, OpWelcome, OpPong,
 		OpReadVResp, OpCkptMarkResp,
 		OpMigrateStartResp, OpMigrateInstallResp, OpMigrateCommitResp,
-		OpMigrateNack, OpJoinResp, OpLeaveResp, OpEpochUpdateResp:
+		OpMigrateNack, OpJoinResp, OpLeaveResp, OpEpochUpdateResp,
+		OpReadLeaseResp:
 		return true
 	}
 	return false
