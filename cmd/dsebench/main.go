@@ -16,7 +16,9 @@
 //	dsebench -recover -seed 7    # seeded kill-and-recover schedules (exit 1 on failure)
 //	dsebench -saturate           # remote-GM ops/sec into one home kernel vs shard count
 //	dsebench -modes              # consistency-tier ablation: gauss msgs under strong/release/lease
+//	dsebench -sched              # multi-job scheduler load test: burst + Poisson job streams
 //	dsebench -saturate -quick -json out.json  # ...included in the snapshot
+//	dsebench -sched -quick -json out.json     # ...scheduler legs included too
 //
 // Figures print as aligned tables: one row per x value, one column per
 // series, exactly the rows/series the paper plots.
@@ -54,6 +56,7 @@ func main() {
 		memberF  = flag.Bool("membership", false, "run seeded live join/leave/re-home schedules (elastic membership); -seed selects the schedule")
 		saturate = flag.Bool("saturate", false, "measure remote-GM ops/sec into one home kernel across PE and shard counts (wall clock; with -json, adds the sweep to the snapshot)")
 		modesF   = flag.Bool("modes", false, "print the consistency-tier ablation: gauss message counts under strong, release and lease modes")
+		schedF   = flag.Bool("sched", false, "run the multi-job scheduler load test: thousands of queued jobs, then Poisson arrivals (wall clock; with -json, adds the legs to the snapshot)")
 	)
 	flag.Parse()
 	plotFigures = *plot
@@ -80,7 +83,15 @@ func main() {
 		if *quick {
 			scaleName = "quick"
 		}
-		writeSnapshot(*jsonOut, *baseline, sc, scaleName, *saturate)
+		writeSnapshot(*jsonOut, *baseline, sc, scaleName, *saturate, *schedF)
+	case *schedF:
+		start := time.Now()
+		pts, err := bench.SchedSweep(*quick, sc.Seed)
+		if err != nil {
+			fatalf("scheduler load test: %v", err)
+		}
+		bench.SchedTable(pts).Fprint(os.Stdout)
+		fmt.Printf("(wall clock; regenerated in %v)\n", time.Since(start).Round(time.Millisecond))
 	case *saturate:
 		start := time.Now()
 		pts, err := bench.SaturationSweep(*quick)
@@ -193,7 +204,7 @@ func maybeCSV(f *bench.Figure) {
 
 // writeSnapshot builds the metrics snapshot, saves it, and (when a baseline
 // is given) gates on regressions: the CI benchmark-regression pipeline.
-func writeSnapshot(path, baselinePath string, sc bench.Scale, scaleName string, saturate bool) {
+func writeSnapshot(path, baselinePath string, sc bench.Scale, scaleName string, saturate, sched bool) {
 	start := time.Now()
 	snap, err := bench.BuildSnapshot(platform.SparcSunOS, sc, scaleName)
 	if err != nil {
@@ -205,6 +216,13 @@ func writeSnapshot(path, baselinePath string, sc bench.Scale, scaleName string, 
 			fatalf("saturation sweep: %v", err)
 		}
 		snap.Saturation = pts
+	}
+	if sched {
+		pts, err := bench.SchedSweep(scaleName == "quick", sc.Seed)
+		if err != nil {
+			fatalf("scheduler load test: %v", err)
+		}
+		snap.Sched = pts
 	}
 	if err := snap.SaveJSON(path); err != nil {
 		fatalf("saving snapshot: %v", err)

@@ -21,6 +21,7 @@ import (
 	"repro/internal/apps/gauss"
 	"repro/internal/apps/knight"
 	"repro/internal/core"
+	"repro/internal/debugsrv"
 	"repro/internal/sim"
 	"repro/internal/ssi"
 	"repro/internal/transport/tcpnet"
@@ -82,14 +83,14 @@ func main() {
 	}
 
 	cfg := core.Config{RequestTimeout: 30 * sim.Second}
-	var ds *debugServer
+	var ds *debugsrv.Server
 	if *debug != "" {
-		ds, err = startDebugServer(*debug, node.ID(), node.N())
+		ds, err = debugsrv.Start(*debug, debugsrv.Config{Node: node.ID(), N: node.N()})
 		if err != nil {
 			fatalf("debug server: %v", err)
 		}
 		defer ds.Close()
-		cfg.LiveRTT = ds.liveRTT
+		cfg.LiveRTT = ds.LiveRTT()
 		fmt.Printf("node %d: debug server on http://%s/metrics\n", *id, ds.Addr())
 	}
 

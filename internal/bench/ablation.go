@@ -170,7 +170,7 @@ func AblationSharedVsMessage(pl *platform.Platform, maxPE int, seed uint64) (*Fi
 	}
 	variants := []struct {
 		label string
-		run   func(pe *core.PE, p gauss.Params) (*gauss.Result, error)
+		run   func(pe core.Proc, p gauss.Params) (*gauss.Result, error)
 	}{
 		{"DSM", gauss.Parallel},
 		{"message-passing", gauss.ParallelMP},

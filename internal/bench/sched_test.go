@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSchedSweepQuick runs the quick scheduler load test end to end: the
+// burst leg must reach a 1000-deep queue with concurrent residency, every
+// job must drain cleanly, and no cross-namespace violation may occur (the
+// sweep itself errors on any).
+func TestSchedSweepQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test")
+	}
+	pts, err := SchedSweep(true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d legs, want 2", len(pts))
+	}
+	for _, p := range pts {
+		if p.JobsPerSec <= 0 {
+			t.Errorf("leg %s: jobs/s = %v, want > 0", p.Leg, p.JobsPerSec)
+		}
+		if p.Violations != 0 {
+			t.Errorf("leg %s: %d namespace violations", p.Leg, p.Violations)
+		}
+	}
+	if pts[0].MaxQueued < 1000 {
+		t.Errorf("burst max queue = %d, want >= 1000", pts[0].MaxQueued)
+	}
+	var b strings.Builder
+	SchedTable(pts).Fprint(&b)
+	out := b.String()
+	for _, want := range []string{"burst", "poisson", "jobs/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -45,6 +45,12 @@ type Snapshot struct {
 	// above it is wall-clock, so Compare gates it loosely.
 	Saturation []SaturationPoint `json:"saturation,omitempty"`
 
+	// Sched is the multi-job scheduler load test (dsebench -sched), present
+	// only when that flag was given. Wall-clock like Saturation, so Compare
+	// gates throughput by collapse only — but a nonzero violation count is
+	// always a failure.
+	Sched []SchedPoint `json:"sched,omitempty"`
+
 	// ConsistencyTiers is the per-mode gauss ablation (DESIGN.md §14):
 	// message counts and tier-machinery counters for each consistency mode,
 	// deterministic on the simulated transport and gated by Compare like
@@ -557,6 +563,35 @@ func Compare(base, cur *Snapshot) []string {
 			regressions = append(regressions,
 				fmt.Sprintf("saturation %s ops/sec: %.0f -> %.0f (below %.0f%% of baseline)",
 					key, old.OpsPerSec, now.OpsPerSec, 100*saturationFloor))
+		}
+	}
+	// Scheduler load-test legs are wall-clock like saturation points: gate
+	// job throughput by collapse only, skip legs absent from either side.
+	// Namespace violations are not noise at any count — SchedSweep already
+	// refuses to produce a point with violations, but a hand-edited or
+	// corrupted snapshot should fail the gate too.
+	curSched := map[string]*SchedPoint{}
+	for i := range cur.Sched {
+		p := &cur.Sched[i]
+		curSched[schedKey(p)] = p
+	}
+	for i := range cur.Sched {
+		if p := &cur.Sched[i]; p.Violations != 0 {
+			regressions = append(regressions,
+				fmt.Sprintf("sched %s: %d cross-namespace violations", schedKey(p), p.Violations))
+		}
+	}
+	for i := range base.Sched {
+		old := &base.Sched[i]
+		key := schedKey(old)
+		now, ok := curSched[key]
+		if !ok || old.JobsPerSec <= 0 {
+			continue
+		}
+		if now.JobsPerSec < old.JobsPerSec*saturationFloor {
+			regressions = append(regressions,
+				fmt.Sprintf("sched %s jobs/sec: %.0f -> %.0f (below %.0f%% of baseline)",
+					key, old.JobsPerSec, now.JobsPerSec, 100*saturationFloor))
 		}
 	}
 	return regressions

@@ -203,6 +203,12 @@ type Config struct {
 	// tests.
 	FaultIgnoreLeaseExpiry bool
 
+	// Inspect, when non-nil, receives a post-shutdown residue report before
+	// Run returns — the leak oracle scheduler tests assert on: a clean run
+	// leaves no user mailboxes, namespace bindings, parked synchronisation
+	// waiters or namespace blocks behind.
+	Inspect func(Residue)
+
 	// testInspect, when non-nil, is called with the cluster's kernels and
 	// PEs after shutdown but before Run returns — a white-box hook for
 	// package-internal tests (e.g. asserting the user-queue map drained).
@@ -569,6 +575,9 @@ func runSim(cfg *Config, program Program) (*Result, error) {
 	if cfg.recorder != nil {
 		res.History = cfg.recorder.History()
 	}
+	if cfg.Inspect != nil {
+		cfg.Inspect(residueOf(kernels))
+	}
 	if cfg.testInspect != nil {
 		cfg.testInspect(kernels, pes)
 	}
@@ -627,10 +636,58 @@ func runReal(cfg *Config, net realNetwork, program Program) (*Result, error) {
 	if cfg.recorder != nil {
 		res.History = cfg.recorder.History()
 	}
+	if cfg.Inspect != nil {
+		cfg.Inspect(residueOf(kernels))
+	}
 	if cfg.testInspect != nil {
 		cfg.testInspect(kernels, pes)
 	}
 	return res, nil
+}
+
+// Residue is the post-shutdown state report delivered to Config.Inspect:
+// whatever a clean run should have torn down. The scheduler's leak tests
+// assert every field is zero after a full submit/run/teardown cycle.
+type Residue struct {
+	// UserQueues counts user-message mailboxes still registered, summed over
+	// all kernels.
+	UserQueues int
+	// NsBindings counts namespace bindings still installed, over all kernels.
+	NsBindings int
+	// BarrierPend counts arrivals parked in kernel 0's open barrier epochs.
+	BarrierPend int
+	// LockResidue counts held locks plus queued lock waiters at kernel 0.
+	LockResidue int
+	// SemWaiters counts blocked semaphore waiters at kernel 0.
+	SemWaiters int
+	// BlocksIn reports how many blocks of the word region starting at base
+	// and spanning nBlocks blocks are still materialised across all kernels'
+	// segments — the GM-leak gauge for a freed job namespace.
+	BlocksIn func(base uint64, nBlocks int) int
+}
+
+// residueOf collects the Residue report. Runs only after every kernel has
+// quiesced (transports stopped), like collectStats.
+func residueOf(kernels []*Kernel) Residue {
+	r := Residue{}
+	for _, k := range kernels {
+		k.mu.Lock()
+		r.UserQueues += len(k.userq)
+		k.mu.Unlock()
+		r.NsBindings += k.ns.Len()
+	}
+	k0 := kernels[0]
+	r.BarrierPend = k0.barrier.PendingTotal()
+	r.LockResidue = k0.locks.Residue()
+	r.SemWaiters = k0.sems.WaitersTotal()
+	r.BlocksIn = func(base uint64, nBlocks int) int {
+		total := 0
+		for _, k := range kernels {
+			total += k.seg.CountRange(k.space.BlockOf(base), uint64(nBlocks))
+		}
+		return total
+	}
+	return r
 }
 
 // collectStats merges per-kernel and per-PE counters into the result. It

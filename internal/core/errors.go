@@ -47,3 +47,21 @@ type ShutdownError struct {
 func (e *ShutdownError) Error() string {
 	return fmt.Sprintf("core: PE %d: cluster shut down during %s request", e.PE, e.Op)
 }
+
+// NamespaceError reports that a global-memory access touched memory outside
+// the PE's bound namespace (dsesched per-job isolation, DESIGN.md §15). It
+// is raised PE-side when the violation is detectable before leaving the PE,
+// and mapped from the kernel's OpNsNack rejection otherwise — either way
+// the foreign memory is never read or written.
+type NamespaceError struct {
+	PE    int    // requesting PE
+	Op    string // the refused operation
+	Addr  uint64 // offending address
+	Base  uint64 // bound namespace [Base, Limit)
+	Limit uint64
+}
+
+func (e *NamespaceError) Error() string {
+	return fmt.Sprintf("core: PE %d: %s at address %d outside namespace [%d,%d)",
+		e.PE, e.Op, e.Addr, e.Base, e.Limit)
+}

@@ -1,0 +1,169 @@
+package core
+
+// PE-side scheduler API (dsesched, DESIGN.md §15): binding a PE to its
+// job's namespace, the local guard that refuses out-of-namespace accesses
+// before they leave the PE (covering the one-sided window and ring fast
+// paths), the control-plane requests the scheduler uses to install kernel-
+// side bindings and tear a finished job down, and the sized group barrier
+// scheduled jobs synchronise on.
+
+import (
+	"fmt"
+
+	"repro/internal/gmem"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// BindNamespace confines this PE's global-memory operations to the word
+// region [base, limit). The scheduler calls it (on the worker, in app
+// context) before handing the PE to a job; limit 0 would mean unbound, so
+// it is rejected — use ClearNamespace.
+func (pe *PE) BindNamespace(base, limit uint64) {
+	if limit == 0 {
+		panic("core: BindNamespace with zero limit (use ClearNamespace)")
+	}
+	pe.ns = gmem.Region{Base: base, Limit: limit}
+}
+
+// ClearNamespace lifts the confinement installed by BindNamespace.
+func (pe *PE) ClearNamespace() { pe.ns = gmem.Region{} }
+
+// nsCheck is the PE-side namespace guard: when this PE is bound, an access
+// of n words at addr outside the bound region is refused with the typed
+// *NamespaceError before any request (or one-sided window read / ring
+// submission) is issued, and counted as a denial.
+func (pe *PE) nsCheck(op string, addr uint64, n int) error {
+	if pe.ns.Limit == 0 || pe.ns.Contains(addr, n) {
+		return nil
+	}
+	pe.extra.NsDenials++
+	return &NamespaceError{
+		PE: pe.k.id, Op: op, Addr: addr,
+		Base: pe.ns.Base, Limit: pe.ns.Limit,
+	}
+}
+
+// NamespaceBind installs (limit != 0) or clears (limit == 0) PE member's
+// kernel-side namespace binding [base, limit) at every kernel, so the homes
+// themselves reject member's traffic outside the region — the enforcement a
+// forged or corrupted requester cannot bypass.
+func (pe *PE) NamespaceBind(member int, base, limit uint64) error {
+	for dst := 0; dst < pe.k.n; dst++ {
+		req := wire.GetMessage()
+		req.Op, req.Addr = wire.OpNsBind, base
+		req.Arg1, req.Arg2 = int64(member), int64(limit)
+		resp, err := pe.requestErr(dst, req)
+		wire.PutMessage(req)
+		if err != nil {
+			return err
+		}
+		wire.PutMessage(resp)
+	}
+	return nil
+}
+
+// NamespaceFree drops every materialised block of the word region starting
+// at base and spanning nBlocks blocks, at every kernel, returning the total
+// number of blocks released — namespace teardown, before the scheduler
+// re-carves the region for the next job.
+func (pe *PE) NamespaceFree(base uint64, nBlocks int) (int, error) {
+	total := 0
+	for dst := 0; dst < pe.k.n; dst++ {
+		req := wire.GetMessage()
+		req.Op, req.Addr, req.Arg1 = wire.OpNsFree, base, int64(nBlocks)
+		resp, err := pe.requestErr(dst, req)
+		wire.PutMessage(req)
+		if err != nil {
+			return total, err
+		}
+		total += int(resp.Arg1)
+		wire.PutMessage(resp)
+	}
+	return total, nil
+}
+
+// JobPurge releases a finished job's message and synchronisation residue
+// cluster-wide: every user-message mailbox with tag in [tagLo, tagLo+n) is
+// closed at every kernel, and kernel 0 drops the same id range from the
+// central barrier, lock and semaphore managers.
+func (pe *PE) JobPurge(tagLo, n int32) error {
+	for dst := 0; dst < pe.k.n; dst++ {
+		req := wire.GetMessage()
+		req.Op, req.Tag, req.Arg1 = wire.OpJobPurge, tagLo, int64(n)
+		resp, err := pe.requestErr(dst, req)
+		wire.PutMessage(req)
+		if err != nil {
+			return err
+		}
+		wire.PutMessage(resp)
+	}
+	return nil
+}
+
+// EndJob drops this PE's local residue of a finished (or aborted) job over
+// the word region [base, limit): recorded consistency modes, buffered
+// release-mode writes that would otherwise flush into a freed region, and
+// cached leases. The worker calls it after the job's program returns,
+// before the scheduler unbinds and frees the namespace.
+func (pe *PE) EndJob(base, limit uint64) {
+	pe.modes.Clear(base, limit)
+	if pe.wc.Len() > 0 {
+		pe.fl = pe.fl[:0]
+		pe.flv = pe.flv[:0]
+		pe.wc.Drain(func(a uint64, v int64) {
+			if a < base || a >= limit {
+				pe.fl = append(pe.fl, a)
+				pe.flv = append(pe.flv, v)
+			}
+		})
+		for i, a := range pe.fl {
+			pe.wc.Put(a, pe.flv[i])
+		}
+	}
+	pe.clearLeases()
+}
+
+// RecvMsgTimeout is RecvMsg with a bounded wait: ok is false when d expires
+// or the cluster shuts down before a message with tag arrives. The
+// scheduler's control loops poll with it, so an idle worker can interleave
+// waiting for work with checking for shutdown.
+func (pe *PE) RecvMsgTimeout(tag int32, d sim.Duration) (src int, payload []byte, ok bool) {
+	pe.legacyCrossing()
+	mb := pe.k.userMb(tag)
+	start := pe.app.Now()
+	m, took, _ := mb.TakeTimeout(d)
+	pe.extra.WaitTime += pe.app.Now() - start
+	if !took {
+		return 0, nil, false
+	}
+	return int(m.Src), m.Data, true
+}
+
+// barrierSized arrives at barrier id on behalf of a size-member group
+// (dsesched gang synchronisation). Sized arrivals always run through kernel
+// 0's central manager — a subset of PEs cannot complete the combining tree —
+// and their releases carry the size, which is what routes them to the
+// arriving PE's sync mailbox even when the cluster runs tree barriers. The
+// release/acquire edges match BarrierID's.
+func (pe *PE) barrierSized(id int32, size int) {
+	pe.legacyCrossing()
+	k := pe.k
+	pe.extra.Barriers++
+	start := pe.app.Now()
+	pe.flushWC(start)
+	arrive := wire.GetMessage()
+	arrive.Op, arrive.Src, arrive.Dst, arrive.Tag = wire.OpBarrierArrive, int32(k.id), 0, id
+	arrive.Arg2 = int64(size)
+	pe.app.Send(0, arrive)
+	wire.PutMessage(arrive)
+	m := pe.takeSync()
+	if m.Op != wire.OpBarrierRelease || m.Tag != id {
+		panic(fmt.Sprintf("core: PE %d: expected barrier %d release, got %v", k.id, id, m))
+	}
+	wire.PutMessage(m)
+	end := pe.app.Now()
+	pe.extra.WaitTime += end - start
+	pe.extra.BarrierWait.Observe(end - start)
+	pe.clearLeases()
+}

@@ -80,6 +80,12 @@ type Kernel struct {
 	grantBusyMember int
 	grantBusyGen    uint64
 
+	// ns holds this kernel's namespace bindings (dsesched per-job GM
+	// isolation): requester PE → bound region. The serial loop installs
+	// bindings (OpNsBind); shard workers and the co-located PE's one-sided
+	// paths look them up lock-free on every GM access.
+	ns *gmem.NSRegistry
+
 	// Central managers, present at kernel 0 only.
 	barrier *psync.BarrierManager
 	locks   *psync.LockManager
@@ -315,6 +321,7 @@ func newKernel(id int, node transport.Node, cfg *Config) *Kernel {
 		deadFlags: make([]atomic.Bool, cfg.NumPE),
 		dedup:     newDedupTable(),
 		spans:     cfg.Tracing.NewRing(),
+		ns:        gmem.NewNSRegistry(),
 
 		dir:             gmem.NewDirectory(cfg.NumPE, cfg.LatentPEs),
 		escrow:          make(map[uint64]escrowEntry),
@@ -618,7 +625,8 @@ func (k *Kernel) handle(m *wire.Message) bool {
 		wire.OpPong, wire.OpWelcome,
 		wire.OpMigrateStartResp, wire.OpMigrateInstallResp, wire.OpMigrateCommitResp,
 		wire.OpMigrateNack, wire.OpJoinResp, wire.OpLeaveResp, wire.OpEpochUpdateResp,
-		wire.OpReadLeaseResp:
+		wire.OpReadLeaseResp,
+		wire.OpNsBindAck, wire.OpNsFreeAck, wire.OpNsNack, wire.OpJobPurgeAck:
 		if mb, ok := k.takePending(m.Seq); ok {
 			mb.Put(m)
 			return false
@@ -732,6 +740,17 @@ func (k *Kernel) handle(m *wire.Message) bool {
 	case wire.OpEpochUpdate:
 		k.handleEpochUpdate(m)
 
+	// Scheduler namespaces (dsesched): bind/unbind a requester's region,
+	// free a namespace's homed blocks, purge a finished job's residue. All
+	// idempotent (bind overwrites, free/purge of nothing is a no-op), so no
+	// dedup window is needed; all serial-loop (free fences the shards).
+	case wire.OpNsBind:
+		k.handleNsBind(m)
+	case wire.OpNsFree:
+		k.handleNsFree(m)
+	case wire.OpJobPurge:
+		k.handleJobPurge(m)
+
 	// Liveness.
 	case wire.OpPing:
 		resp := wire.GetMessage()
@@ -780,9 +799,14 @@ func (k *Kernel) reply(m *wire.Message, resp *wire.Message) {
 	wire.PutMessage(resp)
 }
 
-// handleBarrierArrive implements both barrier flavours.
+// handleBarrierArrive implements both barrier flavours. Sized arrivals
+// (Arg2 != 0: job-group barriers over a PE subset) are always central —
+// the tree combines whole-cluster counts and cannot complete a subset — so
+// they take the kernel-0 path even under BarrierTree, and their releases
+// carry the size so the receiving kernel routes them straight to its
+// application instead of down a tree.
 func (k *Kernel) handleBarrierArrive(m *wire.Message) {
-	if k.cfg.Barrier == BarrierTree {
+	if k.cfg.Barrier == BarrierTree && m.Arg2 == 0 {
 		if k.tree.Arrive(m.Tag) {
 			if parent, ok := k.tree.Parent(); ok {
 				k.sendTo(parent, wire.OpBarrierArrive, m.Tag)
@@ -796,9 +820,13 @@ func (k *Kernel) handleBarrierArrive(m *wire.Message) {
 	if k.id != 0 {
 		panic(fmt.Sprintf("core: kernel %d received central barrier arrive", k.id))
 	}
-	if waiters := k.barrier.Arrive(int(m.Src), m.Tag); waiters != nil {
+	if waiters := k.barrier.ArriveSized(int(m.Src), m.Tag, int(m.Arg2)); waiters != nil {
 		for _, w := range waiters {
-			k.sendTo(w, wire.OpBarrierRelease, m.Tag)
+			rel := wire.GetMessage()
+			rel.Op, rel.Src, rel.Dst = wire.OpBarrierRelease, int32(k.id), int32(w)
+			rel.Tag, rel.Arg2 = m.Tag, m.Arg2
+			k.svc.Send(w, rel)
+			wire.PutMessage(rel)
 		}
 	}
 }
@@ -806,9 +834,10 @@ func (k *Kernel) handleBarrierArrive(m *wire.Message) {
 // handleBarrierRelease wakes the local application and, for the tree
 // barrier, forwards the release to this kernel's subtree. It reports
 // whether the message was consumed (central releases move to the sync
-// mailbox instead).
+// mailbox instead). Sized releases (job-group barriers) are central by
+// construction and never forwarded down a tree.
 func (k *Kernel) handleBarrierRelease(m *wire.Message) bool {
-	if k.cfg.Barrier == BarrierTree {
+	if k.cfg.Barrier == BarrierTree && m.Arg2 == 0 {
 		k.releaseDown(m.Tag)
 		return true
 	}

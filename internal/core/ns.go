@@ -1,0 +1,143 @@
+package core
+
+// Kernel-side namespace support for the dsesched multi-job scheduler
+// (DESIGN.md §15): binding a requester PE to its job's region, rejecting
+// bound traffic that strays outside it with the typed OpNsNack, freeing a
+// namespace's homed blocks at teardown, and purging a finished job's
+// message/sync residue.
+
+import (
+	"repro/internal/gmem"
+	"repro/internal/wire"
+)
+
+// handleNsBind installs (Arg2 != 0) or removes (Arg2 == 0) the namespace
+// binding of requester PE Arg1: the word region [Addr, Arg2). Idempotent —
+// a rebind overwrites — so no dedup window is needed. Serial loop only; no
+// shard fence is required because shard workers read the registry through
+// an atomic snapshot, and the scheduler binds before the job's first GM
+// access and unbinds after its last.
+func (k *Kernel) handleNsBind(m *wire.Message) {
+	pe := int(m.Arg1)
+	if m.Arg2 == 0 {
+		k.ns.Unbind(pe)
+	} else {
+		k.ns.Bind(pe, gmem.Region{Base: m.Addr, Limit: uint64(m.Arg2)})
+	}
+	resp := wire.GetMessage()
+	resp.Op = wire.OpNsBindAck
+	k.reply(m, resp)
+}
+
+// handleNsFree drops every materialised block this kernel homes inside
+// [Addr, Addr + Arg1*BlockWords): namespace teardown, so a finished job's
+// data is released before the region is re-carved for the next job. The
+// shard fence drains in-flight service (and the submission rings) first, so
+// no write queued before the free can re-materialise a dropped block.
+func (k *Kernel) handleNsFree(m *wire.Message) {
+	dropped := 0
+	if m.Arg1 > 0 {
+		k.fenceShards()
+		dropped = k.seg.DropRange(k.space.BlockOf(m.Addr), uint64(m.Arg1))
+	}
+	resp := wire.GetMessage()
+	resp.Op, resp.Arg1 = wire.OpNsFreeAck, int64(dropped)
+	k.reply(m, resp)
+}
+
+// handleJobPurge releases a finished job's residue at this kernel: every
+// user-message mailbox whose tag lies in [Tag, Tag+Arg1) is closed and
+// forgotten (waking any straggling RecvMsg), and kernel 0 additionally
+// drops the same id range from the central barrier/lock/semaphore managers
+// — a cancelled job's members may have died mid-barrier or holding a lock,
+// and a later job reusing the id range must find it clean.
+func (k *Kernel) handleJobPurge(m *wire.Message) {
+	if n := int32(m.Arg1); n > 0 {
+		lo, hi := m.Tag, m.Tag+n
+		k.mu.Lock()
+		for tag, mb := range k.userq {
+			if tag >= lo && tag < hi {
+				mb.Close()
+				delete(k.userq, tag)
+			}
+		}
+		k.mu.Unlock()
+		if k.id == 0 {
+			k.barrier.DropRange(lo, hi)
+			k.locks.DropRange(lo, hi)
+			k.sems.DropRange(lo, hi)
+		}
+	}
+	resp := wire.GetMessage()
+	resp.Op = wire.OpJobPurgeAck
+	k.reply(m, resp)
+}
+
+// nsDeny enforces per-job namespace isolation at the home: if the requester
+// is bound to a region, every address the request touches is scanned (the
+// same per-op walk as nackIfForeign, with the same corrupt-count clamp) and
+// a request straying outside the region is rejected whole with the typed
+// OpNsNack — before any read or write, so a forged address can never reach
+// another job's blocks, and all-or-nothing so no partial mutation lands.
+// Runs after the dedup check (a retry of an applied mutation must still be
+// absorbed) and before the migration scan (a violation is terminal; there
+// is nothing to redirect).
+func (sh *kernelShard) nsDeny(m *wire.Message) bool {
+	k := sh.k
+	region, bound := k.ns.Lookup(int(m.Src))
+	if !bound {
+		return false
+	}
+	violation := false
+	bw := k.space.BlockWords
+	scan := func(addr uint64, count int) {
+		if count < 1 {
+			count = 1
+		}
+		if count > bw {
+			count = bw // corrupt-count clamp, as in nackIfForeign
+		}
+		if !region.Contains(addr, count) {
+			violation = true
+		}
+	}
+	switch m.Op {
+	case wire.OpRead:
+		n := int(m.Arg1)
+		if m.Arg2 == 1 {
+			n = 1 // block fetch: one block
+		}
+		scan(m.Addr, n)
+	case wire.OpWrite:
+		scan(m.Addr, len(m.Data)/8)
+	case wire.OpFetchAdd, wire.OpCAS, wire.OpReadLease:
+		scan(m.Addr, 1)
+	case wire.OpReadV:
+		if m.EachRange(scan) != nil {
+			return false // corrupt payload: the op handler counts and drops it
+		}
+	case wire.OpWriteV, wire.OpFlushV:
+		if m.EachRunHeader(scan) != nil {
+			return false
+		}
+	default:
+		return false // invalidation traffic is not requester-addressed
+	}
+	if !violation {
+		return false
+	}
+	// Forget the in-progress dedup entry the lookup registered: the NACK is
+	// side-effect-free and simply recomputed on a retry, while a cached one
+	// would outlive a rebind that later legitimises the address range.
+	if isMutating(m.Op) {
+		sh.dedup.forget(m.Src, m.Seq)
+	}
+	sh.extra.NsViolations++
+	resp := wire.GetMessage()
+	resp.Op = wire.OpNsNack
+	resp.Arg1, resp.Arg2 = int64(region.Base), int64(region.Limit)
+	resp.Src, resp.Dst, resp.Seq = int32(k.id), m.Src, m.Seq
+	k.svc.Send(int(m.Src), resp)
+	wire.PutMessage(resp)
+	return true
+}

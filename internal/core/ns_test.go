@@ -1,0 +1,210 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/gmem"
+)
+
+// Namespace-isolation enforcement tests (DESIGN.md §15): a PE bound to a
+// job namespace must not be able to touch memory outside it on any path —
+// the two-sided message path (kernel-side typed NACK), and the one-sided
+// window-read and ring-write fast paths (PE-side guard, plus the home's
+// ring-drain filter as defense in depth against a forged producer).
+
+// TestNamespaceKernelEnforcement exercises the kernel-side check alone: the
+// scheduler installs PE 1's binding at every kernel, but PE 1 itself stays
+// unbound PE-side — the "forged requester" a compromised PE guard would
+// produce. Every out-of-region request must come back as the typed
+// *NamespaceError carrying the bound region, and be counted as a kernel
+// violation. Windows and rings are forced off so every access takes the
+// message path.
+func TestNamespaceKernelEnforcement(t *testing.T) {
+	const bw = 32
+	// PE 1's namespace: blocks 8..12, words [256, 384).
+	region := gmem.Region{Base: 8 * bw, Limit: 12 * bw}
+	outside := uint64(2 * bw) // block 2, homed at kernel 0: remote for PE 1
+	prog := func(pe *PE) error {
+		if pe.ID() == 0 {
+			if err := pe.NamespaceBind(1, region.Base, region.Limit); err != nil {
+				return err
+			}
+			pe.Barrier()
+			pe.Barrier()
+			return pe.NamespaceBind(1, 0, 0)
+		}
+		pe.Barrier()
+		check := func(op string, err error) {
+			var nsErr *NamespaceError
+			if !errors.As(err, &nsErr) {
+				t.Errorf("%s outside namespace: got %v, want *NamespaceError", op, err)
+				return
+			}
+			if nsErr.Base != region.Base || nsErr.Limit != region.Limit {
+				t.Errorf("%s: error region [%d,%d), want [%d,%d)",
+					op, nsErr.Base, nsErr.Limit, region.Base, region.Limit)
+			}
+		}
+		_, err := pe.GMReadErr(outside)
+		check("read", err)
+		check("write", pe.GMWriteErr(outside, 7))
+		_, err = pe.FetchAddErr(outside, 1)
+		check("fetch-add", err)
+		_, _, err = pe.CASErr(outside, 0, 1)
+		check("cas", err)
+		// Inside the region every operation works.
+		if err := pe.GMWriteErr(region.Base, 42); err != nil {
+			return err
+		}
+		if v, err := pe.GMReadErr(region.Base); err != nil || v != 42 {
+			t.Errorf("in-region read = %d, %v, want 42", v, err)
+		}
+		pe.Barrier()
+		return nil
+	}
+	res, err := Run(Config{
+		NumPE: 2, Transport: TransportInproc,
+		KernelShards: 1, DirectReads: -1, WriteRings: -1,
+	}, prog)
+	if err != nil || res.FirstErr() != nil {
+		t.Fatal(err, res.FirstErr())
+	}
+	if res.Total.NsViolations < 4 {
+		t.Errorf("kernel NsViolations = %d, want >= 4", res.Total.NsViolations)
+	}
+	if res.Total.NsDenials != 0 {
+		t.Errorf("PE-side NsDenials = %d, want 0 (PE guard was never installed)", res.Total.NsDenials)
+	}
+}
+
+// TestNamespacePEGuardOneSidedPaths exercises the PE-side guard with the
+// one-sided fast paths on: a window read or ring write of memory outside
+// the bound region must be refused with the typed error before anything is
+// read from the window or published into a ring, and counted as a denial.
+// In-region traffic keeps flowing through the fast paths.
+func TestNamespacePEGuardOneSidedPaths(t *testing.T) {
+	const bw = 32
+	region := gmem.Region{Base: 8 * bw, Limit: 16 * bw}
+	outside := uint64(2 * bw) // homed at kernel 0: remote, window/ring territory
+	prog := func(pe *PE) error {
+		if pe.ID() != 1 {
+			pe.Barrier()
+			pe.Barrier()
+			return nil
+		}
+		pe.Barrier()
+		pe.BindNamespace(region.Base, region.Limit)
+		var nsErr *NamespaceError
+		if _, err := pe.GMReadErr(outside); !errors.As(err, &nsErr) {
+			t.Errorf("window read outside namespace: got %v, want *NamespaceError", err)
+		}
+		if err := pe.GMWriteErr(outside, 7); !errors.As(err, &nsErr) {
+			t.Errorf("ring write outside namespace: got %v, want *NamespaceError", err)
+		}
+		// Block/gather tiers panic with the same typed value.
+		func() {
+			defer func() {
+				r := recover()
+				err, ok := r.(error)
+				if !ok || !errors.As(err, &nsErr) {
+					t.Errorf("block read outside namespace: panic %v, want *NamespaceError", r)
+				}
+			}()
+			pe.GMReadBlock(outside, 4)
+		}()
+		func() {
+			defer func() {
+				r := recover()
+				err, ok := r.(error)
+				if !ok || !errors.As(err, &nsErr) {
+					t.Errorf("gather outside namespace: panic %v, want *NamespaceError", r)
+				}
+			}()
+			pe.GMGather([]uint64{region.Base, outside})
+		}()
+		// In-region traffic still flows through the one-sided paths.
+		for i := uint64(0); i < 8; i++ {
+			pe.GMWrite(region.Base+i, int64(i+1))
+		}
+		for i := uint64(0); i < 8; i++ {
+			if v := pe.GMRead(region.Base + i); v != int64(i+1) {
+				t.Errorf("in-region word %d = %d", i, v)
+			}
+		}
+		pe.ClearNamespace()
+		pe.Barrier()
+		return nil
+	}
+	res, err := Run(Config{
+		NumPE: 2, Transport: TransportInproc,
+		KernelShards: 2, DirectReads: 1,
+	}, prog)
+	if err != nil || res.FirstErr() != nil {
+		t.Fatal(err, res.FirstErr())
+	}
+	if res.Total.NsDenials < 4 {
+		t.Errorf("PE-side NsDenials = %d, want >= 4", res.Total.NsDenials)
+	}
+	if res.Total.NsViolations != 0 {
+		t.Errorf("kernel NsViolations = %d, want 0 (nothing escaped the PE guard)", res.Total.NsViolations)
+	}
+	if res.Total.RingGM == 0 {
+		t.Error("no ring writes: the one-sided write path never engaged")
+	}
+}
+
+// TestNamespaceRingDrainFilter exercises the home's ring-drain filter: a
+// forged producer (kernel-side binding installed, PE-side guard absent)
+// publishes an out-of-region write straight into the home's submission
+// ring. The drain must drop it unapplied and count a kernel violation — the
+// target word stays untouched.
+func TestNamespaceRingDrainFilter(t *testing.T) {
+	const bw = 32
+	region := gmem.Region{Base: 8 * bw, Limit: 12 * bw}
+	outside := uint64(2 * bw) // block 2, homed at kernel 0
+	prog := func(pe *PE) error {
+		switch pe.ID() {
+		case 0:
+			if err := pe.NamespaceBind(1, region.Base, region.Limit); err != nil {
+				return err
+			}
+			pe.Barrier() // binding installed
+			pe.Barrier() // forged write attempted
+			if v := pe.GMRead(outside); v != 0 {
+				t.Errorf("forged ring write landed: word = %d, want 0", v)
+			}
+			pe.Barrier()
+			return pe.NamespaceBind(1, 0, 0)
+		case 1:
+			pe.Barrier()
+			// PE-side unbound: the write reaches the home's ring and must
+			// be dropped by the drain filter (no error surfaces on this
+			// defense-in-depth path — the PE guard is the error surface).
+			if err := pe.GMWriteErr(outside, 99); err != nil {
+				var nsErr *NamespaceError
+				if !errors.As(err, &nsErr) {
+					return err
+				}
+			}
+			pe.Barrier()
+			pe.Barrier()
+			return nil
+		default:
+			pe.Barrier()
+			pe.Barrier()
+			pe.Barrier()
+			return nil
+		}
+	}
+	res, err := Run(Config{
+		NumPE: 2, Transport: TransportInproc,
+		KernelShards: 2, DirectReads: 1,
+	}, prog)
+	if err != nil || res.FirstErr() != nil {
+		t.Fatal(err, res.FirstErr())
+	}
+	if res.Total.NsViolations < 1 {
+		t.Errorf("kernel NsViolations = %d, want >= 1 (ring drain or message NACK)", res.Total.NsViolations)
+	}
+}

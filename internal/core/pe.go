@@ -48,6 +48,14 @@ type PE struct {
 	wc     *gmem.WCBuf
 	leases map[uint64]*leaseEntry // keyed by block base address
 
+	// ns, when Limit != 0, confines every global-memory operation to the job
+	// namespace the scheduler bound this PE to (dsesched, DESIGN.md §15).
+	// Checked before a request leaves the PE, which is what covers the
+	// one-sided window and ring fast paths with the same guard as the
+	// message path; the home kernel independently re-checks arriving
+	// messages against its own registry (kernelShard.nsDeny).
+	ns gmem.Region
+
 	// Scratch reused across calls by the hot-path operations.
 	words []int64   // decoded response payloads
 	vruns []vrun    // home-runs of the block/gather being assembled
@@ -273,6 +281,19 @@ func (pe *PE) requestSeqErr(dst int, m *wire.Message, seq uint64) (*wire.Message
 			m.Flags |= wire.FlagRetry
 			continue
 		}
+		if err == nil && resp.Op == wire.OpNsNack {
+			// The home rejected the request whole: it strayed outside the
+			// requester's bound namespace (the kernel counted the violation).
+			// Surface the typed error so the job aborts instead of ever
+			// touching foreign memory.
+			nsErr := &NamespaceError{
+				PE: k.id, Op: m.Op.String(), Addr: m.Addr,
+				Base: uint64(resp.Arg1), Limit: uint64(resp.Arg2),
+			}
+			wire.PutMessage(resp)
+			pe.extra.WaitTime += pe.app.Now() - start
+			return nil, nsErr
+		}
 		if err == nil {
 			now := pe.app.Now()
 			rtt := now - start
@@ -372,6 +393,9 @@ func (pe *PE) GMRead(addr uint64) int64 {
 // buffer first (read-your-writes between sync edges), lease words are
 // served from time-bounded block leases.
 func (pe *PE) GMReadErr(addr uint64) (int64, error) {
+	if err := pe.nsCheck("read", addr, 1); err != nil {
+		return 0, err
+	}
 	pe.legacyCrossing()
 	switch pe.modes.Lookup(addr) {
 	case gmem.ModeRelease:
@@ -688,6 +712,9 @@ func (pe *PE) ringWrite(home int, addr uint64, v int64) (ringStatus, uint64) {
 // the PE's write-combining buffer (published at the next sync edge), every
 // other mode runs the home-served strong protocol.
 func (pe *PE) GMWriteErr(addr uint64, v int64) error {
+	if err := pe.nsCheck("write", addr, 1); err != nil {
+		return err
+	}
 	pe.legacyCrossing()
 	switch pe.modes.Lookup(addr) {
 	case gmem.ModeRelease:
@@ -805,6 +832,9 @@ func (pe *PE) FetchAdd(addr uint64, delta int64) int64 {
 // that slips past a lost reply is absorbed by the home's dedup window, so
 // the addition is applied exactly once even under retransmission.
 func (pe *PE) FetchAddErr(addr uint64, delta int64) (int64, error) {
+	if err := pe.nsCheck("fetch-add", addr, 1); err != nil {
+		return 0, err
+	}
 	pe.legacyCrossing()
 	k := pe.k
 	// Atomics always run the strong protocol at the home; the tag only marks
@@ -861,6 +891,9 @@ func (pe *PE) CAS(addr uint64, old, new int64) (int64, bool) {
 // CASErr is CAS with request failures surfaced as errors; like FetchAddErr
 // it stays exactly-once under retransmission.
 func (pe *PE) CASErr(addr uint64, old, new int64) (int64, bool, error) {
+	if err := pe.nsCheck("cas", addr, 1); err != nil {
+		return 0, false, err
+	}
 	pe.legacyCrossing()
 	k := pe.k
 	// Strong protocol regardless of mode, like FetchAddErr.
@@ -1161,6 +1194,9 @@ func (pe *PE) findReq(seq uint64) *homeReq {
 // pipelined. Block reads bypass the read cache (they are always served
 // fresh by the homes).
 func (pe *PE) GMReadBlock(addr uint64, n int) []int64 {
+	if err := pe.nsCheck("read-block", addr, n); err != nil {
+		panic(err)
+	}
 	pe.legacyCrossing()
 	out := make([]int64, n)
 	if m, uni := pe.modes.Uniform(addr, n); uni {
@@ -1344,6 +1380,9 @@ func (pe *PE) completeBlock(first, n int) {
 // runs homed at one kernel travel in a single (vectored, if more than one
 // run) request, and the per-home requests are pipelined.
 func (pe *PE) GMWriteBlock(addr uint64, words []int64) {
+	if err := pe.nsCheck("write-block", addr, len(words)); err != nil {
+		panic(err)
+	}
 	pe.legacyCrossing()
 	if m, uni := pe.modes.Uniform(addr, len(words)); uni {
 		pe.writeBlockRange(addr, words, uint8(m))
@@ -1433,6 +1472,14 @@ func (pe *PE) writeBlockRange(addr uint64, words []int64, mode uint8) {
 // cache. The fine-grained-access aggregation standard in user-level DSMs:
 // one message per home instead of one per word.
 func (pe *PE) GMGather(addrs []uint64) []int64 {
+	if pe.ns.Limit != 0 {
+		// All-or-nothing up front, like the kernel-side scan.
+		for _, a := range addrs {
+			if err := pe.nsCheck("gather", a, 1); err != nil {
+				panic(err)
+			}
+		}
+	}
 	if pe.nonStrongMode(addrs) {
 		// Rare mixed-mode gather: serve each address through its mode's
 		// scalar path (WC overlay, leases) at the cost of aggregation.
@@ -1541,6 +1588,13 @@ func (pe *PE) beginScatter(addrs []uint64, vals []int64) int {
 func (pe *PE) GMScatter(addrs []uint64, vals []int64) {
 	if len(addrs) != len(vals) {
 		panic("core: GMScatter length mismatch")
+	}
+	if pe.ns.Limit != 0 {
+		for _, a := range addrs {
+			if err := pe.nsCheck("scatter", a, 1); err != nil {
+				panic(err)
+			}
+		}
 	}
 	if pe.nonStrongMode(addrs) {
 		// Mixed-mode scatter: each element through its mode's scalar path.

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"repro/internal/gmem"
+	"repro/internal/sim"
+)
+
+// Proc is the Parallel-API surface application kernels program against: the
+// methods shared by a whole-cluster *PE and a scheduled job's *JobPE. An
+// application written against Proc runs unchanged as a standalone cluster
+// program or as a dsesched job — under a JobPE, ID/N are job ranks, memory
+// comes from the job's quota-bounded namespace, and synchronisation ids,
+// tags and collectives are private to the job's gang.
+type Proc interface {
+	// Identity and environment.
+	ID() int
+	N() int
+	Hostname() string
+	GPID() int64
+	Now() sim.Time
+	Compute(ops float64)
+	Space() gmem.Space
+
+	// Allocation.
+	Alloc(n int) uint64
+	AllocBlocks(n int) uint64
+	AllocMode(n int, m gmem.Mode) uint64
+	AllocBlocksMode(n int, m gmem.Mode) uint64
+
+	// Global memory.
+	GMRead(addr uint64) int64
+	GMWrite(addr uint64, v int64)
+	GMReadF(addr uint64) float64
+	GMWriteF(addr uint64, v float64)
+	GMReadBlock(addr uint64, n int) []int64
+	GMWriteBlock(addr uint64, words []int64)
+	GMReadBlockF(addr uint64, n int) []float64
+	GMWriteBlockF(addr uint64, vs []float64)
+	GMGather(addrs []uint64) []int64
+	GMScatter(addrs []uint64, vals []int64)
+	FetchAdd(addr uint64, delta int64) int64
+	CAS(addr uint64, old, new int64) (int64, bool)
+
+	// Synchronisation.
+	Barrier()
+	BarrierID(id int32)
+	Lock(id int32)
+	Unlock(id int32)
+	SemWait(id int32)
+	SemPost(id int32)
+	AllReduceF(x float64, op func(a, b float64) float64) float64
+	AllReduceSum(x float64) float64
+	AllReduceMax(x float64) float64
+
+	// Messages.
+	SendMsg(dst int, tag int32, payload []byte)
+	RecvMsg(tag int32) (src int, payload []byte)
+}
+
+var (
+	_ Proc = (*PE)(nil)
+	_ Proc = (*JobPE)(nil)
+)

@@ -211,6 +211,16 @@ func (sh *kernelShard) drainRing() int {
 			sh.extra.DupRequests++
 			continue
 		}
+		// Namespace filter (defense in depth: the producer's PE-side guard
+		// refuses out-of-region ring writes before publishing, so only a
+		// forged publish reaches here). The write is dropped unapplied and
+		// leaves no dedup record — a message-path retry of the same seq gets
+		// the typed OpNsNack from nsDeny instead of a silent absorb.
+		if region, bound := k.ns.Lookup(int(w.Src)); bound && !region.Contains(w.Addr, 1) {
+			sh.dedup.forget(w.Src, w.Seq)
+			sh.extra.NsViolations++
+			continue
+		}
 		fresh = append(fresh, w)
 	}
 	sh.k.seg.ApplyWrites(fresh)
@@ -290,6 +300,9 @@ func (sh *kernelShard) handleGM(m *wire.Message) {
 		// answered from the cached response instead of being NACKed toward
 		// the new home and applied a second time there.
 		return
+	}
+	if sh.nsDeny(m) {
+		return // outside the requester's namespace: typed rejection sent
 	}
 	if sh.nackIfForeign(m) {
 		return // block migrated away: requester redirects to the hinted home

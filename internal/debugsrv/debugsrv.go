@@ -1,4 +1,12 @@
-package main
+// Package debugsrv is the node debug endpoint shared by the dsenode and
+// dsesched binaries: a JSON metrics snapshot at /metrics and the standard
+// pprof handlers under /debug/pprof/. It reads the shared live round-trip
+// histogram while the node is still running — the concurrency the
+// trace.Histogram atomics exist for — and, when a scheduler is attached,
+// folds its queue-depth/utilization gauges and per-job rows into the same
+// document, so one endpoint answers "what is this node doing" for both
+// single-program and multi-job operation.
+package debugsrv
 
 import (
 	"encoding/json"
@@ -10,19 +18,29 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/ssi"
 	"repro/internal/trace"
 )
 
 // metricsSchemaVersion versions the /metrics JSON document.
 const metricsSchemaVersion = 1
 
-// debugServer serves live node observability over HTTP: a JSON metrics
-// snapshot at /metrics and the standard pprof handlers under /debug/pprof/.
-// It reads the shared live round-trip histogram while the node is still
-// running — the concurrency the trace.Histogram atomics exist for.
-type debugServer struct {
-	node    int
-	n       int
+// Config attaches optional sources to the endpoint.
+type Config struct {
+	// Node and N identify this kernel and the cluster size.
+	Node, N int
+	// Sched, when non-nil, is called per request for the scheduler's gauge
+	// snapshot (queue depth, utilization, throughput — any JSON-encodable
+	// value); it appears under "sched" in the document.
+	Sched func() interface{}
+	// Jobs, when non-nil, supplies the scheduler's per-job rows (the SSI
+	// process-table view of multi-job operation) under "jobs".
+	Jobs ssi.JobSource
+}
+
+// Server serves live node observability over HTTP.
+type Server struct {
+	cfg     Config
 	start   time.Time
 	liveRTT *trace.Histogram // shared with every PE via core.Config.LiveRTT
 
@@ -34,15 +52,14 @@ type debugServer struct {
 	srv *http.Server
 }
 
-// startDebugServer listens on addr and serves /metrics and /debug/pprof/.
-func startDebugServer(addr string, nodeID, n int) (*debugServer, error) {
+// Start listens on addr and serves /metrics and /debug/pprof/.
+func Start(addr string, cfg Config) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	ds := &debugServer{
-		node:    nodeID,
-		n:       n,
+	ds := &Server{
+		cfg:     cfg,
 		start:   time.Now(),
 		liveRTT: &trace.Histogram{},
 		state:   "running",
@@ -61,10 +78,14 @@ func startDebugServer(addr string, nodeID, n int) (*debugServer, error) {
 }
 
 // Addr is the bound listen address (resolves ":0" requests).
-func (ds *debugServer) Addr() string { return ds.ln.Addr().String() }
+func (ds *Server) Addr() string { return ds.ln.Addr().String() }
+
+// LiveRTT is the histogram to share with the cluster via
+// core.Config.LiveRTT; /metrics reads it while the run is live.
+func (ds *Server) LiveRTT() *trace.Histogram { return ds.liveRTT }
 
 // Finish records the completed run; /metrics switches to the final totals.
-func (ds *debugServer) Finish(res *core.Result) {
+func (ds *Server) Finish(res *core.Result) {
 	ds.mu.Lock()
 	ds.state = "done"
 	ds.final = res
@@ -72,7 +93,7 @@ func (ds *debugServer) Finish(res *core.Result) {
 }
 
 // Close stops serving.
-func (ds *debugServer) Close() { ds.srv.Close() }
+func (ds *Server) Close() { ds.srv.Close() }
 
 // latencyJSON is a latency distribution in microseconds.
 type latencyJSON struct {
@@ -106,6 +127,11 @@ type metricsJSON struct {
 	UptimeSeconds float64     `json:"uptime_seconds"`
 	RTTUS         latencyJSON `json:"rtt_us"`
 
+	// Scheduler gauges and per-job rows, present when a scheduler is
+	// attached (dsesched).
+	Sched interface{}  `json:"sched,omitempty"`
+	Jobs  []ssi.JobRow `json:"jobs,omitempty"`
+
 	// Final run totals, present once State is "done".
 	ElapsedUS    int64  `json:"elapsed_us,omitempty"`
 	MsgsSent     uint64 `json:"msgs_sent,omitempty"`
@@ -122,18 +148,24 @@ type metricsJSON struct {
 	RollbackOps   uint64 `json:"rollback_ops,omitempty"`
 }
 
-func (ds *debugServer) serveMetrics(w http.ResponseWriter, r *http.Request) {
+func (ds *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	ds.mu.Lock()
 	state, final := ds.state, ds.final
 	ds.mu.Unlock()
 
 	doc := metricsJSON{
 		SchemaVersion: metricsSchemaVersion,
-		Node:          ds.node,
-		NumPE:         ds.n,
+		Node:          ds.cfg.Node,
+		NumPE:         ds.cfg.N,
 		State:         state,
 		UptimeSeconds: time.Since(ds.start).Seconds(),
 		RTTUS:         latencyFrom(ds.liveRTT),
+	}
+	if ds.cfg.Sched != nil {
+		doc.Sched = ds.cfg.Sched()
+	}
+	if ds.cfg.Jobs != nil {
+		doc.Jobs = ds.cfg.Jobs.JobRows()
 	}
 	if final != nil {
 		doc.ElapsedUS = int64(final.Elapsed / sim.Microsecond)

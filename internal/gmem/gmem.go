@@ -80,6 +80,9 @@ func (s Space) HomeRuns(addr uint64, n int, fn func(home int, start uint64, coun
 type Allocator struct {
 	space Space
 	next  uint64
+	// bound, when Limit != 0, confines the allocator to a job namespace
+	// (see ns.go): allocations past bound.Limit panic with *QuotaError.
+	bound Region
 }
 
 // NewAllocator starts allocating at address 0.
@@ -90,6 +93,7 @@ func (a *Allocator) Alloc(n int) uint64 {
 	if n <= 0 {
 		panic("gmem: Alloc of non-positive size")
 	}
+	a.checkBound(n)
 	base := a.next
 	a.next += uint64(n)
 	return base

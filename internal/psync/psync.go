@@ -37,11 +37,23 @@ func NewBarrierManager(n int) *BarrierManager {
 // returns the kernels to release (in arrival order) and resets the epoch;
 // otherwise it returns nil.
 func (bm *BarrierManager) Arrive(src int, id int32) []int {
-	waiters := append(bm.arrived[id], src)
-	if len(waiters) > bm.n {
-		panic(fmt.Sprintf("psync: barrier %d over-arrived (%d > %d); duplicate arrival from %d?", id, len(waiters), bm.n, src))
+	return bm.ArriveSized(src, id, bm.n)
+}
+
+// ArriveSized is Arrive with an explicit epoch size: the barrier releases
+// after size arrivals instead of the full cluster count. Job-scoped group
+// barriers use this — a job's gang spans a PE subset, so its barriers
+// complete at the group size. size <= 0 (or > n) falls back to the cluster
+// count, so a zeroed wire field means the classic full barrier.
+func (bm *BarrierManager) ArriveSized(src int, id int32, size int) []int {
+	if size <= 0 || size > bm.n {
+		size = bm.n
 	}
-	if len(waiters) == bm.n {
+	waiters := append(bm.arrived[id], src)
+	if len(waiters) > size {
+		panic(fmt.Sprintf("psync: barrier %d over-arrived (%d > %d); duplicate arrival from %d?", id, len(waiters), size, src))
+	}
+	if len(waiters) == size {
 		delete(bm.arrived, id)
 		return waiters
 	}
@@ -51,6 +63,27 @@ func (bm *BarrierManager) Arrive(src int, id int32) []int {
 
 // Pending reports how many kernels are waiting at barrier id.
 func (bm *BarrierManager) Pending(id int32) int { return len(bm.arrived[id]) }
+
+// PendingTotal reports how many arrivals are parked across ALL open barrier
+// epochs — a leak gauge: after a quiesced teardown it must be zero.
+func (bm *BarrierManager) PendingTotal() int {
+	total := 0
+	for _, w := range bm.arrived {
+		total += len(w)
+	}
+	return total
+}
+
+// DropRange discards every partial epoch whose barrier id lies in [lo, hi):
+// namespace teardown for a cancelled job whose members died mid-barrier, so
+// the job's id range is clean when a later job reuses it.
+func (bm *BarrierManager) DropRange(lo, hi int32) {
+	for id := range bm.arrived {
+		if id >= lo && id < hi {
+			delete(bm.arrived, id)
+		}
+	}
+}
 
 // LockManager implements the central distributed lock manager. Locks are
 // granted FIFO.
@@ -106,6 +139,31 @@ func (lm *LockManager) Holder(id int32) (int, bool) {
 	return h, ok
 }
 
+// Residue reports how many locks are held plus how many waiters are queued
+// across all ids — a leak gauge for job teardown.
+func (lm *LockManager) Residue() int {
+	total := len(lm.holder)
+	for _, q := range lm.waitq {
+		total += len(q)
+	}
+	return total
+}
+
+// DropRange forgets holders and wait queues of every lock id in [lo, hi):
+// teardown for a job that aborted while holding or awaiting its locks.
+func (lm *LockManager) DropRange(lo, hi int32) {
+	for id := range lm.holder {
+		if id >= lo && id < hi {
+			delete(lm.holder, id)
+		}
+	}
+	for id := range lm.waitq {
+		if id >= lo && id < hi {
+			delete(lm.waitq, id)
+		}
+	}
+}
+
 // SemManager implements central counting semaphores.
 type SemManager struct {
 	val   map[int32]int64
@@ -150,6 +208,31 @@ func (sm *SemManager) Post(id int32) (next int, ok bool) {
 
 // Value reports the semaphore's current value.
 func (sm *SemManager) Value(id int32) int64 { return sm.val[id] }
+
+// WaitersTotal reports how many waiters are queued across all semaphores —
+// a leak gauge for job teardown.
+func (sm *SemManager) WaitersTotal() int {
+	total := 0
+	for _, q := range sm.waitq {
+		total += len(q)
+	}
+	return total
+}
+
+// DropRange forgets values and wait queues of every semaphore id in
+// [lo, hi): teardown for a job's private semaphore range.
+func (sm *SemManager) DropRange(lo, hi int32) {
+	for id := range sm.val {
+		if id >= lo && id < hi {
+			delete(sm.val, id)
+		}
+	}
+	for id := range sm.waitq {
+		if id >= lo && id < hi {
+			delete(sm.waitq, id)
+		}
+	}
+}
 
 // TreeBarrier is the distributed alternative to the central barrier: each
 // kernel combines arrivals from its tree children, forwards one message to

@@ -1,0 +1,141 @@
+package sched
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ssi"
+)
+
+// TestHTTPServer drives the full job lifecycle through the HTTP API against
+// a live cluster: submit, status, queue listing, cancel, and the admission
+// error mapping.
+func TestHTTPServer(t *testing.T) {
+	c, err := Start(Config{Workers: 2, CapacityBlocks: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	srv := httptest.NewServer(NewServer(c.Scheduler()))
+	defer srv.Close()
+
+	post := func(body string) (*http.Response, map[string]interface{}) {
+		resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc map[string]interface{}
+		json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		return resp, doc
+	}
+
+	// Submit a valid job.
+	resp, doc := post(`{"name":"h1","pes":2,"workload":"touch","quota_blocks":8}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d (%v)", resp.StatusCode, doc)
+	}
+	id := int(doc["id"].(float64))
+
+	// Poll status until done.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/jobs/" + itoa(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jv jobView
+		json.NewDecoder(resp.Body).Decode(&jv)
+		resp.Body.Close()
+		if jv.State == StateDone {
+			break
+		}
+		if jv.State == StateFailed || jv.State == StateCancelled {
+			t.Fatalf("job ended %q: %s", jv.State, jv.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", jv.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Admission rejections map to 422.
+	for _, bad := range []string{
+		`{"pes":0,"workload":"touch"}`,
+		`{"pes":3,"workload":"touch"}`,
+		`{"pes":1,"workload":"touch","quota_blocks":999}`,
+		`{"pes":1,"workload":"nope"}`,
+		`{"pes":1,"workload":"touch","deadline_ms":-5}`,
+	} {
+		if resp, doc := post(bad); resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Errorf("spec %s: status %d (%v), want 422", bad, resp.StatusCode, doc)
+		}
+	}
+
+	// Unknown job is 404; bad id is 400.
+	if resp, _ := http.Get(srv.URL + "/jobs/999"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := http.Get(srv.URL + "/jobs/abc"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad id: status %d, want 400", resp.StatusCode)
+	}
+
+	// Submit and cancel over HTTP.
+	_, doc = post(`{"name":"h2","pes":1,"workload":"touch"}`)
+	id2 := int(doc["id"].(float64))
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/"+itoa(id2), nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %v status %v", err, resp.StatusCode)
+	}
+
+	// Queue document carries stats and rows; /metrics carries the gauges.
+	resp, err = http.Get(srv.URL + "/queue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q struct {
+		Stats Stats        `json:"stats"`
+		Jobs  []ssi.JobRow `json:"jobs"`
+	}
+	json.NewDecoder(resp.Body).Decode(&q)
+	resp.Body.Close()
+	if q.Stats.Submitted < 2 || len(q.Jobs) < 2 {
+		t.Errorf("queue: submitted=%d rows=%d, want >= 2 each", q.Stats.Submitted, len(q.Jobs))
+	}
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if st.Workers != 2 {
+		t.Errorf("metrics workers = %d, want 2", st.Workers)
+	}
+
+	// The scheduler is an ssi.JobSource: a view bound to it reports the
+	// same rows.
+	v := ssi.NewView(nil)
+	v.BindJobs(c.Scheduler())
+	if rows := v.Jobs(); len(rows) != len(q.Jobs) {
+		t.Errorf("ssi view rows = %d, want %d", len(rows), len(q.Jobs))
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

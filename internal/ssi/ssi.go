@@ -19,11 +19,47 @@ import (
 
 // View is a PE's single-machine view of the whole cluster.
 type View struct {
-	pe *core.PE
+	pe   *core.PE
+	jobs JobSource
 }
 
 // NewView wraps a PE.
 func NewView(pe *core.PE) *View { return &View{pe: pe} }
+
+// JobRow is one scheduler job in the single-system image: the cluster's
+// "process table" entry for multi-job operation (dsesched). States are
+// "queued", "running", "done", "failed" and "cancelled".
+type JobRow struct {
+	ID          int     `json:"id"`
+	Name        string  `json:"name"`
+	State       string  `json:"state"`
+	PEs         int     `json:"pes"`          // gang size (PEs held while running)
+	QuotaBlocks uint64  `json:"quota_blocks"` // namespace quota, in GM blocks
+	UsedBlocks  uint64  `json:"used_blocks"`  // blocks actually allocated
+	Priority    int     `json:"priority"`
+	WaitMS      float64 `json:"wait_ms"`         // queue wait (so far, or final)
+	RunMS       float64 `json:"run_ms"`          // runtime (so far, or final)
+	Error       string  `json:"error,omitempty"` // failure reason, failed jobs
+}
+
+// JobSource provides live scheduler job rows to the view (implemented by
+// sched.Scheduler); nil until BindJobs.
+type JobSource interface {
+	JobRows() []JobRow
+}
+
+// BindJobs attaches a scheduler's job table to this view, so Jobs reports
+// the cluster's multi-job state alongside the process table.
+func (v *View) BindJobs(src JobSource) { v.jobs = src }
+
+// Jobs returns the scheduler's per-job rows, or nil when no scheduler is
+// bound to this view.
+func (v *View) Jobs() []JobRow {
+	if v.jobs == nil {
+		return nil
+	}
+	return v.jobs.JobRows()
+}
 
 // NumCPU reports the cluster-wide processor count — the "machine size" a
 // user of the single system sees.

@@ -69,6 +69,10 @@ type PEStats struct {
 	LeaseGrants   uint64 // read leases this PE fetched from a home
 	LeaseExpiries uint64 // lease-cache entries dropped because their lease expired
 
+	// Scheduler namespace counters (dsesched per-job GM isolation).
+	NsViolations uint64 // kernel-side: requests NACKed for touching memory outside the requester's namespace
+	NsDenials    uint64 // PE-side: accesses refused before leaving the PE (one-sided window/ring paths included)
+
 	// ByOp breaks sent traffic down per message op, so experiments can
 	// watch e.g. scalar reads being displaced by vectored reads.
 	ByOp [wire.NumOps]OpCount
@@ -137,6 +141,8 @@ func (s *PEStats) Add(o *PEStats) {
 	s.WCFlushes += o.WCFlushes
 	s.LeaseGrants += o.LeaseGrants
 	s.LeaseExpiries += o.LeaseExpiries
+	s.NsViolations += o.NsViolations
+	s.NsDenials += o.NsDenials
 	for i := range s.ByOp {
 		s.ByOp[i].Msgs += o.ByOp[i].Msgs
 		s.ByOp[i].Bytes += o.ByOp[i].Bytes
